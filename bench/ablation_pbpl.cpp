@@ -1,0 +1,94 @@
+// Ablation study of PBPL's design choices (ours; not in the paper, but
+// each knob corresponds to a mechanism the paper motivates):
+//   * latching      — grouping consumer invocations on shared slots (V-A)
+//   * dynamic resize — elastic buffers over the global pool (V-C)
+//   * emergency borrow — absorbing overflows with pool space (Section I)
+//   * predictor     — moving average (paper) vs Kalman filter (future work)
+//   * window h      — moving-average depth
+//   * slot size Δ   — track granularity
+#include <cstdio>
+#include <iostream>
+
+#include "pcpc/common/table.hpp"
+#include "pcpc/exp/paper_setup.hpp"
+
+using namespace pcpc;
+using exp::ImplKind;
+
+namespace {
+
+exp::ExperimentSpec base_spec() { return exp::multi_pair_spec(/*pairs=*/5, /*buffer=*/25); }
+
+void run_row(Table& table, const std::string& label, const exp::ExperimentSpec& spec) {
+  const auto s = exp::summarize(ImplKind::Pbpl, spec);
+  table.add(label, s.wakeups_per_s.to_string(1), s.power_mw.to_string(1),
+            s.overflows.to_string(0), s.scheduled_wakeups.to_string(0),
+            s.mean_latency_ms.to_string(2), s.mean_buffer_capacity.to_string(1));
+}
+
+}  // namespace
+
+int main() {
+  Table table({"configuration", "wakeups/s", "power (mW)", "overflows", "scheduled",
+               "latency (ms)", "avg buffer"});
+  table.set_title(
+      "PBPL ablations — M=5 pairs, B=25, 2 cores, 10 s, 3 replicates, mean ± 95% CI");
+
+  run_row(table, "full PBPL (default)", base_spec());
+
+  {
+    auto spec = base_spec();
+    spec.setup.pbpl.latching = false;
+    run_row(table, "no latching", spec);
+  }
+  {
+    auto spec = base_spec();
+    spec.setup.pbpl.dynamic_resize = false;
+    run_row(table, "no dynamic resize", spec);
+  }
+  {
+    auto spec = base_spec();
+    spec.setup.pbpl.emergency_borrow = false;
+    run_row(table, "no emergency borrow", spec);
+  }
+  {
+    auto spec = base_spec();
+    spec.setup.pbpl.latching = false;
+    spec.setup.pbpl.dynamic_resize = false;
+    spec.setup.pbpl.emergency_borrow = false;
+    run_row(table, "all mechanisms off", spec);
+  }
+  {
+    auto spec = base_spec();
+    spec.setup.pbpl.predictor = core::PredictorKind::Kalman;
+    run_row(table, "Kalman predictor (future work)", spec);
+  }
+  {
+    auto spec = base_spec();
+    spec.setup.pbpl.predictor = core::PredictorKind::Ewma;
+    run_row(table, "EWMA predictor", spec);
+  }
+  for (const std::size_t h : {std::size_t{2}, std::size_t{4}, std::size_t{16}}) {
+    auto spec = base_spec();
+    spec.setup.pbpl.predictor_window = h;
+    run_row(table, "moving-average h=" + std::to_string(h), spec);
+  }
+  for (const long delta_ms : {5, 20}) {
+    auto spec = base_spec();
+    spec.setup.pbpl.slot_size = milliseconds(delta_ms);
+    run_row(table, "slot size Δ=" + std::to_string(delta_ms) + " ms", spec);
+  }
+  {
+    auto spec = base_spec();
+    spec.setup.pbpl.resize_headroom = 1.0;
+    run_row(table, "no resize headroom (paper-exact B_i)", spec);
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nReading guide: 'no latching' isolates the grouping gain (V-A); 'no dynamic\n"
+      "resize' pins buffers at B0 (V-C); 'no emergency borrow' forces every raw\n"
+      "overflow into an unscheduled wakeup; Kalman is the paper's proposed future-\n"
+      "work estimator.\n");
+  return 0;
+}

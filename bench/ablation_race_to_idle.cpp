@@ -1,0 +1,67 @@
+// Race-to-idle ablation (paper Section II background): is the paper's
+// simplified two-state model (run at full speed, then idle) conservative?
+//
+// For each batch window we compare executing the batch at every P-state
+// of a DVFS table: high states finish fast and park in a deep C-state;
+// low states stretch the work at a lower V²f cost.  The crossover depends
+// on how deep the idle ladder goes and how long the window is — exactly
+// the interplay the paper's "race-to-idle … should be combined with
+// minimizing wakeups" paragraph describes.
+#include <cstdio>
+#include <iostream>
+
+#include "pcpc/common/table.hpp"
+#include "pcpc/power/cstate.hpp"
+#include "pcpc/power/pstate.hpp"
+
+using namespace pcpc;
+using namespace pcpc::power;
+
+int main() {
+  const PStateModel pstates = PStateModel::arndale_like();
+
+  // Batch work sized like a PBPL slot's batch: 20 items × 3 µs at
+  // 1.6 GHz ≈ 96k cycles... scaled up to make the numbers legible.
+  const double batch_cycles = 1.6e6;  // 1 ms at the top state
+
+  Table table({"idle ladder", "window", "best P-state", "busy (ms)", "idle (ms)",
+               "energy (uJ)", "vs top-state"});
+  table.set_title(
+      "Race-to-idle ablation: energy-optimal P-state per batch window\n"
+      "(batch = 1 ms of work at 1.6 GHz)");
+
+  struct Ladder {
+    const char* name;
+    CStateModel model;
+  };
+  const Ladder ladders[] = {
+      {"shallow (WFI only, 180 mW)", CStateModel::two_state(0.18)},
+      {"deep ladder (Arndale)", CStateModel::arndale_like()},
+  };
+
+  for (const auto& ladder : ladders) {
+    for (const SimDuration window :
+         {milliseconds(2), milliseconds(4), milliseconds(10), milliseconds(40)}) {
+      const auto best =
+          best_pstate(pstates, ladder.model, batch_cycles, window, /*wakeup_j=*/8e-6);
+      const auto top = evaluate_window(pstates, ladder.model, batch_cycles, window,
+                                       8e-6, pstates.fastest());
+      table.add(ladder.name, format_double(to_milliseconds(window), 0) + " ms",
+                pstates.state(best.pstate).name, format_double(to_milliseconds(best.busy), 2),
+                format_double(to_milliseconds(best.idle), 2),
+                format_double(best.energy_j * 1e6, 1),
+                format_double(100.0 * (top.energy_j - best.energy_j) / top.energy_j, 1) +
+                    " %");
+    }
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nReading: on a shallow ladder, crawling at a low P-state beats racing (the\n"
+      "idle time is too expensive to be worth buying).  On the deep Arndale-like\n"
+      "ladder the gap shrinks toward zero as windows grow — long contiguous idle\n"
+      "reaches the deep states and race-to-idle becomes near-optimal, which is\n"
+      "what justifies the paper's two-state simplification *given* its grouped\n"
+      "(long-gap) wakeup pattern.  Grouping and race-to-idle are complements.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Figure 3 reproduction: wakeups/s versus usage (ms/s) for the seven
+// single producer-consumer implementations, plus the Section III-C3
+// correlation analysis (wakeups↔power, usage↔power).
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "pcpc/common/hypothesis.hpp"
+#include "pcpc/common/stats.hpp"
+#include "pcpc/common/table.hpp"
+#include "pcpc/exp/paper_setup.hpp"
+#include "pcpc/exp/report.hpp"
+
+using namespace pcpc;
+using exp::ImplKind;
+
+int main() {
+  const exp::ExperimentSpec spec = exp::single_pair_spec();
+  const power::EnergyLedger ledger(spec.power);
+
+  exp::Report report("fig3");
+  report.add_table("profile", "fig3 profile",
+                   {"impl", "wakeups_per_s", "usage_ms_per_s", "power_mw", "overflows"});
+  Table table({"impl", "wakeups/s", "usage (ms/s)", "power (mW)", "overflows"});
+  table.set_title(
+      "Figure 3 — single producer-consumer profile (wakeups/s vs usage ms/s)\n"
+      "web-log replay, 10 s, 3 replicates, mean ± 95% CI");
+
+  // Raw replicate series for the correlation analysis.
+  std::vector<double> wakeups_all, usage_all, power_all;
+  std::vector<double> wakeups_idle, usage_idle, power_idle;  // excl. BW/Yield
+  double pbp_raw = 0.0, spbp_raw = 0.0;  // timer fires + overflow wakeups
+
+  for (const auto kind : exp::kSingleStudyImpls) {
+    const auto replicates = exp::run_replicates(kind, spec);
+    const auto summary = exp::summarize(replicates);
+    table.add(impls::impl_name(kind), summary.wakeups_per_s.to_string(1),
+              summary.usage_ms_per_s.to_string(1), summary.power_mw.to_string(1),
+              summary.overflows.to_string(0));
+    report.add_row({impls::impl_name(kind), format_double(summary.wakeups_per_s.mean, 2),
+                    format_double(summary.usage_ms_per_s.mean, 2),
+                    format_double(summary.power_mw.mean, 2),
+                    format_double(summary.overflows.mean, 0)});
+    for (const auto& r : replicates) {
+      wakeups_all.push_back(r.wakeups_per_s);
+      usage_all.push_back(r.usage_ms_per_s);
+      power_all.push_back(r.power_w);
+      if (kind != ImplKind::BusyWait && kind != ImplKind::Yield) {
+        wakeups_idle.push_back(r.wakeups_per_s);
+        usage_idle.push_back(r.usage_ms_per_s);
+        power_idle.push_back(r.power_w);
+      }
+    }
+    if (kind == ImplKind::PeriodicBatch) {
+      pbp_raw = summary.scheduled_wakeups.mean + summary.overflows.mean;
+    } else if (kind == ImplKind::SignalPeriodicBatch) {
+      spbp_raw = summary.scheduled_wakeups.mean + summary.overflows.mean;
+    }
+  }
+  table.print(std::cout);
+
+  std::printf("\nCorrelation analysis (Section III-C3):\n");
+  std::printf("  all seven impls:   corr(wakeups, power) = %+6.1f%%   (paper: -79.6%%)\n",
+              100.0 * pearson_correlation(wakeups_all, power_all));
+  std::printf("  idling five impls: corr(wakeups, power) = %+6.1f%%   (paper: +74%%)\n",
+              100.0 * pearson_correlation(wakeups_idle, power_idle));
+  std::printf("  idling five impls: corr(usage,   power) = %+6.1f%%   (paper: ~+12%%, weak)\n",
+              100.0 * pearson_correlation(usage_idle, power_idle));
+
+  // The paper's hypothesis test: H0 "wakeups have a significant effect on
+  // power" among the idling implementations, at 99% confidence.
+  const TestResult h0 = correlation_significance(wakeups_idle, power_idle, 0.99);
+  std::printf(
+      "  hypothesis test (99%% conf): t = %.2f vs critical %.2f -> wakeups %s a\n"
+      "  significant effect on power   (paper: accepted at 99%% confidence)\n",
+      h0.statistic, h0.critical, h0.significant ? "HAVE" : "do NOT have");
+
+  std::printf(
+      "\nTimer-jitter effect (Section III-C3, PBP vs SPBP):\n"
+      "  raw wakeups (timer fires + overflows): PBP %.0f vs SPBP %.0f (%+.1f%%)\n"
+      "  (the paper attributes SPBP's advantage to nanosleep jitter causing\n"
+      "   buffer overflows before the late timer fires)\n",
+      pbp_raw, spbp_raw, 100.0 * (spbp_raw - pbp_raw) / pbp_raw);
+  report.maybe_export(std::cout);
+  return 0;
+}

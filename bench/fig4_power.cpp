@@ -1,0 +1,57 @@
+// Figure 4 reproduction: power consumption of the seven single
+// producer-consumer implementations (the paper plots this on a log
+// scale), plus the headline reductions the paper quotes.
+#include <cstdio>
+#include <iostream>
+
+#include "pcpc/common/table.hpp"
+#include "pcpc/exp/paper_setup.hpp"
+#include "pcpc/exp/report.hpp"
+
+using namespace pcpc;
+using exp::ImplKind;
+
+int main() {
+  const exp::ExperimentSpec spec = exp::single_pair_spec();
+
+  exp::Report report("fig4");
+  report.add_table("power", "fig4 power", {"impl", "power_mw"});
+  Table table({"impl", "power (mW)", "vs BW", "vs Mutex"});
+  table.set_title(
+      "Figure 4 — power (mW) of the seven single-pair implementations\n"
+      "web-log replay, 10 s, 3 replicates, mean ± 95% CI");
+
+  double bw_power = 0.0, mutex_power = 0.0, spbp_power = 0.0, batch_best = 1e300;
+  struct Row {
+    ImplKind kind;
+    exp::MetricSummary summary;
+  };
+  std::vector<Row> rows;
+  for (const auto kind : exp::kSingleStudyImpls) {
+    rows.push_back({kind, exp::summarize(kind, spec)});
+    const double p = rows.back().summary.power_mw.mean;
+    if (kind == ImplKind::BusyWait) bw_power = p;
+    if (kind == ImplKind::Mutex) mutex_power = p;
+    if (kind == ImplKind::SignalPeriodicBatch) spbp_power = p;
+    if (kind == ImplKind::Batch || kind == ImplKind::PeriodicBatch ||
+        kind == ImplKind::SignalPeriodicBatch) {
+      batch_best = std::min(batch_best, p);
+    }
+  }
+  for (const auto& row : rows) {
+    const double p = row.summary.power_mw.mean;
+    report.add_row({impls::impl_name(row.kind), format_double(p, 2)});
+    table.add(impls::impl_name(row.kind), row.summary.power_mw.to_string(1),
+              format_double(100.0 * (bw_power - p) / bw_power, 1) + " %",
+              format_double(100.0 * (mutex_power - p) / mutex_power, 1) + " %");
+  }
+  table.print(std::cout);
+
+  std::printf("\nHeadline claims (Section III-C):\n");
+  std::printf("  best batch impl vs BW:    %5.1f %% reduction   (paper: up to 80%%)\n",
+              100.0 * (bw_power - batch_best) / bw_power);
+  std::printf("  SPBP vs Mutex:            %5.1f %% reduction   (paper: 33%%)\n",
+              100.0 * (mutex_power - spbp_power) / mutex_power);
+  report.maybe_export(std::cout);
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Capstone scenario: an IoT gateway aggregating heterogeneous sensors.
+//
+// Twelve sensor streams with wildly different rates and burst profiles
+// feed one 4-core gateway that must stay within a power envelope while
+// meeting per-stream staleness bounds.  The example composes everything
+// the library offers on top of the paper's algorithm:
+//   * packed core assignment   — park two cores permanently (f : C → α);
+//   * Kalman rate prediction   — the paper's future-work estimator;
+//   * the adaptive latency guard — staleness enforcement under bursts;
+//   * elastic buffers          — camera bursts borrow from quiet sensors.
+//
+//   $ ./examples/iot_gateway
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "pcpc/common/rng.hpp"
+#include "pcpc/common/table.hpp"
+#include "pcpc/core/config_io.hpp"
+#include "pcpc/impls/runner.hpp"
+#include "pcpc/trace/arrival_process.hpp"
+
+using namespace pcpc;
+
+namespace {
+
+struct Sensor {
+  const char* kind;
+  trace::Trace trace;
+};
+
+std::vector<Sensor> make_sensors(SimDuration horizon) {
+  std::vector<Sensor> sensors;
+  Rng rng(0x107);
+  // 4 slow environment sensors: ~20 Hz telemetry.
+  for (int i = 0; i < 4; ++i) {
+    const trace::ConstantRate rate(20.0);
+    Rng stream = rng.fork();
+    sensors.push_back({"env-20Hz", trace::sample_nhpp(rate, horizon, stream)});
+  }
+  // 4 medium accelerometers: 400 Hz with slow drift.
+  for (int i = 0; i < 4; ++i) {
+    const trace::SinusoidRate rate(400.0, 150.0, seconds(4), rng.uniform(0, 6.28));
+    Rng stream = rng.fork();
+    sensors.push_back({"accel-400Hz", trace::sample_nhpp(rate, horizon, stream)});
+  }
+  // 2 event cameras: heavy-tailed ON/OFF bursts.
+  for (int i = 0; i < 2; ++i) {
+    trace::ParetoOnOffParams camera;
+    camera.on_rate_hz = 8000.0;
+    camera.min_on = milliseconds(15);
+    camera.min_off = milliseconds(80);
+    Rng stream = rng.fork();
+    sensors.push_back({"camera-burst", trace::sample_pareto_on_off(camera, horizon, stream)});
+  }
+  // 2 network event streams: MMPP.
+  for (int i = 0; i < 2; ++i) {
+    trace::MmppParams net;
+    net.low_rate_hz = 100.0;
+    net.high_rate_hz = 3000.0;
+    Rng stream = rng.fork();
+    sensors.push_back({"net-mmpp", trace::sample_mmpp(net, horizon, stream)});
+  }
+  return sensors;
+}
+
+}  // namespace
+
+int main() {
+  const SimDuration horizon = seconds(5);
+  auto sensors = make_sensors(horizon);
+
+  std::printf("Gateway ingest (%zu sensors):\n", sensors.size());
+  std::vector<trace::Trace> traces;
+  for (const auto& sensor : sensors) {
+    const auto stats = sensor.trace.stats();
+    std::printf("  %-12s %7zu samples, mean %6.0f /s, CV %.2f\n", sensor.kind,
+                sensor.trace.size(), stats.mean_rate_hz, stats.interarrival_cv);
+    traces.push_back(sensor.trace);
+  }
+
+  // Gateway configuration, written the way an operator would ship it.
+  core::PbplConfig config;
+  std::string error;
+  const std::vector<std::string> tuning{
+      "cores=4",
+      "slot_size_us=5000",       // 5 ms track
+      "max_latency_us=50000",    // 50 ms staleness bound
+      "base_buffer=48",
+      "pool_segment=8",
+      "predictor=kalman",        // the paper's future-work estimator
+      "latency_guard=1",         // enforce the staleness bound under bursts
+      "assignment=packed",       // park unneeded cores
+      "utilization_cap=0.6",
+  };
+  if (!core::apply_options(config, tuning, &error)) {
+    std::fprintf(stderr, "config error: %s\n", error.c_str());
+    return 1;
+  }
+
+  impls::ExperimentSetup setup;
+  setup.baseline.cores = config.cores;
+  setup.baseline.buffer_capacity = config.base_buffer;
+  setup.pbpl = config;
+  const power::EnergyLedger ledger{power::PowerModelParams{}};
+
+  Table table({"ingest strategy", "power (mW)", "wakeups/s", "mean latency (ms)",
+               "overflow drains"});
+  table.set_title("\nGateway ingest strategies");
+  impls::RunResult pbpl_run;
+  for (const auto kind :
+       {impls::ImplKind::Mutex, impls::ImplKind::Batch, impls::ImplKind::Pbpl}) {
+    auto r = impls::run_implementation(kind, traces, horizon, setup);
+    table.add(impls::impl_name(kind), format_double(r.extra_power_w(ledger) * 1e3, 1),
+              format_double(r.wakeups_per_s(), 1),
+              format_double(r.latency_s.mean() * 1e3, 2),
+              static_cast<long long>(r.overflows));
+    if (kind == impls::ImplKind::Pbpl) pbpl_run = std::move(r);
+  }
+  table.print(std::cout);
+
+  std::size_t cores_awake = 0;
+  for (const auto& tl : pbpl_run.timelines) cores_awake += (tl.wakeups() > 0);
+  std::printf(
+      "\nPBPL internals: %zu of %zu cores ever woke; %llu/%llu reservations latched;\n"
+      "%llu pool borrows absorbed camera bursts; worst staleness %.1f ms.\n"
+      "(The 50 ms bound applies beyond the predicted inter-arrival gap — the\n"
+      "20 Hz sensors legitimately wait up to ~1/r + L = 100 ms, more when the\n"
+      "estimator lags; the latency guard then reels the horizon back in.)\n",
+      cores_awake, pbpl_run.timelines.size(),
+      static_cast<unsigned long long>(pbpl_run.latched_reservations),
+      static_cast<unsigned long long>(pbpl_run.reservations),
+      static_cast<unsigned long long>(pbpl_run.emergency_borrows),
+      pbpl_run.latency_s.max() * 1e3);
+  return 0;
+}

@@ -1,0 +1,172 @@
+// Generic experiment driver: run any implementation on any synthetic
+// workload with any PBPL configuration, straight from the command line.
+//
+//   $ ./examples/pcpc_cli [options] [pbpl key=value ...]
+//
+//   --impl=NAME        bw|yield|mutex|sem|bp|pbp|spbp|cpbp|pbpl|all  [pbpl]
+//   --pairs=M          producer-consumer pairs                        [5]
+//   --rate=HZ          mean production rate per pair                  [2000]
+//   --seconds=S        horizon                                        [5]
+//   --buffer=B         per-pair buffer capacity                       [25]
+//   --cores=A          cores                                          [2]
+//   --workload=KIND    web|poisson|mmpp|pareto                        [web]
+//   --config=FILE      PBPL config file (key=value lines)
+//   key=value          any pcpc::core::config_io key, applied last
+//
+// Examples:
+//   ./examples/pcpc_cli --impl=all --pairs=10 --rate=1500
+//   ./examples/pcpc_cli --workload=pareto latency_guard=1 slot_size_us=5000
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "pcpc/common/rng.hpp"
+#include "pcpc/common/table.hpp"
+#include "pcpc/core/config_io.hpp"
+#include "pcpc/exp/paper_setup.hpp"
+#include "pcpc/trace/arrival_process.hpp"
+#include "pcpc/trace/webserver_log.hpp"
+
+using namespace pcpc;
+
+namespace {
+
+struct CliOptions {
+  std::string impl = "pbpl";
+  std::size_t pairs = 5;
+  double rate_hz = 2000.0;
+  double seconds_d = 5.0;
+  std::size_t buffer = 25;
+  std::size_t cores = 2;
+  std::string workload = "web";
+  std::string config_file;
+  std::vector<std::string> config_options;
+};
+
+bool parse_cli(int argc, char** argv, CliOptions& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&](const char* prefix) -> std::optional<std::string> {
+      const std::size_t n = std::string(prefix).size();
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(n);
+      return std::nullopt;
+    };
+    if (const auto v = value_of("--impl=")) options.impl = *v;
+    else if (const auto v2 = value_of("--pairs=")) options.pairs = std::stoul(*v2);
+    else if (const auto v3 = value_of("--rate=")) options.rate_hz = std::stod(*v3);
+    else if (const auto v4 = value_of("--seconds=")) options.seconds_d = std::stod(*v4);
+    else if (const auto v5 = value_of("--buffer=")) options.buffer = std::stoul(*v5);
+    else if (const auto v6 = value_of("--cores=")) options.cores = std::stoul(*v6);
+    else if (const auto v7 = value_of("--workload=")) options.workload = *v7;
+    else if (const auto v8 = value_of("--config=")) options.config_file = *v8;
+    else if (arg.find('=') != std::string::npos && arg.rfind("--", 0) != 0) {
+      options.config_options.push_back(arg);
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  return options.pairs > 0 && options.rate_hz > 0 && options.seconds_d > 0;
+}
+
+std::optional<impls::ImplKind> kind_of(const std::string& name) {
+  if (name == "bw") return impls::ImplKind::BusyWait;
+  if (name == "yield") return impls::ImplKind::Yield;
+  if (name == "mutex") return impls::ImplKind::Mutex;
+  if (name == "sem") return impls::ImplKind::Semaphore;
+  if (name == "bp") return impls::ImplKind::Batch;
+  if (name == "pbp") return impls::ImplKind::PeriodicBatch;
+  if (name == "spbp") return impls::ImplKind::SignalPeriodicBatch;
+  if (name == "cpbp") return impls::ImplKind::CoalescedPeriodicBatch;
+  if (name == "pbpl") return impls::ImplKind::Pbpl;
+  return std::nullopt;
+}
+
+std::vector<trace::Trace> make_workload(const CliOptions& options, SimDuration horizon) {
+  std::vector<trace::Trace> traces;
+  Rng rng(0xC11);
+  for (std::size_t i = 0; i < options.pairs; ++i) {
+    Rng stream = rng.fork();
+    if (options.workload == "poisson") {
+      const trace::ConstantRate rate(options.rate_hz);
+      traces.push_back(trace::sample_nhpp(rate, horizon, stream));
+    } else if (options.workload == "mmpp") {
+      trace::MmppParams mmpp;
+      mmpp.low_rate_hz = options.rate_hz * 0.2;
+      mmpp.high_rate_hz = options.rate_hz * 4.0;
+      traces.push_back(trace::sample_mmpp(mmpp, horizon, stream));
+    } else if (options.workload == "pareto") {
+      trace::ParetoOnOffParams pareto;
+      pareto.on_rate_hz = options.rate_hz * 3.0;
+      traces.push_back(trace::sample_pareto_on_off(pareto, horizon, stream));
+    } else {  // web
+      trace::WebWorkloadParams web;
+      web.duration = horizon;
+      web.base_rate_hz = options.rate_hz;
+      web.seed = stream.next_u64();
+      traces.push_back(trace::make_web_workload(web));
+    }
+  }
+  return traces;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!parse_cli(argc, argv, options)) return 2;
+
+  // Assemble the setup from the calibrated defaults, then user overrides.
+  exp::ExperimentSpec spec = exp::multi_pair_spec(options.pairs, options.buffer);
+  spec.setup.baseline.cores = options.cores;
+  std::string error;
+  if (!options.config_file.empty()) {
+    const auto loaded = core::load_config_file(options.config_file, &error);
+    if (!loaded.has_value()) {
+      std::fprintf(stderr, "config error: %s\n", error.c_str());
+      return 2;
+    }
+    spec.setup.pbpl = *loaded;
+  }
+  if (!core::apply_options(spec.setup.pbpl, options.config_options, &error)) {
+    std::fprintf(stderr, "config error: %s\n", error.c_str());
+    return 2;
+  }
+
+  const SimDuration horizon = from_seconds(options.seconds_d);
+  const auto traces = make_workload(options, horizon);
+  std::size_t total = 0;
+  for (const auto& t : traces) total += t.size();
+  std::printf("workload '%s': %zu pairs, %zu items over %.1f s\n\n",
+              options.workload.c_str(), options.pairs, total, options.seconds_d);
+
+  std::vector<impls::ImplKind> kinds;
+  if (options.impl == "all") {
+    kinds = {impls::ImplKind::Mutex, impls::ImplKind::Semaphore, impls::ImplKind::Batch,
+             impls::ImplKind::SignalPeriodicBatch, impls::ImplKind::Pbpl};
+  } else if (const auto kind = kind_of(options.impl)) {
+    kinds = {*kind};
+  } else {
+    std::fprintf(stderr, "unknown --impl '%s'\n", options.impl.c_str());
+    return 2;
+  }
+
+  const power::EnergyLedger ledger(spec.power);
+  Table table({"impl", "power (mW)", "wakeups/s", "usage (ms/s)", "overflows",
+               "latency (ms)"});
+  for (const auto kind : kinds) {
+    const auto r = impls::run_implementation(kind, traces, horizon, spec.setup);
+    table.add(impls::impl_name(kind), format_double(r.extra_power_w(ledger) * 1e3, 1),
+              format_double(r.wakeups_per_s(), 1), format_double(r.usage_ms_per_s(), 1),
+              static_cast<long long>(r.overflows),
+              format_double(r.latency_s.mean() * 1e3, 2));
+  }
+  table.print(std::cout);
+
+  if (options.impl == "pbpl" || options.impl == "all") {
+    std::printf("\nPBPL configuration used:\n%s", core::describe(spec.setup.synchronized_pbpl()).c_str());
+  }
+  return 0;
+}

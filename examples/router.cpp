@@ -1,0 +1,97 @@
+// Network-router scenario: bursty packet queues and elastic buffers.
+//
+// A router's line cards deliver packets into per-port ingress queues
+// (paper Section I: "data packets received from the network need to be
+// removed and processed from internal buffers").  Port traffic is
+// on/off-bursty (MMPP), which is the worst case for statically sized
+// buffers: size for the burst and waste memory, size for the average and
+// overflow.  PBPL's global pool lets a bursting port borrow capacity
+// from quiet ones — this example makes that visible.
+//
+//   $ ./examples/router
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "pcpc/common/rng.hpp"
+#include "pcpc/common/table.hpp"
+#include "pcpc/impls/runner.hpp"
+#include "pcpc/trace/arrival_process.hpp"
+
+using namespace pcpc;
+
+namespace {
+
+std::vector<trace::Trace> make_port_traffic(std::size_t ports, SimDuration horizon) {
+  std::vector<trace::Trace> traces;
+  Rng rng(777);
+  for (std::size_t p = 0; p < ports; ++p) {
+    trace::MmppParams mmpp;
+    mmpp.low_rate_hz = 300.0;
+    mmpp.high_rate_hz = 12000.0;
+    mmpp.mean_low_dwell = milliseconds(400);
+    mmpp.mean_high_dwell = milliseconds(60);
+    Rng port_rng = rng.fork();
+    traces.push_back(trace::sample_mmpp(mmpp, horizon, port_rng));
+  }
+  return traces;
+}
+
+}  // namespace
+
+int main() {
+  const SimDuration horizon = seconds(5);
+  const std::size_t ports = 6;
+  const auto traces = make_port_traffic(ports, horizon);
+
+  std::printf("Port traffic (two-state MMPP, 300 Hz quiet / 12 kHz bursts):\n");
+  for (std::size_t p = 0; p < ports; ++p) {
+    const auto stats = traces[p].stats();
+    std::printf("  port %zu: %6zu packets, mean %6.0f pkt/s, CV %.2f\n", p,
+                traces[p].size(), stats.mean_rate_hz, stats.interarrival_cv);
+  }
+
+  impls::ExperimentSetup setup;
+  setup.baseline.cores = 2;
+  setup.baseline.buffer_capacity = 40;  // per-port descriptor ring
+  setup.baseline.service.per_item = microseconds(1);  // forwarding decision
+  setup.pbpl.slot_size = milliseconds(5);
+  setup.pbpl.max_latency = milliseconds(20);  // forwarding-latency budget
+  setup.pbpl.pool_segment = 8;
+
+  const power::EnergyLedger ledger{power::PowerModelParams{}};
+
+  Table table({"strategy", "power (mW)", "wakeups/s", "overflow drains",
+               "mean latency (ms)", "avg ring size"});
+  table.set_title("\nPacket-queue servicing strategies, 6 ports on 2 cores");
+  for (const auto kind :
+       {impls::ImplKind::Mutex, impls::ImplKind::Batch, impls::ImplKind::Pbpl}) {
+    const auto r = impls::run_implementation(kind, traces, horizon, setup);
+    table.add(impls::impl_name(kind), format_double(r.extra_power_w(ledger) * 1e3, 1),
+              format_double(r.wakeups_per_s(), 1), static_cast<long long>(r.overflows),
+              format_double(r.latency_s.mean() * 1e3, 2),
+              r.buffer_capacity.count() > 0 ? format_double(r.buffer_capacity.mean(), 1)
+                                            : std::string("40.0 (static)"));
+  }
+  table.print(std::cout);
+
+  // Show the elastic pool absorbing bursts: compare PBPL with and
+  // without dynamic resizing under identical traffic.
+  auto rigid = setup;
+  rigid.pbpl.dynamic_resize = false;
+  rigid.pbpl.emergency_borrow = false;
+  const auto elastic =
+      impls::run_implementation(impls::ImplKind::Pbpl, traces, horizon, setup);
+  const auto fixed =
+      impls::run_implementation(impls::ImplKind::Pbpl, traces, horizon, rigid);
+  std::printf(
+      "\nElastic vs fixed rings under the same bursts:\n"
+      "  elastic: %llu overflow drains, %llu pool borrows\n"
+      "  fixed:   %llu overflow drains\n"
+      "The pool converts burst overflows into borrowed capacity, keeping ports\n"
+      "latched onto shared slot wakeups (Section V-C dynamic resizing).\n",
+      static_cast<unsigned long long>(elastic.overflows),
+      static_cast<unsigned long long>(elastic.emergency_borrows),
+      static_cast<unsigned long long>(fixed.overflows));
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Runtime-monitoring scenario (one of the paper's motivating domains and
+// its stated future-work target).
+//
+// A monitored system emits events (state changes, log records, probe
+// hits) at rates that differ wildly per event source; each source feeds
+// one runtime-monitor consumer that checks the events against its
+// property.  Monitors tolerate a bounded detection latency, which is
+// exactly PBPL's max-latency knob — this example shows the latency/power
+// trade as that bound varies.
+//
+//   $ ./examples/runtime_monitor
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "pcpc/common/rng.hpp"
+#include "pcpc/common/table.hpp"
+#include "pcpc/impls/runner.hpp"
+#include "pcpc/trace/arrival_process.hpp"
+
+using namespace pcpc;
+
+namespace {
+
+/// Event sources with heterogeneous behaviour: a chatty periodic probe, a
+/// bursty error channel (MMPP), and two moderate sinusoidal sources.
+std::vector<trace::Trace> make_event_sources(SimDuration horizon) {
+  std::vector<trace::Trace> traces;
+  Rng rng(2024);
+
+  // Source 0: high-frequency heartbeat probe, 5 kHz steady.
+  {
+    const trace::ConstantRate rate(5000.0);
+    traces.push_back(trace::sample_nhpp(rate, horizon, rng));
+  }
+  // Source 1: error/exception channel — quiet with violent bursts.
+  {
+    trace::MmppParams mmpp;
+    mmpp.low_rate_hz = 50.0;
+    mmpp.high_rate_hz = 20000.0;
+    mmpp.mean_low_dwell = milliseconds(600);
+    mmpp.mean_high_dwell = milliseconds(40);
+    traces.push_back(trace::sample_mmpp(mmpp, horizon, rng));
+  }
+  // Sources 2-3: application event streams with slow load swings.
+  for (int i = 0; i < 2; ++i) {
+    const trace::SinusoidRate rate(1200.0, 800.0, seconds(3), rng.uniform(0, 6.28));
+    traces.push_back(trace::sample_nhpp(rate, horizon, rng));
+  }
+  return traces;
+}
+
+}  // namespace
+
+int main() {
+  const SimDuration horizon = seconds(5);
+  const auto traces = make_event_sources(horizon);
+
+  std::printf("Event sources:\n");
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const auto stats = traces[i].stats();
+    std::printf("  monitor %zu: %6zu events, mean %7.0f ev/s, peak %7.0f ev/s\n", i,
+                traces[i].size(), stats.mean_rate_hz, stats.peak_rate_hz);
+  }
+
+  impls::ExperimentSetup setup;
+  setup.baseline.cores = 2;
+  setup.baseline.buffer_capacity = 64;
+  setup.baseline.service.per_item = microseconds(2);  // property check per event
+  setup.pbpl.slot_size = milliseconds(5);
+
+  const power::EnergyLedger ledger{power::PowerModelParams{}};
+
+  Table table({"detection bound", "power (mW)", "wakeups/s", "mean latency (ms)",
+               "p-overflows"});
+  table.set_title("\nPBPL monitors under different detection-latency bounds");
+  for (const SimDuration bound :
+       {milliseconds(10), milliseconds(25), milliseconds(50), milliseconds(200)}) {
+    auto s = setup;
+    s.pbpl.max_latency = bound;
+    const auto r = impls::run_implementation(impls::ImplKind::Pbpl, traces, horizon, s);
+    table.add(format_double(to_milliseconds(bound), 0) + " ms",
+              format_double(r.extra_power_w(ledger) * 1e3, 1),
+              format_double(r.wakeups_per_s(), 1),
+              format_double(r.latency_s.mean() * 1e3, 2),
+              static_cast<long long>(r.overflows));
+  }
+  table.print(std::cout);
+
+  // Reference: the per-event Mutex monitor every runtime-verification
+  // framework ships by default.
+  const auto mutex =
+      impls::run_implementation(impls::ImplKind::Mutex, traces, horizon, setup);
+  std::printf("\nPer-event Mutex monitor for comparison: %.1f mW, %.1f wakeups/s, "
+              "%.3f ms latency\n",
+              mutex.extra_power_w(ledger) * 1e3, mutex.wakeups_per_s(),
+              mutex.latency_s.mean() * 1e3);
+  std::printf(
+      "Loosening the detection bound first buys power (fewer, larger batches) —\n"
+      "until the fixed buffer capacity becomes the binding constraint and\n"
+      "overflow wakeups claw the savings back.  The bound is the knob the paper\n"
+      "proposes runtime monitors should expose; the buffer budget decides how\n"
+      "far it helps.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Web-server scenario: the paper's motivating deployment.
+//
+// A front-end accepts HTTP requests and dispatches them to W worker
+// queues (one producer-consumer pair per worker).  Google's observation
+// cited by the paper — servers run at 10-50% utilization, rarely idle —
+// is exactly the regime where grouping worker wakeups pays off.  This
+// example sweeps the worker count and prints how the Mutex, BP and PBPL
+// dispatch strategies compare in power, wakeups and response latency.
+//
+//   $ ./examples/webserver [workers...]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "pcpc/common/table.hpp"
+#include "pcpc/impls/runner.hpp"
+#include "pcpc/power/energy_ledger.hpp"
+#include "pcpc/trace/webserver_log.hpp"
+
+using namespace pcpc;
+
+namespace {
+
+void run_scenario(std::size_t workers, Table& table) {
+  // ~1500 requests/s per worker queue; flash crowds included.
+  trace::WebWorkloadParams workload;
+  workload.duration = seconds(5);
+  workload.base_rate_hz = 1500.0;
+  workload.burst_amplitude_factor = 3.0;
+  const auto traces = trace::make_shifted_workloads(workload, workers);
+
+  impls::ExperimentSetup setup;
+  setup.baseline.cores = 2;
+  setup.baseline.buffer_capacity = 32;
+  // Request handling: parse + route ≈ 5 µs of CPU per request.
+  setup.baseline.service.per_item = microseconds(5);
+  setup.pbpl.slot_size = milliseconds(10);
+  setup.pbpl.max_latency = milliseconds(50);  // interactive latency budget
+
+  const power::EnergyLedger ledger{power::PowerModelParams{}};
+  for (const auto kind :
+       {impls::ImplKind::Mutex, impls::ImplKind::Batch, impls::ImplKind::Pbpl}) {
+    const auto r = impls::run_implementation(kind, traces, workload.duration, setup);
+    table.add(static_cast<long long>(workers), impls::impl_name(kind),
+              format_double(r.extra_power_w(ledger) * 1e3, 1),
+              format_double(r.wakeups_per_s(), 1),
+              format_double(r.latency_s.mean() * 1e3, 2),
+              format_double(static_cast<double>(r.items) / to_seconds(r.duration), 0));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::size_t> worker_counts{2, 4, 8};
+  if (argc > 1) {
+    worker_counts.clear();
+    for (int i = 1; i < argc; ++i) {
+      worker_counts.push_back(static_cast<std::size_t>(std::atoi(argv[i])));
+    }
+  }
+
+  Table table({"workers", "dispatch", "power (mW)", "wakeups/s", "latency (ms)",
+               "req/s"});
+  table.set_title("Web-server request dispatch: Mutex vs BP vs PBPL");
+  for (const std::size_t workers : worker_counts) run_scenario(workers, table);
+  table.print(std::cout);
+
+  std::printf(
+      "\nPBPL groups worker wakeups on the slot track, so the front-end cores see\n"
+      "periods of dense request handling followed by real idle windows — the\n"
+      "race-to-idle pattern the paper argues suits energy-proportional servers.\n");
+  return 0;
+}

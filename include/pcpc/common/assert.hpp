@@ -1,0 +1,30 @@
+// Always-on invariant checks.
+//
+// Unlike <cassert> these fire in release builds too: the DES engine and the
+// elastic buffer pool rely on invariants whose violation would silently
+// corrupt experiment results, which is worse than an abort.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pcpc::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "pcpc assertion failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace pcpc::detail
+
+#define PCPC_ASSERT(expr)                                                \
+  do {                                                                   \
+    if (!(expr)) ::pcpc::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (false)
+
+#define PCPC_ASSERT_MSG(expr, msg)                                       \
+  do {                                                                   \
+    if (!(expr)) ::pcpc::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

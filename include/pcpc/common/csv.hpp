@@ -1,0 +1,33 @@
+// Minimal CSV writer used to export experiment series for offline plotting.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace pcpc {
+
+/// Streams rows of a CSV file with correct quoting of separators/quotes.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// True when the underlying stream opened successfully.
+  bool ok() const { return out_.good(); }
+
+  /// Writes one row; width must match the header.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Number of data rows written so far.
+  std::size_t rows() const { return rows_; }
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::ofstream out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace pcpc

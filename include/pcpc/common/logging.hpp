@@ -1,0 +1,55 @@
+// Minimal leveled logger.
+//
+// Experiments and the thread runtime log sparingly; the default level is
+// Warn so bench output stays clean.  The logger is process-global and
+// thread-safe at the line level.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pcpc {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+
+/// Current global threshold.
+LogLevel log_level();
+
+/// Emits one formatted line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+/// Builds the message lazily so disabled levels cost only the check.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace pcpc
+
+#define PCPC_LOG(level)                                  \
+  if (static_cast<int>(level) < static_cast<int>(::pcpc::log_level())) \
+    ;                                                    \
+  else                                                   \
+    ::pcpc::detail::LogStream(level)
+
+#define PCPC_DEBUG PCPC_LOG(::pcpc::LogLevel::Debug)
+#define PCPC_INFO PCPC_LOG(::pcpc::LogLevel::Info)
+#define PCPC_WARN PCPC_LOG(::pcpc::LogLevel::Warn)
+#define PCPC_ERROR PCPC_LOG(::pcpc::LogLevel::Error)

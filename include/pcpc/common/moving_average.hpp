@@ -1,0 +1,51 @@
+// Windowed moving average over the last `h` observations.
+//
+// This is the estimator the paper's consumers use to predict the producer
+// rate (Section V-C, "Prediction"): r̂_{i+1} = (Σ_{j=i-h+1}^{i} r_j) / h.
+#pragma once
+
+#include <cstddef>
+
+#include "pcpc/common/ring_buffer.hpp"
+
+namespace pcpc {
+
+/// O(1)-update moving average with a fixed window.
+class MovingAverage {
+ public:
+  /// `window` is the paper's h: how many past rates contribute.
+  explicit MovingAverage(std::size_t window) : history_(window) {}
+
+  /// Records one observation, evicting the oldest when the window is full.
+  void add(double value) {
+    if (history_.full()) {
+      sum_ -= *history_.pop();
+    }
+    history_.push(value);
+    sum_ += value;
+  }
+
+  /// Current average; 0 before any observation.
+  double value() const {
+    if (history_.empty()) return 0.0;
+    return sum_ / static_cast<double>(history_.size());
+  }
+
+  /// Number of observations currently inside the window.
+  std::size_t count() const { return history_.size(); }
+
+  /// Window size h.
+  std::size_t window() const { return history_.capacity(); }
+
+  /// Forgets all history.
+  void reset() {
+    history_.clear();
+    sum_ = 0.0;
+  }
+
+ private:
+  RingBuffer<double> history_;
+  double sum_ = 0.0;
+};
+
+}  // namespace pcpc

@@ -1,0 +1,135 @@
+// Deterministic pseudo-random number generation.
+//
+// Experiments must be bit-for-bit reproducible across runs and platforms, so
+// we avoid std::mt19937 distribution objects (whose output is not specified
+// identically across standard libraries for all distributions) and implement
+// the generator and the distributions we need ourselves.
+//
+// The generator is xoshiro256** seeded via SplitMix64, the widely used
+// combination recommended by Blackman & Vigna.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "pcpc/common/assert.hpp"
+
+namespace pcpc {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** deterministic PRNG with explicit, portable distributions.
+class Rng {
+ public:
+  /// Seeds the four 64-bit words of state from a single seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in (0, 1]; safe as a log() argument.
+  double next_double_open() { return 1.0 - next_double(); }
+
+  /// Uniform integer in [0, bound).  Uses rejection to avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound) {
+    PCPC_ASSERT(bound > 0);
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Exponential variate with the given rate (events per unit).
+  double exponential(double rate) {
+    PCPC_ASSERT(rate > 0.0);
+    return -std::log(next_double_open()) / rate;
+  }
+
+  /// Standard normal variate (Marsaglia polar method).
+  double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * mul;
+    have_spare_ = true;
+    return u * mul;
+  }
+
+  /// Normal variate with explicit mean and standard deviation.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Lognormal variate parameterized by the underlying normal (mu, sigma).
+  double lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return next_double() < p; }
+
+  /// Poisson variate (Knuth for small means, normal approximation above 64).
+  std::uint64_t poisson(double mean) {
+    PCPC_ASSERT(mean >= 0.0);
+    if (mean == 0.0) return 0;
+    if (mean > 64.0) {
+      const double v = normal(mean, std::sqrt(mean));
+      return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v + 0.5);
+    }
+    const double limit = std::exp(-mean);
+    double product = next_double();
+    std::uint64_t count = 0;
+    while (product > limit) {
+      product *= next_double();
+      ++count;
+    }
+    return count;
+  }
+
+  /// Derives an independent child generator; useful for giving each
+  /// producer its own stream from one experiment seed.
+  Rng fork() { return Rng(next_u64()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace pcpc

@@ -1,0 +1,68 @@
+// ASCII table rendering for benchmark/experiment output.
+//
+// The bench binaries print the same rows/series the paper's figures show;
+// this gives them a uniform, aligned, pipe-separated rendering.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace pcpc {
+
+/// Column-aligned ASCII table with a header row and an optional title.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Sets the title printed above the table.
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arbitrary streamable values into a row.
+  template <typename... Ts>
+  void add(const Ts&... values) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(Ts));
+    (cells.push_back(format_cell(values)), ...);
+    add_row(std::move(cells));
+  }
+
+  /// Number of data rows.
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders the table (title, rule, header, rule, rows, rule).
+  void print(std::ostream& os) const;
+
+  /// Renders to a string; handy in tests.
+  std::string to_string() const;
+
+ private:
+  static std::string format_cell(const std::string& s) { return s; }
+  static std::string format_cell(const char* s) { return s; }
+  static std::string format_cell(double v);
+  static std::string format_cell(long long v);
+  static std::string format_cell(unsigned long long v);
+  template <typename T>
+  static std::string format_cell(T v)
+    requires std::is_integral_v<T>
+  {
+    if constexpr (std::is_signed_v<T>)
+      return format_cell(static_cast<long long>(v));
+    else
+      return format_cell(static_cast<unsigned long long>(v));
+  }
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision formatting helper used across bench output.
+std::string format_double(double v, int precision = 2);
+
+}  // namespace pcpc

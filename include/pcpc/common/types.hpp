@@ -1,0 +1,41 @@
+// Virtual-time primitives shared by every pcpc module.
+//
+// The simulator, the power model and the PBPL algorithm all reason about
+// time as signed 64-bit nanosecond counts.  A signed representation is
+// deliberate: slot arithmetic in the core manager subtracts timestamps and
+// negative intermediate values must not wrap.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace pcpc {
+
+/// A point in virtual time, in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// A span of virtual time, in nanoseconds.
+using SimDuration = std::int64_t;
+
+/// Sentinel representing "never" / "no scheduled time".
+inline constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+
+/// Convenience literal-style constructors.
+constexpr SimDuration nanoseconds(std::int64_t n) { return n; }
+constexpr SimDuration microseconds(std::int64_t us) { return us * 1'000; }
+constexpr SimDuration milliseconds(std::int64_t ms) { return ms * 1'000'000; }
+constexpr SimDuration seconds(std::int64_t s) { return s * 1'000'000'000; }
+
+/// Fractional-second constructor (used by trace generators that work in
+/// floating-point seconds).  Rounds to the nearest nanosecond.
+constexpr SimDuration from_seconds(double s) {
+  return static_cast<SimDuration>(s * 1e9 + (s >= 0 ? 0.5 : -0.5));
+}
+
+/// Convert a virtual duration to floating-point seconds.
+constexpr double to_seconds(SimDuration d) { return static_cast<double>(d) * 1e-9; }
+
+/// Convert a virtual duration to floating-point milliseconds.
+constexpr double to_milliseconds(SimDuration d) { return static_cast<double>(d) * 1e-6; }
+
+}  // namespace pcpc

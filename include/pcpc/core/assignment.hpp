@@ -1,0 +1,50 @@
+// Consumer-to-core assignment: the paper's f : C → α mapping.
+//
+// Section IV-B defines the mapping but the paper never optimizes it —
+// its evaluation implicitly spreads consumers across both cores.  The
+// mapping interacts strongly with latching (consumers can only share
+// wakeups with core-mates) and with idle depth (an unused core sleeps in
+// the deepest state indefinitely), so this module provides the policies
+// an operator would actually choose between, plus the paper's implicit
+// default.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pcpc::core {
+
+/// How consumers are placed onto cores.
+enum class AssignmentPolicy {
+  /// Consumer i on core i mod A — the paper's implicit spread.
+  RoundRobin,
+
+  /// First-fit-decreasing bin packing by expected utilization: fills as
+  /// few cores as possible subject to a per-core utilization cap, so
+  /// surplus cores never wake at all.  Maximizes both latching density
+  /// and deep-idle residency.
+  Packed,
+
+  /// Greedy longest-processing-time balance: consumers sorted by rate,
+  /// each placed on the currently least-loaded core.  Minimizes the
+  /// per-core peak load (latency-friendly) at some latching cost.
+  RateBalanced,
+};
+
+/// Computes the consumer→core mapping.
+///
+/// `utilization` is each consumer's expected core utilization share in
+/// [0, 1] (e.g. rate × per-item service time); required for Packed and
+/// RateBalanced, ignored by RoundRobin (pass {}).  `utilization_cap`
+/// bounds a packed core's total share; Packed opens a new core when the
+/// cap would be exceeded (and always uses at most `cores`).
+std::vector<std::size_t> assign_consumers(std::size_t consumers, std::size_t cores,
+                                          AssignmentPolicy policy,
+                                          std::span<const double> utilization = {},
+                                          double utilization_cap = 0.5);
+
+/// Number of distinct cores an assignment actually uses.
+std::size_t cores_used(std::span<const std::size_t> assignment);
+
+}  // namespace pcpc::core

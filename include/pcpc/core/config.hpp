@@ -1,0 +1,97 @@
+// Configuration of a PBPL (periodic batch processing with latching) system.
+#pragma once
+
+#include <cstddef>
+
+#include "pcpc/core/assignment.hpp"
+#include "pcpc/core/cost.hpp"
+#include "pcpc/core/rate_predictor.hpp"
+#include "pcpc/power/energy_ledger.hpp"
+
+namespace pcpc::core {
+
+/// All tunables of the PBPL algorithm and its host.  Defaults follow the
+/// paper's evaluation setup (Section VI-A) where it specifies one, and a
+/// documented calibration otherwise.
+struct PbplConfig {
+  /// Number of cores A; consumers are assigned round-robin (the paper's
+  /// f: C → α mapping with disjoint consumer sets per core).
+  std::size_t cores = 2;
+
+  /// How consumers map onto cores (the paper's f : C → α).
+  AssignmentPolicy assignment = AssignmentPolicy::RoundRobin;
+
+  /// Per-core utilization cap for AssignmentPolicy::Packed.
+  double utilization_cap = 0.5;
+
+  /// Slot size Δ.  0 selects the paper's default: the minimum of the
+  /// pairs' maximum acceptable response latencies.
+  SimDuration slot_size = 0;
+
+  /// Per-pair maximum acceptable response latency L (uniform across
+  /// pairs; the formal model allows per-pair values, the evaluation
+  /// uses one).
+  SimDuration max_latency = milliseconds(10);
+
+  /// Initial per-consumer buffer capacity B0, items.  The global pool is
+  /// Bg = B0 · M (Section V-C).
+  std::size_t base_buffer = 25;
+
+  /// Granularity (items) of the segments capacity moves in when buffers
+  /// resize; the "linked list" chunk size.
+  std::size_t pool_segment = 5;
+
+  /// Moving-average window h of the rate predictor.
+  std::size_t predictor_window = 8;
+
+  /// Which rate estimator consumers use (Kalman is the paper's proposed
+  /// future-work upgrade).
+  PredictorKind predictor = PredictorKind::MovingAverage;
+
+  /// Disable to ablate consumer latching (reservations ignore other
+  /// consumers' slots).
+  bool latching = true;
+
+  /// Disable to ablate dynamic buffer resizing (buffers stay at B0).
+  bool dynamic_resize = true;
+
+  /// When a push finds the buffer full, borrow more pool segments before
+  /// raising an unscheduled wakeup ("consumers may lend each other buffer
+  /// space … and not cause new wakeups", Section I).
+  bool emergency_borrow = true;
+
+  /// Enable the adaptive latency guard (Section VIII future work): a
+  /// feedback controller that shrinks the reservation horizon after a
+  /// batch containing deadline violations and lets it recover otherwise.
+  bool latency_guard = false;
+
+  /// Slot-search fill tolerance (SlotQuery::fill_tolerance): how far past
+  /// the nominal buffer-fill time the reservation may plan, relying on
+  /// the resize headroom to cover the excess.  1.0 reproduces the paper's
+  /// exact g(s_i + B/r̂) start.
+  double fill_tolerance = 1.15;
+
+  /// Headroom multiplier applied when resizing the buffer to the
+  /// predicted batch (B_i = headroom · r̂·Δt).  The paper sizes to the
+  /// exact prediction; a moving average persistently underestimates a
+  /// bursty producer, so a modest cushion converts overflow wakeups back
+  /// into scheduled ones at a small memory cost.
+  double resize_headroom = 1.25;
+
+  /// CPU time the core manager itself spends per scheduled wakeup
+  /// (reservation bookkeeping, consumer activation).
+  SimDuration manager_overhead = microseconds(3);
+
+  /// How long consumer work takes (per item / per invocation).
+  power::ServiceModel service{};
+
+  /// Energy constants of the reservation cost function ρ.
+  EnergyCosts costs{};
+
+  /// Resolved slot size: explicit value, or the paper's default.
+  SimDuration resolved_slot_size() const {
+    return slot_size > 0 ? slot_size : max_latency;
+  }
+};
+
+}  // namespace pcpc::core

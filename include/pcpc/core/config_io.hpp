@@ -1,0 +1,37 @@
+// PbplConfig parsing and printing: key=value pairs from command lines or
+// config files, so tools and experiments can be driven without recompiling.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "pcpc/core/config.hpp"
+
+namespace pcpc::core {
+
+/// Applies one "key=value" assignment to `config`.  Returns false and
+/// fills `error` on an unknown key or malformed value.
+///
+/// Keys (durations are in microseconds, booleans are 0/1/true/false):
+///   cores, slot_size_us, max_latency_us, base_buffer, pool_segment,
+///   predictor (ma|kalman|ewma), predictor_window, latching,
+///   dynamic_resize, emergency_borrow, latency_guard, fill_tolerance,
+///   resize_headroom, manager_overhead_us, assignment (rr|packed|balanced),
+///   utilization_cap, service_per_item_us, service_per_invocation_us,
+///   wakeup_cost_uj, per_item_cost_uj, per_invocation_cost_uj
+bool apply_option(PbplConfig& config, const std::string& assignment, std::string* error);
+
+/// Applies a list of assignments; stops at the first error.
+bool apply_options(PbplConfig& config, std::span<const std::string> assignments,
+                   std::string* error);
+
+/// Parses a config file: one key=value per line, '#' comments, blank
+/// lines ignored.  Returns nullopt and fills `error` on failure.
+std::optional<PbplConfig> load_config_file(const std::string& path, std::string* error);
+
+/// Renders the configuration as the same key=value lines apply_option
+/// accepts (a round-trippable dump).
+std::string describe(const PbplConfig& config);
+
+}  // namespace pcpc::core

@@ -1,0 +1,80 @@
+// The PBPL consumer (Section V-C).
+//
+// Autonomous by design: after each activation it (1) predicts the
+// producer's upcoming rate, (2) reserves the ρ-minimizing slot — latching
+// onto an already-scheduled wakeup when that is cheaper per item — and
+// (3) resizes its elastic buffer to the predicted batch, borrowing from or
+// returning space to the global pool.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "pcpc/common/latency_recorder.hpp"
+#include "pcpc/common/stats.hpp"
+#include "pcpc/core/config.hpp"
+#include "pcpc/core/core_manager.hpp"
+#include "pcpc/core/latency_guard.hpp"
+#include "pcpc/core/rate_predictor.hpp"
+#include "pcpc/queue/elastic_buffer.hpp"
+
+namespace pcpc::core {
+
+/// Counters one consumer accumulates over a run.
+struct ConsumerStats {
+  std::uint64_t items = 0;               ///< items consumed
+  std::uint64_t invocations = 0;         ///< batches processed (paper's k_i)
+  std::uint64_t overflow_wakeups = 0;    ///< unscheduled invocations raised
+  std::uint64_t emergency_borrows = 0;   ///< overflows absorbed by the pool
+  std::uint64_t reservations = 0;        ///< slots reserved
+  std::uint64_t latched_reservations = 0;  ///< reservations on occupied slots
+  std::uint64_t latency_violations = 0;  ///< items past their bound (guard on)
+  OnlineStats batch_sizes;               ///< items per invocation
+  LatencyRecorder latency_s;             ///< item response times, seconds
+};
+
+/// One producer-consumer pair's consumer on the simulation host.
+class PbplConsumer final : public Invocable {
+ public:
+  /// Registers itself with `manager` and takes a B0-sized buffer from
+  /// `pool`.  `config` must outlive the consumer.
+  PbplConsumer(ConsumerId id, CoreManager& manager, queue::BufferPool<SimTime>& pool,
+               const PbplConfig& config);
+
+  /// Makes the initial reservation; call once at experiment start.
+  void start(SimTime now);
+
+  /// Producer side: one item arrives (its timestamp is the payload, used
+  /// for latency accounting).  A full buffer first tries an emergency
+  /// pool borrow, then raises an unscheduled wakeup.
+  void produce(SimTime now);
+
+  // Invocable:
+  SimDuration on_invoked(SimTime now, bool scheduled) override;
+  bool has_pending() const override { return !buffer_.empty(); }
+
+  ConsumerId id() const { return id_; }
+  const ConsumerStats& stats() const { return stats_; }
+  const queue::ElasticBuffer<SimTime>& buffer() const { return buffer_; }
+  const RatePredictor& predictor() const { return *predictor_; }
+
+  /// The adaptive latency guard; present only when config.latency_guard.
+  const LatencyGuard* guard() const { return guard_ ? &*guard_ : nullptr; }
+
+ private:
+  void make_reservation(SimTime now);
+
+  ConsumerId id_;
+  CoreManager& manager_;
+  queue::BufferPool<SimTime>& pool_;
+  const PbplConfig& config_;
+  queue::ElasticBuffer<SimTime> buffer_;
+  std::unique_ptr<RatePredictor> predictor_;
+  std::optional<LatencyGuard> guard_;
+  SimTime last_invocation_ = 0;
+  std::size_t last_batch_ = 1;
+  ConsumerStats stats_;
+};
+
+}  // namespace pcpc::core

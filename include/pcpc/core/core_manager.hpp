@@ -1,0 +1,94 @@
+// The core manager: one per CPU core (Section V-B).
+//
+// It owns the core's slot track and reservation table, wakes the
+// registered consumers when a reserved slot fires, and afterwards
+// schedules the *next slot with at least one reservation* — never an
+// empty slot, "ensuring that the CPU is not activated needlessly".
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "pcpc/core/reservation.hpp"
+#include "pcpc/core/sim_core.hpp"
+#include "pcpc/core/slot_track.hpp"
+#include "pcpc/sim/simulator.hpp"
+
+namespace pcpc::core {
+
+/// What the core manager needs from a consumer.  PbplConsumer implements
+/// this; tests can substitute fakes.
+class Invocable {
+ public:
+  virtual ~Invocable() = default;
+
+  /// Activation: drain the buffer, update predictions, reserve the next
+  /// slot (Figure 7's consumer pipeline).  Returns the CPU time consumed.
+  /// `scheduled` is false for overflow-triggered invocations.
+  virtual SimDuration on_invoked(SimTime now, bool scheduled) = 0;
+
+  /// True when the consumer still has unprocessed buffered items.
+  virtual bool has_pending() const = 0;
+};
+
+/// Per-core slot scheduler and consumer activator (simulation host).
+class CoreManager {
+ public:
+  CoreManager(sim::Simulator& simulator, SimCore& core, SlotTrack track,
+              SimDuration overhead_per_wakeup);
+
+  CoreManager(const CoreManager&) = delete;
+  CoreManager& operator=(const CoreManager&) = delete;
+
+  /// Adds a consumer hosted on this core.  Ids must be unique.
+  void register_consumer(ConsumerId id, Invocable* consumer);
+
+  /// Books `consumer` for `slot` (moving any previous reservation) and
+  /// re-targets the pending wakeup if this slot is now the earliest.
+  void reserve(ConsumerId consumer, SlotIndex slot);
+
+  /// Overflow path: invoke one consumer right now, outside any slot.
+  /// Charges the core the consumer's batch time (plus manager overhead);
+  /// the wakeup is only *paid* if the core was idle.
+  void unscheduled_invoke(ConsumerId consumer, SimTime now);
+
+  /// Final sweep at the end of an experiment: invokes every consumer
+  /// with pending items, then clears all reservations and pending events.
+  void drain_all(SimTime now);
+
+  const SlotTrack& track() const { return track_; }
+  const ReservationTable& reservations() const { return reservations_; }
+  SimCore& core() { return core_; }
+
+  /// Slot wakeups executed (the paper's internally counted "upper bound"
+  /// scheduled wakeups).
+  std::uint64_t scheduled_wakeups() const { return scheduled_wakeups_; }
+
+  /// Consumer activations performed at slot wakeups.
+  std::uint64_t slot_invocations() const { return slot_invocations_; }
+
+  /// Overflow invocations routed through this manager.
+  std::uint64_t unscheduled_invocations() const { return unscheduled_invocations_; }
+
+  /// Consumers hosted on this core.
+  std::size_t consumer_count() const { return consumers_.size(); }
+
+ private:
+  void ensure_scheduled();
+  void on_slot_event(SimTime t);
+
+  sim::Simulator& simulator_;
+  SimCore& core_;
+  SlotTrack track_;
+  SimDuration overhead_;
+  ReservationTable reservations_;
+  std::map<ConsumerId, Invocable*> consumers_;
+  sim::EventId pending_event_ = 0;
+  bool has_pending_event_ = false;
+  SlotIndex pending_slot_ = 0;
+  std::uint64_t scheduled_wakeups_ = 0;
+  std::uint64_t slot_invocations_ = 0;
+  std::uint64_t unscheduled_invocations_ = 0;
+};
+
+}  // namespace pcpc::core

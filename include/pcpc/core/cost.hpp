@@ -1,0 +1,99 @@
+// The reservation cost function ρ and the backtracking slot search.
+//
+// Section V-C, "Reservation" (Equation 8):
+//
+//   ρ(s_j) = ( w(s_j) + e(r̂·(s_j − s_i)) ) / ( r̂·(s_j − s_i) )
+//
+// where w(s_j) is the wakeup cost ω if the candidate slot has no other
+// reservation (the core would have to be woken for us alone) and 0 if it
+// does (we latch onto an already-scheduled wakeup), and e(x) is the energy
+// of processing x items.  ρ is energy *per item*, which lets a consumer
+// trade "latch early onto someone else's slot with a small batch" against
+// "pay a fresh wakeup later with a full batch".
+//
+// The search starts at the buffer-fill slot g(s_i + B/r̂) and backtracks
+// through reserved slots while ρ keeps decreasing; between two reserved
+// slots no unreserved slot can win (for unreserved slots ρ(n) = ω/n + c
+// strictly falls with the batch size n, so later is always better), which
+// is why the paper calls the backtracking a constant-time operation given
+// the core manager's prev_reserved helper.
+#pragma once
+
+#include <optional>
+
+#include "pcpc/core/reservation.hpp"
+#include "pcpc/core/slot_track.hpp"
+
+namespace pcpc::core {
+
+/// Energy constants the consumer's decision logic needs.  These mirror the
+/// power model (pcpc::power) but are deliberately a separate, tiny struct:
+/// the paper's consumers are autonomous and only know "a wakeup costs ω,
+/// an item costs e" — they never see the global power model.
+struct EnergyCosts {
+  /// ω — energy of one core wakeup, joules.
+  double wakeup_j = 8e-6;
+
+  /// Marginal energy of processing one item, joules.
+  double per_item_j = 3.3e-6;
+
+  /// Fixed energy of one batch invocation (scheduler + synchronization
+  /// work paid regardless of the batch size), joules.  Part of e(x) =
+  /// per_invocation_j + x·per_item_j; without it the per-item cost of a
+  /// latched slot would be constant in the batch size and a consumer
+  /// would happily latch onto arbitrarily early slots, shredding its
+  /// batches into fragments.
+  double per_invocation_j = 2.2e-6;
+
+  /// e(x): energy of processing a batch of x items (Equation 8's e).
+  double batch_energy_j(double items) const {
+    return per_invocation_j + per_item_j * items;
+  }
+};
+
+/// Inputs of one reservation decision.
+struct SlotQuery {
+  SimTime now = 0;                ///< current invocation time (s_i)
+  double predicted_rate_hz = 0.0; ///< r̂_{i+1}
+  std::size_t buffer_capacity = 0;  ///< B, in items
+  SimDuration max_latency = 0;    ///< L — the pair's response-latency bound
+
+  /// Fraction of B the search may *plan* to exceed before flooring to a
+  /// slot: the horizon is g(now + tolerance·B/r̂).  Slightly above 1
+  /// avoids the worst quantization case (a fill time just under a whole
+  /// number of slots would otherwise halve the batch); the dynamic-resize
+  /// headroom grows the buffer to cover the planned excess.
+  double fill_tolerance = 1.0;
+};
+
+/// Result of the slot search.
+struct SlotChoice {
+  SlotIndex slot = 0;      ///< chosen reservation slot
+  double cost = 0.0;       ///< ρ at that slot (J/item; 0 when r̂ = 0)
+  bool latched = false;    ///< true when the slot already had a reservation
+  double expected_items = 0.0;  ///< r̂·(s_j − s_i)
+};
+
+/// Evaluates ρ for a candidate slot (Equation 8).  `expected_items` must
+/// be positive.
+double rho(double expected_items, bool slot_already_reserved, const EnergyCosts& costs);
+
+/// Chooses the reservation slot for a consumer.
+///
+/// Candidates are bounded below by the first future slot and above by
+/// g(now + min(B/r̂, 1/r̂ + L)): the buffer-fill time, additionally capped
+/// so the *first* predicted item (arriving ≈ now + 1/r̂) is still consumed
+/// within its latency bound L.  When r̂ = 0 the consumer free-rides on the
+/// latest reserved slot within the latency horizon, or polls at the
+/// horizon when none exists.
+SlotChoice choose_slot(const SlotTrack& track, const ReservationTable& reservations,
+                       const SlotQuery& query, const EnergyCosts& costs);
+
+/// Ablation variant: the buffer-fill slot g(now + min(B/r̂, 1/r̂ + L))
+/// with no latching consideration — what a periodic batch consumer would
+/// pick if slots were aligned but reservations invisible.  Used by the
+/// `latching=false` configuration to quantify the latching contribution.
+SlotChoice fill_slot(const SlotTrack& track, const SlotQuery& query,
+                     const EnergyCosts& costs);
+
+}  // namespace pcpc::core

@@ -1,0 +1,59 @@
+// Adaptive latency enforcement — the paper's future-work direction of a
+// "generic resource-aware producer-consumer [where] power, memory, CPU
+// overhead, throughput, timing constraints … are taken into account
+// simultaneously" (Section VIII), instantiated for the timing dimension.
+//
+// The base algorithm enforces the response bound L only against the
+// *predicted* rate; when the predictor lags a rate drop, items can sit
+// past their deadline.  The guard is a multiplicative-decrease /
+// additive-ish-increase controller on the reservation horizon: a violated
+// batch halves the horizon scale (wake sooner), a clean batch lets it
+// creep back toward 1 — trading a little power for a hard-won latency
+// profile, and exposing exactly that dial.
+#pragma once
+
+#include <cstdint>
+
+#include "pcpc/common/types.hpp"
+
+namespace pcpc::core {
+
+/// Per-consumer feedback controller on the slot-search horizon.
+class LatencyGuard {
+ public:
+  /// `bound` is the consumer's maximum acceptable response latency L.
+  /// `shrink` (< 1) is applied on a violated batch; `grow` (> 1) on a
+  /// clean one; the scale is clamped to [min_scale, 1].
+  explicit LatencyGuard(SimDuration bound, double shrink = 0.5, double grow = 1.05,
+                        double min_scale = 0.1);
+
+  /// Records one drained item's latency; call for every item in a batch.
+  void observe(SimDuration latency);
+
+  /// Closes the current batch: applies shrink/grow based on whether any
+  /// item in it violated the bound.
+  void end_batch();
+
+  /// Multiplier for the fill horizon (≤ 1; smaller = wake sooner).
+  double horizon_scale() const { return scale_; }
+
+  /// Items that exceeded the bound so far.
+  std::uint64_t violations() const { return violations_; }
+
+  /// Batches containing at least one violation.
+  std::uint64_t violated_batches() const { return violated_batches_; }
+
+  SimDuration bound() const { return bound_; }
+
+ private:
+  SimDuration bound_;
+  double shrink_;
+  double grow_;
+  double min_scale_;
+  double scale_ = 1.0;
+  bool batch_violated_ = false;
+  std::uint64_t violations_ = 0;
+  std::uint64_t violated_batches_ = 0;
+};
+
+}  // namespace pcpc::core

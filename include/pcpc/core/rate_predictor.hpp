@@ -1,0 +1,109 @@
+// Producer-rate prediction.
+//
+// Section V-C, "Prediction": each consumer predicts the upcoming production
+// rate from the recent past.  The paper uses an h-window moving average for
+// its low overhead; its future-work section proposes a Kalman filter for
+// better accuracy — both are provided here and compared in the ablation
+// bench.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "pcpc/common/moving_average.hpp"
+
+namespace pcpc::core {
+
+/// Interface for one consumer's rate estimator.  Rates are items/second.
+class RatePredictor {
+ public:
+  virtual ~RatePredictor() = default;
+
+  /// Records the rate observed over the last inter-invocation interval:
+  /// r_j = |γ(τ_{j-1}, τ_j)| / (τ_j − τ_{j-1}).
+  virtual void observe(double rate_hz) = 0;
+
+  /// Predicted upcoming rate r̂; never negative.  0 before any observation.
+  virtual double predict() const = 0;
+
+  /// Forgets all history.
+  virtual void reset() = 0;
+
+  /// Human-readable estimator name for reports.
+  virtual std::string name() const = 0;
+};
+
+/// The paper's estimator: r̂_{i+1} = (Σ_{j=i-h+1..i} r_j) / h.
+class MovingAverageRatePredictor final : public RatePredictor {
+ public:
+  /// `window` is the paper's h.
+  explicit MovingAverageRatePredictor(std::size_t window);
+
+  void observe(double rate_hz) override;
+  double predict() const override;
+  void reset() override;
+  std::string name() const override;
+
+  std::size_t window() const { return avg_.window(); }
+
+ private:
+  MovingAverage avg_;
+};
+
+/// Scalar Kalman filter over the rate with a random-walk process model:
+///   x_k = x_{k-1} + w,  w ~ N(0, q)     (rate drifts)
+///   z_k = x_k + v,      v ~ N(0, r)     (noisy per-interval measurement)
+/// Tracks rate changes faster than a moving average while smoothing burst
+/// noise (the paper's proposed future-work estimator).
+class KalmanRatePredictor final : public RatePredictor {
+ public:
+  /// `process_noise` (q) controls how fast the estimate can drift;
+  /// `measurement_noise` (r) how much each observation is trusted.
+  KalmanRatePredictor(double process_noise = 400.0, double measurement_noise = 4000.0);
+
+  void observe(double rate_hz) override;
+  double predict() const override;
+  void reset() override;
+  std::string name() const override;
+
+  /// Current error covariance; exposed for tests.
+  double covariance() const { return p_; }
+
+ private:
+  double q_;
+  double r_;
+  double x_ = 0.0;
+  double p_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Exponentially weighted moving average: r̂ ← α·r + (1−α)·r̂.
+/// O(1) state (no window buffer) and geometric forgetting — the standard
+/// middle ground between the paper's moving average and its proposed
+/// Kalman filter.
+class EwmaRatePredictor final : public RatePredictor {
+ public:
+  /// `alpha` ∈ (0, 1]: weight of the newest observation.
+  explicit EwmaRatePredictor(double alpha = 0.25);
+
+  void observe(double rate_hz) override;
+  double predict() const override;
+  void reset() override;
+  std::string name() const override;
+
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  double estimate_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Which estimator a PBPL system should instantiate per consumer.
+enum class PredictorKind { MovingAverage, Kalman, Ewma };
+
+/// Factory used by the PBPL system configuration.
+std::unique_ptr<RatePredictor> make_predictor(PredictorKind kind, std::size_t window);
+
+}  // namespace pcpc::core

@@ -1,0 +1,70 @@
+// Slot reservation table kept by each core manager.
+//
+// Section V-B: the core manager "accepts reservation requests for specific
+// slots made by the consumers … maintains a list of consumers to invoke at
+// every slot, and supports deregistering".  Memory stays small because only
+// near-future reservations exist — each consumer holds at most one.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "pcpc/core/slot_track.hpp"
+
+namespace pcpc::core {
+
+/// Identifies a consumer within one PBPL system.
+using ConsumerId = std::uint32_t;
+
+/// Sorted slot → registered-consumers map with the backtracking helper the
+/// consumer's reservation search relies on.
+class ReservationTable {
+ public:
+  /// Registers `consumer` for slot `slot`.  A consumer may hold at most
+  /// one reservation; registering again moves it (implicit deregister).
+  void reserve(ConsumerId consumer, SlotIndex slot);
+
+  /// Deregisters the consumer's current reservation, if any.
+  void cancel(ConsumerId consumer);
+
+  /// Slot the consumer is currently registered for.
+  std::optional<SlotIndex> reservation_of(ConsumerId consumer) const;
+
+  /// True when at least one consumer is registered for `slot`.
+  bool slot_reserved(SlotIndex slot) const;
+
+  /// Consumers registered for `slot` in registration order.
+  std::vector<ConsumerId> consumers_at(SlotIndex slot) const;
+
+  /// Removes and returns the consumers registered for `slot`; used by the
+  /// core manager when the slot fires.
+  std::vector<ConsumerId> take_slot(SlotIndex slot);
+
+  /// Earliest reserved slot ≥ `from`; the core manager's "next slot with
+  /// at least one reservation" (Section V-B).
+  std::optional<SlotIndex> next_reserved(SlotIndex from) const;
+
+  /// Latest reserved slot ≤ `from` and ≥ `floor`; the core manager's
+  /// helper that lets consumer backtracking "consume one iteration"
+  /// (Section V-C, Reservation).
+  std::optional<SlotIndex> prev_reserved(SlotIndex from, SlotIndex floor) const;
+
+  /// Drops every reservation.
+  void clear() {
+    by_slot_.clear();
+    by_consumer_.clear();
+  }
+
+  /// Number of live reservations (consumers, not slots).
+  std::size_t size() const { return by_consumer_.size(); }
+
+  bool empty() const { return by_consumer_.empty(); }
+
+ private:
+  std::map<SlotIndex, std::vector<ConsumerId>> by_slot_;
+  std::map<ConsumerId, SlotIndex> by_consumer_;
+};
+
+}  // namespace pcpc::core

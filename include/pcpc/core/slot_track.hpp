@@ -1,0 +1,54 @@
+// The slot track: time interpreted as a track with periodic slots.
+//
+// Section V-A: "our algorithm interprets time as a track with periodic
+// slots … based on the metaphor of a race track with markings every X
+// meters", where X is the slot size Δ.  The default Δ is the minimum of
+// all maximum acceptable response latencies of the producer-consumer
+// pairs.  The function g(τ) maps any instant to the closest slot start at
+// or before it (Equation 6).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "pcpc/common/types.hpp"
+
+namespace pcpc::core {
+
+/// Index of a slot on the track (slot i starts at origin + i·Δ).
+using SlotIndex = std::int64_t;
+
+/// Immutable description of a core's slot grid.
+class SlotTrack {
+ public:
+  /// Creates a track with slot size Δ > 0 whose slot 0 starts at `origin`.
+  explicit SlotTrack(SimDuration slot_size, SimTime origin = 0);
+
+  /// The slot size Δ.
+  SimDuration slot_size() const { return slot_size_; }
+
+  SimTime origin() const { return origin_; }
+
+  /// Index of the slot containing time t (t may precede the origin; the
+  /// index is then negative — floor division, not truncation).
+  SlotIndex index_of(SimTime t) const;
+
+  /// Start time of slot i.
+  SimTime start_of(SlotIndex i) const { return origin_ + i * slot_size_; }
+
+  /// The paper's g(τ): the latest slot start ≤ τ (Equation 6).
+  SimTime g(SimTime t) const { return start_of(index_of(t)); }
+
+  /// First slot whose start is strictly after t.
+  SlotIndex next_after(SimTime t) const { return index_of(t) + 1; }
+
+  /// Default slot size: the minimum of the pairs' maximum acceptable
+  /// response latencies (Section V-A).  Span must be non-empty.
+  static SimDuration default_slot_size(std::span<const SimDuration> max_latencies);
+
+ private:
+  SimDuration slot_size_;
+  SimTime origin_;
+};
+
+}  // namespace pcpc::core

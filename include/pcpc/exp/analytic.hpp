@@ -1,0 +1,50 @@
+// Closed-form expected metrics for analytically tractable cases.
+//
+// For a *constant-rate* producer, the baseline implementations have
+// simple closed forms for wakeups, usage and extra power.  These serve
+// two purposes: (1) validation — the discrete-event simulator must agree
+// with them to high precision (tested in test_analytic.cpp), which
+// certifies the machinery behind the untractable bursty cases; and
+// (2) quick capacity planning without running a simulation.
+#pragma once
+
+#include <cstddef>
+
+#include "pcpc/impls/params.hpp"
+#include "pcpc/power/energy_ledger.hpp"
+
+namespace pcpc::exp {
+
+/// Closed-form per-second metrics of one implementation under a constant
+/// arrival rate.
+struct AnalyticPrediction {
+  double wakeups_per_s = 0.0;
+  double invocations_per_s = 0.0;
+  double usage_ms_per_s = 0.0;
+  double extra_power_w = 0.0;
+  double mean_latency_s = 0.0;
+};
+
+/// Mutex/Sem with per-item signaling, sparse regime (inter-arrival gap
+/// exceeds service time, no coalescing): one wakeup and one invocation
+/// per item, latency = service time of one item.
+AnalyticPrediction predict_signaled(double rate_hz, const impls::BaselineParams& params,
+                                    const power::PowerModelParams& power, bool mutex);
+
+/// BP: one invocation per buffer fill, B items per batch, mean wait of
+/// (B−1)/2 inter-arrival gaps plus the batch position effect.
+AnalyticPrediction predict_batch(double rate_hz, const impls::BaselineParams& params,
+                                 const power::PowerModelParams& power);
+
+/// Jitter-free periodic batching in the timer-dominated regime
+/// (rate·T < B): one wakeup per period, rate·T items per batch, mean
+/// latency T/2.
+AnalyticPrediction predict_periodic(double rate_hz, const impls::BaselineParams& params,
+                                    const power::PowerModelParams& power);
+
+/// Busy-waiting: the core never idles.
+AnalyticPrediction predict_busy_wait(double rate_hz,
+                                     const impls::BaselineParams& params,
+                                     const power::PowerModelParams& power);
+
+}  // namespace pcpc::exp

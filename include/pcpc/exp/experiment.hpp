@@ -1,0 +1,76 @@
+// Replicated experiment execution with confidence intervals.
+//
+// Mirrors the paper's methodology (Section III-B): each configuration is
+// run as several replicates (the paper uses 3), each metric is reported as
+// mean ± 95% CI, and raw per-replicate values are kept for correlation
+// analysis (Section III-C3's wakeups↔power hypothesis test).
+#pragma once
+
+#include <vector>
+
+#include "pcpc/common/stats.hpp"
+#include "pcpc/impls/runner.hpp"
+#include "pcpc/power/energy_ledger.hpp"
+#include "pcpc/trace/webserver_log.hpp"
+
+namespace pcpc::exp {
+
+using impls::ImplKind;
+
+/// One replicate's scalar metrics.
+struct ReplicateMetrics {
+  double power_w = 0.0;
+  double wakeups_per_s = 0.0;
+  double usage_ms_per_s = 0.0;
+  double items = 0.0;
+  double invocations = 0.0;
+  double overflows = 0.0;
+  double scheduled_wakeups = 0.0;
+  double paid_wakeups = 0.0;
+  double mean_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+  double mean_batch = 0.0;
+  double mean_buffer_capacity = 0.0;
+  double latched_fraction = 0.0;
+  double emergency_borrows = 0.0;
+};
+
+/// Replicate metrics reduced to mean ± CI.
+struct MetricSummary {
+  Measurement power_mw;
+  Measurement wakeups_per_s;
+  Measurement usage_ms_per_s;
+  Measurement overflows;
+  Measurement scheduled_wakeups;
+  Measurement mean_latency_ms;
+  Measurement p95_latency_ms;
+  Measurement mean_batch;
+  Measurement mean_buffer_capacity;
+  std::size_t replicates = 0;
+};
+
+/// A full experiment configuration.
+struct ExperimentSpec {
+  std::size_t pairs = 1;            ///< M producer-consumer pairs
+  std::size_t replicates = 3;       ///< paper uses 3
+  SimDuration horizon = seconds(10);
+  trace::WebWorkloadParams workload;        ///< base seed; replicates shift it
+  impls::ExperimentSetup setup;             ///< implementation knobs
+  power::PowerModelParams power;            ///< energy model
+};
+
+/// Runs one replicate (deterministic given `replicate` index) and reduces
+/// the RunResult to scalars.
+ReplicateMetrics run_replicate(ImplKind kind, const ExperimentSpec& spec,
+                               std::size_t replicate);
+
+/// Runs all replicates.
+std::vector<ReplicateMetrics> run_replicates(ImplKind kind, const ExperimentSpec& spec);
+
+/// Runs all replicates and reduces to mean ± 95% CI.
+MetricSummary summarize(ImplKind kind, const ExperimentSpec& spec);
+
+/// Reduces already-collected replicates.
+MetricSummary summarize(const std::vector<ReplicateMetrics>& replicates);
+
+}  // namespace pcpc::exp

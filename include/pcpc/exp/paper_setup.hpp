@@ -1,0 +1,47 @@
+// Canonical experiment configurations for reproducing the paper's
+// figures.  Benches and integration tests share these so the numbers in
+// EXPERIMENTS.md come from exactly one calibration.
+//
+// Calibration notes (see DESIGN.md §5):
+//  * power constants are Arndale/Exynos-5-flavoured (active core 1.1 W,
+//    WFI-exit ω = 8 µJ, C-state ladder down to 12 mW);
+//  * the single-pair study replays a hot web log (≈20 k items/s mean) —
+//    the regime in which the paper's batch family separates from
+//    per-item signaling;
+//  * the multi-pair evaluation replays ≈2 k items/s per pair, matching
+//    the paper's internal counters (BP ≈ 186 overflows/s at B=50 over
+//    five pairs, Section VI-C);
+//  * horizons are 10 s instead of the paper's 50 s — every reported
+//    metric is per-second, so the shorter replay only tightens runtime,
+//    not the comparison.
+#pragma once
+
+#include "pcpc/exp/experiment.hpp"
+
+namespace pcpc::exp {
+
+/// Section III study (Figures 3 and 4): one producer-consumer pair on
+/// one isolated core, seven implementations.
+ExperimentSpec single_pair_spec();
+
+/// Section VI evaluation (Figures 9-11): M phase-shifted pairs on two
+/// cores, buffer capacity B per pair.
+ExperimentSpec multi_pair_spec(std::size_t pairs, std::size_t buffer_capacity);
+
+/// The implementations of the Section III study, in the paper's order.
+inline constexpr ImplKind kSingleStudyImpls[] = {
+    ImplKind::BusyWait,      ImplKind::Yield,
+    ImplKind::Mutex,         ImplKind::Semaphore,
+    ImplKind::Batch,         ImplKind::PeriodicBatch,
+    ImplKind::SignalPeriodicBatch,
+};
+
+/// The implementations of the Section VI evaluation, in the paper's order.
+inline constexpr ImplKind kMultiEvalImpls[] = {
+    ImplKind::Mutex,
+    ImplKind::Semaphore,
+    ImplKind::Batch,
+    ImplKind::Pbpl,
+};
+
+}  // namespace pcpc::exp

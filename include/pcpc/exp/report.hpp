@@ -1,0 +1,64 @@
+// Structured experiment reports with pluggable rendering.
+//
+// Bench binaries build a Report instead of printing ad hoc: the same
+// object renders as the aligned console table, as Markdown (for
+// EXPERIMENTS.md-style documents), and as CSV files (for plotting).
+// Setting the PCPC_EXPORT_DIR environment variable makes every bench
+// drop its CSVs there without changing its console output.
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pcpc::exp {
+
+/// One table of a report.
+struct ReportTable {
+  std::string name;                 ///< slug used for the CSV filename
+  std::string title;                ///< printed above the table
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// A report: tables plus free-form notes printed after them.
+class Report {
+ public:
+  explicit Report(std::string name) : name_(std::move(name)) {}
+
+  /// Starts a new table; subsequent add_row calls append to it.
+  ReportTable& add_table(std::string table_name, std::string title,
+                         std::vector<std::string> header);
+
+  /// Appends a row to the most recent table.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a paragraph printed after the tables.
+  void add_note(std::string note);
+
+  const std::string& name() const { return name_; }
+  const std::vector<ReportTable>& tables() const { return tables_; }
+  const std::vector<std::string>& notes() const { return notes_; }
+
+  /// Renders every table as an aligned console table plus the notes.
+  void print(std::ostream& os) const;
+
+  /// Renders GitHub-flavoured Markdown.
+  std::string to_markdown() const;
+
+  /// Writes one CSV per table into `directory` as
+  /// <report>_<table>.csv.  Returns the number of files written.
+  std::size_t export_csv(const std::string& directory) const;
+
+  /// Reads PCPC_EXPORT_DIR; when set, export_csv there and report on
+  /// `os`.  Call at the end of a bench's main().
+  void maybe_export(std::ostream& os) const;
+
+ private:
+  std::string name_;
+  std::vector<ReportTable> tables_;
+  std::vector<std::string> notes_;
+};
+
+}  // namespace pcpc::exp

@@ -1,0 +1,50 @@
+// Simulation-hosted implementations of the paper's baseline
+// producer-consumer variants (Section III-A), single- or multi-pair.
+//
+// Each function replays one trace per pair on the shared DES substrate,
+// records core activity on pcpc::core::SimCore instances (pairs assigned
+// round-robin to cores), and returns the uniform RunResult.
+#pragma once
+
+#include <span>
+
+#include "pcpc/impls/params.hpp"
+#include "pcpc/impls/run_result.hpp"
+#include "pcpc/trace/trace.hpp"
+
+namespace pcpc::impls {
+
+/// BW: the consumer spins until the buffer is non-empty.  The hosting
+/// cores never idle; items are consumed the instant they arrive.
+RunResult run_busy_wait(std::span<const trace::Trace> traces, SimDuration horizon,
+                        const BaselineParams& params);
+
+/// Yield: busy-waiting with sched_yield().  Identical consumption
+/// behaviour to BW, but DVFS lowers the clock (active_power_scale) and
+/// the yield gaps shave a little usage.
+RunResult run_yield(std::span<const trace::Trace> traces, SimDuration horizon,
+                    const BaselineParams& params);
+
+/// Mutex (kind==ImplKind::Mutex) or Sem (kind==ImplKind::Semaphore):
+/// per-item signaling — the producer wakes the consumer for every item;
+/// items arriving while the consumer is still processing coalesce into
+/// the next drain without a fresh wakeup.
+RunResult run_signaled(ImplKind kind, std::span<const trace::Trace> traces,
+                       SimDuration horizon, const BaselineParams& params);
+
+/// BP: the consumer is woken only when the buffer is full and processes
+/// all B items as one batch; every invocation is by definition a buffer
+/// overflow (Section VI-C).
+RunResult run_batch(std::span<const trace::Trace> traces, SimDuration horizon,
+                    const BaselineParams& params);
+
+/// PBP (nanosleep jitter), SPBP (SIGALRM accuracy) or CPBP (SPBP with
+/// all pairs' timers snapped to one global k·T grid, as kernel timer
+/// coalescing does): a periodic timer drains the buffer; a buffer
+/// filling before the timer raises an immediate unscheduled invocation.
+/// PBP/SPBP pairs start phase-staggered (independent threads); CPBP's
+/// grid alignment is what lets one core wakeup serve several pairs.
+RunResult run_periodic(ImplKind kind, std::span<const trace::Trace> traces,
+                       SimDuration horizon, const BaselineParams& params);
+
+}  // namespace pcpc::impls

@@ -1,0 +1,77 @@
+// Parameters shared by the baseline implementations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "pcpc/common/types.hpp"
+#include "pcpc/power/energy_ledger.hpp"
+
+namespace pcpc::impls {
+
+/// The implementations studied in the paper.  The first seven are the
+/// Section III single-pair study; all of Mutex/Sem/BP/PBPL also run as
+/// the Section VI multi-pair evaluation.
+enum class ImplKind {
+  BusyWait,            ///< BW  — consumer spins on head != tail
+  Yield,               ///< Yield — spin with sched_yield (DVFS discount)
+  Mutex,               ///< Mutex + condition variables, per-item signaling
+  Semaphore,           ///< Sem — two counting semaphores, per-item signaling
+  Batch,               ///< BP  — consumer runs when the buffer fills
+  PeriodicBatch,       ///< PBP — nanosleep()-timed batches (jittery timer)
+  SignalPeriodicBatch, ///< SPBP — SIGALRM-timed batches (accurate timer)
+  /// CPBP — SPBP with kernel-style timer coalescing: every pair's timer
+  /// snaps to one global k·T grid (Linux timer slack / deferrable
+  /// timers).  Groups wakeups like PBPL but with *fixed* periods — the
+  /// pre-existing mechanism the paper's predictive latching improves on.
+  CoalescedPeriodicBatch,
+  Pbpl,                ///< the paper's contribution (Section V)
+};
+
+/// Short display name ("BW", "Mutex", "PBPL", ...).
+std::string impl_name(ImplKind kind);
+
+/// Knobs of the baseline implementations.
+struct BaselineParams {
+  /// Cores available; pairs are assigned round-robin (consumer isolation:
+  /// no background load shares these cores, per Section IV-A).
+  std::size_t cores = 2;
+
+  /// Buffer capacity B per pair, items.
+  std::size_t buffer_capacity = 64;
+
+  /// PBP/SPBP batch period.
+  SimDuration period = milliseconds(1);
+
+  /// Lognormal sigma of nanosleep() oversleep jitter (PBP).  The paper
+  /// attributes PBP's extra wakeups over SPBP to exactly this jitter
+  /// causing buffer overflows before the late timer fires.
+  double nanosleep_jitter_sigma = 0.25;
+
+  /// Lognormal sigma of SIGALRM jitter (SPBP) — an order of magnitude
+  /// more accurate.
+  double sigalrm_jitter_sigma = 0.02;
+
+  /// Per-invocation synchronization overhead: a mutex+condvar handoff
+  /// costs two futex syscalls, a semaphore one, and the batch variants a
+  /// timer/signal delivery.
+  SimDuration mutex_overhead = microseconds(6);
+  SimDuration sem_overhead = microseconds(4);
+  SimDuration batch_overhead = microseconds(5);
+
+  /// Active-power scale for Yield (DVFS drops the clock when the spinning
+  /// thread keeps yielding; Section III-C2).
+  double yield_power_scale = 0.85;
+
+  /// Fraction of wall time the Yield consumer is scheduled out (the gaps
+  /// are too short for C-states but reduce usage below BW's ~1000 ms/s).
+  double yield_usage_fraction = 0.95;
+
+  /// How long consumer work takes.
+  power::ServiceModel service{};
+
+  /// Seed for timer jitter.
+  std::uint64_t seed = 0x7001;
+};
+
+}  // namespace pcpc::impls

@@ -1,0 +1,63 @@
+// The uniform outcome record of one producer-consumer experiment run.
+//
+// Every implementation — the seven from the paper's Section III study,
+// their multi-pair variants, and PBPL — reduces to this, so the benches
+// compare apples to apples with the paper's three metrics (power,
+// wakeups/s, usage ms/s) plus the internal counters of Section VI-B.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pcpc/common/latency_recorder.hpp"
+#include "pcpc/common/stats.hpp"
+#include "pcpc/power/core_timeline.hpp"
+#include "pcpc/power/energy_ledger.hpp"
+
+namespace pcpc::impls {
+
+/// Aggregated metrics of one run.
+struct RunResult {
+  std::string name;
+
+  /// Finalized activity of every core used.
+  std::vector<power::CoreTimeline> timelines;
+
+  SimDuration duration = 0;              ///< experiment span
+
+  std::uint64_t items = 0;               ///< items consumed
+  std::uint64_t invocations = 0;         ///< consumer activations
+  std::uint64_t overflows = 0;           ///< buffer-full events
+  std::uint64_t scheduled_wakeups = 0;   ///< timer/slot wakeups (batch impls)
+  std::uint64_t paid_wakeups = 0;        ///< idle→active transitions
+
+  // PBPL-only extras (zero elsewhere):
+  std::uint64_t latched_reservations = 0;
+  std::uint64_t reservations = 0;
+  std::uint64_t emergency_borrows = 0;
+
+  /// Models DVFS dropping the clock under a cooperative load; only the
+  /// Yield implementation sets this below 1 (Section III-C2).
+  double active_power_scale = 1.0;
+
+  /// Scale on the reported usage metric; Yield's sched_yield gaps keep it
+  /// slightly below busy-wait without producing C-state-worthy idle time.
+  double usage_scale = 1.0;
+
+  OnlineStats batch_sizes;
+  LatencyRecorder latency_s;
+  OnlineStats buffer_capacity;           ///< PBPL average-buffer-size metric
+
+  /// PowerTop metric: wakeups per second, summed across cores.
+  double wakeups_per_s() const;
+
+  /// PowerTop metric: active milliseconds per second, summed across cores.
+  double usage_ms_per_s() const;
+
+  /// The paper's power metric: extra watts above the idle baseline,
+  /// including the board-level item-transport term.
+  double extra_power_w(const power::EnergyLedger& ledger) const;
+};
+
+}  // namespace pcpc::impls

@@ -1,0 +1,34 @@
+// Uniform dispatch over every implementation, including PBPL.
+#pragma once
+
+#include <span>
+
+#include "pcpc/core/config.hpp"
+#include "pcpc/core/pbpl_system.hpp"
+#include "pcpc/impls/baselines.hpp"
+#include "pcpc/impls/params.hpp"
+#include "pcpc/impls/run_result.hpp"
+#include "pcpc/trace/trace.hpp"
+
+namespace pcpc::impls {
+
+/// Parameters of one experiment across all implementations.  The runner
+/// copies the shared knobs (cores, service model, buffer size) from
+/// `baseline` into the PBPL configuration so every implementation is
+/// compared under identical conditions.
+struct ExperimentSetup {
+  BaselineParams baseline;
+  core::PbplConfig pbpl;
+
+  /// PBPL config with cores / service / B0 synchronized to the baseline.
+  core::PbplConfig synchronized_pbpl() const;
+};
+
+/// Runs `kind` over one trace per pair and returns the uniform result.
+RunResult run_implementation(ImplKind kind, std::span<const trace::Trace> traces,
+                             SimDuration horizon, const ExperimentSetup& setup);
+
+/// Converts a PBPL system result into the uniform record.
+RunResult to_run_result(core::PbplResult&& pbpl, SimDuration horizon);
+
+}  // namespace pcpc::impls

@@ -1,0 +1,101 @@
+// Per-core activity timeline: the ground truth every power metric in this
+// library is derived from.
+//
+// The paper's formal model (Section IV) defines a wakeup as an idle→active
+// transition of the core a consumer runs on, charged ω only when the core
+// was idle.  Implementations record exactly those transitions here; the
+// energy ledger then integrates power over the recorded intervals and the
+// PowerTop-style report derives wakeups/s and usage ms/s — the same three
+// metrics the paper measures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pcpc/common/types.hpp"
+
+namespace pcpc::power {
+
+/// The paper's simplified two-state core model: idle or active.
+enum class CoreState { Idle, Active };
+
+/// A maximal run of constant core state.
+struct Interval {
+  SimTime begin = 0;
+  SimTime end = 0;
+  CoreState state = CoreState::Idle;
+
+  SimDuration length() const { return end - begin; }
+};
+
+/// Records idle/active transitions of one core over an experiment.
+///
+/// Transition calls must be monotone in time.  wake() on an active core and
+/// sleep() on an idle core are no-ops, mirroring the paper's w(τ) which
+/// charges nothing when the core is already awake — that no-op *is* the
+/// latching benefit PBPL exploits.
+class CoreTimeline {
+ public:
+  /// Starts the timeline idle at `start`.
+  explicit CoreTimeline(SimTime start = 0);
+
+  /// Idle→active transition at time t.  Counts one wakeup.  No-op when
+  /// already active (returns false: no wakeup was paid).
+  bool wake(SimTime t);
+
+  /// Active→idle transition at time t.  No-op when already idle.
+  bool sleep(SimTime t);
+
+  /// Re-activates the core at time t *without* charging a wakeup, but only
+  /// when no idle time has actually elapsed (t equals the last transition,
+  /// i.e. the core slept and resumed at the same instant — back-to-back
+  /// work).  When real idle time passed this falls back to wake() and the
+  /// wakeup is charged.  Returns true when a wakeup was charged.
+  bool resume(SimTime t);
+
+  /// Closes the timeline at `end`; further transitions are forbidden.
+  void finalize(SimTime end);
+
+  /// Current state (before finalize) / final state (after).
+  CoreState state() const { return state_; }
+  bool is_active() const { return state_ == CoreState::Active; }
+
+  /// Number of paid idle→active transitions so far.
+  std::uint64_t wakeups() const { return wakeups_; }
+
+  /// Total active time.  Before finalize, counts up to the last transition.
+  SimDuration active_time() const { return active_time_; }
+
+  /// Total idle time; valid after finalize().
+  SimDuration idle_time() const;
+
+  /// Total timeline span; valid after finalize().
+  SimDuration duration() const;
+
+  SimTime start_time() const { return start_; }
+  SimTime end_time() const { return end_; }
+  bool finalized() const { return finalized_; }
+
+  /// All maximal constant-state intervals; valid after finalize().
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  /// Active milliseconds per second of timeline — PowerTop's "usage".
+  double usage_ms_per_s() const;
+
+  /// Wakeups per second of timeline — PowerTop's "wakeups/s".
+  double wakeups_per_s() const;
+
+ private:
+  void close_interval(SimTime t);
+
+  SimTime start_;
+  SimTime last_transition_;
+  SimTime end_ = 0;
+  CoreState state_ = CoreState::Idle;
+  std::uint64_t wakeups_ = 0;
+  SimDuration active_time_ = 0;
+  std::vector<Interval> intervals_;
+  bool finalized_ = false;
+};
+
+}  // namespace pcpc::power

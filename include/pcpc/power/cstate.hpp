@@ -1,0 +1,61 @@
+// CPU C-state (idle state) model.
+//
+// Section II of the paper: cores save power in idle by descending through
+// C-states (C1, C2, ...), but each deeper state needs a minimum residency
+// to amortize its exit cost — which is exactly why *contiguous* idle time
+// is worth more than the same total idle time chopped into short gaps
+// (paper Fig. 1), and therefore why grouping wakeups saves power beyond
+// the per-wakeup energy ω.
+//
+// The model mirrors the Linux cpuidle governor's ladder: for an idle gap
+// of length L the core demotes stepwise, entering each deeper state once
+// the remaining gap exceeds that state's target residency.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pcpc/common/types.hpp"
+
+namespace pcpc::power {
+
+/// One idle state of the ladder.
+struct CState {
+  std::string name;
+  double power_w = 0.0;            ///< core power while resident
+  SimDuration target_residency = 0;  ///< minimum gap to be worth entering
+  SimDuration exit_latency = 0;      ///< time to wake from this state
+};
+
+/// A ladder of idle states ordered from shallowest to deepest.
+class CStateModel {
+ public:
+  /// Builds a ladder; states must be ordered by increasing depth (non-
+  /// increasing power, non-decreasing target residency).
+  explicit CStateModel(std::vector<CState> states);
+
+  /// The paper's simplified model: a single idle state with fixed power.
+  static CStateModel two_state(double idle_power_w);
+
+  /// A four-level ladder with Cortex-A15-flavoured magnitudes
+  /// (WFI / core retention / core off / cluster off).
+  static CStateModel arndale_like();
+
+  /// Energy in joules consumed during one contiguous idle gap of length
+  /// `gap`, following the demotion ladder.  Monotone and subadditive in
+  /// `gap`: splitting a gap in two never saves energy.
+  double idle_energy(SimDuration gap) const;
+
+  /// Mean power over one contiguous idle gap.
+  double idle_power(SimDuration gap) const;
+
+  /// The deepest state reached during a gap of the given length.
+  const CState& deepest_reached(SimDuration gap) const;
+
+  const std::vector<CState>& states() const { return states_; }
+
+ private:
+  std::vector<CState> states_;
+};
+
+}  // namespace pcpc::power

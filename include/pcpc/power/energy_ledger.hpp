@@ -1,0 +1,96 @@
+// Energy accounting over recorded core activity.
+//
+// Reproduces the paper's measurement methodology in model form: the scope
+// measured *extra* watts drawn by the system while an implementation ran,
+// relative to the idle baseline.  Here the same quantity is the integral
+// of modeled power over the recorded timeline minus the energy the core
+// would have drawn had it stayed idle the whole time.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "pcpc/power/core_timeline.hpp"
+#include "pcpc/power/cstate.hpp"
+
+namespace pcpc::power {
+
+/// Calibrated power/energy constants of the modeled platform.
+struct PowerModelParams {
+  /// Power drawn by one core while executing (C0), in watts.
+  double active_power_w = 1.10;
+
+  /// Energy charged per paid idle→active transition (the paper's ω):
+  /// pipeline refill, cache warmup, voltage ramp.  Joules.
+  double wakeup_energy_j = 8e-6;
+
+  /// Board-level energy of moving one data item through the memory system
+  /// (DRAM, interconnect, caches) — identical for every synchronization
+  /// strategy.  The paper's series-resistor setup measures the whole
+  /// board, so this common term is part of every reported number; without
+  /// it a model that only counts core activity overstates the *relative*
+  /// gaps between implementations.
+  double item_transport_energy_j = 25e-6;
+
+  /// Idle-state ladder used for idle gaps.
+  CStateModel cstates = CStateModel::arndale_like();
+
+  /// The paper's simplified two-state variant (Section IV-A assumption).
+  static PowerModelParams simplified(double active_w = 1.10, double idle_w = 0.18,
+                                     double wakeup_j = 8e-6);
+};
+
+/// How long the consumer's CPU work takes; converts item counts into
+/// active time on the timeline (so per-item energy e(x) emerges from
+/// active_power * time rather than being double-counted).
+struct ServiceModel {
+  /// CPU time to process one data item.
+  SimDuration per_item = microseconds(2);
+
+  /// Fixed CPU time per consumer invocation (scheduler + synchronization
+  /// overhead paid whether the batch has 1 item or 100).
+  SimDuration per_invocation = microseconds(5);
+
+  /// Total busy time of an invocation processing `items` items.
+  SimDuration batch_time(std::size_t items) const {
+    return per_invocation + static_cast<SimDuration>(items) * per_item;
+  }
+};
+
+/// Integrates modeled power over finalized timelines.
+class EnergyLedger {
+ public:
+  explicit EnergyLedger(PowerModelParams params = {});
+
+  const PowerModelParams& params() const { return params_; }
+
+  /// Total energy of one finalized timeline, joules.  `active_scale`
+  /// scales active power: <1 models DVFS dropping the frequency under a
+  /// cooperative load (the paper attributes Yield's small saving over
+  /// busy-wait to exactly this effect).
+  double energy_joules(const CoreTimeline& timeline, double active_scale = 1.0) const;
+
+  /// Energy the core would consume staying idle for the same span.
+  double baseline_joules(const CoreTimeline& timeline) const;
+
+  /// Mean extra power above the idle baseline, watts — the paper's
+  /// reported "Power (watts)" / "Power (mWatts)" metric.
+  double extra_power_watts(const CoreTimeline& timeline, double active_scale = 1.0) const;
+
+  /// Sum of extra power across cores (multi-core experiments).
+  double extra_power_watts(std::span<const CoreTimeline> timelines,
+                           double active_scale = 1.0) const;
+
+  /// The paper's per-item processing energy e(x) for x items, derived
+  /// from the service model; used by the PBPL reservation cost function.
+  double item_energy_j(const ServiceModel& service, std::size_t items) const;
+
+  /// Mean board-level power of transporting `items` items over `span`
+  /// (see PowerModelParams::item_transport_energy_j).
+  double transport_power_watts(std::uint64_t items, SimDuration span) const;
+
+ private:
+  PowerModelParams params_;
+};
+
+}  // namespace pcpc::power

@@ -1,0 +1,34 @@
+// PowerTop-style per-implementation report.
+//
+// The paper reports three metrics per implementation (Section III-B):
+// Power (extra watts), Wakeups/s, and Usage (ms/s).  This builds that
+// report from finalized core timelines the same way PowerTop derives it
+// from kernel counters.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pcpc/power/core_timeline.hpp"
+#include "pcpc/power/energy_ledger.hpp"
+
+namespace pcpc::power {
+
+/// One implementation's row in the report.
+struct PowerTopRow {
+  std::string name;
+  double wakeups_per_s = 0.0;
+  double usage_ms_per_s = 0.0;
+  double extra_power_w = 0.0;
+};
+
+/// Builds the report row for an implementation that used the given cores.
+/// Wakeups and usage are summed across cores, power via the ledger.
+PowerTopRow powertop_row(std::string name, std::span<const CoreTimeline> timelines,
+                         const EnergyLedger& ledger);
+
+/// Renders rows as the aligned table the bench binaries print.
+std::string render_report(std::span<const PowerTopRow> rows, const std::string& title);
+
+}  // namespace pcpc::power

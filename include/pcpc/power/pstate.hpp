@@ -1,0 +1,88 @@
+// CPU P-state (performance state) model and DVFS governors.
+//
+// Section II of the paper: DVFS scales frequency and voltage so that
+// dynamic power follows P_d = C·V²·f, and "race-to-idle" argues that
+// finishing the batch at a high P-state and parking in a deep C-state
+// often beats crawling at a low frequency.  The paper's own system model
+// deliberately excludes frequency scaling ("the system does not support
+// frequency scaling and operates at two states"), so the main experiments
+// run on the two-state model — this substrate exists to *test* that
+// simplification: the race-to-idle ablation bench sweeps P-states and
+// shows where the paper's assumption is and is not conservative.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "pcpc/common/types.hpp"
+
+namespace pcpc::power {
+
+/// One frequency/voltage operating point.
+struct PState {
+  std::string name;
+  double frequency_hz = 0.0;   ///< core clock
+  double voltage_v = 0.0;      ///< supply voltage at that clock
+};
+
+/// A table of operating points with the P_d = C·V²·f dynamic-power law
+/// plus a frequency-independent leakage term.
+class PStateModel {
+ public:
+  /// `switched_capacitance` is the effective C in farads;
+  /// `leakage_w` is static power drawn while the core is powered on.
+  PStateModel(std::vector<PState> states, double switched_capacitance,
+              double leakage_w);
+
+  /// A Cortex-A15-flavoured five-point table (600 MHz .. 1.6 GHz).
+  static PStateModel arndale_like();
+
+  std::size_t size() const { return states_.size(); }
+  const PState& state(std::size_t i) const { return states_.at(i); }
+
+  /// Index of the highest-frequency state.
+  std::size_t fastest() const { return states_.size() - 1; }
+
+  /// Active power at state i: C·V²·f + leakage.
+  double active_power_w(std::size_t i) const;
+
+  /// Time to execute `work` cycles at state i.
+  SimDuration execution_time(double work_cycles, std::size_t i) const;
+
+  /// Energy to execute `work` cycles at state i (power × time).
+  double execution_energy_j(double work_cycles, std::size_t i) const;
+
+  /// The slowest state that still finishes `work_cycles` within
+  /// `deadline`; falls back to the fastest when none fits.
+  std::size_t slowest_meeting(double work_cycles, SimDuration deadline) const;
+
+ private:
+  std::vector<PState> states_;  // sorted by ascending frequency
+  double capacitance_f_;
+  double leakage_w_;
+};
+
+/// Outcome of one execute-then-idle strategy evaluation.
+struct RaceToIdleOutcome {
+  std::size_t pstate = 0;        ///< operating point used
+  SimDuration busy = 0;          ///< execution time
+  SimDuration idle = 0;          ///< remaining window spent idle
+  double energy_j = 0.0;         ///< execution + idle + wakeup energy
+};
+
+/// Evaluates executing `work_cycles` inside a window of length `window`
+/// at P-state `i`, idling the remainder on `idle_ladder` (one wakeup ω is
+/// charged when any idle remains).  The race-to-idle question is whether
+/// energy is minimized at the fastest state — see best_pstate().
+class CStateModel;  // from cstate.hpp
+RaceToIdleOutcome evaluate_window(const PStateModel& pstates, const CStateModel& idle,
+                                  double work_cycles, SimDuration window,
+                                  double wakeup_j, std::size_t pstate);
+
+/// The energy-minimal P-state for the given window (exhaustive over the
+/// table — the table is tiny).
+RaceToIdleOutcome best_pstate(const PStateModel& pstates, const CStateModel& idle,
+                              double work_cycles, SimDuration window, double wakeup_j);
+
+}  // namespace pcpc::power

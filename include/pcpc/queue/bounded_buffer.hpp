@@ -1,0 +1,60 @@
+// Bounded FIFO with overflow accounting.
+//
+// The buffer every baseline producer-consumer implementation uses.  An
+// overflow (push on a full buffer) is a first-class event here because the
+// paper's batch implementations treat it as a forced, unscheduled consumer
+// wakeup — one of the headline metrics of Section VI.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+
+#include "pcpc/common/ring_buffer.hpp"
+
+namespace pcpc::queue {
+
+/// Fixed-capacity FIFO that counts drops and tracks a high-water mark.
+/// Not thread-safe; pcpc::runtime wraps it for the thread host.
+template <typename T>
+class BoundedBuffer {
+ public:
+  explicit BoundedBuffer(std::size_t capacity) : ring_(capacity) {}
+
+  std::size_t capacity() const { return ring_.capacity(); }
+  std::size_t size() const { return ring_.size(); }
+  bool empty() const { return ring_.empty(); }
+  bool full() const { return ring_.full(); }
+
+  /// Inserts an item.  On a full buffer the item is dropped, the overflow
+  /// counter increments, and false is returned.
+  bool push(T value) {
+    if (!ring_.push(std::move(value))) {
+      ++overflows_;
+      return false;
+    }
+    high_water_ = std::max(high_water_, ring_.size());
+    return true;
+  }
+
+  /// Removes the oldest item; nullopt when empty.
+  std::optional<T> pop() { return ring_.pop(); }
+
+  /// Oldest item without removal; buffer must be non-empty.
+  const T& front() const { return ring_.front(); }
+
+  /// Number of rejected pushes so far.
+  std::uint64_t overflows() const { return overflows_; }
+
+  /// Largest size ever reached.
+  std::size_t high_water() const { return high_water_; }
+
+  void clear() { ring_.clear(); }
+
+ private:
+  RingBuffer<T> ring_;
+  std::uint64_t overflows_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace pcpc::queue

@@ -1,0 +1,190 @@
+// Elastic per-consumer buffers over a shared, preallocated global pool.
+//
+// Section V-C, "Dynamic buffer resizing": every consumer starts with B0
+// slots carved out of a global buffer of size Bg = B0 × M.  A consumer that
+// predicts a small batch *downsizes* (returning slots to the pool); one
+// whose predicted rate would overflow before its reserved slot *upsizes*,
+// taking min(free pool space, predicted need).  The paper implements the
+// elastic walls "using linked lists … not actual contiguous resizing" —
+// we do the same: capacity moves between buffers as fixed-size segments,
+// never by copying items.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "pcpc/common/assert.hpp"
+#include "pcpc/common/stats.hpp"
+
+namespace pcpc::queue {
+
+template <typename T>
+class ElasticBuffer;
+
+/// The global preallocated buffer Bg, managed as fixed-size segments.
+///
+/// Single-threaded (simulation host).  The thread host in pcpc::runtime
+/// guards one of these with a mutex.
+template <typename T>
+class BufferPool {
+ public:
+  /// Preallocates Bg = `consumers × base_capacity` slots, with each
+  /// consumer's share rounded up to whole segments of `segment_size`
+  /// slots (so make_buffer() can always hand out the base share).
+  BufferPool(std::size_t consumers, std::size_t base_capacity, std::size_t segment_size = 8)
+      : segment_size_(segment_size),
+        base_capacity_(base_capacity),
+        total_segments_(consumers *
+                        ((base_capacity + segment_size - 1) / segment_size)),
+        free_segments_(total_segments_) {
+    PCPC_ASSERT_MSG(consumers > 0, "pool needs at least one consumer");
+    PCPC_ASSERT_MSG(base_capacity > 0, "base capacity must be positive");
+    PCPC_ASSERT_MSG(segment_size > 0, "segment size must be positive");
+  }
+
+  /// Total slot count Bg (rounded up to segment granularity).
+  std::size_t total_slots() const { return total_segments_ * segment_size_; }
+
+  /// Slots not currently owned by any buffer.
+  std::size_t free_slots() const { return free_segments_ * segment_size_; }
+
+  /// The per-consumer initial capacity B0.
+  std::size_t base_capacity() const { return base_capacity_; }
+
+  std::size_t segment_size() const { return segment_size_; }
+
+  /// Creates a buffer initially owning ~B0 slots (rounded up to whole
+  /// segments).  Call once per consumer.
+  ElasticBuffer<T> make_buffer();
+
+ private:
+  friend class ElasticBuffer<T>;
+
+  /// Takes up to `want` segments from the pool; returns how many granted.
+  std::size_t acquire_segments(std::size_t want) {
+    const std::size_t granted = std::min(want, free_segments_);
+    free_segments_ -= granted;
+    return granted;
+  }
+
+  void release_segments(std::size_t n) {
+    free_segments_ += n;
+    PCPC_ASSERT_MSG(free_segments_ <= total_segments_, "segment double-release");
+  }
+
+  std::size_t segment_size_;
+  std::size_t base_capacity_;
+  std::size_t total_segments_;
+  std::size_t free_segments_;
+};
+
+/// One consumer's resizable buffer; capacity is a whole number of pool
+/// segments.  FIFO semantics with overflow counting like BoundedBuffer.
+template <typename T>
+class ElasticBuffer {
+ public:
+  std::size_t capacity() const { return segments_ * pool_->segment_size_; }
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  bool full() const { return items_.size() >= capacity(); }
+
+  /// Inserts an item; counts an overflow and returns false when full.
+  bool push(T value) {
+    if (full()) {
+      ++overflows_;
+      return false;
+    }
+    items_.push_back(std::move(value));
+    high_water_ = std::max(high_water_, items_.size());
+    return true;
+  }
+
+  /// Removes the oldest item; nullopt when empty.
+  std::optional<T> pop() {
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  /// Attempts to change capacity to hold at least `target` items.
+  ///
+  /// Growth is limited by the pool's free space; shrinkage by the items
+  /// currently buffered (live items are never dropped).  Returns the new
+  /// capacity in slots.  This is the paper's
+  ///   B_i = min(Bg − ΣB_q , r̂·Δt)  (upsizing)
+  ///   B_i = r̂·Δt                   (downsizing)
+  /// with both directions clamped to whole segments.
+  std::size_t resize(std::size_t target) {
+    const std::size_t seg = pool_->segment_size_;
+    // Never below one segment, never below what is currently buffered.
+    const std::size_t min_slots = std::max<std::size_t>(items_.size(), 1);
+    const std::size_t want_slots = std::max(target, min_slots);
+    const std::size_t want_segments = (want_slots + seg - 1) / seg;
+    if (want_segments > segments_) {
+      segments_ += pool_->acquire_segments(want_segments - segments_);
+    } else if (want_segments < segments_) {
+      pool_->release_segments(segments_ - want_segments);
+      segments_ = want_segments;
+    }
+    capacity_samples_.add(static_cast<double>(capacity()));
+    return capacity();
+  }
+
+  /// Number of rejected pushes.
+  std::uint64_t overflows() const { return overflows_; }
+
+  /// Largest item count ever held.
+  std::size_t high_water() const { return high_water_; }
+
+  /// Capacity observations recorded at each resize; the paper's "average
+  /// buffer size" metric is the mean of these.
+  const OnlineStats& capacity_samples() const { return capacity_samples_; }
+
+  /// Returns all owned segments beyond live items to the pool.
+  void trim() { resize(items_.size()); }
+
+  ~ElasticBuffer() {
+    if (pool_ != nullptr) pool_->release_segments(segments_);
+  }
+
+  ElasticBuffer(ElasticBuffer&& other) noexcept
+      : pool_(other.pool_),
+        segments_(other.segments_),
+        items_(std::move(other.items_)),
+        overflows_(other.overflows_),
+        high_water_(other.high_water_),
+        capacity_samples_(other.capacity_samples_) {
+    other.pool_ = nullptr;
+    other.segments_ = 0;
+  }
+  ElasticBuffer& operator=(ElasticBuffer&&) = delete;
+  ElasticBuffer(const ElasticBuffer&) = delete;
+  ElasticBuffer& operator=(const ElasticBuffer&) = delete;
+
+ private:
+  friend class BufferPool<T>;
+
+  ElasticBuffer(BufferPool<T>* pool, std::size_t segments)
+      : pool_(pool), segments_(segments) {}
+
+  BufferPool<T>* pool_;
+  std::size_t segments_;
+  std::deque<T> items_;
+  std::uint64_t overflows_ = 0;
+  std::size_t high_water_ = 0;
+  OnlineStats capacity_samples_;
+};
+
+template <typename T>
+ElasticBuffer<T> BufferPool<T>::make_buffer() {
+  const std::size_t want = (base_capacity_ + segment_size_ - 1) / segment_size_;
+  const std::size_t granted = acquire_segments(want);
+  PCPC_ASSERT_MSG(granted > 0, "pool exhausted: too many buffers for Bg");
+  return ElasticBuffer<T>(this, granted);
+}
+
+}  // namespace pcpc::queue

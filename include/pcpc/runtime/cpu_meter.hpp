@@ -1,0 +1,32 @@
+// CPU-time measurement for the real-thread host.
+//
+// The simulation host knows busy time exactly; the thread host measures
+// it the way PowerTop does — from the OS's per-thread CPU clocks.
+#pragma once
+
+#include <cstdint>
+
+namespace pcpc::runtime {
+
+/// CPU nanoseconds consumed by the calling thread so far
+/// (CLOCK_THREAD_CPUTIME_ID; 0 if unsupported).
+std::int64_t thread_cpu_ns();
+
+/// CPU nanoseconds consumed by the whole process so far.
+std::int64_t process_cpu_ns();
+
+/// Scoped CPU-time accumulator: adds the calling thread's CPU time spent
+/// inside the scope to `sink` on destruction.
+class ScopedCpuTimer {
+ public:
+  explicit ScopedCpuTimer(std::int64_t& sink) : sink_(sink), start_(thread_cpu_ns()) {}
+  ~ScopedCpuTimer() { sink_ += thread_cpu_ns() - start_; }
+  ScopedCpuTimer(const ScopedCpuTimer&) = delete;
+  ScopedCpuTimer& operator=(const ScopedCpuTimer&) = delete;
+
+ private:
+  std::int64_t& sink_;
+  std::int64_t start_;
+};
+
+}  // namespace pcpc::runtime

@@ -1,0 +1,88 @@
+// Real-thread baseline implementations: Mutex (per-item condvar
+// signaling) and BP (signal on buffer full) — the two classic shapes the
+// paper's Section III study measures, here as actual threads so the
+// thread-host PBPL has like-for-like competition.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "pcpc/common/latency_recorder.hpp"
+#include "pcpc/common/stats.hpp"
+#include "pcpc/common/types.hpp"
+
+namespace pcpc::runtime {
+
+using BaselineClock = std::chrono::steady_clock;
+
+/// Counters of a thread-baseline run.
+struct ThreadBaselineStats {
+  std::uint64_t items = 0;
+  std::uint64_t invocations = 0;
+  std::uint64_t consumer_wakeups = 0;  ///< times a consumer thread blocked and woke
+  std::int64_t consumer_cpu_ns = 0;
+  OnlineStats batch_sizes;
+  LatencyRecorder latency_s;
+};
+
+/// How the producer signals the consumer.
+enum class SignalPolicy {
+  PerItem,   ///< Mutex/Sem style: notify on every item
+  OnFull,    ///< BP style: notify only when the buffer reaches capacity
+  Periodic,  ///< SPBP style: the consumer wakes on its own timer
+};
+
+/// A set of producer-consumer pairs on real threads.  Each pair owns a
+/// bounded deque, a condvar and one consumer thread.
+class ThreadBaseline {
+ public:
+  /// `period` is used only by SignalPolicy::Periodic.
+  ThreadBaseline(std::size_t pairs, std::size_t buffer_capacity, SignalPolicy policy,
+                 SimDuration period = milliseconds(10));
+  ~ThreadBaseline();
+
+  ThreadBaseline(const ThreadBaseline&) = delete;
+  ThreadBaseline& operator=(const ThreadBaseline&) = delete;
+
+  /// Producer side; thread-safe per pair.  Blocks while the buffer is
+  /// full (classic bounded-buffer backpressure).
+  void produce(std::size_t pair);
+
+  /// Stops and joins consumers, draining leftovers.  Idempotent.
+  void stop();
+
+  /// Counters; call after stop() for a consistent snapshot.
+  ThreadBaselineStats stats() const;
+
+ private:
+  struct Pair {
+    std::mutex mutex;
+    std::condition_variable consumer_cv;
+    std::condition_variable producer_cv;
+    std::deque<BaselineClock::time_point> buffer;
+    std::thread thread;
+    std::uint64_t wakeups = 0;
+    std::int64_t cpu_ns = 0;
+  };
+
+  void consumer_loop(Pair& pair);
+  void drain_locked(Pair& pair, std::unique_lock<std::mutex>& lock);
+
+  const std::size_t capacity_;
+  const SignalPolicy policy_;
+  const SimDuration period_;
+  std::atomic<bool> running_{true};
+  std::vector<std::unique_ptr<Pair>> pairs_;
+
+  mutable std::mutex stats_mutex_;
+  ThreadBaselineStats stats_;
+};
+
+}  // namespace pcpc::runtime

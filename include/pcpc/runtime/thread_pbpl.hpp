@@ -1,0 +1,131 @@
+// Real-thread host for the PBPL algorithm.
+//
+// Demonstrates that the algorithm's structure (Figure 5) maps directly
+// onto std::thread: one manager thread per core sleeps with
+// condition_variable::wait_until on the next *reserved* slot, wakes,
+// drains every consumer registered for that slot, runs each consumer's
+// predict→reserve→resize pipeline, and goes back to sleep.  Producers
+// push from their own threads; a full buffer first borrows pool segments
+// and only then forces an unscheduled manager wakeup.
+//
+// The decision logic (SlotTrack, ReservationTable, choose_slot, the
+// predictors, the elastic pool) is byte-for-byte the same code the
+// simulation host runs — this file only supplies the threading shell.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "pcpc/common/latency_recorder.hpp"
+#include "pcpc/common/stats.hpp"
+#include "pcpc/core/config.hpp"
+#include "pcpc/core/cost.hpp"
+#include "pcpc/core/rate_predictor.hpp"
+#include "pcpc/core/reservation.hpp"
+#include "pcpc/core/slot_track.hpp"
+#include "pcpc/queue/elastic_buffer.hpp"
+
+namespace pcpc::runtime {
+
+using Clock = std::chrono::steady_clock;
+
+/// Aggregate counters of one ThreadPbpl run.
+struct ThreadPbplStats {
+  std::uint64_t items = 0;
+  std::uint64_t invocations = 0;
+  std::uint64_t scheduled_wakeups = 0;   ///< slot timeouts taken by managers
+  std::uint64_t overflow_wakeups = 0;    ///< forced unscheduled drains
+  std::uint64_t emergency_borrows = 0;
+  std::uint64_t reservations = 0;
+  std::uint64_t latched_reservations = 0;
+  std::int64_t manager_cpu_ns = 0;       ///< CPU time of all manager threads
+  OnlineStats batch_sizes;
+  LatencyRecorder latency_s;
+};
+
+/// Multi-core, multi-consumer PBPL runtime on real threads.
+class ThreadPbpl {
+ public:
+  /// Called for every drained batch (consumer index, batch size).  May be
+  /// empty.  Runs on the manager thread — keep it short, it is the
+  /// consumer's "processing" step.
+  using BatchHandler = std::function<void(std::size_t consumer, std::size_t batch)>;
+
+  /// Starts `config.cores` manager threads hosting `consumers` pairs
+  /// (round-robin).  The slot track is anchored at construction time.
+  ThreadPbpl(std::size_t consumers, const core::PbplConfig& config,
+             BatchHandler handler = {});
+
+  /// Stops and joins all manager threads (drains leftovers first).
+  ~ThreadPbpl();
+
+  ThreadPbpl(const ThreadPbpl&) = delete;
+  ThreadPbpl& operator=(const ThreadPbpl&) = delete;
+
+  /// Producer side: deliver one item to `consumer` now.  Thread-safe;
+  /// callable from any thread.  Blocks only in the rare case where the
+  /// buffer is full, the pool is exhausted, and the manager has not yet
+  /// completed the forced drain.
+  void produce(std::size_t consumer);
+
+  /// Stops the runtime (idempotent); the destructor calls this too.
+  void stop();
+
+  /// Counters; call after stop() for a consistent snapshot.
+  ThreadPbplStats stats() const;
+
+  std::size_t consumer_count() const { return consumers_.size(); }
+  std::size_t core_count() const { return cores_.size(); }
+
+ private:
+  struct Core;
+
+  struct Consumer {
+    std::size_t index = 0;
+    Core* core = nullptr;
+    std::unique_ptr<queue::ElasticBuffer<Clock::time_point>> buffer;
+    std::unique_ptr<core::RatePredictor> predictor;
+    SimTime last_invocation = 0;
+    std::size_t last_batch = 1;
+    std::uint64_t overflow_requests = 0;  // pending forced drains
+  };
+
+  struct Core {
+    std::size_t index = 0;
+    core::ReservationTable reservations;
+    std::vector<Consumer*> consumers;
+    std::condition_variable cv;
+    std::thread thread;
+    std::uint64_t scheduled_wakeups = 0;
+    std::int64_t cpu_ns = 0;
+    bool overflow_pending = false;
+  };
+
+  SimTime now_ns() const;
+  Clock::time_point slot_deadline(core::SlotIndex slot) const;
+  void manager_loop(Core& core);
+  void invoke_locked(Core& core, Consumer& consumer, SimTime now);
+  void make_reservation_locked(Core& core, Consumer& consumer, SimTime now);
+
+  const core::PbplConfig config_;
+  const core::SlotTrack track_;
+  const Clock::time_point epoch_;
+  BatchHandler handler_;
+
+  mutable std::mutex mutex_;  // one coarse lock: simple and correct
+  std::condition_variable producer_cv_;
+  bool running_ = true;
+
+  queue::BufferPool<Clock::time_point> pool_;
+  std::vector<std::unique_ptr<Consumer>> consumers_;
+  std::vector<std::unique_ptr<Core>> cores_;
+  ThreadPbplStats stats_;
+};
+
+}  // namespace pcpc::runtime

@@ -1,0 +1,83 @@
+// Pending-event set for the discrete-event simulator.
+//
+// A binary min-heap ordered by (time, sequence number) — the sequence
+// number makes simultaneous events fire in scheduling order, which keeps
+// every experiment fully deterministic.  Cancellation is lazy: cancelled
+// entries stay in the heap and are skipped on pop; a side set of pending
+// ids keeps cancel() exact (cancelling a fired event is a no-op).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "pcpc/common/types.hpp"
+
+namespace pcpc::sim {
+
+/// Identifies a scheduled event for cancellation.
+using EventId = std::uint64_t;
+
+/// Callback invoked when an event fires.  Receives the firing time.
+using EventFn = std::function<void(SimTime)>;
+
+/// Min-heap of timed events with lazy cancellation.
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `t`; returns a handle for cancel().
+  EventId schedule(SimTime t, EventFn fn);
+
+  /// Cancels a pending event.  Returns false when the event already fired,
+  /// was already cancelled, or never existed.
+  bool cancel(EventId id);
+
+  /// True when the given event is still pending.
+  bool pending(EventId id) const { return pending_.contains(id); }
+
+  /// True when no live (non-cancelled) events remain.
+  bool empty() const { return pending_.empty(); }
+
+  /// Number of live events.
+  std::size_t size() const { return pending_.size(); }
+
+  /// Time of the earliest live event; kNever when empty.
+  SimTime next_time() const;
+
+  /// A fired event: its scheduled time, handle and callback.
+  struct Fired {
+    SimTime time;
+    EventId id;
+    EventFn fn;
+  };
+
+  /// Removes and returns the earliest live event.  Must not be empty.
+  Fired pop();
+
+  /// Drops every pending event.
+  void clear();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    EventId id;
+    // Moved out on pop; mutable because priority_queue::top() is const.
+    mutable EventFn fn;
+
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  std::unordered_set<EventId> pending_;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+};
+
+}  // namespace pcpc::sim

@@ -1,0 +1,22 @@
+// Replays a sequence of timestamps as simulator events.
+//
+// Used by every implementation to turn a workload trace into producer
+// events.  The replay chains one event at a time (each firing schedules
+// the next), so memory stays O(1) per producer regardless of trace size.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "pcpc/sim/simulator.hpp"
+
+namespace pcpc::sim {
+
+/// Schedules `fn(t)` for every timestamp in `timestamps` that is strictly
+/// before `horizon`.  Timestamps must be sorted ascending and not precede
+/// the simulator's current time.
+void replay(Simulator& simulator, std::span<const SimTime> timestamps, SimTime horizon,
+            std::function<void(SimTime)> fn);
+
+}  // namespace pcpc::sim

@@ -1,0 +1,123 @@
+// Time-varying arrival-rate functions and stochastic arrival processes.
+//
+// The paper stresses that its dataset "exhibits sporadic changes in the
+// rate of production of items".  We model such workloads as non-homogeneous
+// Poisson processes whose intensity λ(t) is a composable rate function,
+// plus a Markov-modulated Poisson process (MMPP) for bursty traffic.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "pcpc/common/rng.hpp"
+#include "pcpc/common/types.hpp"
+#include "pcpc/trace/trace.hpp"
+
+namespace pcpc::trace {
+
+/// An intensity function λ(t) in items/second over virtual time, together
+/// with a tight upper bound needed by the thinning sampler.
+class RateFunction {
+ public:
+  virtual ~RateFunction() = default;
+
+  /// Instantaneous rate at time t, in items per second.  Never negative.
+  virtual double rate_at(SimTime t) const = 0;
+
+  /// An upper bound on rate_at over [0, horizon]; the thinning algorithm's
+  /// majorant.  Tighter bounds sample faster but any valid bound works.
+  virtual double max_rate(SimDuration horizon) const = 0;
+};
+
+/// λ(t) = rate (constant).
+class ConstantRate final : public RateFunction {
+ public:
+  explicit ConstantRate(double rate_hz);
+  double rate_at(SimTime) const override { return rate_; }
+  double max_rate(SimDuration) const override { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// λ(t) = base + amplitude * sin(2π t / period + phase), clamped at 0.
+/// Models the diurnal swing of web traffic.
+class SinusoidRate final : public RateFunction {
+ public:
+  SinusoidRate(double base_hz, double amplitude_hz, SimDuration period, double phase = 0.0);
+  double rate_at(SimTime t) const override;
+  double max_rate(SimDuration) const override { return base_ + std::abs(amplitude_); }
+
+ private:
+  double base_;
+  double amplitude_;
+  SimDuration period_;
+  double phase_;
+};
+
+/// A train of flash-crowd bursts: each burst adds `amplitude` items/s over
+/// [start, start+duration) with linear rise and fall inside the window.
+class BurstTrain final : public RateFunction {
+ public:
+  struct Burst {
+    SimTime start = 0;
+    SimDuration duration = 0;
+    double amplitude_hz = 0.0;
+  };
+
+  explicit BurstTrain(std::vector<Burst> bursts);
+  double rate_at(SimTime t) const override;
+  double max_rate(SimDuration horizon) const override;
+
+ private:
+  std::vector<Burst> bursts_;
+};
+
+/// Sum of component rate functions.
+class CompositeRate final : public RateFunction {
+ public:
+  explicit CompositeRate(std::vector<std::shared_ptr<const RateFunction>> parts);
+  double rate_at(SimTime t) const override;
+  double max_rate(SimDuration horizon) const override;
+
+ private:
+  std::vector<std::shared_ptr<const RateFunction>> parts_;
+};
+
+/// Samples a non-homogeneous Poisson process with intensity `rate` over
+/// [0, horizon) by Lewis-Shedler thinning.  Deterministic given `rng`.
+Trace sample_nhpp(const RateFunction& rate, SimDuration horizon, Rng& rng);
+
+/// Parameters of a two-state Markov-modulated Poisson process.
+struct MmppParams {
+  double low_rate_hz = 100.0;     ///< intensity in the quiet state
+  double high_rate_hz = 2000.0;   ///< intensity in the bursty state
+  SimDuration mean_low_dwell = seconds(1);    ///< mean sojourn in quiet state
+  SimDuration mean_high_dwell = milliseconds(100);  ///< mean sojourn in burst
+};
+
+/// Samples a two-state MMPP over [0, horizon).  The state path is sampled
+/// first (exponential dwell times), then arrivals are Poisson within each
+/// dwell.  Models on/off bursty sources such as router ingress traffic.
+Trace sample_mmpp(const MmppParams& params, SimDuration horizon, Rng& rng);
+
+/// Parameters of a Pareto ON/OFF source: heavy-tailed ON and OFF periods
+/// produce the self-similar (long-range-dependent) behaviour measured in
+/// real web/LAN traffic — burstiness at every time scale, unlike MMPP's
+/// single characteristic scale.
+struct ParetoOnOffParams {
+  double on_rate_hz = 5000.0;     ///< arrival intensity during ON periods
+  double shape = 1.5;             ///< Pareto α ∈ (1, 2): infinite variance
+  SimDuration min_on = milliseconds(10);   ///< ON-period scale parameter
+  SimDuration min_off = milliseconds(20);  ///< OFF-period scale parameter
+  SimDuration max_period = seconds(10);    ///< truncation (keeps runs finite)
+};
+
+/// Samples a Pareto ON/OFF source over [0, horizon): alternating ON/OFF
+/// dwells with Pareto(shape, min) lengths, Poisson arrivals while ON.
+Trace sample_pareto_on_off(const ParetoOnOffParams& params, SimDuration horizon,
+                           Rng& rng);
+
+}  // namespace pcpc::trace

@@ -1,0 +1,74 @@
+// Arrival traces: the workload representation consumed by every
+// producer-consumer implementation in this library.
+//
+// A trace is a monotonically non-decreasing sequence of virtual timestamps,
+// one per produced data item — the in-memory equivalent of the web-server
+// request log the paper replays (Arlitt & Jin's 1998 World Cup logs).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "pcpc/common/types.hpp"
+
+namespace pcpc::trace {
+
+/// Summary statistics of a trace; used by tests and by workload
+/// characterization in the experiment reports.
+struct TraceStats {
+  std::size_t items = 0;
+  SimDuration duration = 0;
+  double mean_rate_hz = 0.0;       ///< items per second over the whole trace
+  double peak_rate_hz = 0.0;       ///< max rate over 100 ms windows
+  double min_rate_hz = 0.0;        ///< min rate over 100 ms windows
+  double interarrival_cv = 0.0;    ///< coefficient of variation of gaps
+};
+
+/// An immutable, time-sorted sequence of item production timestamps.
+class Trace {
+ public:
+  Trace() = default;
+
+  /// Takes ownership of timestamps; they are sorted if needed.
+  explicit Trace(std::vector<SimTime> timestamps);
+
+  std::size_t size() const { return timestamps_.size(); }
+  bool empty() const { return timestamps_.empty(); }
+
+  /// Timestamp of item i (0-based, in production order).
+  SimTime at(std::size_t i) const { return timestamps_[i]; }
+
+  /// All timestamps, sorted ascending.
+  std::span<const SimTime> timestamps() const { return timestamps_; }
+
+  /// Time of the last item; 0 for an empty trace.
+  SimTime end_time() const { return timestamps_.empty() ? 0 : timestamps_.back(); }
+
+  /// Number of items with timestamp in [from, to).
+  std::size_t count_in(SimTime from, SimTime to) const;
+
+  /// Computes summary statistics with the given rate-estimation window.
+  TraceStats stats(SimDuration window = milliseconds(100)) const;
+
+  /// Returns the sub-trace with timestamps in [from, to), re-based to 0.
+  Trace slice(SimTime from, SimTime to) const;
+
+  /// Returns this trace cyclically rotated so it starts `offset` into the
+  /// original timeline, preserving total duration.  This reproduces the
+  /// paper's multi-producer setup where "each consumer is shifted one
+  /// M-th further into the dataset" (Section VI-A).
+  Trace phase_shift(SimDuration offset, SimDuration total_duration) const;
+
+ private:
+  std::vector<SimTime> timestamps_;
+};
+
+/// Convenience: evenly spaced arrivals (`n` items, `gap` apart, first at
+/// `start`).  Used heavily in unit tests.
+Trace uniform_trace(std::size_t n, SimDuration gap, SimTime start = 0);
+
+/// Merges multiple traces into one sorted trace.
+Trace merge(std::span<const Trace> traces);
+
+}  // namespace pcpc::trace

@@ -1,0 +1,27 @@
+// Trace persistence: binary (compact, exact) and CSV (interoperable).
+//
+// Lets experiments snapshot the generated workload so a run can be replayed
+// or inspected offline, and lets users feed in their own request logs.
+#pragma once
+
+#include <string>
+
+#include "pcpc/trace/trace.hpp"
+
+namespace pcpc::trace {
+
+/// Writes the trace as little-endian int64 nanosecond timestamps preceded
+/// by a magic/version header and a count.  Returns false on IO error.
+bool save_binary(const Trace& t, const std::string& path);
+
+/// Reads a trace written by save_binary.  Returns an empty trace and sets
+/// *ok=false on malformed input or IO error.
+Trace load_binary(const std::string& path, bool* ok = nullptr);
+
+/// Writes one "timestamp_ns" column CSV.  Returns false on IO error.
+bool save_csv(const Trace& t, const std::string& path);
+
+/// Reads a one-column CSV of nanosecond timestamps (header optional).
+Trace load_csv(const std::string& path, bool* ok = nullptr);
+
+}  // namespace pcpc::trace

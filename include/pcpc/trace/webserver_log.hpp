@@ -1,0 +1,42 @@
+// Synthetic web-server request-log workload.
+//
+// Substitutes the 1998 World Cup access logs (Arlitt & Jin) the paper
+// replays.  The paper relies on exactly two properties of that dataset —
+// a strongly time-varying ("non-linear") request rate and sporadic flash
+// crowds — so the generator composes a diurnal sinusoid, a slow secondary
+// modulation, and a randomly placed train of flash-crowd bursts, then
+// samples a non-homogeneous Poisson process from it.  Deterministic by seed.
+#pragma once
+
+#include <cstdint>
+
+#include "pcpc/common/rng.hpp"
+#include "pcpc/common/types.hpp"
+#include "pcpc/trace/trace.hpp"
+
+namespace pcpc::trace {
+
+/// Tunable shape of the synthetic web workload.
+struct WebWorkloadParams {
+  SimDuration duration = seconds(50);   ///< paper runs each experiment 50 s
+  double base_rate_hz = 800.0;          ///< average request rate
+  double diurnal_fraction = 0.55;       ///< sinusoid amplitude / base rate
+  SimDuration diurnal_period = seconds(20);  ///< compressed "day" cycle
+  double secondary_fraction = 0.25;     ///< slower secondary modulation
+  SimDuration secondary_period = seconds(7);
+  double bursts_per_minute = 6.0;       ///< expected flash-crowd frequency
+  double burst_amplitude_factor = 3.0;  ///< burst peak relative to base rate
+  SimDuration mean_burst_duration = milliseconds(800);
+  std::uint64_t seed = 0x5eedf00dULL;
+};
+
+/// Generates one synthetic web-server request trace.
+Trace make_web_workload(const WebWorkloadParams& params = {});
+
+/// Generates the M phase-shifted producer traces used in the paper's
+/// multi producer-consumer evaluation: producer i replays the same trace
+/// shifted i/M into the dataset (Section VI-A).
+std::vector<Trace> make_shifted_workloads(const WebWorkloadParams& params,
+                                          std::size_t producers);
+
+}  // namespace pcpc::trace

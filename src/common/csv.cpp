@@ -1,0 +1,41 @@
+#include "pcpc/common/csv.hpp"
+
+#include "pcpc/common/assert.hpp"
+
+namespace pcpc {
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  PCPC_ASSERT_MSG(columns_ > 0, "CSV requires at least one column");
+  if (!out_.good()) return;
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(header[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  PCPC_ASSERT_MSG(cells.size() == columns_, "CSV row width must match header");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string quoted = "\"";
+  for (char ch : cell) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace pcpc

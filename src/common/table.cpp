@@ -1,0 +1,67 @@
+#include "pcpc/common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "pcpc/common/assert.hpp"
+
+namespace pcpc {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  PCPC_ASSERT_MSG(!header_.empty(), "table requires at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  PCPC_ASSERT_MSG(cells.size() == header_.size(), "row width must match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::format_cell(double v) { return format_double(v, 2); }
+
+std::string Table::format_cell(long long v) { return std::to_string(v); }
+
+std::string Table::format_cell(unsigned long long v) { return std::to_string(v); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+
+  const auto rule = [&] {
+    std::string line = "+";
+    for (auto w : widths) line += std::string(w + 2, '-') + "+";
+    return line;
+  }();
+
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << " " << std::left << std::setw(static_cast<int>(widths[c])) << row[c] << " |";
+    os << "\n";
+  };
+
+  if (!title_.empty()) os << title_ << "\n";
+  os << rule << "\n";
+  print_row(header_);
+  os << rule << "\n";
+  for (const auto& row : rows_) print_row(row);
+  os << rule << "\n";
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+std::string format_double(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+}  // namespace pcpc

@@ -1,0 +1,68 @@
+#include "pcpc/core/assignment.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "pcpc/common/assert.hpp"
+
+namespace pcpc::core {
+
+std::vector<std::size_t> assign_consumers(std::size_t consumers, std::size_t cores,
+                                          AssignmentPolicy policy,
+                                          std::span<const double> utilization,
+                                          double utilization_cap) {
+  PCPC_ASSERT_MSG(consumers > 0, "need at least one consumer");
+  PCPC_ASSERT_MSG(cores > 0, "need at least one core");
+  std::vector<std::size_t> assignment(consumers, 0);
+
+  if (policy == AssignmentPolicy::RoundRobin || cores == 1) {
+    for (std::size_t i = 0; i < consumers; ++i) assignment[i] = i % cores;
+    return assignment;
+  }
+
+  PCPC_ASSERT_MSG(utilization.size() == consumers,
+                  "Packed/RateBalanced need per-consumer utilization");
+  PCPC_ASSERT_MSG(utilization_cap > 0.0, "utilization cap must be positive");
+
+  // Both remaining policies place consumers in decreasing-load order.
+  std::vector<std::size_t> order(consumers);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return utilization[a] > utilization[b];
+  });
+
+  std::vector<double> load(cores, 0.0);
+  for (const std::size_t consumer : order) {
+    std::size_t chosen = 0;
+    if (policy == AssignmentPolicy::Packed) {
+      // First fit: earliest core that stays under the cap; if none fits,
+      // the least-loaded core takes the overflow (never refuse service).
+      bool placed = false;
+      for (std::size_t c = 0; c < cores; ++c) {
+        if (load[c] + utilization[consumer] <= utilization_cap) {
+          chosen = c;
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        chosen = static_cast<std::size_t>(
+            std::min_element(load.begin(), load.end()) - load.begin());
+      }
+    } else {  // RateBalanced
+      chosen = static_cast<std::size_t>(
+          std::min_element(load.begin(), load.end()) - load.begin());
+    }
+    assignment[consumer] = chosen;
+    load[chosen] += utilization[consumer];
+  }
+  return assignment;
+}
+
+std::size_t cores_used(std::span<const std::size_t> assignment) {
+  const std::set<std::size_t> used(assignment.begin(), assignment.end());
+  return used.size();
+}
+
+}  // namespace pcpc::core

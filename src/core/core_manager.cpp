@@ -1,0 +1,109 @@
+#include "pcpc/core/core_manager.hpp"
+
+#include <limits>
+
+#include "pcpc/common/assert.hpp"
+
+namespace pcpc::core {
+
+namespace {
+constexpr SlotIndex kMinSlot = std::numeric_limits<SlotIndex>::min();
+}
+
+CoreManager::CoreManager(sim::Simulator& simulator, SimCore& core, SlotTrack track,
+                         SimDuration overhead_per_wakeup)
+    : simulator_(simulator), core_(core), track_(track), overhead_(overhead_per_wakeup) {
+  PCPC_ASSERT(overhead_per_wakeup >= 0);
+}
+
+void CoreManager::register_consumer(ConsumerId id, Invocable* consumer) {
+  PCPC_ASSERT_MSG(consumer != nullptr, "null consumer");
+  const auto [it, inserted] = consumers_.emplace(id, consumer);
+  (void)it;
+  PCPC_ASSERT_MSG(inserted, "consumer id registered twice");
+}
+
+void CoreManager::reserve(ConsumerId consumer, SlotIndex slot) {
+  PCPC_ASSERT_MSG(consumers_.contains(consumer), "reserve() from unknown consumer");
+  PCPC_ASSERT_MSG(track_.start_of(slot) > simulator_.now(),
+                  "reservations must target future slots");
+  reservations_.reserve(consumer, slot);
+  ensure_scheduled();
+}
+
+void CoreManager::unscheduled_invoke(ConsumerId consumer, SimTime now) {
+  const auto it = consumers_.find(consumer);
+  PCPC_ASSERT_MSG(it != consumers_.end(), "unscheduled_invoke for unknown consumer");
+  ++unscheduled_invocations_;
+  // The consumer's reservation moves when it re-reserves inside
+  // on_invoked(); drop the stale one first so the pending event can be
+  // re-targeted cleanly.
+  reservations_.cancel(consumer);
+  const SimDuration busy = overhead_ + it->second->on_invoked(now, /*scheduled=*/false);
+  core_.run_for(busy);
+  ensure_scheduled();
+}
+
+void CoreManager::drain_all(SimTime now) {
+  SimDuration busy = 0;
+  bool any = false;
+  for (auto& [id, consumer] : consumers_) {
+    (void)id;
+    if (consumer->has_pending()) {
+      busy += consumer->on_invoked(now, /*scheduled=*/true);
+      ++slot_invocations_;
+      any = true;
+    }
+  }
+  if (any) {
+    ++scheduled_wakeups_;
+    core_.run_for(overhead_ + busy);
+  }
+  // The experiment is over: forget reservations made during the sweep and
+  // cancel the wakeup that would serve them.
+  reservations_.clear();
+  if (has_pending_event_) {
+    simulator_.cancel(pending_event_);
+    has_pending_event_ = false;
+  }
+}
+
+void CoreManager::ensure_scheduled() {
+  const auto next = reservations_.next_reserved(kMinSlot);
+  if (!next.has_value()) {
+    if (has_pending_event_) {
+      simulator_.cancel(pending_event_);
+      has_pending_event_ = false;
+    }
+    return;
+  }
+  if (has_pending_event_) {
+    if (pending_slot_ == *next) return;
+    simulator_.cancel(pending_event_);
+  }
+  pending_slot_ = *next;
+  pending_event_ =
+      simulator_.at(track_.start_of(*next), [this](SimTime t) { on_slot_event(t); });
+  has_pending_event_ = true;
+}
+
+void CoreManager::on_slot_event(SimTime t) {
+  has_pending_event_ = false;
+  const SlotIndex slot = pending_slot_;
+  PCPC_ASSERT_MSG(track_.start_of(slot) == t, "slot event fired at the wrong time");
+  const auto consumers = reservations_.take_slot(slot);
+  if (!consumers.empty()) {
+    ++scheduled_wakeups_;
+    SimDuration busy = overhead_;
+    for (const ConsumerId id : consumers) {
+      const auto it = consumers_.find(id);
+      PCPC_ASSERT_MSG(it != consumers_.end(), "reservation for unknown consumer");
+      busy += it->second->on_invoked(t, /*scheduled=*/true);
+      ++slot_invocations_;
+    }
+    core_.run_for(busy);
+  }
+  ensure_scheduled();
+}
+
+}  // namespace pcpc::core

@@ -1,0 +1,107 @@
+#include "pcpc/core/cost.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pcpc/common/assert.hpp"
+
+namespace pcpc::core {
+
+double rho(double expected_items, bool slot_already_reserved, const EnergyCosts& costs) {
+  PCPC_ASSERT_MSG(expected_items > 0.0, "rho is defined for positive batch sizes");
+  const double w = slot_already_reserved ? 0.0 : costs.wakeup_j;
+  return (w + costs.batch_energy_j(expected_items)) / expected_items;
+}
+
+SlotChoice choose_slot(const SlotTrack& track, const ReservationTable& reservations,
+                       const SlotQuery& query, const EnergyCosts& costs) {
+  PCPC_ASSERT_MSG(query.buffer_capacity > 0, "buffer capacity must be positive");
+  PCPC_ASSERT_MSG(query.max_latency > 0, "latency bound must be positive");
+  const SlotIndex first = track.next_after(query.now);
+
+  // Degenerate prediction: no items expected.  ρ is undefined (its
+  // denominator is zero for every slot), so the consumer free-rides on
+  // the latest already-reserved slot inside its latency horizon, or polls
+  // at the horizon when none exists — it must wake eventually because a
+  // zero prediction is only a prediction.
+  if (query.predicted_rate_hz <= 0.0) {
+    SlotIndex cap = track.index_of(query.now + query.max_latency);
+    cap = std::max(cap, first);
+    const auto latch = reservations.prev_reserved(cap, first);
+    SlotChoice choice;
+    choice.slot = latch.value_or(cap);
+    choice.latched = latch.has_value();
+    choice.cost = 0.0;
+    choice.expected_items = 0.0;
+    return choice;
+  }
+
+  const double rate = query.predicted_rate_hz;
+  // Buffer-fill horizon B/r̂ (stretched by the fill tolerance), capped so
+  // the first predicted item (arriving ≈ now + 1/r̂) still meets its
+  // response-latency bound L.
+  const double fill_seconds =
+      query.fill_tolerance * static_cast<double>(query.buffer_capacity) / rate;
+  const double latency_cap_seconds = 1.0 / rate + to_seconds(query.max_latency);
+  const double horizon_seconds = std::min(fill_seconds, latency_cap_seconds);
+  SlotIndex start = track.index_of(query.now + from_seconds(horizon_seconds));
+  start = std::max(start, first);
+
+  const auto expected = [&](SlotIndex j) {
+    return rate * to_seconds(track.start_of(j) - query.now);
+  };
+
+  SlotChoice best;
+  best.slot = start;
+  best.latched = reservations.slot_reserved(start);
+  best.expected_items = expected(start);
+  best.cost = rho(best.expected_items, best.latched, costs);
+
+  // Backtrack.  Between reserved slots, ρ of an unreserved slot is
+  // ω/n + e-slope, strictly decreasing in n — so later unreserved slots
+  // always beat earlier ones and only *reserved* slots are worth probing
+  // (the paper's constant-time backtracking argument).  Stop at the first
+  // probe that does not improve: further-back slots have smaller batches
+  // and the same zero wakeup cost, hence strictly higher ρ.
+  SlotIndex probe_from = best.slot - 1;
+  while (probe_from >= first) {
+    const auto candidate = reservations.prev_reserved(probe_from, first);
+    if (!candidate.has_value()) break;
+    const double n = expected(*candidate);
+    const double cost = rho(n, /*slot_already_reserved=*/true, costs);
+    if (cost < best.cost) {
+      best.slot = *candidate;
+      best.latched = true;
+      best.expected_items = n;
+      best.cost = cost;
+      probe_from = *candidate - 1;
+    } else {
+      break;
+    }
+  }
+  return best;
+}
+
+SlotChoice fill_slot(const SlotTrack& track, const SlotQuery& query,
+                     const EnergyCosts& costs) {
+  PCPC_ASSERT_MSG(query.buffer_capacity > 0, "buffer capacity must be positive");
+  PCPC_ASSERT_MSG(query.max_latency > 0, "latency bound must be positive");
+  const SlotIndex first = track.next_after(query.now);
+  SlotChoice choice;
+  if (query.predicted_rate_hz <= 0.0) {
+    choice.slot = std::max(track.index_of(query.now + query.max_latency), first);
+    return choice;
+  }
+  const double rate = query.predicted_rate_hz;
+  const double fill_seconds =
+      query.fill_tolerance * static_cast<double>(query.buffer_capacity) / rate;
+  const double latency_cap_seconds = 1.0 / rate + to_seconds(query.max_latency);
+  const double horizon_seconds = std::min(fill_seconds, latency_cap_seconds);
+  choice.slot =
+      std::max(track.index_of(query.now + from_seconds(horizon_seconds)), first);
+  choice.expected_items = rate * to_seconds(track.start_of(choice.slot) - query.now);
+  choice.cost = rho(choice.expected_items, false, costs);
+  return choice;
+}
+
+}  // namespace pcpc::core

@@ -1,0 +1,35 @@
+#include "pcpc/core/latency_guard.hpp"
+
+#include <algorithm>
+
+#include "pcpc/common/assert.hpp"
+
+namespace pcpc::core {
+
+LatencyGuard::LatencyGuard(SimDuration bound, double shrink, double grow,
+                           double min_scale)
+    : bound_(bound), shrink_(shrink), grow_(grow), min_scale_(min_scale) {
+  PCPC_ASSERT_MSG(bound > 0, "latency bound must be positive");
+  PCPC_ASSERT_MSG(shrink > 0.0 && shrink < 1.0, "shrink must be in (0, 1)");
+  PCPC_ASSERT_MSG(grow > 1.0, "grow must exceed 1");
+  PCPC_ASSERT_MSG(min_scale > 0.0 && min_scale <= 1.0, "min_scale must be in (0, 1]");
+}
+
+void LatencyGuard::observe(SimDuration latency) {
+  if (latency > bound_) {
+    ++violations_;
+    batch_violated_ = true;
+  }
+}
+
+void LatencyGuard::end_batch() {
+  if (batch_violated_) {
+    ++violated_batches_;
+    scale_ = std::max(min_scale_, scale_ * shrink_);
+  } else {
+    scale_ = std::min(1.0, scale_ * grow_);
+  }
+  batch_violated_ = false;
+}
+
+}  // namespace pcpc::core

@@ -1,0 +1,96 @@
+#include "pcpc/core/rate_predictor.hpp"
+
+#include <algorithm>
+
+#include "pcpc/common/assert.hpp"
+
+namespace pcpc::core {
+
+MovingAverageRatePredictor::MovingAverageRatePredictor(std::size_t window) : avg_(window) {
+  PCPC_ASSERT_MSG(window > 0, "moving average window must be positive");
+}
+
+void MovingAverageRatePredictor::observe(double rate_hz) {
+  PCPC_ASSERT_MSG(rate_hz >= 0.0, "rates are non-negative");
+  avg_.add(rate_hz);
+}
+
+double MovingAverageRatePredictor::predict() const { return std::max(0.0, avg_.value()); }
+
+void MovingAverageRatePredictor::reset() { avg_.reset(); }
+
+std::string MovingAverageRatePredictor::name() const {
+  return "moving-average(h=" + std::to_string(avg_.window()) + ")";
+}
+
+KalmanRatePredictor::KalmanRatePredictor(double process_noise, double measurement_noise)
+    : q_(process_noise), r_(measurement_noise) {
+  PCPC_ASSERT(process_noise > 0.0);
+  PCPC_ASSERT(measurement_noise > 0.0);
+}
+
+void KalmanRatePredictor::observe(double rate_hz) {
+  PCPC_ASSERT_MSG(rate_hz >= 0.0, "rates are non-negative");
+  if (!initialized_) {
+    x_ = rate_hz;
+    p_ = r_;  // start with measurement-level uncertainty
+    initialized_ = true;
+    return;
+  }
+  // Predict step (random walk: state unchanged, uncertainty grows).
+  p_ += q_;
+  // Update step.
+  const double gain = p_ / (p_ + r_);
+  x_ += gain * (rate_hz - x_);
+  p_ *= (1.0 - gain);
+}
+
+double KalmanRatePredictor::predict() const { return std::max(0.0, x_); }
+
+void KalmanRatePredictor::reset() {
+  x_ = 0.0;
+  p_ = 0.0;
+  initialized_ = false;
+}
+
+std::string KalmanRatePredictor::name() const { return "kalman"; }
+
+EwmaRatePredictor::EwmaRatePredictor(double alpha) : alpha_(alpha) {
+  PCPC_ASSERT_MSG(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+}
+
+void EwmaRatePredictor::observe(double rate_hz) {
+  PCPC_ASSERT_MSG(rate_hz >= 0.0, "rates are non-negative");
+  if (!initialized_) {
+    estimate_ = rate_hz;
+    initialized_ = true;
+    return;
+  }
+  estimate_ += alpha_ * (rate_hz - estimate_);
+}
+
+double EwmaRatePredictor::predict() const { return std::max(0.0, estimate_); }
+
+void EwmaRatePredictor::reset() {
+  estimate_ = 0.0;
+  initialized_ = false;
+}
+
+std::string EwmaRatePredictor::name() const {
+  return "ewma(alpha=" + std::to_string(alpha_) + ")";
+}
+
+std::unique_ptr<RatePredictor> make_predictor(PredictorKind kind, std::size_t window) {
+  switch (kind) {
+    case PredictorKind::MovingAverage:
+      return std::make_unique<MovingAverageRatePredictor>(window);
+    case PredictorKind::Kalman:
+      return std::make_unique<KalmanRatePredictor>();
+    case PredictorKind::Ewma:
+      return std::make_unique<EwmaRatePredictor>();
+  }
+  PCPC_ASSERT_MSG(false, "unknown predictor kind");
+  return nullptr;
+}
+
+}  // namespace pcpc::core

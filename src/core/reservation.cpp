@@ -1,0 +1,65 @@
+#include "pcpc/core/reservation.hpp"
+
+#include <algorithm>
+
+#include "pcpc/common/assert.hpp"
+
+namespace pcpc::core {
+
+void ReservationTable::reserve(ConsumerId consumer, SlotIndex slot) {
+  cancel(consumer);
+  by_slot_[slot].push_back(consumer);
+  by_consumer_[consumer] = slot;
+}
+
+void ReservationTable::cancel(ConsumerId consumer) {
+  const auto it = by_consumer_.find(consumer);
+  if (it == by_consumer_.end()) return;
+  const auto slot_it = by_slot_.find(it->second);
+  PCPC_ASSERT_MSG(slot_it != by_slot_.end(), "reservation index out of sync");
+  auto& list = slot_it->second;
+  list.erase(std::remove(list.begin(), list.end(), consumer), list.end());
+  if (list.empty()) by_slot_.erase(slot_it);
+  by_consumer_.erase(it);
+}
+
+std::optional<SlotIndex> ReservationTable::reservation_of(ConsumerId consumer) const {
+  const auto it = by_consumer_.find(consumer);
+  if (it == by_consumer_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ReservationTable::slot_reserved(SlotIndex slot) const {
+  return by_slot_.contains(slot);
+}
+
+std::vector<ConsumerId> ReservationTable::consumers_at(SlotIndex slot) const {
+  const auto it = by_slot_.find(slot);
+  if (it == by_slot_.end()) return {};
+  return it->second;
+}
+
+std::vector<ConsumerId> ReservationTable::take_slot(SlotIndex slot) {
+  const auto it = by_slot_.find(slot);
+  if (it == by_slot_.end()) return {};
+  std::vector<ConsumerId> consumers = std::move(it->second);
+  by_slot_.erase(it);
+  for (ConsumerId c : consumers) by_consumer_.erase(c);
+  return consumers;
+}
+
+std::optional<SlotIndex> ReservationTable::next_reserved(SlotIndex from) const {
+  const auto it = by_slot_.lower_bound(from);
+  if (it == by_slot_.end()) return std::nullopt;
+  return it->first;
+}
+
+std::optional<SlotIndex> ReservationTable::prev_reserved(SlotIndex from, SlotIndex floor) const {
+  auto it = by_slot_.upper_bound(from);
+  if (it == by_slot_.begin()) return std::nullopt;
+  --it;
+  if (it->first < floor) return std::nullopt;
+  return it->first;
+}
+
+}  // namespace pcpc::core

@@ -1,0 +1,32 @@
+#include "pcpc/core/slot_track.hpp"
+
+#include <algorithm>
+
+#include "pcpc/common/assert.hpp"
+
+namespace pcpc::core {
+
+SlotTrack::SlotTrack(SimDuration slot_size, SimTime origin)
+    : slot_size_(slot_size), origin_(origin) {
+  PCPC_ASSERT_MSG(slot_size > 0, "slot size must be positive");
+}
+
+SlotIndex SlotTrack::index_of(SimTime t) const {
+  const SimTime rel = t - origin_;
+  // Floor division for negative offsets.
+  SlotIndex q = rel / slot_size_;
+  if (rel % slot_size_ != 0 && rel < 0) --q;
+  return q;
+}
+
+SimDuration SlotTrack::default_slot_size(std::span<const SimDuration> max_latencies) {
+  PCPC_ASSERT_MSG(!max_latencies.empty(), "need at least one latency bound");
+  SimDuration min_latency = max_latencies.front();
+  for (SimDuration l : max_latencies) {
+    PCPC_ASSERT_MSG(l > 0, "latency bounds must be positive");
+    min_latency = std::min(min_latency, l);
+  }
+  return min_latency;
+}
+
+}  // namespace pcpc::core

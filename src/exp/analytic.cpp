@@ -1,0 +1,109 @@
+#include "pcpc/exp/analytic.hpp"
+
+#include <algorithm>
+
+#include "pcpc/common/assert.hpp"
+
+namespace pcpc::exp {
+
+namespace {
+
+/// Long-run baseline idle power (the ledger subtracts the all-idle
+/// energy; over tens of seconds the ladder's entry transient is
+/// negligible and this converges to the deepest state's draw).
+double baseline_power(const power::PowerModelParams& power) {
+  const SimDuration window = seconds(100);
+  return power.cstates.idle_energy(window) / to_seconds(window);
+}
+
+/// Assembles the common power identity:
+///   P_extra = usage·P_active + gaps/s·E_idle(gap) + idle-remainder·p_deep
+///           + wakeups/s·ω + rate·E_transport − P_baseline
+/// where the actual idle is `gaps_per_s` gaps of `gap` nanoseconds each.
+double extra_power(double usage_fraction, double gaps_per_s, SimDuration gap,
+                   double wakeups_per_s, double rate_hz,
+                   const power::PowerModelParams& power) {
+  const double active = usage_fraction * power.active_power_w;
+  const double idle = gaps_per_s * power.cstates.idle_energy(gap);
+  const double wake = wakeups_per_s * power.wakeup_energy_j;
+  const double transport = rate_hz * power.item_transport_energy_j;
+  return active + idle + wake + transport - baseline_power(power);
+}
+
+}  // namespace
+
+AnalyticPrediction predict_signaled(double rate_hz, const impls::BaselineParams& params,
+                                    const power::PowerModelParams& power, bool mutex) {
+  PCPC_ASSERT(rate_hz > 0.0);
+  const SimDuration overhead = mutex ? params.mutex_overhead : params.sem_overhead;
+  const SimDuration busy =
+      overhead + params.service.per_invocation + params.service.per_item;
+  PCPC_ASSERT_MSG(to_seconds(busy) < 1.0 / rate_hz,
+                  "sparse-regime formula requires gap > service time");
+  AnalyticPrediction p;
+  p.invocations_per_s = rate_hz;
+  p.wakeups_per_s = rate_hz;
+  p.usage_ms_per_s = rate_hz * to_milliseconds(busy);
+  p.mean_latency_s = 0.0;  // items are drained the instant they arrive
+  const SimDuration gap = from_seconds(1.0 / rate_hz) - busy;
+  p.extra_power_w = extra_power(p.usage_ms_per_s / 1000.0, rate_hz, gap,
+                                p.wakeups_per_s, rate_hz, power);
+  return p;
+}
+
+AnalyticPrediction predict_batch(double rate_hz, const impls::BaselineParams& params,
+                                 const power::PowerModelParams& power) {
+  PCPC_ASSERT(rate_hz > 0.0);
+  const auto B = static_cast<double>(params.buffer_capacity);
+  AnalyticPrediction p;
+  p.invocations_per_s = rate_hz / B;
+  p.wakeups_per_s = p.invocations_per_s;
+  const SimDuration busy =
+      params.batch_overhead + params.service.batch_time(params.buffer_capacity);
+  p.usage_ms_per_s = p.invocations_per_s * to_milliseconds(busy);
+  // Item k of a batch (k = 0 .. B−1 in arrival order) waits B−1−k gaps.
+  p.mean_latency_s = (B - 1.0) / 2.0 / rate_hz;
+  const SimDuration gap = from_seconds(B / rate_hz) - busy;
+  p.extra_power_w = extra_power(p.usage_ms_per_s / 1000.0, p.invocations_per_s,
+                                std::max<SimDuration>(gap, 0), p.wakeups_per_s,
+                                rate_hz, power);
+  return p;
+}
+
+AnalyticPrediction predict_periodic(double rate_hz, const impls::BaselineParams& params,
+                                    const power::PowerModelParams& power) {
+  PCPC_ASSERT(rate_hz > 0.0);
+  const double T = to_seconds(params.period);
+  PCPC_ASSERT_MSG(rate_hz * T < static_cast<double>(params.buffer_capacity),
+                  "timer-dominated formula requires rate*T < B");
+  AnalyticPrediction p;
+  p.invocations_per_s = 1.0 / T;
+  p.wakeups_per_s = p.invocations_per_s;
+  const double batch = rate_hz * T;
+  const SimDuration busy =
+      params.batch_overhead + params.service.per_invocation +
+      from_seconds(batch * to_seconds(params.service.per_item));
+  p.usage_ms_per_s = p.invocations_per_s * to_milliseconds(busy);
+  p.mean_latency_s = T / 2.0;  // arrivals uniform within the period
+  const SimDuration gap = params.period - busy;
+  p.extra_power_w = extra_power(p.usage_ms_per_s / 1000.0, p.invocations_per_s,
+                                std::max<SimDuration>(gap, 0), p.wakeups_per_s,
+                                rate_hz, power);
+  return p;
+}
+
+AnalyticPrediction predict_busy_wait(double rate_hz,
+                                     const impls::BaselineParams& params,
+                                     const power::PowerModelParams& power) {
+  (void)params;
+  AnalyticPrediction p;
+  p.invocations_per_s = rate_hz;
+  p.wakeups_per_s = 0.0;
+  p.usage_ms_per_s = 1000.0;
+  p.mean_latency_s = to_seconds(params.service.per_item);
+  p.extra_power_w = power.active_power_w +
+                    rate_hz * power.item_transport_energy_j - baseline_power(power);
+  return p;
+}
+
+}  // namespace pcpc::exp

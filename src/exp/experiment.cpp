@@ -1,0 +1,90 @@
+#include "pcpc/exp/experiment.hpp"
+
+#include "pcpc/common/assert.hpp"
+
+namespace pcpc::exp {
+
+ReplicateMetrics run_replicate(ImplKind kind, const ExperimentSpec& spec,
+                               std::size_t replicate) {
+  PCPC_ASSERT(spec.pairs > 0);
+
+  trace::WebWorkloadParams workload = spec.workload;
+  workload.duration = spec.horizon;
+  auto traces = trace::make_shifted_workloads(workload, spec.pairs);
+
+  // Replicates replay the *same* dataset (as the paper does) rotated to a
+  // different starting phase, so every replicate and every implementation
+  // consumes the identical item set and the confidence interval measures
+  // phase/timing sensitivity rather than workload regeneration noise.
+  if (replicate > 0) {
+    const SimDuration shift =
+        (spec.horizon / 97) * static_cast<SimDuration>((replicate * 37) % 97);
+    for (auto& t : traces) t = t.phase_shift(shift, spec.horizon);
+  }
+
+  impls::ExperimentSetup setup = spec.setup;
+  setup.baseline.seed = spec.setup.baseline.seed + replicate;
+
+  const impls::RunResult run =
+      impls::run_implementation(kind, traces, spec.horizon, setup);
+  const power::EnergyLedger ledger(spec.power);
+
+  ReplicateMetrics m;
+  m.power_w = run.extra_power_w(ledger);
+  m.wakeups_per_s = run.wakeups_per_s();
+  m.usage_ms_per_s = run.usage_ms_per_s();
+  m.items = static_cast<double>(run.items);
+  m.invocations = static_cast<double>(run.invocations);
+  m.overflows = static_cast<double>(run.overflows);
+  m.scheduled_wakeups = static_cast<double>(run.scheduled_wakeups);
+  m.paid_wakeups = static_cast<double>(run.paid_wakeups);
+  m.mean_latency_ms = run.latency_s.mean() * 1e3;
+  m.p95_latency_ms = run.latency_s.p95() * 1e3;
+  m.mean_batch = run.batch_sizes.mean();
+  m.mean_buffer_capacity = run.buffer_capacity.mean();
+  m.emergency_borrows = static_cast<double>(run.emergency_borrows);
+  if (run.reservations > 0) {
+    m.latched_fraction = static_cast<double>(run.latched_reservations) /
+                         static_cast<double>(run.reservations);
+  }
+  return m;
+}
+
+std::vector<ReplicateMetrics> run_replicates(ImplKind kind, const ExperimentSpec& spec) {
+  PCPC_ASSERT(spec.replicates > 0);
+  std::vector<ReplicateMetrics> all;
+  all.reserve(spec.replicates);
+  for (std::size_t r = 0; r < spec.replicates; ++r) {
+    all.push_back(run_replicate(kind, spec, r));
+  }
+  return all;
+}
+
+MetricSummary summarize(const std::vector<ReplicateMetrics>& replicates) {
+  const auto reduce = [&](auto field) {
+    std::vector<double> values;
+    values.reserve(replicates.size());
+    for (const auto& r : replicates) values.push_back(field(r));
+    return measure(values);
+  };
+  MetricSummary s;
+  s.power_mw = reduce([](const ReplicateMetrics& r) { return r.power_w * 1e3; });
+  s.wakeups_per_s = reduce([](const ReplicateMetrics& r) { return r.wakeups_per_s; });
+  s.usage_ms_per_s = reduce([](const ReplicateMetrics& r) { return r.usage_ms_per_s; });
+  s.overflows = reduce([](const ReplicateMetrics& r) { return r.overflows; });
+  s.scheduled_wakeups =
+      reduce([](const ReplicateMetrics& r) { return r.scheduled_wakeups; });
+  s.mean_latency_ms = reduce([](const ReplicateMetrics& r) { return r.mean_latency_ms; });
+  s.p95_latency_ms = reduce([](const ReplicateMetrics& r) { return r.p95_latency_ms; });
+  s.mean_batch = reduce([](const ReplicateMetrics& r) { return r.mean_batch; });
+  s.mean_buffer_capacity =
+      reduce([](const ReplicateMetrics& r) { return r.mean_buffer_capacity; });
+  s.replicates = replicates.size();
+  return s;
+}
+
+MetricSummary summarize(ImplKind kind, const ExperimentSpec& spec) {
+  return summarize(run_replicates(kind, spec));
+}
+
+}  // namespace pcpc::exp

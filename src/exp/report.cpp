@@ -1,0 +1,81 @@
+#include "pcpc/exp/report.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "pcpc/common/assert.hpp"
+#include "pcpc/common/csv.hpp"
+#include "pcpc/common/table.hpp"
+
+namespace pcpc::exp {
+
+ReportTable& Report::add_table(std::string table_name, std::string title,
+                               std::vector<std::string> header) {
+  PCPC_ASSERT_MSG(!header.empty(), "report table needs at least one column");
+  tables_.push_back(ReportTable{std::move(table_name), std::move(title),
+                                std::move(header), {}});
+  return tables_.back();
+}
+
+void Report::add_row(std::vector<std::string> cells) {
+  PCPC_ASSERT_MSG(!tables_.empty(), "add_row before any add_table");
+  PCPC_ASSERT_MSG(cells.size() == tables_.back().header.size(),
+                  "row width must match the table header");
+  tables_.back().rows.push_back(std::move(cells));
+}
+
+void Report::add_note(std::string note) { notes_.push_back(std::move(note)); }
+
+void Report::print(std::ostream& os) const {
+  bool first = true;
+  for (const auto& table : tables_) {
+    if (!first) os << "\n";
+    first = false;
+    Table rendered(table.header);
+    rendered.set_title(table.title);
+    for (const auto& row : table.rows) rendered.add_row(row);
+    rendered.print(os);
+  }
+  for (const auto& note : notes_) os << "\n" << note << "\n";
+}
+
+std::string Report::to_markdown() const {
+  std::ostringstream os;
+  for (const auto& table : tables_) {
+    if (!table.title.empty()) os << "## " << table.title << "\n\n";
+    os << "|";
+    for (const auto& column : table.header) os << " " << column << " |";
+    os << "\n|";
+    for (std::size_t i = 0; i < table.header.size(); ++i) os << "---|";
+    os << "\n";
+    for (const auto& row : table.rows) {
+      os << "|";
+      for (const auto& cell : row) os << " " << cell << " |";
+      os << "\n";
+    }
+    os << "\n";
+  }
+  for (const auto& note : notes_) os << note << "\n\n";
+  return os.str();
+}
+
+std::size_t Report::export_csv(const std::string& directory) const {
+  std::size_t written = 0;
+  for (const auto& table : tables_) {
+    const std::string path = directory + "/" + name_ + "_" + table.name + ".csv";
+    CsvWriter csv(path, table.header);
+    if (!csv.ok()) continue;
+    for (const auto& row : table.rows) csv.write_row(row);
+    ++written;
+  }
+  return written;
+}
+
+void Report::maybe_export(std::ostream& os) const {
+  const char* directory = std::getenv("PCPC_EXPORT_DIR");
+  if (directory == nullptr || *directory == '\0') return;
+  const std::size_t written = export_csv(directory);
+  os << "\n[exported " << written << " CSV table(s) to " << directory << "]\n";
+}
+
+}  // namespace pcpc::exp

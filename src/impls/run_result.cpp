@@ -1,0 +1,22 @@
+#include "pcpc/impls/run_result.hpp"
+
+namespace pcpc::impls {
+
+double RunResult::wakeups_per_s() const {
+  double total = 0.0;
+  for (const auto& t : timelines) total += t.wakeups_per_s();
+  return total;
+}
+
+double RunResult::usage_ms_per_s() const {
+  double total = 0.0;
+  for (const auto& t : timelines) total += t.usage_ms_per_s();
+  return total * usage_scale;
+}
+
+double RunResult::extra_power_w(const power::EnergyLedger& ledger) const {
+  return ledger.extra_power_watts(timelines, active_power_scale) +
+         ledger.transport_power_watts(items, duration);
+}
+
+}  // namespace pcpc::impls

@@ -1,0 +1,74 @@
+#include "pcpc/impls/runner.hpp"
+
+#include "pcpc/common/assert.hpp"
+#include "pcpc/core/pbpl_system.hpp"
+
+namespace pcpc::impls {
+
+std::string impl_name(ImplKind kind) {
+  switch (kind) {
+    case ImplKind::BusyWait: return "BW";
+    case ImplKind::Yield: return "Yield";
+    case ImplKind::Mutex: return "Mutex";
+    case ImplKind::Semaphore: return "Sem";
+    case ImplKind::Batch: return "BP";
+    case ImplKind::PeriodicBatch: return "PBP";
+    case ImplKind::SignalPeriodicBatch: return "SPBP";
+    case ImplKind::CoalescedPeriodicBatch: return "CPBP";
+    case ImplKind::Pbpl: return "PBPL";
+  }
+  return "?";
+}
+
+core::PbplConfig ExperimentSetup::synchronized_pbpl() const {
+  core::PbplConfig config = pbpl;
+  config.cores = baseline.cores;
+  config.service = baseline.service;
+  config.base_buffer = baseline.buffer_capacity;
+  return config;
+}
+
+RunResult to_run_result(core::PbplResult&& pbpl, SimDuration horizon) {
+  RunResult result;
+  result.name = "PBPL";
+  result.timelines = std::move(pbpl.timelines);
+  result.duration = horizon;
+  result.items = pbpl.items;
+  result.invocations = pbpl.invocations;
+  result.overflows = pbpl.overflow_wakeups;
+  result.scheduled_wakeups = pbpl.scheduled_wakeups;
+  result.paid_wakeups = pbpl.paid_wakeups;
+  result.latched_reservations = pbpl.latched_reservations;
+  result.reservations = pbpl.reservations;
+  result.emergency_borrows = pbpl.emergency_borrows;
+  result.batch_sizes = pbpl.batch_sizes;
+  result.latency_s = pbpl.latency_s;
+  result.buffer_capacity = pbpl.buffer_capacity;
+  return result;
+}
+
+RunResult run_implementation(ImplKind kind, std::span<const trace::Trace> traces,
+                             SimDuration horizon, const ExperimentSetup& setup) {
+  switch (kind) {
+    case ImplKind::BusyWait:
+      return run_busy_wait(traces, horizon, setup.baseline);
+    case ImplKind::Yield:
+      return run_yield(traces, horizon, setup.baseline);
+    case ImplKind::Mutex:
+    case ImplKind::Semaphore:
+      return run_signaled(kind, traces, horizon, setup.baseline);
+    case ImplKind::Batch:
+      return run_batch(traces, horizon, setup.baseline);
+    case ImplKind::PeriodicBatch:
+    case ImplKind::SignalPeriodicBatch:
+    case ImplKind::CoalescedPeriodicBatch:
+      return run_periodic(kind, traces, horizon, setup.baseline);
+    case ImplKind::Pbpl:
+      return to_run_result(core::run_pbpl(traces, horizon, setup.synchronized_pbpl()),
+                           horizon);
+  }
+  PCPC_ASSERT_MSG(false, "unknown implementation kind");
+  return {};
+}
+
+}  // namespace pcpc::impls

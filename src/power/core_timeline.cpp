@@ -1,0 +1,78 @@
+#include "pcpc/power/core_timeline.hpp"
+
+#include "pcpc/common/assert.hpp"
+
+namespace pcpc::power {
+
+CoreTimeline::CoreTimeline(SimTime start) : start_(start), last_transition_(start) {}
+
+bool CoreTimeline::wake(SimTime t) {
+  PCPC_ASSERT_MSG(!finalized_, "timeline already finalized");
+  PCPC_ASSERT_MSG(t >= last_transition_, "transitions must be monotone");
+  if (state_ == CoreState::Active) return false;
+  close_interval(t);
+  state_ = CoreState::Active;
+  ++wakeups_;
+  return true;
+}
+
+bool CoreTimeline::sleep(SimTime t) {
+  PCPC_ASSERT_MSG(!finalized_, "timeline already finalized");
+  PCPC_ASSERT_MSG(t >= last_transition_, "transitions must be monotone");
+  if (state_ == CoreState::Idle) return false;
+  close_interval(t);
+  state_ = CoreState::Idle;
+  return true;
+}
+
+bool CoreTimeline::resume(SimTime t) {
+  PCPC_ASSERT_MSG(!finalized_, "timeline already finalized");
+  PCPC_ASSERT_MSG(t >= last_transition_, "transitions must be monotone");
+  if (state_ == CoreState::Active) return false;
+  if (t == last_transition_) {
+    // Zero-length idle gap: undo the sleep instead of charging ω.
+    state_ = CoreState::Active;
+    return false;
+  }
+  return wake(t);
+}
+
+void CoreTimeline::finalize(SimTime end) {
+  PCPC_ASSERT_MSG(!finalized_, "timeline already finalized");
+  PCPC_ASSERT_MSG(end >= last_transition_, "finalize before last transition");
+  close_interval(end);
+  end_ = end;
+  finalized_ = true;
+}
+
+SimDuration CoreTimeline::idle_time() const {
+  PCPC_ASSERT_MSG(finalized_, "idle_time() requires finalize()");
+  return duration() - active_time_;
+}
+
+SimDuration CoreTimeline::duration() const {
+  PCPC_ASSERT_MSG(finalized_, "duration() requires finalize()");
+  return end_ - start_;
+}
+
+double CoreTimeline::usage_ms_per_s() const {
+  PCPC_ASSERT_MSG(finalized_, "usage requires finalize()");
+  if (duration() == 0) return 0.0;
+  return to_milliseconds(active_time_) / to_seconds(duration());
+}
+
+double CoreTimeline::wakeups_per_s() const {
+  PCPC_ASSERT_MSG(finalized_, "wakeups/s requires finalize()");
+  if (duration() == 0) return 0.0;
+  return static_cast<double>(wakeups_) / to_seconds(duration());
+}
+
+void CoreTimeline::close_interval(SimTime t) {
+  if (t > last_transition_) {
+    intervals_.push_back(Interval{last_transition_, t, state_});
+    if (state_ == CoreState::Active) active_time_ += t - last_transition_;
+  }
+  last_transition_ = t;
+}
+
+}  // namespace pcpc::power

@@ -1,0 +1,67 @@
+#include "pcpc/power/cstate.hpp"
+
+#include <algorithm>
+
+#include "pcpc/common/assert.hpp"
+
+namespace pcpc::power {
+
+CStateModel::CStateModel(std::vector<CState> states) : states_(std::move(states)) {
+  PCPC_ASSERT_MSG(!states_.empty(), "C-state ladder must have at least one state");
+  PCPC_ASSERT_MSG(states_.front().target_residency == 0,
+                  "shallowest state must be immediately available");
+  for (std::size_t i = 1; i < states_.size(); ++i) {
+    PCPC_ASSERT_MSG(states_[i].power_w <= states_[i - 1].power_w,
+                    "deeper states must not draw more power");
+    PCPC_ASSERT_MSG(states_[i].target_residency >= states_[i - 1].target_residency,
+                    "deeper states must require longer residency");
+  }
+}
+
+CStateModel CStateModel::two_state(double idle_power_w) {
+  return CStateModel({CState{"idle", idle_power_w, 0, 0}});
+}
+
+CStateModel CStateModel::arndale_like() {
+  // Magnitudes patterned after a Cortex-A15 class mobile SoC: per-core
+  // power while idle in each state, the residency needed to be worth
+  // entering, and the exit latency.  Absolute values matter only in that
+  // they keep figure outputs in the paper's milliwatt range.
+  return CStateModel({
+      CState{"C1-wfi", 0.180, nanoseconds(0), microseconds(1)},
+      CState{"C2-retention", 0.090, microseconds(80), microseconds(30)},
+      CState{"C3-core-off", 0.035, microseconds(600), microseconds(150)},
+      CState{"C4-cluster-off", 0.012, milliseconds(4), microseconds(700)},
+  });
+}
+
+double CStateModel::idle_energy(SimDuration gap) const {
+  if (gap <= 0) return 0.0;
+  // The core enters state i once the elapsed gap reaches that state's
+  // target residency, producing a piecewise-constant, non-increasing power
+  // profile over the gap.
+  double joules = 0.0;
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    const SimDuration enter = states_[i].target_residency;
+    if (enter >= gap) break;
+    const SimDuration leave =
+        (i + 1 < states_.size()) ? std::min(gap, states_[i + 1].target_residency) : gap;
+    if (leave > enter) joules += states_[i].power_w * to_seconds(leave - enter);
+  }
+  return joules;
+}
+
+double CStateModel::idle_power(SimDuration gap) const {
+  if (gap <= 0) return states_.front().power_w;
+  return idle_energy(gap) / to_seconds(gap);
+}
+
+const CState& CStateModel::deepest_reached(SimDuration gap) const {
+  const CState* deepest = &states_.front();
+  for (const auto& s : states_) {
+    if (s.target_residency < gap || (s.target_residency == 0 && gap >= 0)) deepest = &s;
+  }
+  return *deepest;
+}
+
+}  // namespace pcpc::power

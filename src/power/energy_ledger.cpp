@@ -1,0 +1,66 @@
+#include "pcpc/power/energy_ledger.hpp"
+
+#include "pcpc/common/assert.hpp"
+
+namespace pcpc::power {
+
+PowerModelParams PowerModelParams::simplified(double active_w, double idle_w,
+                                              double wakeup_j) {
+  PowerModelParams p;
+  p.active_power_w = active_w;
+  p.wakeup_energy_j = wakeup_j;
+  p.cstates = CStateModel::two_state(idle_w);
+  return p;
+}
+
+EnergyLedger::EnergyLedger(PowerModelParams params) : params_(std::move(params)) {
+  PCPC_ASSERT(params_.active_power_w > 0.0);
+  PCPC_ASSERT(params_.wakeup_energy_j >= 0.0);
+}
+
+double EnergyLedger::energy_joules(const CoreTimeline& timeline, double active_scale) const {
+  PCPC_ASSERT_MSG(timeline.finalized(), "energy requires a finalized timeline");
+  PCPC_ASSERT(active_scale > 0.0);
+  double joules = 0.0;
+  for (const auto& interval : timeline.intervals()) {
+    if (interval.state == CoreState::Active) {
+      joules += params_.active_power_w * active_scale * to_seconds(interval.length());
+    } else {
+      joules += params_.cstates.idle_energy(interval.length());
+    }
+  }
+  joules += static_cast<double>(timeline.wakeups()) * params_.wakeup_energy_j;
+  return joules;
+}
+
+double EnergyLedger::baseline_joules(const CoreTimeline& timeline) const {
+  PCPC_ASSERT_MSG(timeline.finalized(), "baseline requires a finalized timeline");
+  return params_.cstates.idle_energy(timeline.duration());
+}
+
+double EnergyLedger::extra_power_watts(const CoreTimeline& timeline,
+                                       double active_scale) const {
+  const SimDuration span = timeline.duration();
+  if (span <= 0) return 0.0;
+  return (energy_joules(timeline, active_scale) - baseline_joules(timeline)) /
+         to_seconds(span);
+}
+
+double EnergyLedger::extra_power_watts(std::span<const CoreTimeline> timelines,
+                                       double active_scale) const {
+  double total = 0.0;
+  for (const auto& t : timelines) total += extra_power_watts(t, active_scale);
+  return total;
+}
+
+double EnergyLedger::transport_power_watts(std::uint64_t items, SimDuration span) const {
+  if (span <= 0) return 0.0;
+  return static_cast<double>(items) * params_.item_transport_energy_j / to_seconds(span);
+}
+
+double EnergyLedger::item_energy_j(const ServiceModel& service, std::size_t items) const {
+  return params_.active_power_w * to_seconds(service.batch_time(items)) -
+         params_.active_power_w * to_seconds(service.per_invocation);
+}
+
+}  // namespace pcpc::power

@@ -1,0 +1,32 @@
+#include "pcpc/power/powertop.hpp"
+
+#include "pcpc/common/assert.hpp"
+#include "pcpc/common/table.hpp"
+
+namespace pcpc::power {
+
+PowerTopRow powertop_row(std::string name, std::span<const CoreTimeline> timelines,
+                         const EnergyLedger& ledger) {
+  PCPC_ASSERT_MSG(!timelines.empty(), "powertop row requires at least one core");
+  PowerTopRow row;
+  row.name = std::move(name);
+  for (const auto& t : timelines) {
+    row.wakeups_per_s += t.wakeups_per_s();
+    row.usage_ms_per_s += t.usage_ms_per_s();
+  }
+  row.extra_power_w = ledger.extra_power_watts(timelines);
+  return row;
+}
+
+std::string render_report(std::span<const PowerTopRow> rows, const std::string& title) {
+  Table table({"implementation", "wakeups/s", "usage (ms/s)", "power (mW)"});
+  table.set_title(title);
+  for (const auto& row : rows) {
+    table.add(row.name, format_double(row.wakeups_per_s, 1),
+              format_double(row.usage_ms_per_s, 1),
+              format_double(row.extra_power_w * 1000.0, 2));
+  }
+  return table.to_string();
+}
+
+}  // namespace pcpc::power

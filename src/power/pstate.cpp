@@ -1,0 +1,98 @@
+#include "pcpc/power/pstate.hpp"
+
+#include <algorithm>
+
+#include "pcpc/common/assert.hpp"
+#include "pcpc/power/cstate.hpp"
+
+namespace pcpc::power {
+
+PStateModel::PStateModel(std::vector<PState> states, double switched_capacitance,
+                         double leakage_w)
+    : states_(std::move(states)), capacitance_f_(switched_capacitance),
+      leakage_w_(leakage_w) {
+  PCPC_ASSERT_MSG(!states_.empty(), "P-state table must be non-empty");
+  PCPC_ASSERT(switched_capacitance > 0.0);
+  PCPC_ASSERT(leakage_w >= 0.0);
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    PCPC_ASSERT_MSG(states_[i].frequency_hz > 0.0, "frequencies must be positive");
+    PCPC_ASSERT_MSG(states_[i].voltage_v > 0.0, "voltages must be positive");
+    if (i > 0) {
+      PCPC_ASSERT_MSG(states_[i].frequency_hz > states_[i - 1].frequency_hz,
+                      "states must be sorted by ascending frequency");
+      PCPC_ASSERT_MSG(states_[i].voltage_v >= states_[i - 1].voltage_v,
+                      "higher frequency cannot need lower voltage");
+    }
+  }
+}
+
+PStateModel PStateModel::arndale_like() {
+  // Frequency/voltage pairs in the published Exynos-5250 OPP range; C is
+  // back-solved so the top state draws ≈1.1 W, matching the two-state
+  // model's active power (1.1 = C·1.3²·1.6e9 + 0.12 → C ≈ 0.36 nF).
+  return PStateModel(
+      {
+          PState{"600MHz", 600e6, 0.95},
+          PState{"800MHz", 800e6, 1.00},
+          PState{"1.0GHz", 1.0e9, 1.05},
+          PState{"1.3GHz", 1.3e9, 1.15},
+          PState{"1.6GHz", 1.6e9, 1.30},
+      },
+      /*switched_capacitance=*/0.3625e-9, /*leakage_w=*/0.12);
+}
+
+double PStateModel::active_power_w(std::size_t i) const {
+  const PState& s = states_.at(i);
+  return capacitance_f_ * s.voltage_v * s.voltage_v * s.frequency_hz + leakage_w_;
+}
+
+SimDuration PStateModel::execution_time(double work_cycles, std::size_t i) const {
+  PCPC_ASSERT(work_cycles >= 0.0);
+  return from_seconds(work_cycles / states_.at(i).frequency_hz);
+}
+
+double PStateModel::execution_energy_j(double work_cycles, std::size_t i) const {
+  return active_power_w(i) * to_seconds(execution_time(work_cycles, i));
+}
+
+std::size_t PStateModel::slowest_meeting(double work_cycles, SimDuration deadline) const {
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (execution_time(work_cycles, i) <= deadline) return i;
+  }
+  return fastest();
+}
+
+RaceToIdleOutcome evaluate_window(const PStateModel& pstates, const CStateModel& idle,
+                                  double work_cycles, SimDuration window,
+                                  double wakeup_j, std::size_t pstate) {
+  RaceToIdleOutcome out;
+  out.pstate = pstate;
+  out.busy = pstates.execution_time(work_cycles, pstate);
+  out.idle = std::max<SimDuration>(0, window - out.busy);
+  out.energy_j = pstates.execution_energy_j(work_cycles, pstate) +
+                 idle.idle_energy(out.idle) + (out.idle > 0 ? wakeup_j : 0.0);
+  return out;
+}
+
+RaceToIdleOutcome best_pstate(const PStateModel& pstates, const CStateModel& idle,
+                              double work_cycles, SimDuration window, double wakeup_j) {
+  RaceToIdleOutcome best;
+  bool first = true;
+  for (std::size_t i = 0; i < pstates.size(); ++i) {
+    const RaceToIdleOutcome candidate =
+        evaluate_window(pstates, idle, work_cycles, window, wakeup_j, i);
+    if (candidate.busy > window) continue;  // misses the window
+    if (first || candidate.energy_j < best.energy_j) {
+      best = candidate;
+      first = false;
+    }
+  }
+  if (first) {
+    // Nothing fits: run flat out.
+    best = evaluate_window(pstates, idle, work_cycles, window, wakeup_j,
+                           pstates.fastest());
+  }
+  return best;
+}
+
+}  // namespace pcpc::power

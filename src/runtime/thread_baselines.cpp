@@ -1,0 +1,134 @@
+#include "pcpc/runtime/thread_baselines.hpp"
+
+#include "pcpc/common/assert.hpp"
+#include "pcpc/runtime/cpu_meter.hpp"
+
+namespace pcpc::runtime {
+
+ThreadBaseline::ThreadBaseline(std::size_t pairs, std::size_t buffer_capacity,
+                               SignalPolicy policy, SimDuration period)
+    : capacity_(buffer_capacity), policy_(policy), period_(period) {
+  PCPC_ASSERT_MSG(period > 0, "period must be positive");
+  PCPC_ASSERT_MSG(pairs > 0, "need at least one pair");
+  PCPC_ASSERT_MSG(buffer_capacity > 0, "buffer capacity must be positive");
+  for (std::size_t i = 0; i < pairs; ++i) {
+    pairs_.push_back(std::make_unique<Pair>());
+  }
+  for (auto& pair : pairs_) {
+    pair->thread = std::thread([this, pair = pair.get()] { consumer_loop(*pair); });
+  }
+}
+
+ThreadBaseline::~ThreadBaseline() { stop(); }
+
+void ThreadBaseline::produce(std::size_t pair_index) {
+  PCPC_ASSERT(pair_index < pairs_.size());
+  Pair& pair = *pairs_[pair_index];
+  std::unique_lock lock(pair.mutex);
+  pair.producer_cv.wait(lock,
+                        [&] { return pair.buffer.size() < capacity_ || !running_; });
+  if (!running_) return;
+  pair.buffer.push_back(BaselineClock::now());
+  // Periodic consumers wake on their own timer; a full buffer still
+  // forces an immediate drain (the overflow wakeup).
+  if (policy_ == SignalPolicy::PerItem ||
+      (policy_ == SignalPolicy::OnFull && pair.buffer.size() >= capacity_) ||
+      (policy_ == SignalPolicy::Periodic && pair.buffer.size() >= capacity_)) {
+    pair.consumer_cv.notify_one();
+  }
+}
+
+void ThreadBaseline::stop() {
+  if (!running_.exchange(false)) return;
+  for (auto& pair : pairs_) {
+    std::unique_lock lock(pair->mutex);
+    pair->consumer_cv.notify_all();
+    pair->producer_cv.notify_all();
+  }
+  for (auto& pair : pairs_) {
+    if (pair->thread.joinable()) pair->thread.join();
+  }
+  // Drain leftovers and fold per-pair counters into the aggregate.
+  std::unique_lock stats_lock(stats_mutex_);
+  for (auto& pair : pairs_) {
+    std::unique_lock lock(pair->mutex);
+    if (!pair->buffer.empty()) {
+      const auto now = BaselineClock::now();
+      std::size_t batch = 0;
+      while (!pair->buffer.empty()) {
+        stats_.latency_s.add(
+            std::chrono::duration<double>(now - pair->buffer.front()).count());
+        pair->buffer.pop_front();
+        ++batch;
+      }
+      stats_.items += batch;
+      stats_.batch_sizes.add(static_cast<double>(batch));
+      ++stats_.invocations;
+    }
+    stats_.consumer_wakeups += pair->wakeups;
+    stats_.consumer_cpu_ns += pair->cpu_ns;
+    pair->wakeups = 0;
+    pair->cpu_ns = 0;
+  }
+}
+
+ThreadBaselineStats ThreadBaseline::stats() const {
+  std::unique_lock lock(stats_mutex_);
+  return stats_;
+}
+
+void ThreadBaseline::consumer_loop(Pair& pair) {
+  std::unique_lock lock(pair.mutex);
+  auto next_deadline =
+      BaselineClock::now() + std::chrono::nanoseconds(period_);
+  while (running_) {
+    if (policy_ == SignalPolicy::Periodic) {
+      // Absolute-deadline timer loop: drain at every k·T, or earlier on a
+      // buffer-full signal.
+      if (pair.buffer.size() < capacity_) {
+        if (pair.consumer_cv.wait_until(lock, next_deadline) !=
+            std::cv_status::timeout) {
+          if (!running_) break;
+          ++pair.wakeups;  // overflow (or shutdown) signal
+          if (pair.buffer.size() < capacity_) continue;
+        } else {
+          ++pair.wakeups;  // timer fire
+          next_deadline += std::chrono::nanoseconds(period_);
+        }
+      }
+      drain_locked(pair, lock);
+      continue;
+    }
+    const bool ready = policy_ == SignalPolicy::PerItem
+                           ? !pair.buffer.empty()
+                           : pair.buffer.size() >= capacity_;
+    if (!ready) {
+      pair.consumer_cv.wait(lock);
+      if (!running_) break;
+      ++pair.wakeups;  // the thread actually blocked and was woken
+      continue;        // re-check the drain condition
+    }
+    drain_locked(pair, lock);
+  }
+}
+
+void ThreadBaseline::drain_locked(Pair& pair, std::unique_lock<std::mutex>& lock) {
+  const ScopedCpuTimer timer(pair.cpu_ns);
+  const auto now = BaselineClock::now();
+  std::size_t batch = 0;
+  while (!pair.buffer.empty()) {
+    const auto latency = std::chrono::duration<double>(now - pair.buffer.front()).count();
+    pair.buffer.pop_front();
+    ++batch;
+    std::unique_lock stats_lock(stats_mutex_);
+    stats_.latency_s.add(latency);
+  }
+  pair.producer_cv.notify_all();
+  std::unique_lock stats_lock(stats_mutex_);
+  stats_.items += batch;
+  stats_.batch_sizes.add(static_cast<double>(batch));
+  ++stats_.invocations;
+  (void)lock;
+}
+
+}  // namespace pcpc::runtime

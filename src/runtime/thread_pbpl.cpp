@@ -1,0 +1,226 @@
+#include "pcpc/runtime/thread_pbpl.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "pcpc/common/assert.hpp"
+#include "pcpc/runtime/cpu_meter.hpp"
+
+namespace pcpc::runtime {
+
+namespace {
+constexpr core::SlotIndex kMinSlot = std::numeric_limits<core::SlotIndex>::min();
+}
+
+ThreadPbpl::ThreadPbpl(std::size_t consumers, const core::PbplConfig& config,
+                       BatchHandler handler)
+    : config_(config),
+      track_(config.resolved_slot_size()),
+      epoch_(Clock::now()),
+      handler_(std::move(handler)),
+      pool_(std::max<std::size_t>(consumers, 1), config.base_buffer, config.pool_segment) {
+  PCPC_ASSERT_MSG(consumers > 0, "need at least one consumer");
+  PCPC_ASSERT_MSG(config.cores > 0, "need at least one core");
+
+  for (std::size_t c = 0; c < config.cores; ++c) {
+    cores_.push_back(std::make_unique<Core>());
+    cores_.back()->index = c;
+  }
+  for (std::size_t i = 0; i < consumers; ++i) {
+    auto consumer = std::make_unique<Consumer>();
+    consumer->index = i;
+    consumer->core = cores_[i % cores_.size()].get();
+    consumer->buffer = std::make_unique<queue::ElasticBuffer<Clock::time_point>>(
+        pool_.make_buffer());
+    consumer->predictor = core::make_predictor(config.predictor, config.predictor_window);
+    consumer->core->consumers.push_back(consumer.get());
+    consumers_.push_back(std::move(consumer));
+  }
+
+  {
+    std::unique_lock lock(mutex_);
+    const SimTime now = now_ns();
+    for (auto& consumer : consumers_) {
+      consumer->last_invocation = now;
+      make_reservation_locked(*consumer->core, *consumer, now);
+    }
+  }
+  for (auto& core : cores_) {
+    core->thread = std::thread([this, core = core.get()] { manager_loop(*core); });
+  }
+}
+
+ThreadPbpl::~ThreadPbpl() { stop(); }
+
+void ThreadPbpl::stop() {
+  {
+    std::unique_lock lock(mutex_);
+    if (!running_) return;
+    running_ = false;
+    for (auto& core : cores_) core->cv.notify_all();
+    producer_cv_.notify_all();
+  }
+  for (auto& core : cores_) {
+    if (core->thread.joinable()) core->thread.join();
+  }
+  // Final drain: account leftovers without extra wakeups.
+  std::unique_lock lock(mutex_);
+  for (auto& consumer : consumers_) {
+    std::size_t batch = 0;
+    const auto drained_at = Clock::now();
+    while (auto item = consumer->buffer->pop()) {
+      stats_.latency_s.add(std::chrono::duration<double>(drained_at - *item).count());
+      ++batch;
+    }
+    if (batch > 0) {
+      stats_.items += batch;
+      stats_.batch_sizes.add(static_cast<double>(batch));
+      ++stats_.invocations;
+      if (handler_) handler_(consumer->index, batch);
+    }
+  }
+  for (auto& core : cores_) {
+    stats_.scheduled_wakeups += core->scheduled_wakeups;
+    stats_.manager_cpu_ns += core->cpu_ns;
+    core->scheduled_wakeups = 0;
+    core->cpu_ns = 0;
+  }
+}
+
+void ThreadPbpl::produce(std::size_t consumer_index) {
+  std::unique_lock lock(mutex_);
+  PCPC_ASSERT(consumer_index < consumers_.size());
+  Consumer& consumer = *consumers_[consumer_index];
+  const auto stamp = Clock::now();
+  if (consumer.buffer->push(stamp)) return;
+
+  if (config_.emergency_borrow) {
+    const std::size_t extra = std::max<std::size_t>(1, consumer.buffer->capacity() / 4);
+    consumer.buffer->resize(consumer.buffer->capacity() + extra);
+    if (consumer.buffer->push(stamp)) {
+      ++stats_.emergency_borrows;
+      return;
+    }
+  }
+
+  // Forced drain: hand the wakeup to the manager thread and wait for
+  // space (this is the unscheduled overflow wakeup).
+  while (running_ && !consumer.buffer->push(stamp)) {
+    ++consumer.overflow_requests;
+    consumer.core->overflow_pending = true;
+    consumer.core->cv.notify_all();
+    producer_cv_.wait(lock);
+  }
+}
+
+ThreadPbplStats ThreadPbpl::stats() const {
+  std::unique_lock lock(mutex_);
+  return stats_;
+}
+
+SimTime ThreadPbpl::now_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - epoch_)
+      .count();
+}
+
+Clock::time_point ThreadPbpl::slot_deadline(core::SlotIndex slot) const {
+  return epoch_ + std::chrono::nanoseconds(track_.start_of(slot));
+}
+
+void ThreadPbpl::manager_loop(Core& core) {
+  std::unique_lock lock(mutex_);
+  while (running_) {
+    // Forced (overflow) drains take priority over the slot schedule.
+    if (core.overflow_pending) {
+      core.overflow_pending = false;
+      const ScopedCpuTimer timer(core.cpu_ns);
+      for (Consumer* consumer : core.consumers) {
+        if (consumer->overflow_requests == 0) continue;
+        consumer->overflow_requests = 0;
+        ++stats_.overflow_wakeups;
+        core.reservations.cancel(static_cast<core::ConsumerId>(consumer->index));
+        invoke_locked(core, *consumer, now_ns());
+      }
+      producer_cv_.notify_all();
+      continue;
+    }
+
+    const auto next = core.reservations.next_reserved(kMinSlot);
+    if (!next.has_value()) {
+      core.cv.wait(lock);
+      continue;
+    }
+    const auto deadline = slot_deadline(*next);
+    if (core.cv.wait_until(lock, deadline) != std::cv_status::timeout) {
+      continue;  // stop, overflow, or a spurious wake: re-evaluate
+    }
+
+    // The slot fired: one scheduled wakeup serves every consumer
+    // registered for it (the latching group).
+    ++core.scheduled_wakeups;
+    const ScopedCpuTimer timer(core.cpu_ns);
+    const SimTime now = now_ns();
+    const auto ids = core.reservations.take_slot(*next);
+    for (const core::ConsumerId id : ids) {
+      invoke_locked(core, *consumers_[id], now);
+    }
+  }
+}
+
+void ThreadPbpl::invoke_locked(Core& core, Consumer& consumer, SimTime now) {
+  std::size_t batch = 0;
+  const auto drained_at = Clock::now();
+  while (auto item = consumer.buffer->pop()) {
+    stats_.latency_s.add(std::chrono::duration<double>(drained_at - *item).count());
+    ++batch;
+  }
+  stats_.items += batch;
+  stats_.batch_sizes.add(static_cast<double>(batch));
+  ++stats_.invocations;
+  if (batch > 0) consumer.last_batch = batch;
+
+  if (now > consumer.last_invocation) {
+    consumer.predictor->observe(static_cast<double>(batch) /
+                                to_seconds(now - consumer.last_invocation));
+    consumer.last_invocation = now;
+  }
+
+  if (handler_) handler_(consumer.index, batch);
+
+  make_reservation_locked(core, consumer, now);
+}
+
+void ThreadPbpl::make_reservation_locked(Core& core, Consumer& consumer, SimTime now) {
+  const double rate = consumer.predictor->predict();
+  std::size_t capacity = consumer.buffer->capacity();
+  if (config_.dynamic_resize) capacity += pool_.free_slots();
+  capacity = std::max<std::size_t>(capacity, 1);
+
+  core::SlotQuery query{now, rate, capacity, config_.max_latency,
+                        config_.fill_tolerance};
+  core::SlotChoice choice =
+      config_.latching ? core::choose_slot(track_, core.reservations, query, config_.costs)
+                       : core::fill_slot(track_, query, config_.costs);
+
+  if (config_.dynamic_resize && choice.expected_items > 0.0) {
+    const auto target = static_cast<std::size_t>(
+        std::ceil(choice.expected_items * config_.resize_headroom));
+    const std::size_t granted =
+        consumer.buffer->resize(std::max<std::size_t>(target, consumer.last_batch));
+    if (static_cast<double>(granted) < choice.expected_items) {
+      query.buffer_capacity = granted;
+      choice = config_.latching
+                   ? core::choose_slot(track_, core.reservations, query, config_.costs)
+                   : core::fill_slot(track_, query, config_.costs);
+    }
+  }
+
+  core.reservations.reserve(static_cast<core::ConsumerId>(consumer.index), choice.slot);
+  ++stats_.reservations;
+  if (choice.latched) ++stats_.latched_reservations;
+  // A new earliest reservation must re-target the manager's wait.
+  core.cv.notify_all();
+}
+
+}  // namespace pcpc::runtime

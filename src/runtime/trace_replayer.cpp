@@ -1,0 +1,39 @@
+#include "pcpc/runtime/trace_replayer.hpp"
+
+#include <atomic>
+
+#include "pcpc/common/assert.hpp"
+
+namespace pcpc::runtime {
+
+TraceReplayer::TraceReplayer(std::vector<trace::Trace> traces, SimDuration horizon,
+                             Deliver deliver)
+    : traces_(std::move(traces)) {
+  PCPC_ASSERT_MSG(deliver != nullptr, "deliver callback must be set");
+  const auto epoch = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < traces_.size(); ++i) {
+    threads_.emplace_back([this, i, epoch, horizon, deliver] {
+      for (const SimTime t : traces_[i].timestamps()) {
+        if (t >= horizon) break;
+        std::this_thread::sleep_until(epoch + std::chrono::nanoseconds(t));
+        if (!running_.load(std::memory_order_relaxed)) return;
+        deliver(i);
+      }
+    });
+  }
+}
+
+TraceReplayer::~TraceReplayer() { stop(); }
+
+void TraceReplayer::wait() {
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void TraceReplayer::stop() {
+  running_.store(false);
+  wait();
+}
+
+}  // namespace pcpc::runtime

@@ -1,0 +1,45 @@
+#include "pcpc/sim/event_queue.hpp"
+
+#include "pcpc/common/assert.hpp"
+
+namespace pcpc::sim {
+
+EventId EventQueue::schedule(SimTime t, EventFn fn) {
+  PCPC_ASSERT_MSG(fn != nullptr, "cannot schedule a null event callback");
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, next_seq_++, id, std::move(fn)});
+  pending_.insert(id);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  // The heap entry stays behind and is skipped by drop_cancelled().
+  return pending_.erase(id) > 0;
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled();
+  if (heap_.empty()) return kNever;
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled();
+  PCPC_ASSERT_MSG(!heap_.empty(), "pop() on empty event queue");
+  const Entry& top = heap_.top();
+  Fired fired{top.time, top.id, std::move(top.fn)};
+  heap_.pop();
+  pending_.erase(fired.id);
+  return fired;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+  pending_.clear();
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && !pending_.contains(heap_.top().id)) heap_.pop();
+}
+
+}  // namespace pcpc::sim

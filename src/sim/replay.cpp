@@ -1,0 +1,47 @@
+#include "pcpc/sim/replay.hpp"
+
+#include "pcpc/common/assert.hpp"
+
+namespace pcpc::sim {
+
+namespace {
+
+/// Self-scheduling replay chain; owns itself via shared_ptr captured in
+/// the event closure and dies when the trace (or horizon) is exhausted.
+struct ReplayChain : std::enable_shared_from_this<ReplayChain> {
+  Simulator& simulator;
+  std::span<const SimTime> timestamps;
+  SimTime horizon;
+  std::function<void(SimTime)> fn;
+  std::size_t next = 0;
+
+  ReplayChain(Simulator& s, std::span<const SimTime> ts, SimTime h,
+              std::function<void(SimTime)> f)
+      : simulator(s), timestamps(ts), horizon(h), fn(std::move(f)) {}
+
+  void schedule_next() {
+    while (next < timestamps.size() && timestamps[next] < horizon) {
+      const SimTime t = timestamps[next];
+      PCPC_ASSERT_MSG(t >= simulator.now(), "replay timestamps must be in the future");
+      auto self = shared_from_this();
+      simulator.at(t, [self](SimTime when) {
+        self->fn(when);
+        ++self->next;
+        self->schedule_next();
+      });
+      return;  // one pending event at a time
+    }
+  }
+};
+
+}  // namespace
+
+void replay(Simulator& simulator, std::span<const SimTime> timestamps, SimTime horizon,
+            std::function<void(SimTime)> fn) {
+  PCPC_ASSERT_MSG(fn != nullptr, "replay callback must be set");
+  auto chain =
+      std::make_shared<ReplayChain>(simulator, timestamps, horizon, std::move(fn));
+  chain->schedule_next();
+}
+
+}  // namespace pcpc::sim

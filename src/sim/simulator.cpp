@@ -1,0 +1,27 @@
+#include "pcpc/sim/simulator.hpp"
+
+namespace pcpc::sim {
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto fired = queue_.pop();
+  PCPC_ASSERT_MSG(fired.time >= now_, "event queue returned an event in the past");
+  now_ = fired.time;
+  ++dispatched_;
+  fired.fn(now_);
+  return true;
+}
+
+void Simulator::run_until(SimTime until) {
+  while (!queue_.empty() && queue_.next_time() <= until) {
+    step();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace pcpc::sim

@@ -1,0 +1,159 @@
+#include "pcpc/trace/arrival_process.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "pcpc/common/assert.hpp"
+
+namespace pcpc::trace {
+
+ConstantRate::ConstantRate(double rate_hz) : rate_(rate_hz) {
+  PCPC_ASSERT_MSG(rate_hz >= 0.0, "rate must be non-negative");
+}
+
+SinusoidRate::SinusoidRate(double base_hz, double amplitude_hz, SimDuration period,
+                           double phase)
+    : base_(base_hz), amplitude_(amplitude_hz), period_(period), phase_(phase) {
+  PCPC_ASSERT(period > 0);
+  PCPC_ASSERT(base_hz >= 0.0);
+}
+
+double SinusoidRate::rate_at(SimTime t) const {
+  const double angle =
+      2.0 * std::numbers::pi * to_seconds(t) / to_seconds(period_) + phase_;
+  return std::max(0.0, base_ + amplitude_ * std::sin(angle));
+}
+
+BurstTrain::BurstTrain(std::vector<Burst> bursts) : bursts_(std::move(bursts)) {
+  for (const auto& b : bursts_) {
+    PCPC_ASSERT(b.duration > 0);
+    PCPC_ASSERT(b.amplitude_hz >= 0.0);
+  }
+}
+
+double BurstTrain::rate_at(SimTime t) const {
+  double total = 0.0;
+  for (const auto& b : bursts_) {
+    if (t < b.start || t >= b.start + b.duration) continue;
+    // Triangular profile: ramp up to the peak at mid-burst, then down.
+    const double progress = static_cast<double>(t - b.start) / static_cast<double>(b.duration);
+    const double shape = 1.0 - std::abs(2.0 * progress - 1.0);
+    total += b.amplitude_hz * shape;
+  }
+  return total;
+}
+
+double BurstTrain::max_rate(SimDuration horizon) const {
+  // Conservative: sum the peak amplitudes of every burst that can overlap
+  // the horizon.  Overlapping bursts are rare in our generators, so this
+  // stays a usable majorant.
+  double total = 0.0;
+  for (const auto& b : bursts_) {
+    if (b.start >= horizon) continue;
+    total += b.amplitude_hz;
+  }
+  return total;
+}
+
+CompositeRate::CompositeRate(std::vector<std::shared_ptr<const RateFunction>> parts)
+    : parts_(std::move(parts)) {
+  PCPC_ASSERT_MSG(!parts_.empty(), "composite rate requires at least one part");
+}
+
+double CompositeRate::rate_at(SimTime t) const {
+  double total = 0.0;
+  for (const auto& p : parts_) total += p->rate_at(t);
+  return total;
+}
+
+double CompositeRate::max_rate(SimDuration horizon) const {
+  double total = 0.0;
+  for (const auto& p : parts_) total += p->max_rate(horizon);
+  return total;
+}
+
+Trace sample_nhpp(const RateFunction& rate, SimDuration horizon, Rng& rng) {
+  PCPC_ASSERT(horizon > 0);
+  const double lambda_max = rate.max_rate(horizon);
+  std::vector<SimTime> arrivals;
+  if (lambda_max <= 0.0) return Trace(std::move(arrivals));
+  arrivals.reserve(static_cast<std::size_t>(lambda_max * to_seconds(horizon) * 0.6) + 16);
+
+  // Lewis-Shedler thinning: sample a homogeneous process at lambda_max and
+  // accept each candidate with probability rate(t)/lambda_max.
+  double t_seconds = 0.0;
+  const double horizon_seconds = to_seconds(horizon);
+  while (true) {
+    t_seconds += rng.exponential(lambda_max);
+    if (t_seconds >= horizon_seconds) break;
+    const SimTime t = from_seconds(t_seconds);
+    if (rng.next_double() * lambda_max < rate.rate_at(t)) arrivals.push_back(t);
+  }
+  return Trace(std::move(arrivals));
+}
+
+Trace sample_mmpp(const MmppParams& params, SimDuration horizon, Rng& rng) {
+  PCPC_ASSERT(horizon > 0);
+  PCPC_ASSERT(params.low_rate_hz >= 0.0 && params.high_rate_hz >= 0.0);
+  PCPC_ASSERT(params.mean_low_dwell > 0 && params.mean_high_dwell > 0);
+
+  std::vector<SimTime> arrivals;
+  bool high = false;
+  SimTime now = 0;
+  while (now < horizon) {
+    const SimDuration mean_dwell = high ? params.mean_high_dwell : params.mean_low_dwell;
+    const double dwell_seconds = rng.exponential(1.0 / to_seconds(mean_dwell));
+    const SimTime dwell_end = std::min<SimTime>(horizon, now + from_seconds(dwell_seconds));
+    const double lambda = high ? params.high_rate_hz : params.low_rate_hz;
+    if (lambda > 0.0) {
+      double t_seconds = to_seconds(now);
+      const double end_seconds = to_seconds(dwell_end);
+      while (true) {
+        t_seconds += rng.exponential(lambda);
+        if (t_seconds >= end_seconds) break;
+        arrivals.push_back(from_seconds(t_seconds));
+      }
+    }
+    now = dwell_end;
+    high = !high;
+  }
+  return Trace(std::move(arrivals));
+}
+
+Trace sample_pareto_on_off(const ParetoOnOffParams& params, SimDuration horizon,
+                           Rng& rng) {
+  PCPC_ASSERT(horizon > 0);
+  PCPC_ASSERT_MSG(params.shape > 1.0, "Pareto shape must exceed 1 for a finite mean");
+  PCPC_ASSERT(params.min_on > 0 && params.min_off > 0);
+  PCPC_ASSERT(params.on_rate_hz >= 0.0);
+
+  const auto pareto = [&rng, &params](SimDuration scale) {
+    // Inverse-CDF sampling: X = scale / U^{1/α}, truncated.
+    const double u = rng.next_double_open();
+    const double x = static_cast<double>(scale) / std::pow(u, 1.0 / params.shape);
+    return std::min<SimDuration>(params.max_period, static_cast<SimDuration>(x));
+  };
+
+  std::vector<SimTime> arrivals;
+  SimTime now = 0;
+  bool on = rng.bernoulli(0.5);
+  while (now < horizon) {
+    const SimDuration dwell = pareto(on ? params.min_on : params.min_off);
+    const SimTime dwell_end = std::min<SimTime>(horizon, now + dwell);
+    if (on && params.on_rate_hz > 0.0) {
+      double t_seconds = to_seconds(now);
+      const double end_seconds = to_seconds(dwell_end);
+      while (true) {
+        t_seconds += rng.exponential(params.on_rate_hz);
+        if (t_seconds >= end_seconds) break;
+        arrivals.push_back(from_seconds(t_seconds));
+      }
+    }
+    now = dwell_end;
+    on = !on;
+  }
+  return Trace(std::move(arrivals));
+}
+
+}  // namespace pcpc::trace

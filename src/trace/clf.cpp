@@ -1,0 +1,131 @@
+#include "pcpc/trace/clf.hpp"
+
+#include <algorithm>
+#include <array>
+#include <charconv>
+#include <fstream>
+#include <vector>
+
+#include "pcpc/common/assert.hpp"
+
+namespace pcpc::trace {
+
+namespace {
+
+constexpr std::array<std::string_view, 12> kMonths = {
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+std::optional<int> month_index(std::string_view name) {
+  for (std::size_t i = 0; i < kMonths.size(); ++i) {
+    if (kMonths[i] == name) return static_cast<int>(i);
+  }
+  return std::nullopt;
+}
+
+bool parse_int(std::string_view s, int& out) {
+  const auto* begin = s.data();
+  const auto* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+/// Days since the Unix epoch for a (civil) year/month/day; the classic
+/// Howard Hinnant days_from_civil algorithm.
+std::int64_t days_from_civil(int y, int m, int d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      static_cast<unsigned>((153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return static_cast<std::int64_t>(era) * 146097 + static_cast<std::int64_t>(doe) -
+         719468;
+}
+
+}  // namespace
+
+std::optional<std::int64_t> parse_clf_timestamp(std::string_view field) {
+  // dd/Mon/yyyy:HH:MM:SS +ZZZZ
+  if (field.size() < 20) return std::nullopt;
+  int day = 0, year = 0, hour = 0, minute = 0, second = 0;
+  if (field.size() < 2 || !parse_int(field.substr(0, 2), day)) return std::nullopt;
+  if (field[2] != '/') return std::nullopt;
+  const auto month = month_index(field.substr(3, 3));
+  if (!month.has_value()) return std::nullopt;
+  if (field[6] != '/') return std::nullopt;
+  if (!parse_int(field.substr(7, 4), year)) return std::nullopt;
+  if (field[11] != ':') return std::nullopt;
+  if (!parse_int(field.substr(12, 2), hour)) return std::nullopt;
+  if (field[14] != ':') return std::nullopt;
+  if (!parse_int(field.substr(15, 2), minute)) return std::nullopt;
+  if (field[17] != ':') return std::nullopt;
+  if (!parse_int(field.substr(18, 2), second)) return std::nullopt;
+  if (day < 1 || day > 31 || hour > 23 || minute > 59 || second > 60) {
+    return std::nullopt;
+  }
+
+  std::int64_t zone_offset_s = 0;
+  if (field.size() >= 26 && field[20] == ' ') {
+    const char sign = field[21];
+    int zone_h = 0, zone_m = 0;
+    if ((sign == '+' || sign == '-') && parse_int(field.substr(22, 2), zone_h) &&
+        parse_int(field.substr(24, 2), zone_m)) {
+      zone_offset_s = zone_h * 3600 + zone_m * 60;
+      if (sign == '-') zone_offset_s = -zone_offset_s;
+    } else {
+      return std::nullopt;
+    }
+  }
+
+  const std::int64_t days = days_from_civil(year, *month + 1, day);
+  const std::int64_t local = days * 86400 + hour * 3600 + minute * 60 + second;
+  return local - zone_offset_s;  // convert local-with-zone to UTC
+}
+
+std::optional<std::int64_t> parse_clf_line(std::string_view line) {
+  const auto open = line.find('[');
+  if (open == std::string_view::npos) return std::nullopt;
+  const auto close = line.find(']', open);
+  if (close == std::string_view::npos) return std::nullopt;
+  return parse_clf_timestamp(line.substr(open + 1, close - open - 1));
+}
+
+ClfParseResult parse_clf(std::istream& in, double time_scale) {
+  PCPC_ASSERT_MSG(time_scale > 0.0, "time scale must be positive");
+  ClfParseResult result;
+  std::vector<std::int64_t> epochs;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++result.lines;
+    if (const auto epoch = parse_clf_line(line)) {
+      epochs.push_back(*epoch);
+      ++result.parsed;
+    } else {
+      ++result.malformed;
+    }
+  }
+  if (epochs.empty()) return result;
+  const std::int64_t base = *std::min_element(epochs.begin(), epochs.end());
+  std::vector<SimTime> timestamps;
+  timestamps.reserve(epochs.size());
+  for (const std::int64_t e : epochs) {
+    timestamps.push_back(
+        from_seconds(static_cast<double>(e - base) * time_scale));
+  }
+  result.trace = Trace(std::move(timestamps));
+  return result;
+}
+
+ClfParseResult parse_clf_file(const std::string& path, double time_scale, bool* ok) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    if (ok != nullptr) *ok = false;
+    return {};
+  }
+  if (ok != nullptr) *ok = true;
+  return parse_clf(in, time_scale);
+}
+
+}  // namespace pcpc::trace

@@ -1,0 +1,114 @@
+#include "pcpc/trace/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "pcpc/common/assert.hpp"
+
+namespace pcpc::trace {
+
+Trace::Trace(std::vector<SimTime> timestamps) : timestamps_(std::move(timestamps)) {
+  if (!std::is_sorted(timestamps_.begin(), timestamps_.end())) {
+    std::sort(timestamps_.begin(), timestamps_.end());
+  }
+  PCPC_ASSERT_MSG(timestamps_.empty() || timestamps_.front() >= 0,
+                  "trace timestamps must be non-negative");
+}
+
+std::size_t Trace::count_in(SimTime from, SimTime to) const {
+  if (to <= from) return 0;
+  const auto lo = std::lower_bound(timestamps_.begin(), timestamps_.end(), from);
+  const auto hi = std::lower_bound(timestamps_.begin(), timestamps_.end(), to);
+  return static_cast<std::size_t>(hi - lo);
+}
+
+TraceStats Trace::stats(SimDuration window) const {
+  PCPC_ASSERT(window > 0);
+  TraceStats s;
+  s.items = timestamps_.size();
+  if (timestamps_.empty()) return s;
+  s.duration = timestamps_.back() - timestamps_.front();
+  if (s.duration > 0) {
+    s.mean_rate_hz = static_cast<double>(s.items) / to_seconds(s.duration);
+  }
+
+  // Windowed peak / min rate.
+  double peak = 0.0;
+  double lowest = std::numeric_limits<double>::infinity();
+  const SimTime start = timestamps_.front();
+  const SimTime end = timestamps_.back();
+  for (SimTime t = start; t < end; t += window) {
+    const auto n = count_in(t, t + window);
+    const double rate = static_cast<double>(n) / to_seconds(window);
+    peak = std::max(peak, rate);
+    lowest = std::min(lowest, rate);
+  }
+  s.peak_rate_hz = peak;
+  s.min_rate_hz = std::isfinite(lowest) ? lowest : 0.0;
+
+  // Interarrival coefficient of variation.
+  if (timestamps_.size() >= 2) {
+    double mean = 0.0;
+    const auto gaps = timestamps_.size() - 1;
+    for (std::size_t i = 1; i < timestamps_.size(); ++i)
+      mean += static_cast<double>(timestamps_[i] - timestamps_[i - 1]);
+    mean /= static_cast<double>(gaps);
+    double var = 0.0;
+    for (std::size_t i = 1; i < timestamps_.size(); ++i) {
+      const double d = static_cast<double>(timestamps_[i] - timestamps_[i - 1]) - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(gaps);
+    if (mean > 0.0) s.interarrival_cv = std::sqrt(var) / mean;
+  }
+  return s;
+}
+
+Trace Trace::slice(SimTime from, SimTime to) const {
+  std::vector<SimTime> out;
+  const auto lo = std::lower_bound(timestamps_.begin(), timestamps_.end(), from);
+  const auto hi = std::lower_bound(timestamps_.begin(), timestamps_.end(), to);
+  out.reserve(static_cast<std::size_t>(hi - lo));
+  for (auto it = lo; it != hi; ++it) out.push_back(*it - from);
+  return Trace(std::move(out));
+}
+
+Trace Trace::phase_shift(SimDuration offset, SimDuration total_duration) const {
+  PCPC_ASSERT(total_duration > 0);
+  PCPC_ASSERT(offset >= 0);
+  offset %= total_duration;
+  if (offset == 0) return *this;
+  std::vector<SimTime> out;
+  out.reserve(timestamps_.size());
+  // Items originally at t >= offset move to the front (t - offset); items
+  // before the offset wrap to the tail (t - offset + total_duration).
+  for (SimTime t : timestamps_) {
+    if (t >= offset && t < total_duration) out.push_back(t - offset);
+  }
+  for (SimTime t : timestamps_) {
+    if (t < offset) out.push_back(t - offset + total_duration);
+  }
+  return Trace(std::move(out));
+}
+
+Trace uniform_trace(std::size_t n, SimDuration gap, SimTime start) {
+  PCPC_ASSERT(gap > 0);
+  std::vector<SimTime> ts;
+  ts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    ts.push_back(start + static_cast<SimTime>(i) * gap);
+  return Trace(std::move(ts));
+}
+
+Trace merge(std::span<const Trace> traces) {
+  std::vector<SimTime> all;
+  std::size_t total = 0;
+  for (const auto& t : traces) total += t.size();
+  all.reserve(total);
+  for (const auto& t : traces)
+    all.insert(all.end(), t.timestamps().begin(), t.timestamps().end());
+  return Trace(std::move(all));
+}
+
+}  // namespace pcpc::trace

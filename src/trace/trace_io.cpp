@@ -1,0 +1,103 @@
+#include "pcpc/trace/trace_io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace pcpc::trace {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x50435054;  // "PCPT"
+constexpr std::uint32_t kVersion = 1;
+
+void set_ok(bool* ok, bool value) {
+  if (ok != nullptr) *ok = value;
+}
+
+}  // namespace
+
+bool save_binary(const Trace& t, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.good()) return false;
+  const std::uint32_t magic = kMagic;
+  const std::uint32_t version = kVersion;
+  const std::uint64_t count = t.size();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (SimTime ts : t.timestamps()) {
+    const auto v = static_cast<std::int64_t>(ts);
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+  return out.good();
+}
+
+Trace load_binary(const std::string& path, bool* ok) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    set_ok(ok, false);
+    return Trace{};
+  }
+  std::uint32_t magic = 0, version = 0;
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in.good() || magic != kMagic || version != kVersion) {
+    set_ok(ok, false);
+    return Trace{};
+  }
+  std::vector<SimTime> ts;
+  ts.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::int64_t v = 0;
+    in.read(reinterpret_cast<char*>(&v), sizeof(v));
+    if (!in.good()) {
+      set_ok(ok, false);
+      return Trace{};
+    }
+    ts.push_back(v);
+  }
+  set_ok(ok, true);
+  return Trace(std::move(ts));
+}
+
+bool save_csv(const Trace& t, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) return false;
+  out << "timestamp_ns\n";
+  for (SimTime ts : t.timestamps()) out << ts << '\n';
+  return out.good();
+}
+
+Trace load_csv(const std::string& path, bool* ok) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    set_ok(ok, false);
+    return Trace{};
+  }
+  std::vector<SimTime> ts;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (first) {
+      first = false;
+      // Skip a non-numeric header line.
+      if (line.find_first_not_of("0123456789-+ \t\r") != std::string::npos) continue;
+    }
+    try {
+      ts.push_back(std::stoll(line));
+    } catch (...) {
+      set_ok(ok, false);
+      return Trace{};
+    }
+  }
+  set_ok(ok, true);
+  return Trace(std::move(ts));
+}
+
+}  // namespace pcpc::trace

@@ -1,0 +1,75 @@
+#include "pcpc/trace/webserver_log.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "pcpc/common/assert.hpp"
+#include "pcpc/trace/arrival_process.hpp"
+
+namespace pcpc::trace {
+
+Trace make_web_workload(const WebWorkloadParams& params) {
+  PCPC_ASSERT(params.duration > 0);
+  PCPC_ASSERT(params.base_rate_hz > 0.0);
+  Rng rng(params.seed);
+
+  std::vector<std::shared_ptr<const RateFunction>> parts;
+
+  // Base load with the dominant diurnal swing.  The base keeps a floor of
+  // (1 - diurnal_fraction) * base so the server is never fully quiet,
+  // matching the Google observation the paper cites (servers operate at
+  // 10-50% utilization, rarely idle).
+  parts.push_back(std::make_shared<SinusoidRate>(
+      params.base_rate_hz, params.diurnal_fraction * params.base_rate_hz,
+      params.diurnal_period, rng.uniform(0.0, 6.28)));
+
+  // Slower secondary modulation so the rate never repeats exactly cycle to
+  // cycle ("non-linear" in the paper's wording).
+  parts.push_back(std::make_shared<SinusoidRate>(
+      params.secondary_fraction * params.base_rate_hz / 2.0,
+      params.secondary_fraction * params.base_rate_hz / 2.0, params.secondary_period,
+      rng.uniform(0.0, 6.28)));
+
+  // Flash crowds: Poisson-placed bursts with exponential durations and
+  // lognormal amplitude spread.
+  std::vector<BurstTrain::Burst> bursts;
+  const double burst_rate_hz = params.bursts_per_minute / 60.0;
+  if (burst_rate_hz > 0.0) {
+    double t_seconds = 0.0;
+    const double horizon_seconds = to_seconds(params.duration);
+    while (true) {
+      t_seconds += rng.exponential(burst_rate_hz);
+      if (t_seconds >= horizon_seconds) break;
+      BurstTrain::Burst b;
+      b.start = from_seconds(t_seconds);
+      b.duration = std::max<SimDuration>(
+          milliseconds(50),
+          from_seconds(rng.exponential(1.0 / to_seconds(params.mean_burst_duration))));
+      b.amplitude_hz =
+          params.burst_amplitude_factor * params.base_rate_hz * rng.lognormal(0.0, 0.35);
+      bursts.push_back(b);
+    }
+  }
+  if (!bursts.empty()) parts.push_back(std::make_shared<BurstTrain>(std::move(bursts)));
+
+  const CompositeRate rate(std::move(parts));
+  return sample_nhpp(rate, params.duration, rng);
+}
+
+std::vector<Trace> make_shifted_workloads(const WebWorkloadParams& params,
+                                          std::size_t producers) {
+  PCPC_ASSERT_MSG(producers > 0, "need at least one producer");
+  const Trace base = make_web_workload(params);
+  std::vector<Trace> traces;
+  traces.reserve(producers);
+  for (std::size_t i = 0; i < producers; ++i) {
+    const SimDuration offset =
+        static_cast<SimDuration>(static_cast<double>(params.duration) *
+                                 static_cast<double>(i) / static_cast<double>(producers));
+    traces.push_back(base.phase_shift(offset, params.duration));
+  }
+  return traces;
+}
+
+}  // namespace pcpc::trace

@@ -1,0 +1,132 @@
+// Cross-validation: the discrete-event simulator must agree with the
+// closed-form predictions on analytically tractable (constant-rate)
+// workloads.  Agreement here certifies the machinery — event ordering,
+// busy-window accounting, the energy integral — behind the bursty cases
+// no closed form covers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pcpc/exp/analytic.hpp"
+#include "pcpc/impls/baselines.hpp"
+#include "pcpc/impls/runner.hpp"
+#include "pcpc/trace/trace.hpp"
+
+namespace pcpc::exp {
+namespace {
+
+constexpr SimDuration kHorizon = seconds(10);
+
+/// A constant-rate trace that divides the horizon exactly.
+std::vector<trace::Trace> constant_rate(double rate_hz) {
+  const auto gap = static_cast<SimDuration>(1e9 / rate_hz);
+  const auto items = static_cast<std::size_t>(to_seconds(kHorizon) * rate_hz);
+  return {trace::uniform_trace(items, gap, gap / 2)};
+}
+
+impls::BaselineParams params() {
+  impls::BaselineParams p;
+  p.cores = 1;
+  p.buffer_capacity = 50;
+  p.period = milliseconds(2);
+  p.sigalrm_jitter_sigma = 1e-9;  // effectively jitter-free
+  return p;
+}
+
+class AnalyticRateTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(AnalyticRateTest, MutexMatchesClosedForm) {
+  const double rate = GetParam();
+  const auto traces = constant_rate(rate);
+  const power::PowerModelParams power;
+  const auto predicted = predict_signaled(rate, params(), power, /*mutex=*/true);
+  const auto measured =
+      impls::run_signaled(impls::ImplKind::Mutex, traces, kHorizon, params());
+  const power::EnergyLedger ledger(power);
+
+  EXPECT_NEAR(measured.wakeups_per_s(), predicted.wakeups_per_s,
+              0.01 * predicted.wakeups_per_s + 1.0);
+  EXPECT_NEAR(measured.usage_ms_per_s(), predicted.usage_ms_per_s,
+              0.01 * predicted.usage_ms_per_s + 0.01);
+  EXPECT_NEAR(measured.extra_power_w(ledger), predicted.extra_power_w,
+              0.02 * predicted.extra_power_w + 1e-4);
+  EXPECT_NEAR(measured.latency_s.mean(), predicted.mean_latency_s, 1e-9);
+}
+
+TEST_P(AnalyticRateTest, BatchMatchesClosedForm) {
+  const double rate = GetParam();
+  const auto traces = constant_rate(rate);
+  const power::PowerModelParams power;
+  const auto predicted = predict_batch(rate, params(), power);
+  const auto measured = impls::run_batch(traces, kHorizon, params());
+  const power::EnergyLedger ledger(power);
+
+  EXPECT_NEAR(measured.wakeups_per_s(), predicted.wakeups_per_s,
+              0.03 * predicted.wakeups_per_s + 0.2);
+  EXPECT_NEAR(measured.usage_ms_per_s(), predicted.usage_ms_per_s,
+              0.03 * predicted.usage_ms_per_s + 0.01);
+  EXPECT_NEAR(measured.extra_power_w(ledger), predicted.extra_power_w,
+              0.02 * predicted.extra_power_w + 1e-4);
+  EXPECT_NEAR(measured.latency_s.mean(), predicted.mean_latency_s,
+              0.02 * predicted.mean_latency_s + 1e-6);
+}
+
+TEST_P(AnalyticRateTest, PeriodicMatchesClosedForm) {
+  const double rate = GetParam();
+  if (rate * to_seconds(params().period) >=
+      static_cast<double>(params().buffer_capacity)) {
+    GTEST_SKIP() << "outside the timer-dominated regime";
+  }
+  const auto traces = constant_rate(rate);
+  const power::PowerModelParams power;
+  const auto predicted = predict_periodic(rate, params(), power);
+  const auto measured = impls::run_periodic(impls::ImplKind::SignalPeriodicBatch,
+                                            traces, kHorizon, params());
+  const power::EnergyLedger ledger(power);
+
+  EXPECT_NEAR(measured.wakeups_per_s(), predicted.wakeups_per_s,
+              0.02 * predicted.wakeups_per_s + 1.0);
+  EXPECT_NEAR(measured.usage_ms_per_s(), predicted.usage_ms_per_s,
+              0.03 * predicted.usage_ms_per_s + 0.02);
+  EXPECT_NEAR(measured.extra_power_w(ledger), predicted.extra_power_w,
+              0.02 * predicted.extra_power_w + 1e-4);
+  EXPECT_NEAR(measured.latency_s.mean(), predicted.mean_latency_s,
+              0.03 * predicted.mean_latency_s + 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, AnalyticRateTest,
+                         ::testing::Values(500.0, 2000.0, 8000.0));
+
+TEST(Analytic, BusyWaitMatchesClosedForm) {
+  const double rate = 2000.0;
+  const auto traces = constant_rate(rate);
+  const power::PowerModelParams power;
+  const auto predicted = predict_busy_wait(rate, params(), power);
+  const auto measured = impls::run_busy_wait(traces, kHorizon, params());
+  const power::EnergyLedger ledger(power);
+  EXPECT_NEAR(measured.usage_ms_per_s(), predicted.usage_ms_per_s, 1e-6);
+  EXPECT_NEAR(measured.extra_power_w(ledger), predicted.extra_power_w,
+              0.01 * predicted.extra_power_w);
+}
+
+TEST(Analytic, OrderingMatchesThePaper) {
+  // The closed forms alone already imply the paper's ordering.
+  const impls::BaselineParams p = params();
+  const power::PowerModelParams power;
+  const double rate = 20000.0;
+  const auto mutex = predict_signaled(rate, p, power, true);
+  const auto batch = predict_batch(rate, p, power);
+  const auto bw = predict_busy_wait(rate, p, power);
+  EXPECT_GT(bw.extra_power_w, mutex.extra_power_w);
+  EXPECT_GT(mutex.extra_power_w, batch.extra_power_w);
+}
+
+TEST(AnalyticDeath, SparseFormulaRejectsSaturation) {
+  const power::PowerModelParams power;
+  impls::BaselineParams p = params();
+  p.service.per_item = microseconds(200);
+  EXPECT_DEATH(predict_signaled(20000.0, p, power, true), "sparse");
+}
+
+}  // namespace
+}  // namespace pcpc::exp

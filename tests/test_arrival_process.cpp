@@ -1,0 +1,195 @@
+// Tests for rate functions and stochastic arrival process samplers.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "pcpc/trace/arrival_process.hpp"
+
+namespace pcpc::trace {
+namespace {
+
+TEST(ConstantRate, IsConstant) {
+  const ConstantRate rate(123.0);
+  EXPECT_EQ(rate.rate_at(0), 123.0);
+  EXPECT_EQ(rate.rate_at(seconds(100)), 123.0);
+  EXPECT_EQ(rate.max_rate(seconds(1)), 123.0);
+}
+
+TEST(SinusoidRate, OscillatesAroundBase) {
+  const SinusoidRate rate(100.0, 50.0, seconds(1), 0.0);
+  EXPECT_NEAR(rate.rate_at(0), 100.0, 1e-9);
+  EXPECT_NEAR(rate.rate_at(milliseconds(250)), 150.0, 1e-6);  // peak
+  EXPECT_NEAR(rate.rate_at(milliseconds(750)), 50.0, 1e-6);   // trough
+  EXPECT_GE(rate.max_rate(seconds(10)), 150.0);
+}
+
+TEST(SinusoidRate, ClampsAtZero) {
+  const SinusoidRate rate(10.0, 100.0, seconds(1));
+  for (SimTime t = 0; t < seconds(1); t += milliseconds(37)) {
+    EXPECT_GE(rate.rate_at(t), 0.0);
+  }
+}
+
+TEST(BurstTrain, TriangularProfile) {
+  BurstTrain::Burst burst;
+  burst.start = milliseconds(100);
+  burst.duration = milliseconds(100);
+  burst.amplitude_hz = 1000.0;
+  const BurstTrain train({burst});
+  EXPECT_EQ(train.rate_at(milliseconds(99)), 0.0);
+  EXPECT_EQ(train.rate_at(milliseconds(200)), 0.0);
+  EXPECT_NEAR(train.rate_at(milliseconds(150)), 1000.0, 1e-6);  // peak mid-burst
+  EXPECT_NEAR(train.rate_at(milliseconds(125)), 500.0, 1e-6);   // half way up
+  EXPECT_GE(train.max_rate(seconds(1)), 1000.0);
+}
+
+TEST(BurstTrain, OverlappingBurstsAdd) {
+  BurstTrain::Burst a{milliseconds(0), milliseconds(100), 400.0};
+  BurstTrain::Burst b{milliseconds(0), milliseconds(100), 600.0};
+  const BurstTrain train({a, b});
+  EXPECT_NEAR(train.rate_at(milliseconds(50)), 1000.0, 1e-6);
+}
+
+TEST(CompositeRate, SumsParts) {
+  std::vector<std::shared_ptr<const RateFunction>> parts;
+  parts.push_back(std::make_shared<ConstantRate>(100.0));
+  parts.push_back(std::make_shared<ConstantRate>(50.0));
+  const CompositeRate rate(std::move(parts));
+  EXPECT_EQ(rate.rate_at(0), 150.0);
+  EXPECT_EQ(rate.max_rate(seconds(1)), 150.0);
+}
+
+TEST(Nhpp, ConstantRateMatchesCount) {
+  const ConstantRate rate(2000.0);
+  Rng rng(5);
+  const Trace t = sample_nhpp(rate, seconds(10), rng);
+  // Poisson(20000): 5 sigma ≈ 707.
+  EXPECT_NEAR(static_cast<double>(t.size()), 20000.0, 750.0);
+}
+
+TEST(Nhpp, DeterministicGivenSeed) {
+  const ConstantRate rate(500.0);
+  Rng a(42), b(42);
+  const Trace ta = sample_nhpp(rate, seconds(2), a);
+  const Trace tb = sample_nhpp(rate, seconds(2), b);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) ASSERT_EQ(ta.at(i), tb.at(i));
+}
+
+TEST(Nhpp, ZeroRateYieldsEmpty) {
+  const ConstantRate rate(0.0);
+  Rng rng(1);
+  EXPECT_TRUE(sample_nhpp(rate, seconds(1), rng).empty());
+}
+
+TEST(Nhpp, TimestampsWithinHorizon) {
+  const ConstantRate rate(10000.0);
+  Rng rng(7);
+  const Trace t = sample_nhpp(rate, milliseconds(500), rng);
+  ASSERT_FALSE(t.empty());
+  EXPECT_GE(t.at(0), 0);
+  EXPECT_LT(t.end_time(), milliseconds(500));
+}
+
+TEST(Nhpp, TracksSinusoidIntensity) {
+  // More arrivals near the sinusoid peak than near the trough.
+  const SinusoidRate rate(1000.0, 900.0, seconds(2), 0.0);
+  Rng rng(11);
+  const Trace t = sample_nhpp(rate, seconds(2), rng);
+  // Peak quarter [0.25s, 0.75s) vs trough quarter [1.25s, 1.75s).
+  const auto peak = t.count_in(milliseconds(250), milliseconds(750));
+  const auto trough = t.count_in(milliseconds(1250), milliseconds(1750));
+  EXPECT_GT(peak, trough * 3);
+}
+
+class MmppTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MmppTest, RateBetweenLowAndHigh) {
+  MmppParams params;
+  params.low_rate_hz = 100.0;
+  params.high_rate_hz = 5000.0;
+  params.mean_low_dwell = milliseconds(200);
+  params.mean_high_dwell = milliseconds(50);
+  Rng rng(GetParam());
+  const Trace t = sample_mmpp(params, seconds(10), rng);
+  const double rate = static_cast<double>(t.size()) / 10.0;
+  EXPECT_GT(rate, params.low_rate_hz);
+  EXPECT_LT(rate, params.high_rate_hz);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MmppTest, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Mmpp, IsBursty) {
+  MmppParams params;
+  params.low_rate_hz = 50.0;
+  params.high_rate_hz = 10000.0;
+  Rng rng(3);
+  const Trace t = sample_mmpp(params, seconds(10), rng);
+  EXPECT_GT(t.stats().interarrival_cv, 1.2);  // Poisson would be ~1.0
+}
+
+TEST(Mmpp, DeterministicGivenSeed) {
+  MmppParams params;
+  Rng a(9), b(9);
+  const Trace ta = sample_mmpp(params, seconds(1), a);
+  const Trace tb = sample_mmpp(params, seconds(1), b);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) ASSERT_EQ(ta.at(i), tb.at(i));
+}
+
+TEST(ParetoOnOff, DeterministicGivenSeed) {
+  ParetoOnOffParams params;
+  Rng a(77), b(77);
+  const Trace ta = sample_pareto_on_off(params, seconds(2), a);
+  const Trace tb = sample_pareto_on_off(params, seconds(2), b);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) ASSERT_EQ(ta.at(i), tb.at(i));
+}
+
+TEST(ParetoOnOff, RateBelowOnRate) {
+  ParetoOnOffParams params;
+  params.on_rate_hz = 4000.0;
+  Rng rng(5);
+  const Trace t = sample_pareto_on_off(params, seconds(10), rng);
+  const double rate = static_cast<double>(t.size()) / 10.0;
+  EXPECT_GT(rate, 0.0);
+  EXPECT_LT(rate, params.on_rate_hz);
+}
+
+TEST(ParetoOnOff, HeavierTailThanMmpp) {
+  // Self-similar sources are burstier than an exponential ON/OFF process
+  // with comparable means: compare interarrival CV.
+  ParetoOnOffParams pareto;
+  pareto.shape = 1.2;  // very heavy tail
+  pareto.on_rate_hz = 5000.0;
+  MmppParams mmpp;
+  mmpp.low_rate_hz = 0.0;
+  mmpp.high_rate_hz = 5000.0;
+  mmpp.mean_high_dwell = milliseconds(30);
+  mmpp.mean_low_dwell = milliseconds(60);
+  Rng a(13), b(13);
+  const double cv_pareto =
+      sample_pareto_on_off(pareto, seconds(20), a).stats().interarrival_cv;
+  const double cv_mmpp = sample_mmpp(mmpp, seconds(20), b).stats().interarrival_cv;
+  EXPECT_GT(cv_pareto, cv_mmpp);
+}
+
+TEST(ParetoOnOff, TimestampsWithinHorizon) {
+  ParetoOnOffParams params;
+  Rng rng(3);
+  const Trace t = sample_pareto_on_off(params, milliseconds(700), rng);
+  if (!t.empty()) {
+    EXPECT_GE(t.at(0), 0);
+    EXPECT_LT(t.end_time(), milliseconds(700));
+  }
+}
+
+TEST(ParetoOnOffDeath, RejectsShapeBelowOne) {
+  ParetoOnOffParams params;
+  params.shape = 0.9;
+  Rng rng(1);
+  EXPECT_DEATH(sample_pareto_on_off(params, seconds(1), rng), "shape");
+}
+
+}  // namespace
+}  // namespace pcpc::trace

@@ -1,0 +1,213 @@
+// Tests for the baseline implementations of Section III.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pcpc/impls/baselines.hpp"
+#include "pcpc/impls/runner.hpp"
+#include "pcpc/trace/trace.hpp"
+
+namespace pcpc::impls {
+namespace {
+
+BaselineParams test_params() {
+  BaselineParams p;
+  p.cores = 2;
+  p.buffer_capacity = 10;
+  p.period = milliseconds(1);
+  return p;
+}
+
+std::vector<trace::Trace> steady(std::size_t pairs, std::size_t items, SimDuration gap) {
+  std::vector<trace::Trace> traces;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    traces.push_back(
+        trace::uniform_trace(items, gap, 1000 + static_cast<SimTime>(i * 7)));
+  }
+  return traces;
+}
+
+TEST(BusyWait, FullUsageNoWakeups) {
+  const auto traces = steady(1, 1000, microseconds(100));
+  const RunResult r = run_busy_wait(traces, seconds(1), test_params());
+  EXPECT_EQ(r.items, 1000u);
+  EXPECT_NEAR(r.usage_ms_per_s(), 1000.0, 1e-6);
+  // The t=0 activation is free: the core had accumulated no idle time.
+  EXPECT_EQ(r.paid_wakeups, 0u);
+  EXPECT_EQ(r.name, "BW");
+}
+
+TEST(Yield, DiscountsPowerAndUsage) {
+  const auto traces = steady(1, 1000, microseconds(100));
+  const BaselineParams params = test_params();
+  const RunResult r = run_yield(traces, seconds(1), params);
+  EXPECT_EQ(r.active_power_scale, params.yield_power_scale);
+  EXPECT_NEAR(r.usage_ms_per_s(), 1000.0 * params.yield_usage_fraction, 1e-6);
+}
+
+TEST(Mutex, WakesPerItemWhenArrivalsAreSparse) {
+  // Gaps far exceed service time: every item pays a wakeup.
+  const auto traces = steady(1, 100, milliseconds(1));
+  const RunResult r = run_signaled(ImplKind::Mutex, traces, seconds(1), test_params());
+  EXPECT_EQ(r.items, 100u);
+  EXPECT_EQ(r.invocations, 100u);
+  EXPECT_EQ(r.paid_wakeups, 100u);
+  EXPECT_EQ(r.overflows, 0u);
+  EXPECT_NEAR(r.batch_sizes.mean(), 1.0, 1e-9);
+}
+
+TEST(Mutex, CoalescesArrivalsDuringProcessing) {
+  // Items arriving every 1 µs while service takes ~8 µs: bursts coalesce
+  // into multi-item drains with fewer wakeups than items.
+  const auto traces = steady(1, 1000, microseconds(1));
+  const RunResult r = run_signaled(ImplKind::Mutex, traces, seconds(1), test_params());
+  EXPECT_EQ(r.items, 1000u);
+  EXPECT_LT(r.invocations, 500u);
+  EXPECT_GT(r.batch_sizes.mean(), 2.0);
+}
+
+TEST(Mutex, LowLatency) {
+  const auto traces = steady(1, 100, milliseconds(1));
+  const RunResult r = run_signaled(ImplKind::Mutex, traces, seconds(1), test_params());
+  EXPECT_LT(r.latency_s.mean(), 1e-4);
+}
+
+TEST(Semaphore, LowerOverheadThanMutex) {
+  const auto traces = steady(1, 1000, microseconds(50));
+  const auto params = test_params();
+  const RunResult mutex = run_signaled(ImplKind::Mutex, traces, seconds(1), params);
+  const RunResult sem = run_signaled(ImplKind::Semaphore, traces, seconds(1), params);
+  EXPECT_EQ(mutex.items, sem.items);
+  EXPECT_LT(sem.usage_ms_per_s(), mutex.usage_ms_per_s());
+  EXPECT_EQ(sem.name, "Sem");
+}
+
+TEST(Batch, WakesOncePerBufferFill) {
+  const auto traces = steady(1, 100, milliseconds(1));  // B = 10
+  const RunResult r = run_batch(traces, seconds(1), test_params());
+  EXPECT_EQ(r.items, 100u);
+  EXPECT_EQ(r.overflows, 10u);     // every fill is an overflow by definition
+  EXPECT_EQ(r.invocations, 10u);   // no leftovers: 100 = 10 * 10
+  EXPECT_NEAR(r.batch_sizes.mean(), 10.0, 1e-9);
+}
+
+TEST(Batch, DrainsLeftoversAtHorizon) {
+  const auto traces = steady(1, 105, milliseconds(1));
+  const RunResult r = run_batch(traces, seconds(1), test_params());
+  EXPECT_EQ(r.items, 105u);
+  EXPECT_EQ(r.invocations, 11u);  // 10 fills + final partial drain
+}
+
+TEST(Batch, HigherLatencyThanMutex) {
+  const auto traces = steady(1, 1000, microseconds(500));
+  const RunResult mutex = run_signaled(ImplKind::Mutex, traces, seconds(1), test_params());
+  const RunResult batch = run_batch(traces, seconds(1), test_params());
+  EXPECT_GT(batch.latency_s.mean(), 4.0 * mutex.latency_s.mean());
+}
+
+TEST(Periodic, TimerDrivesWakeups) {
+  // Slow producer: the 1 ms timer fires ~1000 times regardless of items.
+  const auto traces = steady(1, 100, milliseconds(10));
+  const RunResult r =
+      run_periodic(ImplKind::SignalPeriodicBatch, traces, seconds(1), test_params());
+  EXPECT_EQ(r.items, 100u);
+  EXPECT_NEAR(static_cast<double>(r.scheduled_wakeups), 1000.0, 40.0);
+  EXPECT_EQ(r.overflows, 0u);
+}
+
+TEST(Periodic, OverflowBeforeTimerTriggersImmediateDrain) {
+  // 10-item buffer fills every 100 µs against a 1 ms timer.
+  const auto traces = steady(1, 10000, microseconds(10));
+  const RunResult r =
+      run_periodic(ImplKind::SignalPeriodicBatch, traces, seconds(1), test_params());
+  EXPECT_EQ(r.items, 10000u);
+  EXPECT_GT(r.overflows, 500u);
+}
+
+TEST(Periodic, OversleepDelaysButNeverSkipsFires) {
+  // The timer runs on absolute deadlines (k·T): oversleep delivers fires
+  // late but does not drop them, so PBP and SPBP fire essentially the
+  // same number of timer events over a run.
+  const auto traces = steady(1, 100, milliseconds(10));
+  BaselineParams params = test_params();
+  params.nanosleep_jitter_sigma = 0.5;
+  const RunResult pbp =
+      run_periodic(ImplKind::PeriodicBatch, traces, seconds(1), params);
+  const RunResult spbp =
+      run_periodic(ImplKind::SignalPeriodicBatch, traces, seconds(1), params);
+  const double ratio = static_cast<double>(pbp.scheduled_wakeups) /
+                       static_cast<double>(spbp.scheduled_wakeups);
+  EXPECT_GT(ratio, 0.9);
+  EXPECT_LT(ratio, 1.1);
+}
+
+TEST(Periodic, JitterCausesMoreOverflowsInTheTightRegime) {
+  // Buffer fills in ~1.1 timer periods: a punctual timer just wins, an
+  // oversleeping one overflows — the paper's PBP-vs-SPBP mechanism.
+  const auto traces = steady(1, 9000, microseconds(111));  // fill 10 in 1.11ms
+  BaselineParams params = test_params();
+  params.nanosleep_jitter_sigma = 0.5;
+  const RunResult pbp = run_periodic(ImplKind::PeriodicBatch, traces, seconds(1), params);
+  const RunResult spbp =
+      run_periodic(ImplKind::SignalPeriodicBatch, traces, seconds(1), params);
+  EXPECT_GT(pbp.overflows, spbp.overflows);
+}
+
+TEST(AllImpls, ConsumeTheIdenticalItemSet) {
+  const auto traces = steady(3, 2000, microseconds(400));
+  ExperimentSetup setup;
+  setup.baseline = test_params();
+  setup.pbpl.slot_size = milliseconds(10);
+  setup.pbpl.max_latency = milliseconds(100);
+  const ImplKind kinds[] = {ImplKind::BusyWait, ImplKind::Yield,   ImplKind::Mutex,
+                            ImplKind::Semaphore, ImplKind::Batch,  ImplKind::PeriodicBatch,
+                            ImplKind::SignalPeriodicBatch, ImplKind::Pbpl};
+  for (const auto kind : kinds) {
+    const RunResult r = run_implementation(kind, traces, seconds(1), setup);
+    EXPECT_EQ(r.items, 6000u) << impl_name(kind);
+    EXPECT_EQ(r.duration, seconds(1)) << impl_name(kind);
+    EXPECT_FALSE(r.timelines.empty()) << impl_name(kind);
+  }
+}
+
+TEST(AllImpls, PairsNeverShareMoreCoresThanConfigured) {
+  const auto traces = steady(5, 100, milliseconds(1));
+  BaselineParams params = test_params();
+  params.cores = 2;
+  const RunResult r = run_batch(traces, seconds(1), params);
+  EXPECT_EQ(r.timelines.size(), 2u);
+}
+
+TEST(AllImpls, SinglePairUsesOneCore) {
+  const auto traces = steady(1, 100, milliseconds(1));
+  BaselineParams params = test_params();
+  params.cores = 2;
+  const RunResult r = run_batch(traces, seconds(1), params);
+  EXPECT_EQ(r.timelines.size(), 1u);
+}
+
+TEST(Runner, NamesAreStable) {
+  EXPECT_EQ(impl_name(ImplKind::BusyWait), "BW");
+  EXPECT_EQ(impl_name(ImplKind::Yield), "Yield");
+  EXPECT_EQ(impl_name(ImplKind::Mutex), "Mutex");
+  EXPECT_EQ(impl_name(ImplKind::Semaphore), "Sem");
+  EXPECT_EQ(impl_name(ImplKind::Batch), "BP");
+  EXPECT_EQ(impl_name(ImplKind::PeriodicBatch), "PBP");
+  EXPECT_EQ(impl_name(ImplKind::SignalPeriodicBatch), "SPBP");
+  EXPECT_EQ(impl_name(ImplKind::CoalescedPeriodicBatch), "CPBP");
+  EXPECT_EQ(impl_name(ImplKind::Pbpl), "PBPL");
+}
+
+TEST(Runner, SynchronizedPbplInheritsBaselineKnobs) {
+  ExperimentSetup setup;
+  setup.baseline.cores = 7;
+  setup.baseline.buffer_capacity = 42;
+  setup.baseline.service.per_item = microseconds(9);
+  const auto config = setup.synchronized_pbpl();
+  EXPECT_EQ(config.cores, 7u);
+  EXPECT_EQ(config.base_buffer, 42u);
+  EXPECT_EQ(config.service.per_item, microseconds(9));
+}
+
+}  // namespace
+}  // namespace pcpc::impls

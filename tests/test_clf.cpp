@@ -1,0 +1,111 @@
+// Tests for the Common Log Format parser.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pcpc/trace/clf.hpp"
+
+namespace pcpc::trace {
+namespace {
+
+TEST(ClfTimestamp, ParsesReferenceExample) {
+  // The canonical CLF documentation example.
+  const auto t = parse_clf_timestamp("10/Oct/2000:13:55:36 -0700");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, 971211336);  // UTC epoch seconds
+}
+
+TEST(ClfTimestamp, HandlesPositiveZone) {
+  const auto utc = parse_clf_timestamp("01/Jan/1998:00:00:00 +0000");
+  const auto plus2 = parse_clf_timestamp("01/Jan/1998:02:00:00 +0200");
+  ASSERT_TRUE(utc.has_value());
+  ASSERT_TRUE(plus2.has_value());
+  EXPECT_EQ(*utc, *plus2);
+  EXPECT_EQ(*utc, 883612800);
+}
+
+TEST(ClfTimestamp, WorldCupEra) {
+  // The paper's dataset: summer 1998.
+  const auto t = parse_clf_timestamp("26/Jun/1998:12:00:00 +0000");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, 898862400);
+}
+
+TEST(ClfTimestamp, RejectsMalformed) {
+  EXPECT_FALSE(parse_clf_timestamp("").has_value());
+  EXPECT_FALSE(parse_clf_timestamp("10-Oct-2000:13:55:36 -0700").has_value());
+  EXPECT_FALSE(parse_clf_timestamp("10/Xxx/2000:13:55:36 -0700").has_value());
+  EXPECT_FALSE(parse_clf_timestamp("99/Oct/2000:13:55:36 -0700").has_value());
+  EXPECT_FALSE(parse_clf_timestamp("10/Oct/2000:25:55:36 -0700").has_value());
+  EXPECT_FALSE(parse_clf_timestamp("10/Oct/2000:13:55:36 ~0700").has_value());
+}
+
+TEST(ClfLine, ExtractsBracketedField) {
+  const auto t = parse_clf_line(
+      R"(host.example.com - frank [10/Oct/2000:13:55:36 -0700] "GET / HTTP/1.0" 200 2326)");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, 971211336);
+}
+
+TEST(ClfLine, RejectsLinesWithoutBrackets) {
+  EXPECT_FALSE(parse_clf_line("no brackets here").has_value());
+  EXPECT_FALSE(parse_clf_line("half [open").has_value());
+}
+
+TEST(ClfStream, BuildsRebasedTrace) {
+  std::istringstream log(
+      R"(a - - [26/Jun/1998:12:00:00 +0000] "GET /a HTTP/1.0" 200 1
+b - - [26/Jun/1998:12:00:01 +0000] "GET /b HTTP/1.0" 200 1
+c - - [26/Jun/1998:12:00:03 +0000] "GET /c HTTP/1.0" 404 0
+)");
+  const ClfParseResult result = parse_clf(log);
+  EXPECT_EQ(result.lines, 3u);
+  EXPECT_EQ(result.parsed, 3u);
+  EXPECT_EQ(result.malformed, 0u);
+  ASSERT_EQ(result.trace.size(), 3u);
+  EXPECT_EQ(result.trace.at(0), 0);
+  EXPECT_EQ(result.trace.at(1), seconds(1));
+  EXPECT_EQ(result.trace.at(2), seconds(3));
+}
+
+TEST(ClfStream, TimeScaleCompressesReplay) {
+  std::istringstream log(
+      R"(a - - [26/Jun/1998:12:00:00 +0000] "GET / HTTP/1.0" 200 1
+b - - [26/Jun/1998:13:00:00 +0000] "GET / HTTP/1.0" 200 1
+)");
+  const ClfParseResult result = parse_clf(log, /*time_scale=*/0.001);
+  ASSERT_EQ(result.trace.size(), 2u);
+  EXPECT_EQ(result.trace.at(1), from_seconds(3.6));  // one hour → 3.6 s
+}
+
+TEST(ClfStream, CountsMalformedLines) {
+  std::istringstream log(
+      R"(good - - [26/Jun/1998:12:00:00 +0000] "GET / HTTP/1.0" 200 1
+this line is garbage
+another [not/a/date] garbage
+)");
+  const ClfParseResult result = parse_clf(log);
+  EXPECT_EQ(result.parsed, 1u);
+  EXPECT_EQ(result.malformed, 2u);
+}
+
+TEST(ClfStream, ToleratesOutOfOrderLines) {
+  std::istringstream log(
+      R"(b - - [26/Jun/1998:12:00:05 +0000] "GET / HTTP/1.0" 200 1
+a - - [26/Jun/1998:12:00:00 +0000] "GET / HTTP/1.0" 200 1
+)");
+  const ClfParseResult result = parse_clf(log);
+  ASSERT_EQ(result.trace.size(), 2u);
+  EXPECT_EQ(result.trace.at(0), 0);
+  EXPECT_EQ(result.trace.at(1), seconds(5));
+}
+
+TEST(ClfFile, MissingFileSetsError) {
+  bool ok = true;
+  const auto result = parse_clf_file("/nonexistent/access.log", 1.0, &ok);
+  EXPECT_FALSE(ok);
+  EXPECT_TRUE(result.trace.empty());
+}
+
+}  // namespace
+}  // namespace pcpc::trace

@@ -1,0 +1,157 @@
+// Tests for the PBPL consumer: batching, prediction, reservation,
+// dynamic resizing and the overflow path (Section V-C).
+#include <gtest/gtest.h>
+
+#include "pcpc/core/consumer.hpp"
+#include "pcpc/core/pbpl_system.hpp"
+
+namespace pcpc::core {
+namespace {
+
+struct ConsumerFixture : ::testing::Test {
+  PbplConfig config = [] {
+    PbplConfig c;
+    c.cores = 1;
+    c.slot_size = milliseconds(10);
+    c.max_latency = milliseconds(100);
+    c.base_buffer = 25;
+    c.pool_segment = 5;
+    c.predictor_window = 4;
+    return c;
+  }();
+  sim::Simulator sim;
+};
+
+TEST_F(ConsumerFixture, StartMakesInitialReservation) {
+  PbplSystem system(sim, /*consumers=*/1, config);
+  system.start();
+  EXPECT_EQ(system.manager(0).reservations().size(), 1u);
+  // No rate information yet: the consumer polls at the latency horizon.
+  EXPECT_EQ(system.manager(0).reservations().reservation_of(0),
+            std::optional<SlotIndex>(10));
+}
+
+TEST_F(ConsumerFixture, DrainsWholeBufferAsOneBatch) {
+  PbplSystem system(sim, 1, config);
+  system.start();
+  PbplConsumer& consumer = system.consumer(0);
+  for (int i = 0; i < 10; ++i) {
+    sim.at(milliseconds(i), [&](SimTime t) { consumer.produce(t); });
+  }
+  sim.run_until(milliseconds(100));  // the poll slot fires at 100ms
+  EXPECT_EQ(consumer.stats().items, 10u);
+  EXPECT_GE(consumer.stats().invocations, 1u);
+  EXPECT_FALSE(consumer.has_pending());
+}
+
+TEST_F(ConsumerFixture, ObservedRateDrivesNextReservation) {
+  PbplSystem system(sim, 1, config);
+  system.start();
+  PbplConsumer& consumer = system.consumer(0);
+  // 1000 items/s for 100 ms: first drain at the 100 ms poll slot sees
+  // rate 1000/s → fill time for B=25 is 25 ms → next slots come quickly.
+  for (int i = 0; i < 100; ++i) {
+    sim.at(microseconds(1000 * i), [&](SimTime t) { consumer.produce(t); });
+  }
+  sim.run_until(milliseconds(100));
+  const auto first_drain_invocations = consumer.stats().invocations;
+  EXPECT_GE(first_drain_invocations, 1u);
+  EXPECT_GT(consumer.predictor().predict(), 0.0);
+  const auto reservation = system.manager(0).reservations().reservation_of(0);
+  ASSERT_TRUE(reservation.has_value());
+  // Reservation within a couple of slots, not at the 100 ms horizon.
+  EXPECT_LE(*reservation, system.manager(0).track().index_of(sim.now()) + 3);
+}
+
+TEST_F(ConsumerFixture, DynamicResizeShrinksTowardPrediction) {
+  PbplSystem system(sim, 2, config);  // pool has spare space
+  system.start();
+  PbplConsumer& consumer = system.consumer(0);
+  // Slow producer: 100 items/s → expected batch per 10 ms slot is ~1-2.
+  for (int i = 0; i < 50; ++i) {
+    sim.at(milliseconds(10 * i), [&](SimTime t) { consumer.produce(t); });
+  }
+  sim.run_until(milliseconds(500));
+  EXPECT_LT(consumer.buffer().capacity(), 25u);
+}
+
+TEST_F(ConsumerFixture, NoResizeWhenDisabled) {
+  config.dynamic_resize = false;
+  PbplSystem system(sim, 2, config);
+  system.start();
+  PbplConsumer& consumer = system.consumer(0);
+  for (int i = 0; i < 50; ++i) {
+    sim.at(milliseconds(10 * i), [&](SimTime t) { consumer.produce(t); });
+  }
+  sim.run_until(milliseconds(500));
+  EXPECT_EQ(consumer.buffer().capacity(), 25u);
+}
+
+TEST_F(ConsumerFixture, OverflowTriggersEmergencyBorrow) {
+  // Bg = B0·M is fully allocated at start; free pool space appears only
+  // after a consumer downsizes.  Give consumer 1 a trickle so its first
+  // invocation shrinks its buffer, then flood consumer 0 past capacity.
+  PbplSystem system(sim, 2, config);
+  system.start();
+  PbplConsumer& slow = system.consumer(1);
+  sim.at(milliseconds(1), [&](SimTime t) { slow.produce(t); });
+  sim.run_until(milliseconds(150));  // past the 100 ms poll: consumer 1 downsized
+  ASSERT_LT(slow.buffer().capacity(), 25u);
+
+  PbplConsumer& consumer = system.consumer(0);
+  for (int i = 0; i < 30; ++i) {
+    sim.at(milliseconds(150) + microseconds(i), [&](SimTime t) { consumer.produce(t); });
+  }
+  sim.run_until(milliseconds(151));
+  EXPECT_GE(consumer.stats().emergency_borrows, 1u);
+  EXPECT_EQ(consumer.stats().overflow_wakeups, 0u);
+  EXPECT_EQ(consumer.buffer().size(), 30u);
+}
+
+TEST_F(ConsumerFixture, OverflowWithoutBorrowRaisesUnscheduledWakeup) {
+  config.emergency_borrow = false;
+  config.dynamic_resize = false;
+  PbplSystem system(sim, 1, config);  // Bg == B0: no spare pool space
+  system.start();
+  PbplConsumer& consumer = system.consumer(0);
+  for (int i = 0; i < 30; ++i) {
+    sim.at(microseconds(i), [&](SimTime t) { consumer.produce(t); });
+  }
+  sim.run_until(milliseconds(1));
+  EXPECT_GE(consumer.stats().overflow_wakeups, 1u);
+  EXPECT_EQ(consumer.stats().items, 25u);  // the overflow drain consumed a full batch
+  EXPECT_EQ(system.manager(0).unscheduled_invocations(), 1u);
+}
+
+TEST_F(ConsumerFixture, LatencyIsRecordedPerItem) {
+  PbplSystem system(sim, 1, config);
+  system.start();
+  PbplConsumer& consumer = system.consumer(0);
+  sim.at(milliseconds(40), [&](SimTime t) { consumer.produce(t); });
+  sim.run_until(milliseconds(200));
+  ASSERT_EQ(consumer.stats().latency_s.count(), 1u);
+  // Produced at 40 ms, drained at the 100 ms poll slot.
+  EXPECT_NEAR(consumer.stats().latency_s.mean(), 0.060, 1e-9);
+}
+
+TEST_F(ConsumerFixture, TwoConsumersOnOneCoreLatch) {
+  config.cores = 1;
+  PbplSystem system(sim, 2, config);
+  system.start();
+  // Equal steady producers.
+  for (std::size_t c = 0; c < 2; ++c) {
+    PbplConsumer& consumer = system.consumer(c);
+    for (int i = 0; i < 2000; ++i) {
+      sim.at(microseconds(500 * i), [&consumer](SimTime t) { consumer.produce(t); });
+    }
+  }
+  sim.run_until(seconds(1));
+  const auto result = system.finish(seconds(1));
+  EXPECT_GT(result.latched_reservations, 0u);
+  EXPECT_EQ(result.items, 4000u);
+  // Latching means fewer core activations than total invocations.
+  EXPECT_LT(result.scheduled_wakeups, result.invocations);
+}
+
+}  // namespace
+}  // namespace pcpc::core

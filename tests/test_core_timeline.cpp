@@ -1,0 +1,137 @@
+// Tests for the per-core activity timeline.
+#include <gtest/gtest.h>
+
+#include "pcpc/power/core_timeline.hpp"
+
+namespace pcpc::power {
+namespace {
+
+TEST(CoreTimeline, StartsIdle) {
+  CoreTimeline t;
+  EXPECT_EQ(t.state(), CoreState::Idle);
+  EXPECT_EQ(t.wakeups(), 0u);
+  EXPECT_FALSE(t.finalized());
+}
+
+TEST(CoreTimeline, WakeSleepCycle) {
+  CoreTimeline t;
+  EXPECT_TRUE(t.wake(100));
+  EXPECT_TRUE(t.is_active());
+  EXPECT_TRUE(t.sleep(250));
+  EXPECT_FALSE(t.is_active());
+  t.finalize(1000);
+  EXPECT_EQ(t.wakeups(), 1u);
+  EXPECT_EQ(t.active_time(), 150);
+  EXPECT_EQ(t.idle_time(), 850);
+  EXPECT_EQ(t.duration(), 1000);
+}
+
+TEST(CoreTimeline, RedundantTransitionsAreFree) {
+  CoreTimeline t;
+  EXPECT_FALSE(t.sleep(10));  // already idle
+  EXPECT_TRUE(t.wake(20));
+  EXPECT_FALSE(t.wake(30));  // already active: the latching discount
+  EXPECT_EQ(t.wakeups(), 1u);
+  t.sleep(40);
+  t.finalize(50);
+  EXPECT_EQ(t.active_time(), 20);
+}
+
+TEST(CoreTimeline, IntervalsCoverTheSpan) {
+  CoreTimeline t;
+  t.wake(100);
+  t.sleep(200);
+  t.wake(500);
+  t.sleep(600);
+  t.finalize(1000);
+  const auto& intervals = t.intervals();
+  ASSERT_EQ(intervals.size(), 5u);
+  SimDuration total = 0;
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    total += intervals[i].length();
+    if (i > 0) {
+      EXPECT_EQ(intervals[i].begin, intervals[i - 1].end);
+    }
+    EXPECT_GT(intervals[i].length(), 0);
+  }
+  EXPECT_EQ(total, 1000);
+  EXPECT_EQ(intervals[1].state, CoreState::Active);
+  EXPECT_EQ(intervals[2].state, CoreState::Idle);
+}
+
+TEST(CoreTimeline, PowerTopMetrics) {
+  CoreTimeline t;
+  t.wake(0);
+  t.sleep(milliseconds(250));
+  t.wake(milliseconds(500));
+  t.sleep(milliseconds(750));
+  t.finalize(seconds(1));
+  EXPECT_NEAR(t.usage_ms_per_s(), 500.0, 1e-9);
+  EXPECT_NEAR(t.wakeups_per_s(), 2.0, 1e-9);
+}
+
+TEST(CoreTimeline, ResumeAfterSameInstantSleepIsFree) {
+  CoreTimeline t;
+  t.wake(100);
+  t.sleep(200);
+  EXPECT_FALSE(t.resume(200));  // zero idle time: no ω
+  EXPECT_TRUE(t.is_active());
+  EXPECT_EQ(t.wakeups(), 1u);
+  t.sleep(300);
+  t.finalize(400);
+  EXPECT_EQ(t.active_time(), 200);  // 100..300 contiguous
+}
+
+TEST(CoreTimeline, ResumeAfterRealIdleChargesWakeup) {
+  CoreTimeline t;
+  t.wake(100);
+  t.sleep(200);
+  EXPECT_TRUE(t.resume(300));  // 100ns of real idle passed
+  EXPECT_EQ(t.wakeups(), 2u);
+}
+
+TEST(CoreTimeline, ResumeWhileActiveIsNoop) {
+  CoreTimeline t;
+  t.wake(100);
+  EXPECT_FALSE(t.resume(150));
+  EXPECT_EQ(t.wakeups(), 1u);
+}
+
+TEST(CoreTimeline, FinalizeWhileActiveClosesInterval) {
+  CoreTimeline t;
+  t.wake(100);
+  t.finalize(300);
+  EXPECT_EQ(t.active_time(), 200);
+  EXPECT_EQ(t.intervals().back().state, CoreState::Active);
+}
+
+TEST(CoreTimeline, NonZeroStart) {
+  CoreTimeline t(milliseconds(5));
+  t.wake(milliseconds(6));
+  t.sleep(milliseconds(7));
+  t.finalize(milliseconds(15));
+  EXPECT_EQ(t.duration(), milliseconds(10));
+  EXPECT_EQ(t.start_time(), milliseconds(5));
+  EXPECT_EQ(t.end_time(), milliseconds(15));
+}
+
+TEST(CoreTimelineDeath, NonMonotoneTransitionAborts) {
+  CoreTimeline t;
+  t.wake(100);
+  EXPECT_DEATH(t.sleep(50), "monotone");
+}
+
+TEST(CoreTimelineDeath, TransitionAfterFinalizeAborts) {
+  CoreTimeline t;
+  t.finalize(10);
+  EXPECT_DEATH(t.wake(20), "finalized");
+}
+
+TEST(CoreTimelineDeath, MetricsBeforeFinalizeAbort) {
+  CoreTimeline t;
+  EXPECT_DEATH((void)t.idle_time(), "finalize");
+  EXPECT_DEATH((void)t.usage_ms_per_s(), "finalize");
+}
+
+}  // namespace
+}  // namespace pcpc::power

@@ -1,0 +1,182 @@
+// Tests for the reservation cost function ρ and the backtracking slot
+// search (Section V-C, Equation 8).
+#include <gtest/gtest.h>
+
+#include "pcpc/core/cost.hpp"
+
+namespace pcpc::core {
+namespace {
+
+EnergyCosts test_costs() {
+  EnergyCosts c;
+  c.wakeup_j = 100e-6;
+  c.per_item_j = 3e-6;
+  c.per_invocation_j = 2e-6;
+  return c;
+}
+
+TEST(Rho, MatchesEquation8) {
+  const EnergyCosts c = test_costs();
+  // Fresh slot, 10 items: (ω + e(10)) / 10 = (100 + 2 + 30)/10 µJ.
+  EXPECT_NEAR(rho(10.0, false, c), 13.2e-6, 1e-12);
+  // Latched slot: wakeup term vanishes.
+  EXPECT_NEAR(rho(10.0, true, c), 3.2e-6, 1e-12);
+}
+
+TEST(Rho, FreshSlotCostFallsWithBatchSize) {
+  const EnergyCosts c = test_costs();
+  EXPECT_GT(rho(1.0, false, c), rho(10.0, false, c));
+  EXPECT_GT(rho(10.0, false, c), rho(100.0, false, c));
+}
+
+TEST(Rho, LatchingIsAlwaysCheaperAtEqualBatch) {
+  const EnergyCosts c = test_costs();
+  for (double n : {0.5, 1.0, 5.0, 50.0}) {
+    EXPECT_LT(rho(n, true, c), rho(n, false, c));
+  }
+}
+
+struct ChooseSlotFixture : ::testing::Test {
+  SlotTrack track{milliseconds(10)};
+  ReservationTable reservations;
+  EnergyCosts costs = test_costs();
+
+  SlotQuery query(double rate, std::size_t capacity,
+                  SimDuration latency = seconds(10)) const {
+    SlotQuery q;
+    q.now = 0;
+    q.predicted_rate_hz = rate;
+    q.buffer_capacity = capacity;
+    q.max_latency = latency;
+    return q;
+  }
+};
+
+TEST_F(ChooseSlotFixture, EmptyTableChoosesBufferFillSlot) {
+  // rate 1000/s, B=25 → fill at 25 ms → slot g(25ms) = slot 2.
+  const SlotChoice choice = choose_slot(track, reservations, query(1000.0, 25), costs);
+  EXPECT_EQ(choice.slot, 2);
+  EXPECT_FALSE(choice.latched);
+  EXPECT_NEAR(choice.expected_items, 20.0, 1e-9);  // 1000/s * 20ms
+}
+
+TEST_F(ChooseSlotFixture, ChoiceIsAlwaysInTheFuture) {
+  for (double rate : {0.0, 1.0, 100.0, 1e6}) {
+    const SlotChoice choice = choose_slot(track, reservations, query(rate, 25), costs);
+    EXPECT_GT(track.start_of(choice.slot), 0);
+  }
+}
+
+TEST_F(ChooseSlotFixture, VeryHighRateStillPicksNextSlot) {
+  // Fill time shorter than one slot: the first future slot is the floor.
+  const SlotChoice choice = choose_slot(track, reservations, query(1e7, 25), costs);
+  EXPECT_EQ(choice.slot, 1);
+}
+
+TEST_F(ChooseSlotFixture, LatencyBoundCapsTheHorizon) {
+  // Without the bound, B=1000 at 1000/s would fill at slot 100; a 30 ms
+  // latency bound caps the wait near now + 1/r + L = 31 ms → slot 3.
+  const SlotChoice choice =
+      choose_slot(track, reservations, query(1000.0, 1000, milliseconds(30)), costs);
+  EXPECT_EQ(choice.slot, 3);
+}
+
+TEST_F(ChooseSlotFixture, LatchesOntoReservedSlot) {
+  reservations.reserve(7, 2);  // someone wakes the core at slot 2
+  const SlotChoice choice = choose_slot(track, reservations, query(1000.0, 25), costs);
+  EXPECT_EQ(choice.slot, 2);
+  EXPECT_TRUE(choice.latched);
+  EXPECT_NEAR(choice.cost, rho(20.0, true, costs), 1e-15);
+}
+
+TEST_F(ChooseSlotFixture, BacktracksToEarlierReservedSlotWhenCheaper) {
+  // Fill slot would be 2 (fresh, pays ω); slot 1 is reserved: per-item
+  // cost there is 2µJ/10 + 3µJ = 3.2µJ < (100+2)/20 + 3 = 8.1µJ.
+  reservations.reserve(7, 1);
+  const SlotChoice choice = choose_slot(track, reservations, query(1000.0, 25), costs);
+  EXPECT_EQ(choice.slot, 1);
+  EXPECT_TRUE(choice.latched);
+}
+
+TEST_F(ChooseSlotFixture, PrefersLatestOfSeveralReservedSlots) {
+  reservations.reserve(6, 1);
+  reservations.reserve(7, 2);
+  const SlotChoice choice = choose_slot(track, reservations, query(1000.0, 25), costs);
+  EXPECT_EQ(choice.slot, 2);  // bigger batch at equal (latched) wakeup cost
+}
+
+TEST_F(ChooseSlotFixture, StopsBacktrackingWhenCostRises) {
+  // A reserved slot with a tiny batch can lose to a fresh later slot when
+  // the invocation overhead dominates.
+  EnergyCosts heavy = costs;
+  heavy.wakeup_j = 4e-6;         // cheap wakeups
+  heavy.per_invocation_j = 50e-6;  // expensive invocations
+  reservations.reserve(7, 1);
+  const SlotChoice choice = choose_slot(track, reservations, query(1000.0, 25), heavy);
+  // Fresh slot 2: (4 + 50 + 3*20)/20 = 5.7µJ; latched slot 1:
+  // (50 + 30)/10 = 8µJ → keep slot 2.
+  EXPECT_EQ(choice.slot, 2);
+  EXPECT_FALSE(choice.latched);
+}
+
+TEST_F(ChooseSlotFixture, ReservationBeyondFillHorizonIsInvisible) {
+  reservations.reserve(7, 5);  // after our buffer would overflow
+  const SlotChoice choice = choose_slot(track, reservations, query(1000.0, 25), costs);
+  EXPECT_EQ(choice.slot, 2);
+  EXPECT_FALSE(choice.latched);
+}
+
+TEST_F(ChooseSlotFixture, ZeroRateLatchesWithinLatencyHorizon) {
+  reservations.reserve(7, 3);
+  const SlotChoice choice =
+      choose_slot(track, reservations, query(0.0, 25, milliseconds(100)), costs);
+  EXPECT_EQ(choice.slot, 3);
+  EXPECT_TRUE(choice.latched);
+  EXPECT_EQ(choice.expected_items, 0.0);
+}
+
+TEST_F(ChooseSlotFixture, ZeroRatePollsAtLatencyHorizonWhenAlone) {
+  const SlotChoice choice =
+      choose_slot(track, reservations, query(0.0, 25, milliseconds(100)), costs);
+  EXPECT_EQ(choice.slot, 10);  // g(now + L)
+  EXPECT_FALSE(choice.latched);
+}
+
+TEST_F(ChooseSlotFixture, ZeroRateIgnoresReservationsPastTheHorizon) {
+  reservations.reserve(7, 50);
+  const SlotChoice choice =
+      choose_slot(track, reservations, query(0.0, 25, milliseconds(100)), costs);
+  EXPECT_EQ(choice.slot, 10);
+  EXPECT_FALSE(choice.latched);
+}
+
+TEST_F(ChooseSlotFixture, NonZeroNowUsesRelativeHorizon) {
+  SlotQuery q = query(1000.0, 25);
+  q.now = milliseconds(15);  // mid slot 1; fill at 40ms → slot 4
+  const SlotChoice choice = choose_slot(track, reservations, q, costs);
+  EXPECT_EQ(choice.slot, 4);
+}
+
+TEST_F(ChooseSlotFixture, FillSlotIgnoresReservations) {
+  reservations.reserve(7, 1);
+  const SlotChoice choice = fill_slot(track, query(1000.0, 25), costs);
+  EXPECT_EQ(choice.slot, 2);
+  EXPECT_FALSE(choice.latched);
+}
+
+TEST_F(ChooseSlotFixture, FillSlotZeroRatePollsAtHorizon) {
+  const SlotChoice choice = fill_slot(track, query(0.0, 25, milliseconds(50)), costs);
+  EXPECT_EQ(choice.slot, 5);
+}
+
+TEST(ChooseSlotDeath, RejectsZeroCapacity) {
+  const SlotTrack track(milliseconds(10));
+  const ReservationTable reservations;
+  SlotQuery q;
+  q.buffer_capacity = 0;
+  q.max_latency = milliseconds(1);
+  EXPECT_DEATH(choose_slot(track, reservations, q, EnergyCosts{}), "capacity");
+}
+
+}  // namespace
+}  // namespace pcpc::core

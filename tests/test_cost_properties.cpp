@@ -1,0 +1,110 @@
+// Property sweeps over the reservation cost function: invariants that
+// must hold for any rate, capacity, latency bound and reservation layout.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "pcpc/common/rng.hpp"
+#include "pcpc/core/cost.hpp"
+
+namespace pcpc::core {
+namespace {
+
+using Param = std::tuple<double /*rate*/, std::size_t /*capacity*/, long /*latency_ms*/>;
+
+class ChooseSlotSweep : public ::testing::TestWithParam<Param> {
+ protected:
+  SlotTrack track{milliseconds(10)};
+  EnergyCosts costs;
+};
+
+TEST_P(ChooseSlotSweep, ChoiceIsFutureAndWithinBounds) {
+  const auto [rate, capacity, latency_ms] = GetParam();
+  const ReservationTable empty;
+  SlotQuery query;
+  query.predicted_rate_hz = rate;
+  query.buffer_capacity = capacity;
+  query.max_latency = milliseconds(latency_ms);
+  for (SimTime now = 0; now < milliseconds(100); now += microseconds(3137)) {
+    query.now = now;
+    const SlotChoice choice = choose_slot(track, empty, query, costs);
+    // Always strictly in the future.
+    ASSERT_GT(track.start_of(choice.slot), now);
+    if (rate > 0.0) {
+      // Never past the buffer-fill horizon (with tolerance) nor the
+      // first-item latency cap, whichever is sooner; and never more than
+      // one slot before it (floor quantization).
+      const double horizon_s =
+          std::min(query.fill_tolerance * static_cast<double>(capacity) / rate,
+                   1.0 / rate + to_seconds(query.max_latency));
+      const SimTime horizon = now + from_seconds(horizon_s);
+      ASSERT_LE(track.start_of(choice.slot), std::max(horizon, track.start_of(track.next_after(now))));
+      // Expected items consistent with the slot distance.
+      ASSERT_NEAR(choice.expected_items,
+                  rate * to_seconds(track.start_of(choice.slot) - now), 1e-6);
+    }
+  }
+}
+
+TEST_P(ChooseSlotSweep, LatchingNeverCostsMoreThanIgnoringReservations) {
+  // With reservations visible, the chosen ρ is never worse than the
+  // reservation-blind fill slot's ρ (latching is an optimization).
+  const auto [rate, capacity, latency_ms] = GetParam();
+  if (rate <= 0.0) return;
+  Rng rng(rate > 0 ? static_cast<std::uint64_t>(rate) + capacity : 1);
+  ReservationTable reservations;
+  for (ConsumerId c = 0; c < 6; ++c) {
+    reservations.reserve(c, static_cast<SlotIndex>(1 + rng.next_below(30)));
+  }
+  SlotQuery query;
+  query.predicted_rate_hz = rate;
+  query.buffer_capacity = capacity;
+  query.max_latency = milliseconds(latency_ms);
+  for (SimTime now = 0; now < milliseconds(60); now += microseconds(7411)) {
+    query.now = now;
+    const SlotChoice with = choose_slot(track, reservations, query, costs);
+    const SlotChoice without = fill_slot(track, query, costs);
+    ASSERT_LE(with.cost, without.cost + 1e-18);
+  }
+}
+
+TEST_P(ChooseSlotSweep, ChoiceCostIsMinimalOverItsOwnCandidates) {
+  // Exhaustive check: no slot in the feasible window beats the chosen one
+  // under ρ (the backtracking shortcut must not skip a better slot).
+  const auto [rate, capacity, latency_ms] = GetParam();
+  if (rate <= 0.0) return;
+  ReservationTable reservations;
+  reservations.reserve(1, 2);
+  reservations.reserve(2, 5);
+  reservations.reserve(3, 9);
+  SlotQuery query;
+  query.predicted_rate_hz = rate;
+  query.buffer_capacity = capacity;
+  query.max_latency = milliseconds(latency_ms);
+  query.now = microseconds(1500);
+  const SlotChoice choice = choose_slot(track, reservations, query, costs);
+
+  const SlotIndex first = track.next_after(query.now);
+  const double horizon_s =
+      std::min(query.fill_tolerance * static_cast<double>(capacity) / rate,
+               1.0 / rate + to_seconds(query.max_latency));
+  SlotIndex last = track.index_of(query.now + from_seconds(horizon_s));
+  last = std::max(last, first);
+  for (SlotIndex s = first; s <= last; ++s) {
+    const double n = rate * to_seconds(track.start_of(s) - query.now);
+    if (n <= 0.0) continue;
+    const double cost = rho(n, reservations.slot_reserved(s), costs);
+    ASSERT_GE(cost, choice.cost - 1e-18)
+        << "slot " << s << " beats chosen slot " << choice.slot;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ChooseSlotSweep,
+    ::testing::Combine(::testing::Values(0.0, 13.0, 800.0, 2000.0, 50000.0),
+                       ::testing::Values(std::size_t{1}, std::size_t{25},
+                                         std::size_t{500}),
+                       ::testing::Values(5L, 100L, 5000L)));
+
+}  // namespace
+}  // namespace pcpc::core

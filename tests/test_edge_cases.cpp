@@ -1,0 +1,166 @@
+// Edge cases across modules that the mainline suites don't reach:
+// boundary times, degenerate configurations, and pathological workloads.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pcpc/core/pbpl_system.hpp"
+#include "pcpc/impls/baselines.hpp"
+#include "pcpc/impls/runner.hpp"
+#include "pcpc/sim/simulator.hpp"
+#include "pcpc/trace/trace.hpp"
+
+namespace pcpc {
+namespace {
+
+TEST(EdgeSim, EventAtTimeZeroRuns) {
+  sim::Simulator sim;
+  bool fired = false;
+  sim.at(0, [&](SimTime t) {
+    EXPECT_EQ(t, 0);
+    fired = true;
+  });
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EdgeSim, RunUntilZeroFiresZeroTimeEvents) {
+  sim::Simulator sim;
+  int fired = 0;
+  sim.at(0, [&](SimTime) { ++fired; });
+  sim.at(1, [&](SimTime) { ++fired; });
+  sim.run_until(0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EdgeSim, CancelInsideCallback) {
+  sim::Simulator sim;
+  bool second_fired = false;
+  sim::EventId second = 0;
+  sim.at(10, [&](SimTime) { sim.cancel(second); });
+  second = sim.at(20, [&](SimTime) { second_fired = true; });
+  sim.run();
+  EXPECT_FALSE(second_fired);
+}
+
+TEST(EdgePbpl, SingleItemWorkload) {
+  std::vector<trace::Trace> traces{trace::Trace({milliseconds(3)})};
+  core::PbplConfig config;
+  config.cores = 1;
+  config.slot_size = milliseconds(10);
+  config.max_latency = milliseconds(20);
+  const auto result = core::run_pbpl(traces, milliseconds(100), config);
+  EXPECT_EQ(result.items, 1u);
+  // Drained at a slot within the latency horizon of the poll cycle.
+  EXPECT_LE(result.latency_s.max(), to_seconds(milliseconds(40)));
+}
+
+TEST(EdgePbpl, ItemAtTimeZero) {
+  std::vector<trace::Trace> traces{trace::Trace({SimTime{0}})};
+  core::PbplConfig config;
+  config.cores = 1;
+  config.slot_size = milliseconds(5);
+  config.max_latency = milliseconds(10);
+  const auto result = core::run_pbpl(traces, milliseconds(50), config);
+  EXPECT_EQ(result.items, 1u);
+}
+
+TEST(EdgePbpl, MoreCoresThanConsumers) {
+  std::vector<trace::Trace> traces{trace::uniform_trace(100, milliseconds(1), 500)};
+  core::PbplConfig config;
+  config.cores = 4;
+  config.slot_size = milliseconds(5);
+  config.max_latency = milliseconds(50);
+  const auto result = core::run_pbpl(traces, milliseconds(200), config);
+  EXPECT_EQ(result.items, 100u);
+  ASSERT_EQ(result.timelines.size(), 4u);
+  // Three cores never host a consumer and never wake.
+  std::size_t silent = 0;
+  for (const auto& tl : result.timelines) silent += (tl.wakeups() == 0);
+  EXPECT_EQ(silent, 3u);
+}
+
+TEST(EdgePbpl, TinySlotTrack) {
+  // Δ = 1 µs: thousands of slots between items; the manager must still
+  // only wake at reserved ones.
+  std::vector<trace::Trace> traces{trace::uniform_trace(20, milliseconds(1), 100)};
+  core::PbplConfig config;
+  config.cores = 1;
+  config.slot_size = microseconds(1);
+  config.max_latency = milliseconds(5);
+  const auto result = core::run_pbpl(traces, milliseconds(50), config);
+  EXPECT_EQ(result.items, 20u);
+  EXPECT_LT(result.scheduled_wakeups, 200u);  // nowhere near 50k slots
+}
+
+TEST(EdgePbpl, BufferOfOne) {
+  std::vector<trace::Trace> traces{trace::uniform_trace(50, milliseconds(1), 333)};
+  core::PbplConfig config;
+  config.cores = 1;
+  config.slot_size = milliseconds(2);
+  config.max_latency = milliseconds(10);
+  config.base_buffer = 1;
+  config.pool_segment = 1;
+  const auto result = core::run_pbpl(traces, milliseconds(100), config);
+  EXPECT_EQ(result.items, 50u);
+}
+
+TEST(EdgePbpl, HorizonBeforeFirstItem) {
+  std::vector<trace::Trace> traces{trace::Trace({seconds(10)})};
+  core::PbplConfig config;
+  config.cores = 1;
+  config.slot_size = milliseconds(10);
+  config.max_latency = milliseconds(50);
+  const auto result = core::run_pbpl(traces, seconds(1), config);
+  EXPECT_EQ(result.items, 0u);  // the item lies beyond the horizon
+}
+
+TEST(EdgeBaselines, SimultaneousArrivalsOnOnePair) {
+  // Many items with the identical timestamp: one wakeup, one batch.
+  std::vector<SimTime> ts(40, milliseconds(5));
+  std::vector<trace::Trace> traces{trace::Trace(std::move(ts))};
+  impls::BaselineParams params;
+  params.cores = 1;
+  params.buffer_capacity = 100;
+  const auto r = impls::run_signaled(impls::ImplKind::Mutex, traces, milliseconds(50),
+                                     params);
+  EXPECT_EQ(r.items, 40u);
+  EXPECT_EQ(r.paid_wakeups, 1u);
+}
+
+TEST(EdgeBaselines, BatchWithBufferOne) {
+  std::vector<trace::Trace> traces{trace::uniform_trace(30, milliseconds(1), 777)};
+  impls::BaselineParams params;
+  params.cores = 1;
+  params.buffer_capacity = 1;  // degenerates into per-item batching
+  const auto r = impls::run_batch(traces, milliseconds(100), params);
+  EXPECT_EQ(r.items, 30u);
+  EXPECT_EQ(r.invocations, 30u);
+}
+
+TEST(EdgeBaselines, PeriodLongerThanHorizon) {
+  std::vector<trace::Trace> traces{trace::uniform_trace(10, milliseconds(1), 100)};
+  impls::BaselineParams params;
+  params.cores = 1;
+  params.buffer_capacity = 64;
+  params.period = seconds(10);  // the timer never fires inside the run
+  const auto r = impls::run_periodic(impls::ImplKind::SignalPeriodicBatch, traces,
+                                     milliseconds(50), params);
+  EXPECT_EQ(r.items, 10u);  // final drain still collects everything
+  EXPECT_EQ(r.scheduled_wakeups, 0u);
+}
+
+TEST(EdgeBaselines, EmptyWorkloadAllImpls) {
+  std::vector<trace::Trace> traces(3);
+  impls::ExperimentSetup setup;
+  setup.baseline.cores = 2;
+  for (const auto kind :
+       {impls::ImplKind::BusyWait, impls::ImplKind::Mutex, impls::ImplKind::Batch,
+        impls::ImplKind::SignalPeriodicBatch, impls::ImplKind::Pbpl}) {
+    const auto r = impls::run_implementation(kind, traces, milliseconds(100), setup);
+    EXPECT_EQ(r.items, 0u) << impls::impl_name(kind);
+  }
+}
+
+}  // namespace
+}  // namespace pcpc

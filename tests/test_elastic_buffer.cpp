@@ -1,0 +1,177 @@
+// Tests for the elastic buffer pool (Section V-C dynamic resizing).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pcpc/common/rng.hpp"
+#include "pcpc/queue/elastic_buffer.hpp"
+
+namespace pcpc::queue {
+namespace {
+
+TEST(BufferPool, SlotAccountingAtConstruction) {
+  BufferPool<int> pool(/*consumers=*/4, /*base_capacity=*/25, /*segment_size=*/5);
+  EXPECT_EQ(pool.total_slots(), 100u);
+  EXPECT_EQ(pool.free_slots(), 100u);
+  EXPECT_EQ(pool.base_capacity(), 25u);
+}
+
+TEST(BufferPool, RoundsUpPerConsumer) {
+  BufferPool<int> pool(/*consumers=*/3, /*base_capacity=*/7, /*segment_size=*/5);
+  // Each consumer's 7-slot share rounds to 2 segments: 3 × 10 slots.
+  EXPECT_EQ(pool.total_slots(), 30u);
+}
+
+TEST(BufferPool, EveryConsumerGetsItsBaseShare) {
+  // Regression (found by fuzzing): with a segment size larger than the
+  // base capacity, global rounding used to under-provision the pool and
+  // the last make_buffer() came up empty.
+  BufferPool<int> pool(/*consumers=*/3, /*base_capacity=*/4, /*segment_size=*/10);
+  std::vector<ElasticBuffer<int>> buffers;
+  for (int i = 0; i < 3; ++i) buffers.push_back(pool.make_buffer());
+  for (const auto& b : buffers) EXPECT_GE(b.capacity(), 4u);
+}
+
+TEST(BufferPool, MakeBufferTakesBaseCapacity) {
+  BufferPool<int> pool(2, 25, 5);
+  auto buffer = pool.make_buffer();
+  EXPECT_EQ(buffer.capacity(), 25u);
+  EXPECT_EQ(pool.free_slots(), 25u);
+}
+
+TEST(ElasticBuffer, FifoWithOverflowCount) {
+  BufferPool<int> pool(1, 3, 1);
+  auto buffer = pool.make_buffer();
+  EXPECT_TRUE(buffer.push(1));
+  EXPECT_TRUE(buffer.push(2));
+  EXPECT_TRUE(buffer.push(3));
+  EXPECT_FALSE(buffer.push(4));
+  EXPECT_EQ(buffer.overflows(), 1u);
+  EXPECT_EQ(*buffer.pop(), 1);
+  EXPECT_EQ(*buffer.pop(), 2);
+  EXPECT_EQ(*buffer.pop(), 3);
+  EXPECT_EQ(buffer.pop(), std::nullopt);
+}
+
+TEST(ElasticBuffer, GrowTakesFromPool) {
+  BufferPool<int> pool(2, 10, 5);
+  auto a = pool.make_buffer();
+  EXPECT_EQ(pool.free_slots(), 10u);
+  EXPECT_EQ(a.resize(20), 20u);
+  EXPECT_EQ(pool.free_slots(), 0u);
+}
+
+TEST(ElasticBuffer, GrowIsClampedByPool) {
+  BufferPool<int> pool(2, 10, 5);
+  auto a = pool.make_buffer();
+  auto b = pool.make_buffer();
+  EXPECT_EQ(pool.free_slots(), 0u);
+  EXPECT_EQ(a.resize(100), 10u);  // nothing left to lend
+  b.resize(5);                    // b shrinks, frees one segment
+  EXPECT_EQ(a.resize(100), 15u);  // a can now take it
+}
+
+TEST(ElasticBuffer, ShrinkReturnsToPool) {
+  BufferPool<int> pool(1, 20, 5);
+  auto buffer = pool.make_buffer();
+  buffer.resize(5);
+  EXPECT_EQ(buffer.capacity(), 5u);
+  EXPECT_EQ(pool.free_slots(), 15u);
+}
+
+TEST(ElasticBuffer, ShrinkNeverDropsLiveItems) {
+  BufferPool<int> pool(1, 20, 5);
+  auto buffer = pool.make_buffer();
+  for (int i = 0; i < 12; ++i) buffer.push(i);
+  buffer.resize(1);  // wants 1 slot but holds 12 items
+  EXPECT_GE(buffer.capacity(), 12u);
+  for (int i = 0; i < 12; ++i) EXPECT_EQ(*buffer.pop(), i);
+}
+
+TEST(ElasticBuffer, ResizeRoundsToSegments) {
+  BufferPool<int> pool(1, 20, 5);
+  auto buffer = pool.make_buffer();
+  EXPECT_EQ(buffer.resize(7), 10u);  // 2 segments of 5
+  EXPECT_EQ(buffer.resize(11), 15u);
+}
+
+TEST(ElasticBuffer, TrimReleasesAllSpare) {
+  BufferPool<int> pool(1, 20, 5);
+  auto buffer = pool.make_buffer();
+  buffer.push(1);
+  buffer.trim();
+  EXPECT_EQ(buffer.capacity(), 5u);  // one segment still holds the item
+  EXPECT_EQ(pool.free_slots(), 15u);
+}
+
+TEST(ElasticBuffer, DestructionReturnsSegments) {
+  BufferPool<int> pool(2, 10, 5);
+  {
+    auto buffer = pool.make_buffer();
+    EXPECT_EQ(pool.free_slots(), 10u);
+  }
+  EXPECT_EQ(pool.free_slots(), 20u);
+}
+
+TEST(ElasticBuffer, MoveTransfersOwnership) {
+  BufferPool<int> pool(1, 10, 5);
+  auto a = pool.make_buffer();
+  a.push(42);
+  auto b = std::move(a);
+  EXPECT_EQ(*b.pop(), 42);
+  // Destroying both must not double-free pool segments.
+}
+
+TEST(ElasticBuffer, CapacitySamplesRecordResizes) {
+  BufferPool<int> pool(1, 20, 5);
+  auto buffer = pool.make_buffer();
+  buffer.resize(10);
+  buffer.resize(20);
+  EXPECT_EQ(buffer.capacity_samples().count(), 2u);
+  EXPECT_DOUBLE_EQ(buffer.capacity_samples().mean(), 15.0);
+}
+
+TEST(ElasticBuffer, HighWaterTracksPeak) {
+  BufferPool<int> pool(1, 10, 5);
+  auto buffer = pool.make_buffer();
+  buffer.push(1);
+  buffer.push(2);
+  buffer.pop();
+  EXPECT_EQ(buffer.high_water(), 2u);
+}
+
+class PoolConservationTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PoolConservationTest, SlotsAreConservedUnderRandomTraffic) {
+  // Property: at every step, free + Σ owned = total, and no buffer ever
+  // loses a live item.
+  BufferPool<int> pool(4, 25, 5);
+  std::vector<ElasticBuffer<int>> buffers;
+  for (int i = 0; i < 4; ++i) buffers.push_back(pool.make_buffer());
+  std::vector<int> next_in(4, 0), next_out(4, 0);
+  Rng rng(GetParam());
+  for (int step = 0; step < 20000; ++step) {
+    const auto who = static_cast<std::size_t>(rng.next_below(4));
+    auto& buffer = buffers[who];
+    const double action = rng.next_double();
+    if (action < 0.4) {
+      if (buffer.push(next_in[who])) ++next_in[who];
+    } else if (action < 0.8) {
+      if (auto v = buffer.pop()) {
+        ASSERT_EQ(*v, next_out[who]);
+        ++next_out[who];
+      }
+    } else {
+      buffer.resize(rng.next_below(60));
+    }
+    std::size_t owned = 0;
+    for (const auto& b : buffers) owned += b.capacity();
+    ASSERT_EQ(owned + pool.free_slots(), pool.total_slots());
+    ASSERT_GE(buffer.capacity(), buffer.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PoolConservationTest, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace pcpc::queue

@@ -1,0 +1,90 @@
+// Tests for the experiment harness and the calibrated paper setups.
+#include <gtest/gtest.h>
+
+#include "pcpc/exp/experiment.hpp"
+#include "pcpc/exp/paper_setup.hpp"
+
+namespace pcpc::exp {
+namespace {
+
+ExperimentSpec quick_spec() {
+  ExperimentSpec spec = multi_pair_spec(3, 25);
+  spec.horizon = seconds(2);
+  spec.replicates = 2;
+  return spec;
+}
+
+TEST(Experiment, ReplicateIsDeterministic) {
+  const auto spec = quick_spec();
+  const auto a = run_replicate(ImplKind::Batch, spec, 0);
+  const auto b = run_replicate(ImplKind::Batch, spec, 0);
+  EXPECT_DOUBLE_EQ(a.power_w, b.power_w);
+  EXPECT_DOUBLE_EQ(a.wakeups_per_s, b.wakeups_per_s);
+  EXPECT_DOUBLE_EQ(a.items, b.items);
+}
+
+TEST(Experiment, ReplicatesShareTheItemSet) {
+  // The paper replays the same dataset; replicates only rotate its phase.
+  const auto spec = quick_spec();
+  const auto r0 = run_replicate(ImplKind::Mutex, spec, 0);
+  const auto r1 = run_replicate(ImplKind::Mutex, spec, 1);
+  EXPECT_DOUBLE_EQ(r0.items, r1.items);
+}
+
+TEST(Experiment, ImplementationsShareTheItemSet) {
+  const auto spec = quick_spec();
+  const auto mutex = run_replicate(ImplKind::Mutex, spec, 0);
+  const auto pbpl = run_replicate(ImplKind::Pbpl, spec, 0);
+  EXPECT_DOUBLE_EQ(mutex.items, pbpl.items);
+}
+
+TEST(Experiment, SummaryAggregatesReplicates) {
+  const auto spec = quick_spec();
+  const auto replicates = run_replicates(ImplKind::Batch, spec);
+  ASSERT_EQ(replicates.size(), 2u);
+  const MetricSummary summary = summarize(replicates);
+  EXPECT_EQ(summary.replicates, 2u);
+  EXPECT_NEAR(summary.power_mw.mean,
+              (replicates[0].power_w + replicates[1].power_w) * 1e3 / 2.0, 1e-9);
+  EXPECT_GE(summary.power_mw.ci95, 0.0);
+}
+
+TEST(PaperSetup, SinglePairSpecShape) {
+  const auto spec = single_pair_spec();
+  EXPECT_EQ(spec.pairs, 1u);
+  EXPECT_EQ(spec.replicates, 3u);
+  EXPECT_EQ(spec.setup.baseline.cores, 1u);
+  EXPECT_EQ(spec.setup.baseline.buffer_capacity, 50u);
+  EXPECT_GT(spec.workload.base_rate_hz, 0.0);
+}
+
+TEST(PaperSetup, MultiPairSpecShape) {
+  const auto spec = multi_pair_spec(5, 25);
+  EXPECT_EQ(spec.pairs, 5u);
+  EXPECT_EQ(spec.setup.baseline.cores, 2u);
+  EXPECT_EQ(spec.setup.baseline.buffer_capacity, 25u);
+  EXPECT_EQ(spec.setup.pbpl.slot_size, milliseconds(10));
+  // PBPL decision constants mirror the power model.
+  EXPECT_GT(spec.setup.pbpl.costs.wakeup_j, spec.power.wakeup_energy_j);
+  EXPECT_NEAR(spec.setup.pbpl.costs.per_item_j,
+              spec.power.active_power_w * to_seconds(spec.setup.baseline.service.per_item),
+              1e-12);
+}
+
+TEST(PaperSetup, EffectiveWakeupCostIncludesFragmentation) {
+  // On a deep C-state ladder the fragmentation term dominates the raw ω.
+  const auto spec = multi_pair_spec(5, 25);
+  EXPECT_GT(spec.setup.pbpl.costs.wakeup_j, 5.0 * spec.power.wakeup_energy_j);
+}
+
+TEST(Experiment, LatchedFractionOnlyForPbpl) {
+  const auto spec = quick_spec();
+  const auto mutex = run_replicate(ImplKind::Mutex, spec, 0);
+  EXPECT_EQ(mutex.latched_fraction, 0.0);
+  const auto pbpl = run_replicate(ImplKind::Pbpl, spec, 0);
+  EXPECT_GE(pbpl.latched_fraction, 0.0);
+  EXPECT_LE(pbpl.latched_fraction, 1.0);
+}
+
+}  // namespace
+}  // namespace pcpc::exp

@@ -1,0 +1,134 @@
+// Tests for the adaptive latency guard (Section VIII future-work
+// instantiation).
+#include <gtest/gtest.h>
+
+#include "pcpc/core/latency_guard.hpp"
+#include "pcpc/core/pbpl_system.hpp"
+#include "pcpc/trace/trace.hpp"
+
+namespace pcpc::core {
+namespace {
+
+TEST(LatencyGuard, StartsAtFullScale) {
+  const LatencyGuard guard(milliseconds(10));
+  EXPECT_DOUBLE_EQ(guard.horizon_scale(), 1.0);
+  EXPECT_EQ(guard.violations(), 0u);
+}
+
+TEST(LatencyGuard, ViolationShrinksScale) {
+  LatencyGuard guard(milliseconds(10), /*shrink=*/0.5);
+  guard.observe(milliseconds(15));
+  guard.end_batch();
+  EXPECT_DOUBLE_EQ(guard.horizon_scale(), 0.5);
+  EXPECT_EQ(guard.violations(), 1u);
+  EXPECT_EQ(guard.violated_batches(), 1u);
+}
+
+TEST(LatencyGuard, CleanBatchesRecoverSlowly) {
+  LatencyGuard guard(milliseconds(10), 0.5, /*grow=*/1.05);
+  guard.observe(milliseconds(15));
+  guard.end_batch();
+  const double after_violation = guard.horizon_scale();
+  for (int i = 0; i < 3; ++i) {
+    guard.observe(milliseconds(2));
+    guard.end_batch();
+  }
+  EXPECT_GT(guard.horizon_scale(), after_violation);
+  EXPECT_LT(guard.horizon_scale(), 1.0);
+}
+
+TEST(LatencyGuard, ScaleIsClampedBelow) {
+  LatencyGuard guard(milliseconds(10), 0.5, 1.05, /*min_scale=*/0.25);
+  for (int i = 0; i < 10; ++i) {
+    guard.observe(milliseconds(100));
+    guard.end_batch();
+  }
+  EXPECT_DOUBLE_EQ(guard.horizon_scale(), 0.25);
+}
+
+TEST(LatencyGuard, ScaleIsClampedAtOne) {
+  LatencyGuard guard(milliseconds(10));
+  for (int i = 0; i < 100; ++i) {
+    guard.observe(milliseconds(1));
+    guard.end_batch();
+  }
+  EXPECT_DOUBLE_EQ(guard.horizon_scale(), 1.0);
+}
+
+TEST(LatencyGuard, MultipleViolationsInOneBatchCountOnce) {
+  LatencyGuard guard(milliseconds(10), 0.5);
+  guard.observe(milliseconds(20));
+  guard.observe(milliseconds(30));
+  guard.end_batch();
+  EXPECT_EQ(guard.violations(), 2u);
+  EXPECT_EQ(guard.violated_batches(), 1u);
+  EXPECT_DOUBLE_EQ(guard.horizon_scale(), 0.5);  // shrunk once, not twice
+}
+
+TEST(LatencyGuardDeath, RejectsBadParameters) {
+  EXPECT_DEATH(LatencyGuard(0), "positive");
+  EXPECT_DEATH(LatencyGuard(milliseconds(1), 1.5), "shrink");
+  EXPECT_DEATH(LatencyGuard(milliseconds(1), 0.5, 0.9), "grow");
+}
+
+// End-to-end: the guard trades power (more wakeups) for a tail-latency
+// profile that respects the bound far better than the open-loop system
+// when the predictor is systematically wrong.
+TEST(LatencyGuardIntegration, ReducesTailLatencyOnRateDrops) {
+  // A square-wave producer: bursts of 2 kHz for 200 ms, then 200 ms of
+  // silence — the moving average persistently overestimates during the
+  // silences, so open-loop PBPL parks items far past their deadline.
+  std::vector<SimTime> ts;
+  for (SimTime window = 0; window < seconds(4); window += milliseconds(400)) {
+    for (SimTime t = 0; t < milliseconds(200); t += microseconds(500)) {
+      ts.push_back(window + t);
+    }
+  }
+  const std::vector<trace::Trace> traces{trace::Trace(std::move(ts))};
+
+  PbplConfig config;
+  config.cores = 1;
+  config.slot_size = milliseconds(5);
+  config.max_latency = milliseconds(25);
+  config.base_buffer = 100;  // big enough that overflow never forces a drain
+
+  PbplConfig guarded = config;
+  guarded.latency_guard = true;
+
+  const PbplResult open_loop = run_pbpl(traces, seconds(4), config);
+  const PbplResult closed_loop = run_pbpl(traces, seconds(4), guarded);
+
+  EXPECT_EQ(open_loop.items, closed_loop.items);
+  EXPECT_EQ(open_loop.latency_violations, 0u);  // guard off: not counted
+  // The guard is reactive: the first violation of each kind still lands,
+  // so the max is similar — but recurrence is suppressed, which shows up
+  // as a lower mean latency bought with extra scheduled wakeups.
+  EXPECT_LT(closed_loop.latency_s.mean(), 0.9 * open_loop.latency_s.mean());
+  EXPECT_GT(closed_loop.scheduled_wakeups, open_loop.scheduled_wakeups);
+  // And the guard's violation counter is live.
+  EXPECT_GT(closed_loop.latency_violations, 0u);
+}
+
+TEST(LatencyGuardIntegration, NoEffectOnSteadyTraffic) {
+  const auto trace = trace::uniform_trace(2000, microseconds(500));
+  const std::vector<trace::Trace> traces{trace};
+  PbplConfig config;
+  config.cores = 1;
+  config.slot_size = milliseconds(10);
+  config.max_latency = milliseconds(50);
+  config.base_buffer = 25;
+  PbplConfig guarded = config;
+  guarded.latency_guard = true;
+
+  const PbplResult open_loop = run_pbpl(traces, seconds(1), config);
+  const PbplResult closed_loop = run_pbpl(traces, seconds(1), guarded);
+  EXPECT_EQ(closed_loop.items, open_loop.items);
+  // Steady traffic never violates, so the guard stays at scale 1 and the
+  // wakeup counts stay close.
+  EXPECT_NEAR(static_cast<double>(closed_loop.scheduled_wakeups),
+              static_cast<double>(open_loop.scheduled_wakeups),
+              0.15 * static_cast<double>(open_loop.scheduled_wakeups) + 3.0);
+}
+
+}  // namespace
+}  // namespace pcpc::core

@@ -1,0 +1,66 @@
+// Tests for the latency recorder (moments + tail percentiles).
+#include <gtest/gtest.h>
+
+#include "pcpc/common/latency_recorder.hpp"
+
+namespace pcpc {
+namespace {
+
+TEST(LatencyRecorder, EmptyDefaults) {
+  LatencyRecorder r;
+  EXPECT_EQ(r.count(), 0u);
+  EXPECT_EQ(r.mean(), 0.0);
+  EXPECT_EQ(r.max(), 0.0);
+  EXPECT_EQ(r.min(), 0.0);
+}
+
+TEST(LatencyRecorder, MomentsMatchOnlineStats) {
+  LatencyRecorder r;
+  for (double v : {0.010, 0.020, 0.030}) r.add(v);
+  EXPECT_EQ(r.count(), 3u);
+  EXPECT_NEAR(r.mean(), 0.020, 1e-12);
+  EXPECT_NEAR(r.min(), 0.010, 1e-12);
+  EXPECT_NEAR(r.max(), 0.030, 1e-12);
+}
+
+TEST(LatencyRecorder, PercentilesOfUniformRamp) {
+  LatencyRecorder r;
+  for (int i = 0; i < 1000; ++i) r.add(i * 0.001);  // 0 .. 0.999 s
+  EXPECT_NEAR(r.p50(), 0.500, 0.01);
+  EXPECT_NEAR(r.p95(), 0.950, 0.01);
+  EXPECT_NEAR(r.p99(), 0.990, 0.01);
+}
+
+TEST(LatencyRecorder, TailSeparatesFromMean) {
+  // 99% of items at 1 ms, 1% at 500 ms: the mean hides the tail, p99
+  // exposes it.
+  LatencyRecorder r;
+  for (int i = 0; i < 990; ++i) r.add(0.001);
+  for (int i = 0; i < 10; ++i) r.add(0.500);
+  EXPECT_LT(r.mean(), 0.010);
+  EXPECT_GT(r.p99(), 0.40);
+}
+
+TEST(LatencyRecorder, MergeIsExact) {
+  LatencyRecorder a, b, all;
+  for (int i = 0; i < 500; ++i) {
+    const double v = i * 0.002;
+    (i % 2 == 0 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.p95(), all.p95(), 1e-12);
+  EXPECT_NEAR(a.max(), all.max(), 1e-12);
+}
+
+TEST(LatencyRecorder, QuantilesMonotone) {
+  LatencyRecorder r;
+  for (int i = 0; i < 100; ++i) r.add(0.001 * (i % 17));
+  EXPECT_LE(r.p50(), r.p95());
+  EXPECT_LE(r.p95(), r.p99());
+}
+
+}  // namespace
+}  // namespace pcpc

@@ -1,0 +1,192 @@
+// End-to-end regression tests pinning the paper's qualitative claims —
+// the shapes of Figures 3/4/9/10/11 and the Section VI-C counters.
+// Shorter horizons than the benches keep the suite fast; the assertions
+// are directional (orderings, crossovers), not absolute values.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "pcpc/common/stats.hpp"
+#include "pcpc/exp/paper_setup.hpp"
+
+namespace pcpc::exp {
+namespace {
+
+ReplicateMetrics quick(ImplKind kind, ExperimentSpec spec) {
+  spec.horizon = seconds(4);
+  return run_replicate(kind, spec, 0);
+}
+
+struct SingleStudy : ::testing::Test {
+  static const std::map<ImplKind, ReplicateMetrics>& results() {
+    static const auto cached = [] {
+      std::map<ImplKind, ReplicateMetrics> r;
+      for (const auto kind : kSingleStudyImpls) r[kind] = quick(kind, single_pair_spec());
+      return r;
+    }();
+    return cached;
+  }
+};
+
+TEST_F(SingleStudy, SpinningImplementationsBurnTheMostPower) {
+  const auto& r = results();
+  const double worst_idling = std::max(
+      {r.at(ImplKind::Mutex).power_w, r.at(ImplKind::Semaphore).power_w,
+       r.at(ImplKind::Batch).power_w, r.at(ImplKind::PeriodicBatch).power_w,
+       r.at(ImplKind::SignalPeriodicBatch).power_w});
+  EXPECT_GT(r.at(ImplKind::BusyWait).power_w, worst_idling);
+  EXPECT_GT(r.at(ImplKind::Yield).power_w, worst_idling);
+}
+
+TEST_F(SingleStudy, YieldSavesALittleOverBusyWait) {
+  EXPECT_LT(results().at(ImplKind::Yield).power_w,
+            results().at(ImplKind::BusyWait).power_w);
+}
+
+TEST_F(SingleStudy, BatchFamilyBeatsPerItemSignaling) {
+  // Paper Section III-C3: the batch implementations are the most power
+  // efficient; Mutex/Sem are the least efficient among the idling five.
+  const auto& r = results();
+  for (const auto batch_kind : {ImplKind::Batch, ImplKind::PeriodicBatch,
+                                ImplKind::SignalPeriodicBatch}) {
+    EXPECT_LT(r.at(batch_kind).power_w, r.at(ImplKind::Mutex).power_w);
+    EXPECT_LT(r.at(batch_kind).power_w, r.at(ImplKind::Semaphore).power_w);
+    EXPECT_LT(r.at(batch_kind).wakeups_per_s, r.at(ImplKind::Mutex).wakeups_per_s);
+  }
+}
+
+TEST_F(SingleStudy, SpbpSavesSubstantiallyOverMutex) {
+  // Paper: 33% reduction; we accept anything in the 20-55% band.
+  const auto& r = results();
+  const double reduction = (r.at(ImplKind::Mutex).power_w -
+                            r.at(ImplKind::SignalPeriodicBatch).power_w) /
+                           r.at(ImplKind::Mutex).power_w;
+  EXPECT_GT(reduction, 0.20);
+  EXPECT_LT(reduction, 0.55);
+}
+
+TEST_F(SingleStudy, BusyWaitHasFewestWakeupsButHighestUsage) {
+  const auto& r = results();
+  EXPECT_LT(r.at(ImplKind::BusyWait).wakeups_per_s,
+            r.at(ImplKind::Batch).wakeups_per_s);
+  EXPECT_NEAR(r.at(ImplKind::BusyWait).usage_ms_per_s, 1000.0, 1.0);
+  EXPECT_GT(r.at(ImplKind::BusyWait).usage_ms_per_s,
+            3.0 * r.at(ImplKind::Mutex).usage_ms_per_s);
+}
+
+TEST_F(SingleStudy, JitterCausesMoreOverflowsInPbpThanSpbp) {
+  // Paper III-C3: sleep() jitter causes more buffer overflows and thus
+  // more (raw) wakeups for PBP than SPBP.
+  const auto& r = results();
+  EXPECT_GT(r.at(ImplKind::PeriodicBatch).overflows,
+            r.at(ImplKind::SignalPeriodicBatch).overflows);
+}
+
+TEST_F(SingleStudy, WakeupsCorrelateWithPowerAmongIdlingImpls) {
+  // The paper's central hypothesis (accepted at 99% confidence): wakeups
+  // have a significant positive effect on power among the idling five.
+  std::vector<double> wakeups, power;
+  for (const auto kind : {ImplKind::Mutex, ImplKind::Semaphore, ImplKind::Batch,
+                          ImplKind::PeriodicBatch, ImplKind::SignalPeriodicBatch}) {
+    wakeups.push_back(results().at(kind).wakeups_per_s);
+    power.push_back(results().at(kind).power_w);
+  }
+  EXPECT_GT(pearson_correlation(wakeups, power), 0.5);
+}
+
+struct MultiEval : ::testing::Test {
+  static ReplicateMetrics get(ImplKind kind, std::size_t pairs, std::size_t buffer) {
+    static std::map<std::tuple<ImplKind, std::size_t, std::size_t>, ReplicateMetrics>
+        cache;
+    const auto key = std::make_tuple(kind, pairs, buffer);
+    const auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+    const auto value = quick(kind, multi_pair_spec(pairs, buffer));
+    cache.emplace(key, value);
+    return value;
+  }
+};
+
+TEST_F(MultiEval, PbplBeatsMutexAndSemOnPowerAndWakeups) {
+  const auto pbpl = get(ImplKind::Pbpl, 5, 25);
+  for (const auto kind : {ImplKind::Mutex, ImplKind::Semaphore}) {
+    const auto other = get(kind, 5, 25);
+    EXPECT_LT(pbpl.power_w, other.power_w);
+    EXPECT_LT(pbpl.wakeups_per_s, other.wakeups_per_s);
+  }
+}
+
+TEST_F(MultiEval, PbplBeatsBpAtFiveConsumers) {
+  // Figure 9's headline: PBPL below BP on both axes at M=5, B=25.
+  const auto pbpl = get(ImplKind::Pbpl, 5, 25);
+  const auto bp = get(ImplKind::Batch, 5, 25);
+  EXPECT_LT(pbpl.power_w, bp.power_w);
+  EXPECT_LT(pbpl.wakeups_per_s, bp.wakeups_per_s);
+}
+
+TEST_F(MultiEval, PbplAdvantageOverBpGrowsWithConsumers) {
+  // Figure 10: PBPL "prospers when there are more consumers and more
+  // possibilities for latching".
+  const auto gap = [&](std::size_t pairs) {
+    const double bp = get(ImplKind::Batch, pairs, 25).power_w;
+    const double pbpl = get(ImplKind::Pbpl, pairs, 25).power_w;
+    return (bp - pbpl) / bp;
+  };
+  EXPECT_GT(gap(10), gap(2));
+  EXPECT_GT(gap(5), gap(2));
+}
+
+TEST_F(MultiEval, PowerGrowsWithConsumerCount) {
+  // Figure 10: "power consumption increases consistently with increasing
+  // the number of consumers".
+  for (const auto kind : kMultiEvalImpls) {
+    EXPECT_LT(get(kind, 2, 25).power_w, get(kind, 5, 25).power_w);
+    EXPECT_LT(get(kind, 5, 25).power_w, get(kind, 10, 25).power_w);
+  }
+}
+
+TEST_F(MultiEval, BiggerBuffersLowerWakeupsAndPower) {
+  // Figure 11: increasing the buffer size decreases both metrics for the
+  // batch-based implementations.
+  for (const auto kind : {ImplKind::Batch, ImplKind::Pbpl}) {
+    EXPECT_GT(get(kind, 5, 25).wakeups_per_s, get(kind, 5, 100).wakeups_per_s);
+    EXPECT_GT(get(kind, 5, 25).power_w, get(kind, 5, 100).power_w);
+  }
+}
+
+TEST_F(MultiEval, PbplBpGapNarrowsWithBufferSize) {
+  // Figure 11: "the gap between PBPL and BP decreases as the buffer size
+  // increases" (saturation).
+  const auto gap = [&](std::size_t buffer) {
+    return get(ImplKind::Batch, 5, buffer).power_w -
+           get(ImplKind::Pbpl, 5, buffer).power_w;
+  };
+  EXPECT_GT(gap(25), gap(100));
+}
+
+TEST_F(MultiEval, PbplConvertsMostOverflowsIntoScheduledWakeups) {
+  // Section VI-C: BP's wakeups are all overflows; PBPL converts the bulk
+  // into scheduled slot wakeups (paper: 82.5% conversion).
+  const auto bp = get(ImplKind::Batch, 5, 50);
+  const auto pbpl = get(ImplKind::Pbpl, 5, 50);
+  EXPECT_GT(bp.overflows, 0.0);
+  EXPECT_LT(pbpl.overflows, 0.5 * bp.overflows);
+  EXPECT_GT(pbpl.scheduled_wakeups, pbpl.overflows);
+}
+
+TEST_F(MultiEval, DynamicResizingUsesLessThanTheFullBuffer) {
+  // Section VI-C: PBPL's average buffer size stays below the allocated
+  // B (paper: 43 of 50).
+  const auto pbpl = get(ImplKind::Pbpl, 5, 50);
+  EXPECT_GT(pbpl.mean_buffer_capacity, 10.0);
+  EXPECT_LT(pbpl.mean_buffer_capacity, 50.0);
+}
+
+TEST_F(MultiEval, LatchingFractionGrowsWithConsumerDensity) {
+  EXPECT_GT(get(ImplKind::Pbpl, 10, 25).latched_fraction,
+            get(ImplKind::Pbpl, 5, 25).latched_fraction);
+}
+
+}  // namespace
+}  // namespace pcpc::exp

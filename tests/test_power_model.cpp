@@ -1,0 +1,186 @@
+// Tests for the C-state ladder, the energy ledger and the PowerTop report.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "pcpc/power/cstate.hpp"
+#include "pcpc/power/energy_ledger.hpp"
+#include "pcpc/power/powertop.hpp"
+
+namespace pcpc::power {
+namespace {
+
+TEST(CState, TwoStateEnergyIsLinear) {
+  const CStateModel model = CStateModel::two_state(0.2);
+  EXPECT_NEAR(model.idle_energy(seconds(1)), 0.2, 1e-12);
+  EXPECT_NEAR(model.idle_energy(milliseconds(500)), 0.1, 1e-12);
+  EXPECT_EQ(model.idle_energy(0), 0.0);
+}
+
+TEST(CState, LadderDescendsWithGapLength) {
+  const CStateModel model = CStateModel::arndale_like();
+  // Mean idle power falls monotonically with longer contiguous gaps.
+  double previous = 1e9;
+  for (const SimDuration gap : {microseconds(10), microseconds(200), milliseconds(1),
+                                milliseconds(10), milliseconds(100)}) {
+    const double p = model.idle_power(gap);
+    EXPECT_LT(p, previous);
+    previous = p;
+  }
+}
+
+class CStateSubadditivity
+    : public ::testing::TestWithParam<std::pair<SimDuration, SimDuration>> {};
+
+TEST_P(CStateSubadditivity, SplittingAGapNeverSavesEnergy) {
+  // The model foundation of Figure 1: one contiguous idle gap costs at
+  // most as much as the same time split in two.
+  const auto [a, b] = GetParam();
+  const CStateModel model = CStateModel::arndale_like();
+  EXPECT_LE(model.idle_energy(a + b), model.idle_energy(a) + model.idle_energy(b) + 1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GapPairs, CStateSubadditivity,
+    ::testing::Values(std::pair{microseconds(50), microseconds(50)},
+                      std::pair{microseconds(500), microseconds(500)},
+                      std::pair{milliseconds(2), milliseconds(2)},
+                      std::pair{milliseconds(1), milliseconds(30)},
+                      std::pair{microseconds(10), milliseconds(100)}));
+
+TEST(CState, DeepestReached) {
+  const CStateModel model = CStateModel::arndale_like();
+  EXPECT_EQ(model.deepest_reached(microseconds(10)).name, "C1-wfi");
+  EXPECT_EQ(model.deepest_reached(milliseconds(1)).name, "C3-core-off");
+  EXPECT_EQ(model.deepest_reached(milliseconds(100)).name, "C4-cluster-off");
+}
+
+TEST(CState, LadderEnergyHandComputed) {
+  // Two-level ladder: 0.2 W until 1 ms, then 0.05 W.
+  const CStateModel model({CState{"shallow", 0.2, 0, 0},
+                           CState{"deep", 0.05, milliseconds(1), microseconds(10)}});
+  // 3 ms gap: 1 ms at 0.2 + 2 ms at 0.05 = 0.2m + 0.1m = 0.3 mJ.
+  EXPECT_NEAR(model.idle_energy(milliseconds(3)), 0.3e-3, 1e-12);
+}
+
+TEST(CStateDeath, RejectsBrokenLadder) {
+  EXPECT_DEATH(CStateModel({CState{"a", 0.1, 0, 0}, CState{"b", 0.2, milliseconds(1), 0}}),
+               "power");
+  EXPECT_DEATH(CStateModel({CState{"a", 0.1, milliseconds(1), 0}}), "immediately");
+}
+
+PowerModelParams simple_params() {
+  PowerModelParams p = PowerModelParams::simplified(/*active_w=*/1.0, /*idle_w=*/0.1,
+                                                    /*wakeup_j=*/1e-5);
+  p.item_transport_energy_j = 0.0;
+  return p;
+}
+
+TEST(EnergyLedger, HandComputedEnergy) {
+  CoreTimeline t;
+  t.wake(0);
+  t.sleep(milliseconds(400));
+  t.finalize(seconds(1));
+  const EnergyLedger ledger(simple_params());
+  // 0.4s * 1.0W + 0.6s * 0.1W + 1 wakeup * 1e-5 J.
+  EXPECT_NEAR(ledger.energy_joules(t), 0.4 + 0.06 + 1e-5, 1e-9);
+  EXPECT_NEAR(ledger.baseline_joules(t), 0.1, 1e-12);
+  // Extra power: (0.46001 - 0.1) / 1s.
+  EXPECT_NEAR(ledger.extra_power_watts(t), 0.36001, 1e-6);
+}
+
+TEST(EnergyLedger, IdleTimelineHasZeroExtraPower) {
+  CoreTimeline t;
+  t.finalize(seconds(1));
+  const EnergyLedger ledger(simple_params());
+  EXPECT_NEAR(ledger.extra_power_watts(t), 0.0, 1e-12);
+}
+
+TEST(EnergyLedger, ActiveScaleDiscountsActivePower) {
+  CoreTimeline t;
+  t.wake(0);
+  t.finalize(seconds(1));
+  const EnergyLedger ledger(simple_params());
+  const double full = ledger.extra_power_watts(t, 1.0);
+  const double scaled = ledger.extra_power_watts(t, 0.85);
+  // One second fully active: the scale shaves exactly 0.15 W; the wakeup
+  // energy term is identical in both and cancels in the difference.
+  EXPECT_NEAR(full - scaled, 0.15, 1e-9);
+}
+
+TEST(EnergyLedger, MoreWakeupsMoreEnergy) {
+  // Same active time split into more activations costs more.
+  const EnergyLedger ledger(PowerModelParams{});
+  CoreTimeline few;
+  few.wake(0);
+  few.sleep(milliseconds(100));
+  few.finalize(seconds(1));
+  CoreTimeline many;
+  for (int i = 0; i < 10; ++i) {
+    many.wake(milliseconds(100 * i));
+    many.sleep(milliseconds(100 * i + 10));
+  }
+  many.finalize(seconds(1));
+  EXPECT_EQ(few.active_time(), many.active_time());
+  EXPECT_GT(ledger.energy_joules(many), ledger.energy_joules(few));
+}
+
+TEST(EnergyLedger, TransportPower) {
+  PowerModelParams p;
+  p.item_transport_energy_j = 10e-6;
+  const EnergyLedger ledger(p);
+  EXPECT_NEAR(ledger.transport_power_watts(100000, seconds(1)), 1.0, 1e-9);
+  EXPECT_NEAR(ledger.transport_power_watts(100000, seconds(10)), 0.1, 1e-9);
+  EXPECT_EQ(ledger.transport_power_watts(100, 0), 0.0);
+}
+
+TEST(EnergyLedger, ItemEnergyExcludesInvocationOverhead) {
+  ServiceModel service;
+  service.per_item = microseconds(2);
+  service.per_invocation = microseconds(5);
+  PowerModelParams p;
+  p.active_power_w = 1.0;
+  const EnergyLedger ledger(p);
+  EXPECT_NEAR(ledger.item_energy_j(service, 10), 20e-6, 1e-12);
+}
+
+TEST(ServiceModel, BatchTime) {
+  ServiceModel service;
+  service.per_item = microseconds(3);
+  service.per_invocation = microseconds(7);
+  EXPECT_EQ(service.batch_time(0), microseconds(7));
+  EXPECT_EQ(service.batch_time(10), microseconds(37));
+}
+
+TEST(PowerTop, RowAggregatesCores) {
+  CoreTimeline a;
+  a.wake(0);
+  a.sleep(milliseconds(100));
+  a.finalize(seconds(1));
+  CoreTimeline b;
+  b.wake(0);
+  b.sleep(milliseconds(200));
+  b.wake(milliseconds(500));
+  b.sleep(milliseconds(600));
+  b.finalize(seconds(1));
+  std::vector<CoreTimeline> cores;
+  cores.push_back(std::move(a));
+  cores.push_back(std::move(b));
+  const EnergyLedger ledger(simple_params());
+  const PowerTopRow row = powertop_row("test", cores, ledger);
+  EXPECT_NEAR(row.wakeups_per_s, 3.0, 1e-9);
+  EXPECT_NEAR(row.usage_ms_per_s, 400.0, 1e-9);
+  EXPECT_GT(row.extra_power_w, 0.0);
+}
+
+TEST(PowerTop, RenderContainsColumns) {
+  std::vector<PowerTopRow> rows{{"Mutex", 100.0, 50.0, 0.5}};
+  const std::string out = render_report(rows, "title");
+  EXPECT_NE(out.find("Mutex"), std::string::npos);
+  EXPECT_NE(out.find("wakeups/s"), std::string::npos);
+  EXPECT_NE(out.find("500.00"), std::string::npos);  // 0.5 W → 500 mW
+}
+
+}  // namespace
+}  // namespace pcpc::power

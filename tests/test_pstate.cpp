@@ -1,0 +1,106 @@
+// Tests for the P-state/DVFS model and the race-to-idle evaluation
+// (paper Section II background).
+#include <gtest/gtest.h>
+
+#include "pcpc/power/cstate.hpp"
+#include "pcpc/power/pstate.hpp"
+
+namespace pcpc::power {
+namespace {
+
+TEST(PState, DynamicPowerFollowsCV2F) {
+  // P = C·V²·f + leakage, checked by hand.
+  const PStateModel model({PState{"a", 1e9, 1.0}, PState{"b", 2e9, 1.2}},
+                          /*C=*/1e-9, /*leakage=*/0.1);
+  EXPECT_NEAR(model.active_power_w(0), 1e-9 * 1.0 * 1e9 + 0.1, 1e-9);
+  EXPECT_NEAR(model.active_power_w(1), 1e-9 * 1.44 * 2e9 + 0.1, 1e-9);
+}
+
+TEST(PState, PowerGrowsWithFrequency) {
+  const PStateModel model = PStateModel::arndale_like();
+  for (std::size_t i = 1; i < model.size(); ++i) {
+    EXPECT_GT(model.active_power_w(i), model.active_power_w(i - 1));
+  }
+}
+
+TEST(PState, TopStateMatchesTwoStateCalibration) {
+  // The simplified two-state model's 1.1 W active power is the DVFS
+  // table's top state.
+  const PStateModel model = PStateModel::arndale_like();
+  EXPECT_NEAR(model.active_power_w(model.fastest()), 1.10, 0.02);
+}
+
+TEST(PState, ExecutionTimeScalesInverselyWithFrequency) {
+  const PStateModel model = PStateModel::arndale_like();
+  const double work = 1.6e6;  // cycles
+  EXPECT_EQ(model.execution_time(work, model.fastest()), milliseconds(1));
+  EXPECT_GT(model.execution_time(work, 0), model.execution_time(work, model.fastest()));
+}
+
+TEST(PState, EnergyPerCycleFallsAtLowerFrequency) {
+  // Without idle effects, running slower is more efficient per cycle
+  // (voltage drops): the reason race-to-idle is not trivially optimal.
+  const PStateModel model = PStateModel::arndale_like();
+  const double work = 1e9;
+  EXPECT_LT(model.execution_energy_j(work, 0),
+            model.execution_energy_j(work, model.fastest()));
+}
+
+TEST(PState, SlowestMeetingDeadline) {
+  const PStateModel model = PStateModel::arndale_like();
+  const double work = 1.6e6;  // 1 ms at 1.6 GHz, ~2.67 ms at 600 MHz
+  EXPECT_EQ(model.slowest_meeting(work, milliseconds(10)), 0u);
+  EXPECT_EQ(model.slowest_meeting(work, milliseconds(1)), model.fastest());
+  // Impossible deadline falls back to the fastest state.
+  EXPECT_EQ(model.slowest_meeting(work, microseconds(1)), model.fastest());
+}
+
+TEST(RaceToIdle, WindowAccounting) {
+  const PStateModel pstates = PStateModel::arndale_like();
+  const CStateModel idle = CStateModel::two_state(0.1);
+  const double work = 1.6e6;  // 1 ms at top speed
+  const auto outcome =
+      evaluate_window(pstates, idle, work, milliseconds(4), 8e-6, pstates.fastest());
+  EXPECT_EQ(outcome.busy, milliseconds(1));
+  EXPECT_EQ(outcome.idle, milliseconds(3));
+  EXPECT_GT(outcome.energy_j, 0.0);
+}
+
+TEST(RaceToIdle, ShallowIdleFavoursLowFrequency) {
+  // With only a shallow (expensive) idle state, crawling at the slowest
+  // P-state that fills the window beats racing and idling.
+  const PStateModel pstates = PStateModel::arndale_like();
+  const CStateModel shallow = CStateModel::two_state(0.30);
+  const double work = 2.4e6;  // 1.5 ms at 1.6 GHz, 4 ms at 600 MHz
+  const auto best = best_pstate(pstates, shallow, work, milliseconds(4), 8e-6);
+  EXPECT_EQ(best.pstate, 0u);
+}
+
+TEST(RaceToIdle, DeepIdleFavoursRacing) {
+  // With a deep C-state ladder the idle time is nearly free, so the
+  // higher P-states become competitive — race-to-idle's premise.
+  const PStateModel pstates = PStateModel::arndale_like();
+  const CStateModel deep = CStateModel::two_state(0.005);
+  const double work = 2.4e6;
+  const auto shallow_best =
+      best_pstate(pstates, CStateModel::two_state(0.30), work, milliseconds(4), 8e-6);
+  const auto deep_best = best_pstate(pstates, deep, work, milliseconds(4), 8e-6);
+  EXPECT_GT(deep_best.pstate, shallow_best.pstate);
+}
+
+TEST(RaceToIdle, OversizedWorkRunsFlatOut) {
+  const PStateModel pstates = PStateModel::arndale_like();
+  const CStateModel idle = CStateModel::arndale_like();
+  const double work = 1e12;  // cannot fit any window
+  const auto best = best_pstate(pstates, idle, work, milliseconds(1), 8e-6);
+  EXPECT_EQ(best.pstate, pstates.fastest());
+  EXPECT_EQ(best.idle, 0);
+}
+
+TEST(PStateDeath, RejectsUnsortedTable) {
+  EXPECT_DEATH(PStateModel({PState{"a", 2e9, 1.2}, PState{"b", 1e9, 1.0}}, 1e-9, 0.1),
+               "ascending");
+}
+
+}  // namespace
+}  // namespace pcpc::power

@@ -1,0 +1,155 @@
+// Tests for the rate predictors (Section V-C prediction; Kalman is the
+// paper's future-work estimator).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pcpc/core/rate_predictor.hpp"
+
+namespace pcpc::core {
+namespace {
+
+TEST(MovingAveragePredictor, ZeroBeforeObservations) {
+  MovingAverageRatePredictor p(4);
+  EXPECT_EQ(p.predict(), 0.0);
+}
+
+TEST(MovingAveragePredictor, WindowedMean) {
+  MovingAverageRatePredictor p(3);
+  p.observe(300.0);
+  p.observe(600.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 450.0);
+  p.observe(900.0);
+  p.observe(1200.0);  // evicts 300
+  EXPECT_DOUBLE_EQ(p.predict(), 900.0);
+}
+
+TEST(MovingAveragePredictor, ResetClearsHistory) {
+  MovingAverageRatePredictor p(3);
+  p.observe(500.0);
+  p.reset();
+  EXPECT_EQ(p.predict(), 0.0);
+}
+
+TEST(MovingAveragePredictor, NameIncludesWindow) {
+  MovingAverageRatePredictor p(8);
+  EXPECT_NE(p.name().find("h=8"), std::string::npos);
+}
+
+TEST(KalmanPredictor, FirstObservationIsEstimate) {
+  KalmanRatePredictor p;
+  p.observe(1234.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 1234.0);
+}
+
+TEST(KalmanPredictor, ConvergesToConstantRate) {
+  KalmanRatePredictor p;
+  for (int i = 0; i < 200; ++i) p.observe(2000.0);
+  EXPECT_NEAR(p.predict(), 2000.0, 1e-6);
+}
+
+TEST(KalmanPredictor, CovarianceShrinksUnderConstantInput) {
+  KalmanRatePredictor p;
+  p.observe(100.0);
+  const double p0 = p.covariance();
+  for (int i = 0; i < 50; ++i) p.observe(100.0);
+  EXPECT_LT(p.covariance(), p0);
+}
+
+TEST(KalmanPredictor, TracksAStep) {
+  KalmanRatePredictor p(/*process_noise=*/400.0, /*measurement_noise=*/4000.0);
+  for (int i = 0; i < 50; ++i) p.observe(1000.0);
+  for (int i = 0; i < 50; ++i) p.observe(5000.0);
+  EXPECT_NEAR(p.predict(), 5000.0, 300.0);
+}
+
+TEST(KalmanPredictor, SmoothsNoiseBetterThanShortMovingAverage) {
+  // Alternating measurements around a constant mean: the Kalman estimate
+  // should hug the mean more tightly than a short moving average (an
+  // even window would cancel the alternation exactly, so use 3).
+  KalmanRatePredictor kalman;
+  MovingAverageRatePredictor ma(3);
+  double kalman_err = 0.0, ma_err = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const double z = 1000.0 + ((i % 2 == 0) ? 400.0 : -400.0);
+    kalman.observe(z);
+    ma.observe(z);
+    if (i > 20) {
+      kalman_err += std::abs(kalman.predict() - 1000.0);
+      ma_err += std::abs(ma.predict() - 1000.0);
+    }
+  }
+  EXPECT_LT(kalman_err, ma_err);
+}
+
+TEST(KalmanPredictor, ResetForgetsState) {
+  KalmanRatePredictor p;
+  p.observe(999.0);
+  p.reset();
+  EXPECT_EQ(p.predict(), 0.0);
+  p.observe(5.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 5.0);
+}
+
+TEST(PredictorFactory, CreatesRequestedKind) {
+  const auto ma = make_predictor(PredictorKind::MovingAverage, 8);
+  EXPECT_NE(ma->name().find("moving-average"), std::string::npos);
+  const auto kalman = make_predictor(PredictorKind::Kalman, 8);
+  EXPECT_EQ(kalman->name(), "kalman");
+}
+
+TEST(PredictorDeath, NegativeRateRejected) {
+  MovingAverageRatePredictor p(4);
+  EXPECT_DEATH(p.observe(-1.0), "non-negative");
+}
+
+TEST(EwmaPredictor, FirstObservationIsEstimate) {
+  EwmaRatePredictor p(0.3);
+  EXPECT_EQ(p.predict(), 0.0);
+  p.observe(500.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 500.0);
+}
+
+TEST(EwmaPredictor, GeometricUpdate) {
+  EwmaRatePredictor p(0.25);
+  p.observe(1000.0);
+  p.observe(2000.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 1000.0 + 0.25 * 1000.0);
+  p.observe(2000.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 1250.0 + 0.25 * 750.0);
+}
+
+TEST(EwmaPredictor, ConvergesToConstant) {
+  EwmaRatePredictor p(0.25);
+  for (int i = 0; i < 100; ++i) p.observe(3000.0);
+  EXPECT_NEAR(p.predict(), 3000.0, 1e-6);
+}
+
+TEST(EwmaPredictor, AlphaOneTracksExactly) {
+  EwmaRatePredictor p(1.0);
+  p.observe(10.0);
+  p.observe(99.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 99.0);
+}
+
+TEST(EwmaPredictor, ResetForgets) {
+  EwmaRatePredictor p(0.5);
+  p.observe(100.0);
+  p.reset();
+  EXPECT_EQ(p.predict(), 0.0);
+  p.observe(7.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 7.0);
+}
+
+TEST(EwmaPredictor, FactoryCreatesIt) {
+  const auto p = make_predictor(PredictorKind::Ewma, 8);
+  EXPECT_NE(p->name().find("ewma"), std::string::npos);
+}
+
+TEST(EwmaPredictorDeath, RejectsBadAlpha) {
+  EXPECT_DEATH(EwmaRatePredictor(0.0), "alpha");
+  EXPECT_DEATH(EwmaRatePredictor(1.5), "alpha");
+}
+
+}  // namespace
+}  // namespace pcpc::core

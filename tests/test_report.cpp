@@ -1,0 +1,83 @@
+// Tests for the structured report renderer/exporter.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "pcpc/exp/report.hpp"
+
+namespace pcpc::exp {
+namespace {
+
+Report sample_report() {
+  Report report("sample");
+  report.add_table("power", "Power by impl", {"impl", "mW"});
+  report.add_row({"Mutex", "618.6"});
+  report.add_row({"PBPL", "309.8"});
+  report.add_table("wakeups", "Wakeups", {"impl", "wk/s"});
+  report.add_row({"Mutex", "9024"});
+  report.add_note("PBPL wins.");
+  return report;
+}
+
+TEST(Report, PrintsTablesAndNotes) {
+  std::ostringstream os;
+  sample_report().print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Power by impl"), std::string::npos);
+  EXPECT_NE(out.find("Mutex"), std::string::npos);
+  EXPECT_NE(out.find("309.8"), std::string::npos);
+  EXPECT_NE(out.find("PBPL wins."), std::string::npos);
+}
+
+TEST(Report, MarkdownShape) {
+  const std::string md = sample_report().to_markdown();
+  EXPECT_NE(md.find("## Power by impl"), std::string::npos);
+  EXPECT_NE(md.find("| impl | mW |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+  EXPECT_NE(md.find("| PBPL | 309.8 |"), std::string::npos);
+}
+
+TEST(Report, ExportsOneCsvPerTable) {
+  const std::string dir = ::testing::TempDir();
+  EXPECT_EQ(sample_report().export_csv(dir), 2u);
+  std::ifstream power(dir + "/sample_power.csv");
+  ASSERT_TRUE(power.good());
+  std::string header, row;
+  std::getline(power, header);
+  std::getline(power, row);
+  EXPECT_EQ(header, "impl,mW");
+  EXPECT_EQ(row, "Mutex,618.6");
+  std::remove((dir + "/sample_power.csv").c_str());
+  std::remove((dir + "/sample_wakeups.csv").c_str());
+}
+
+TEST(Report, MaybeExportHonoursEnvironment) {
+  const std::string dir = ::testing::TempDir();
+  setenv("PCPC_EXPORT_DIR", dir.c_str(), 1);
+  std::ostringstream os;
+  sample_report().maybe_export(os);
+  EXPECT_NE(os.str().find("exported 2"), std::string::npos);
+  unsetenv("PCPC_EXPORT_DIR");
+  std::ostringstream quiet;
+  sample_report().maybe_export(quiet);
+  EXPECT_TRUE(quiet.str().empty());
+  std::remove((dir + "/sample_power.csv").c_str());
+  std::remove((dir + "/sample_wakeups.csv").c_str());
+}
+
+TEST(ReportDeath, RowBeforeTableAborts) {
+  Report report("x");
+  EXPECT_DEATH(report.add_row({"a"}), "add_table");
+}
+
+TEST(ReportDeath, RowWidthMismatchAborts) {
+  Report report("x");
+  report.add_table("t", "", {"a", "b"});
+  EXPECT_DEATH(report.add_row({"only one"}), "width");
+}
+
+}  // namespace
+}  // namespace pcpc::exp

@@ -1,0 +1,108 @@
+// Tests for the reservation table (Section V-B).
+#include <gtest/gtest.h>
+
+#include "pcpc/core/reservation.hpp"
+
+namespace pcpc::core {
+namespace {
+
+TEST(ReservationTable, ReserveAndLookup) {
+  ReservationTable table;
+  table.reserve(1, 10);
+  EXPECT_TRUE(table.slot_reserved(10));
+  EXPECT_FALSE(table.slot_reserved(11));
+  EXPECT_EQ(table.reservation_of(1), std::optional<SlotIndex>(10));
+  EXPECT_EQ(table.reservation_of(2), std::nullopt);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(ReservationTable, ReReservingMoves) {
+  ReservationTable table;
+  table.reserve(1, 10);
+  table.reserve(1, 20);
+  EXPECT_FALSE(table.slot_reserved(10));
+  EXPECT_TRUE(table.slot_reserved(20));
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(ReservationTable, CancelRemoves) {
+  ReservationTable table;
+  table.reserve(1, 10);
+  table.cancel(1);
+  EXPECT_FALSE(table.slot_reserved(10));
+  EXPECT_TRUE(table.empty());
+  table.cancel(1);  // idempotent
+}
+
+TEST(ReservationTable, MultipleConsumersShareASlot) {
+  ReservationTable table;
+  table.reserve(1, 10);
+  table.reserve(2, 10);
+  table.reserve(3, 10);
+  const auto consumers = table.consumers_at(10);
+  ASSERT_EQ(consumers.size(), 3u);
+  EXPECT_EQ(consumers[0], 1u);  // registration order preserved
+  EXPECT_EQ(consumers[2], 3u);
+}
+
+TEST(ReservationTable, CancelOneOfMany) {
+  ReservationTable table;
+  table.reserve(1, 10);
+  table.reserve(2, 10);
+  table.cancel(1);
+  EXPECT_TRUE(table.slot_reserved(10));
+  EXPECT_EQ(table.consumers_at(10).size(), 1u);
+}
+
+TEST(ReservationTable, TakeSlotDrainsIt) {
+  ReservationTable table;
+  table.reserve(1, 10);
+  table.reserve(2, 10);
+  table.reserve(3, 20);
+  const auto taken = table.take_slot(10);
+  EXPECT_EQ(taken.size(), 2u);
+  EXPECT_FALSE(table.slot_reserved(10));
+  EXPECT_EQ(table.reservation_of(1), std::nullopt);
+  EXPECT_TRUE(table.slot_reserved(20));
+  EXPECT_TRUE(table.take_slot(10).empty());
+}
+
+TEST(ReservationTable, NextReserved) {
+  ReservationTable table;
+  table.reserve(1, 10);
+  table.reserve(2, 30);
+  EXPECT_EQ(table.next_reserved(0), std::optional<SlotIndex>(10));
+  EXPECT_EQ(table.next_reserved(10), std::optional<SlotIndex>(10));  // inclusive
+  EXPECT_EQ(table.next_reserved(11), std::optional<SlotIndex>(30));
+  EXPECT_EQ(table.next_reserved(31), std::nullopt);
+}
+
+TEST(ReservationTable, PrevReservedBacktrackingHelper) {
+  ReservationTable table;
+  table.reserve(1, 10);
+  table.reserve(2, 30);
+  EXPECT_EQ(table.prev_reserved(40, 0), std::optional<SlotIndex>(30));
+  EXPECT_EQ(table.prev_reserved(30, 0), std::optional<SlotIndex>(30));  // inclusive
+  EXPECT_EQ(table.prev_reserved(29, 0), std::optional<SlotIndex>(10));
+  EXPECT_EQ(table.prev_reserved(29, 20), std::nullopt);  // floor cuts it off
+  EXPECT_EQ(table.prev_reserved(9, 0), std::nullopt);
+}
+
+TEST(ReservationTable, Clear) {
+  ReservationTable table;
+  table.reserve(1, 10);
+  table.reserve(2, 20);
+  table.clear();
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.next_reserved(0), std::nullopt);
+}
+
+TEST(ReservationTable, NegativeSlotIndices) {
+  ReservationTable table;
+  table.reserve(1, -5);
+  EXPECT_TRUE(table.slot_reserved(-5));
+  EXPECT_EQ(table.next_reserved(-10), std::optional<SlotIndex>(-5));
+}
+
+}  // namespace
+}  // namespace pcpc::core

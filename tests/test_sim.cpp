@@ -1,0 +1,216 @@
+// Tests for the discrete-event engine: event queue, simulator, replay.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pcpc/sim/event_queue.hpp"
+#include "pcpc/sim/replay.hpp"
+#include "pcpc/sim/simulator.hpp"
+#include "pcpc/trace/trace.hpp"
+
+namespace pcpc::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(300, [&](SimTime) { order.push_back(3); });
+  q.schedule(100, [&](SimTime) { order.push_back(1); });
+  q.schedule(200, [&](SimTime) { order.push_back(2); });
+  while (!q.empty()) {
+    auto fired = q.pop();
+    fired.fn(fired.time);
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(42, [&order, i](SimTime) { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn(0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPending) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule(100, [&](SimTime) { fired = true; });
+  EXPECT_TRUE(q.pending(id));
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.pending(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.cancel(id));  // double cancel
+}
+
+TEST(EventQueue, CancelFiredIsNoop) {
+  EventQueue q;
+  const EventId id = q.schedule(1, [](SimTime) {});
+  q.pop();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownIdIsNoop) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(12345));
+  EXPECT_FALSE(q.cancel(0));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId early = q.schedule(10, [](SimTime) {});
+  q.schedule(20, [](SimTime) {});
+  EXPECT_EQ(q.next_time(), 10);
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), 20);
+}
+
+TEST(EventQueue, NextTimeOnEmptyIsNever) {
+  EventQueue q;
+  EXPECT_EQ(q.next_time(), kNever);
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.schedule(1, [](SimTime) {});
+  q.schedule(2, [](SimTime) {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop();
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, Clear) {
+  EventQueue q;
+  q.schedule(1, [](SimTime) {});
+  q.schedule(2, [](SimTime) {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.next_time(), kNever);
+}
+
+TEST(Simulator, AdvancesTimeMonotonically) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.at(50, [&](SimTime t) { times.push_back(t); });
+  sim.at(10, [&](SimTime t) { times.push_back(t); });
+  sim.after(30, [&](SimTime t) { times.push_back(t); });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 30, 50}));
+  EXPECT_EQ(sim.now(), 50);
+  EXPECT_EQ(sim.dispatched(), 3u);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void(SimTime)> chain = [&](SimTime) {
+    if (++depth < 5) sim.after(10, chain);
+  };
+  sim.after(10, chain);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(Simulator, RunUntilStopsAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(10, [&](SimTime) { ++fired; });
+  sim.at(100, [&](SimTime) { ++fired; });
+  sim.run_until(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 50);  // clock advances to the bound
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilIncludesBoundaryEvents) {
+  Simulator sim;
+  bool fired = false;
+  sim.at(50, [&](SimTime) { fired = true; });
+  sim.run_until(50);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, CancelPreventsDispatch) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.at(10, [&](SimTime) { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, StepFiresExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(1, [&](SimTime) { ++fired; });
+  sim.at(2, [&](SimTime) { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorDeath, SchedulingInThePastAborts) {
+  Simulator sim;
+  sim.at(100, [](SimTime) {});
+  sim.run();
+  EXPECT_DEATH(sim.at(50, [](SimTime) {}), "past");
+}
+
+TEST(Replay, DeliversAllEventsInOrder) {
+  Simulator sim;
+  const auto trace = trace::uniform_trace(100, microseconds(10));
+  std::vector<SimTime> seen;
+  replay(sim, trace.timestamps(), seconds(1), [&](SimTime t) { seen.push_back(t); });
+  sim.run();
+  ASSERT_EQ(seen.size(), 100u);
+  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], trace.at(i));
+}
+
+TEST(Replay, RespectsHorizon) {
+  Simulator sim;
+  const auto trace = trace::uniform_trace(100, milliseconds(1));  // up to 99ms
+  int count = 0;
+  replay(sim, trace.timestamps(), milliseconds(50), [&](SimTime) { ++count; });
+  sim.run();
+  EXPECT_EQ(count, 50);  // 0..49ms
+}
+
+TEST(Replay, OnePendingEventAtATime) {
+  Simulator sim;
+  const auto trace = trace::uniform_trace(1000, microseconds(1));
+  replay(sim, trace.timestamps(), seconds(1), [](SimTime) {});
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.step();
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Replay, EmptyTraceIsFine) {
+  Simulator sim;
+  const trace::Trace empty;
+  replay(sim, empty.timestamps(), seconds(1), [](SimTime) { FAIL(); });
+  sim.run();
+  EXPECT_EQ(sim.dispatched(), 0u);
+}
+
+TEST(Replay, InterleavesWithOtherEvents) {
+  Simulator sim;
+  const auto trace = trace::uniform_trace(10, milliseconds(10));  // 0,10,...,90ms
+  std::vector<std::pair<char, SimTime>> log;
+  replay(sim, trace.timestamps(), seconds(1),
+         [&](SimTime t) { log.push_back({'r', t}); });
+  sim.at(milliseconds(35), [&](SimTime t) { log.push_back({'x', t}); });
+  sim.run();
+  ASSERT_EQ(log.size(), 11u);
+  EXPECT_EQ(log[4].first, 'x');  // after 0,10,20,30 and before 40
+}
+
+}  // namespace
+}  // namespace pcpc::sim

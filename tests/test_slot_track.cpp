@@ -1,0 +1,89 @@
+// Tests for the slot track (Section V-A time discretization).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pcpc/core/slot_track.hpp"
+
+namespace pcpc::core {
+namespace {
+
+TEST(SlotTrack, IndexAndStartAreInverse) {
+  const SlotTrack track(milliseconds(10));
+  for (SlotIndex i : {-5, -1, 0, 1, 7, 1000}) {
+    EXPECT_EQ(track.index_of(track.start_of(i)), i);
+  }
+}
+
+TEST(SlotTrack, GIsLatestSlotAtOrBefore) {
+  const SlotTrack track(milliseconds(10));
+  EXPECT_EQ(track.g(0), 0);
+  EXPECT_EQ(track.g(milliseconds(10)), milliseconds(10));  // boundary belongs to slot
+  EXPECT_EQ(track.g(milliseconds(19)), milliseconds(10));
+  EXPECT_EQ(track.g(milliseconds(20)), milliseconds(20));
+}
+
+TEST(SlotTrack, GNeverExceedsInput) {
+  // The paper's Equation 6 invariant: g(τ) ≤ τ.
+  const SlotTrack track(microseconds(777));
+  for (SimTime t = 0; t < milliseconds(10); t += microseconds(131)) {
+    EXPECT_LE(track.g(t), t);
+    EXPECT_GT(track.g(t) + track.slot_size(), t);
+  }
+}
+
+TEST(SlotTrack, NegativeTimesFloorCorrectly) {
+  const SlotTrack track(milliseconds(10));
+  EXPECT_EQ(track.index_of(-1), -1);
+  EXPECT_EQ(track.index_of(milliseconds(-10)), -1);
+  EXPECT_EQ(track.index_of(milliseconds(-10) - 1), -2);
+  EXPECT_EQ(track.g(-1), milliseconds(-10));
+}
+
+TEST(SlotTrack, NextAfterIsStrictlyLater) {
+  const SlotTrack track(milliseconds(10));
+  EXPECT_EQ(track.next_after(0), 1);  // slot 0 starts exactly at 0
+  EXPECT_EQ(track.next_after(milliseconds(5)), 1);
+  EXPECT_EQ(track.next_after(milliseconds(10)), 2);
+  for (SimTime t = 0; t < milliseconds(50); t += microseconds(313)) {
+    EXPECT_GT(track.start_of(track.next_after(t)), t);
+  }
+}
+
+TEST(SlotTrack, OriginOffset) {
+  const SlotTrack track(milliseconds(10), milliseconds(3));
+  EXPECT_EQ(track.start_of(0), milliseconds(3));
+  EXPECT_EQ(track.index_of(milliseconds(3)), 0);
+  EXPECT_EQ(track.index_of(milliseconds(2)), -1);
+}
+
+class SlotTrackParamTest : public ::testing::TestWithParam<SimDuration> {};
+
+TEST_P(SlotTrackParamTest, SlotPartitionIsExactForAnyDelta) {
+  const SlotTrack track(GetParam());
+  for (SimTime t = 0; t < GetParam() * 20; t += GetParam() / 7 + 1) {
+    const SlotIndex i = track.index_of(t);
+    EXPECT_LE(track.start_of(i), t);
+    EXPECT_GT(track.start_of(i + 1), t);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Deltas, SlotTrackParamTest,
+                         ::testing::Values(microseconds(100), milliseconds(1),
+                                           milliseconds(10), milliseconds(33),
+                                           seconds(1)));
+
+TEST(SlotTrack, DefaultSlotSizeIsMinLatency) {
+  const std::vector<SimDuration> latencies{milliseconds(50), milliseconds(10),
+                                           milliseconds(20)};
+  EXPECT_EQ(SlotTrack::default_slot_size(latencies), milliseconds(10));
+}
+
+TEST(SlotTrackDeath, RejectsBadArguments) {
+  EXPECT_DEATH(SlotTrack(0), "positive");
+  const std::vector<SimDuration> bad{milliseconds(10), 0};
+  EXPECT_DEATH(SlotTrack::default_slot_size(bad), "positive");
+}
+
+}  // namespace
+}  // namespace pcpc::core

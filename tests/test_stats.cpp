@@ -1,0 +1,170 @@
+// Tests for streaming statistics, confidence intervals and correlation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "pcpc/common/stats.hpp"
+
+namespace pcpc {
+namespace {
+
+TEST(OnlineStats, EmptyDefaults) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(OnlineStats, KnownMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stderr_mean(), 0.0);
+}
+
+TEST(OnlineStats, MergeEqualsSequential) {
+  OnlineStats all, a, b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0 + i;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  OnlineStats b;
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(StudentT, TableValues) {
+  EXPECT_NEAR(student_t_critical(1, 0.95), 12.706, 1e-3);
+  EXPECT_NEAR(student_t_critical(2, 0.95), 4.303, 1e-3);
+  EXPECT_NEAR(student_t_critical(10, 0.95), 2.228, 1e-3);
+  EXPECT_NEAR(student_t_critical(30, 0.95), 2.042, 1e-3);
+  EXPECT_NEAR(student_t_critical(2, 0.99), 9.925, 1e-3);
+  EXPECT_NEAR(student_t_critical(2, 0.90), 2.920, 1e-3);
+  EXPECT_NEAR(student_t_critical(10000, 0.95), 1.960, 1e-3);
+}
+
+TEST(StudentT, MonotoneInDf) {
+  for (std::size_t df = 1; df < 60; ++df) {
+    EXPECT_GE(student_t_critical(df, 0.95), student_t_critical(df + 1, 0.95));
+  }
+}
+
+TEST(ConfidenceInterval, ThreeReplicates) {
+  // The paper's setup: 3 replicates, 95% confidence.
+  OnlineStats s;
+  s.add(10.0);
+  s.add(12.0);
+  s.add(14.0);
+  // stddev = 2, stderr = 2/sqrt(3), t(2, 0.95) = 4.303.
+  EXPECT_NEAR(confidence_half_width(s, 0.95), 4.303 * 2.0 / std::sqrt(3.0), 1e-9);
+}
+
+TEST(ConfidenceInterval, ZeroForSmallSamples) {
+  OnlineStats s;
+  EXPECT_EQ(confidence_half_width(s), 0.0);
+  s.add(1.0);
+  EXPECT_EQ(confidence_half_width(s), 0.0);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson_correlation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAnticorrelation) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{8, 6, 4, 2};
+  EXPECT_NEAR(pearson_correlation(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Pearson, ZeroVarianceIsZero) {
+  const std::vector<double> xs{3, 3, 3};
+  const std::vector<double> ys{1, 2, 3};
+  EXPECT_EQ(pearson_correlation(xs, ys), 0.0);
+}
+
+TEST(Pearson, KnownValue) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{1, 3, 2, 5, 4};
+  EXPECT_NEAR(pearson_correlation(xs, ys), 0.8, 1e-12);
+}
+
+TEST(Measurement, FormatsWithPlusMinus) {
+  const std::vector<double> values{9.0, 10.0, 11.0};
+  const Measurement m = measure(values);
+  EXPECT_DOUBLE_EQ(m.mean, 10.0);
+  EXPECT_GT(m.ci95, 0.0);
+  EXPECT_EQ(m.replicates, 3u);
+  EXPECT_NE(m.to_string().find("±"), std::string::npos);
+}
+
+TEST(Histogram, BinningAndEdges) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);   // underflow
+  h.add(0.0);    // bin 0
+  h.add(9.999);  // bin 9
+  h.add(10.0);   // overflow
+  h.add(5.5);    // bin 5
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(5), 5.0);
+}
+
+TEST(Histogram, QuantileApproximation) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.0), 0.5, 1.0);
+}
+
+class HistogramQuantileMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(HistogramQuantileMonotone, NonDecreasing) {
+  Histogram h(0.0, 1.0, 20);
+  // Deterministic skewed data.
+  for (int i = 0; i < 1000; ++i) h.add(std::fmod(i * 0.618, 1.0) * std::fmod(i * 0.618, 1.0));
+  const double q = GetParam();
+  EXPECT_LE(h.quantile(q * 0.5), h.quantile(q) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, HistogramQuantileMonotone,
+                         ::testing::Values(0.2, 0.5, 0.8, 1.0));
+
+}  // namespace
+}  // namespace pcpc

@@ -1,0 +1,110 @@
+// Tests for the Trace container and its transformations.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pcpc/trace/trace.hpp"
+
+namespace pcpc::trace {
+namespace {
+
+TEST(Trace, SortsUnorderedInput) {
+  Trace t({milliseconds(3), milliseconds(1), milliseconds(2)});
+  EXPECT_EQ(t.at(0), milliseconds(1));
+  EXPECT_EQ(t.at(2), milliseconds(3));
+}
+
+TEST(Trace, EmptyTrace) {
+  Trace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.end_time(), 0);
+  EXPECT_EQ(t.count_in(0, seconds(1)), 0u);
+  const TraceStats s = t.stats();
+  EXPECT_EQ(s.items, 0u);
+  EXPECT_EQ(s.mean_rate_hz, 0.0);
+}
+
+TEST(Trace, CountInHalfOpenInterval) {
+  const Trace t = uniform_trace(10, milliseconds(1));  // 0, 1ms, ..., 9ms
+  EXPECT_EQ(t.count_in(0, milliseconds(10)), 10u);
+  EXPECT_EQ(t.count_in(milliseconds(1), milliseconds(3)), 2u);  // 1ms, 2ms
+  EXPECT_EQ(t.count_in(milliseconds(3), milliseconds(3)), 0u);
+  EXPECT_EQ(t.count_in(milliseconds(9), milliseconds(100)), 1u);
+}
+
+TEST(Trace, UniformStats) {
+  const Trace t = uniform_trace(1001, milliseconds(1));
+  const TraceStats s = t.stats();
+  EXPECT_EQ(s.items, 1001u);
+  EXPECT_EQ(s.duration, seconds(1));
+  EXPECT_NEAR(s.mean_rate_hz, 1001.0, 2.0);
+  EXPECT_NEAR(s.interarrival_cv, 0.0, 1e-9);  // perfectly regular
+  EXPECT_NEAR(s.peak_rate_hz, 1000.0, 11.0);
+}
+
+TEST(Trace, SliceRebasesToZero) {
+  const Trace t = uniform_trace(10, milliseconds(1));
+  const Trace s = t.slice(milliseconds(3), milliseconds(7));
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.at(0), 0);
+  EXPECT_EQ(s.at(3), milliseconds(3));
+}
+
+TEST(Trace, PhaseShiftPreservesItemCount) {
+  const Trace t = uniform_trace(100, milliseconds(7), milliseconds(1));
+  const SimDuration total = seconds(1);
+  for (const SimDuration offset :
+       {SimDuration(0), milliseconds(100), milliseconds(777), total}) {
+    const Trace shifted = t.phase_shift(offset, total);
+    EXPECT_EQ(shifted.size(), t.size()) << "offset " << offset;
+  }
+}
+
+TEST(Trace, PhaseShiftRotation) {
+  // Items at 100ms and 600ms in a 1s window, shifted by 500ms:
+  // 600 -> 100, 100 -> 600.
+  const Trace t({milliseconds(100), milliseconds(600)});
+  const Trace shifted = t.phase_shift(milliseconds(500), seconds(1));
+  ASSERT_EQ(shifted.size(), 2u);
+  EXPECT_EQ(shifted.at(0), milliseconds(100));
+  EXPECT_EQ(shifted.at(1), milliseconds(600));
+}
+
+TEST(Trace, PhaseShiftWrapsModuloDuration) {
+  const Trace t({milliseconds(100)});
+  const Trace a = t.phase_shift(milliseconds(200), seconds(1));
+  const Trace b = t.phase_shift(milliseconds(200) + seconds(1), seconds(1));
+  EXPECT_EQ(a.at(0), b.at(0));
+  EXPECT_EQ(a.at(0), milliseconds(900));
+}
+
+TEST(Trace, MergeSortsAcrossInputs) {
+  const Trace a({milliseconds(1), milliseconds(5)});
+  const Trace b({milliseconds(2), milliseconds(4)});
+  const std::vector<Trace> both{a, b};
+  const Trace merged = merge(both);
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged.at(0), milliseconds(1));
+  EXPECT_EQ(merged.at(1), milliseconds(2));
+  EXPECT_EQ(merged.at(3), milliseconds(5));
+}
+
+TEST(Trace, BurstyStatsHaveHighCv) {
+  // Pairs of items close together with long gaps: CV should exceed 1.
+  std::vector<SimTime> ts;
+  for (int i = 0; i < 100; ++i) {
+    ts.push_back(milliseconds(10 * i));
+    ts.push_back(milliseconds(10 * i) + microseconds(10));
+  }
+  const TraceStats s = Trace(std::move(ts)).stats();
+  EXPECT_GT(s.interarrival_cv, 0.9);
+}
+
+TEST(UniformTrace, StartOffset) {
+  const Trace t = uniform_trace(3, milliseconds(2), milliseconds(10));
+  EXPECT_EQ(t.at(0), milliseconds(10));
+  EXPECT_EQ(t.at(2), milliseconds(14));
+}
+
+}  // namespace
+}  // namespace pcpc::trace

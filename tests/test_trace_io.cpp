@@ -1,0 +1,129 @@
+// Tests for trace persistence (binary and CSV).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "pcpc/trace/trace_io.hpp"
+#include "pcpc/trace/webserver_log.hpp"
+
+namespace pcpc::trace {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(TraceIo, BinaryRoundTrip) {
+  WebWorkloadParams p;
+  p.duration = seconds(1);
+  p.base_rate_hz = 2000.0;
+  const Trace original = make_web_workload(p);
+  const std::string path = temp_path("trace_roundtrip.bin");
+  ASSERT_TRUE(save_binary(original, path));
+  bool ok = false;
+  const Trace loaded = load_binary(path, &ok);
+  ASSERT_TRUE(ok);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) ASSERT_EQ(loaded.at(i), original.at(i));
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, BinaryEmptyTrace) {
+  const std::string path = temp_path("trace_empty.bin");
+  ASSERT_TRUE(save_binary(Trace{}, path));
+  bool ok = false;
+  const Trace loaded = load_binary(path, &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, BinaryRejectsGarbage) {
+  const std::string path = temp_path("trace_garbage.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a trace file";
+  }
+  bool ok = true;
+  const Trace loaded = load_binary(path, &ok);
+  EXPECT_FALSE(ok);
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, BinaryRejectsTruncated) {
+  const Trace t = uniform_trace(100, milliseconds(1));
+  const std::string path = temp_path("trace_truncated.bin");
+  ASSERT_TRUE(save_binary(t, path));
+  // Truncate the file in the middle of the payload.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::in);
+    out.seekp(200);
+  }
+  std::ifstream full(path, std::ios::binary | std::ios::ate);
+  // Rewrite only a prefix.
+  std::ifstream in(path, std::ios::binary);
+  std::string data(200, '\0');
+  in.read(data.data(), 200);
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), 200);
+  }
+  bool ok = true;
+  load_binary(path, &ok);
+  EXPECT_FALSE(ok);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileFails) {
+  bool ok = true;
+  load_binary(temp_path("does_not_exist.bin"), &ok);
+  EXPECT_FALSE(ok);
+  ok = true;
+  load_csv(temp_path("does_not_exist.csv"), &ok);
+  EXPECT_FALSE(ok);
+}
+
+TEST(TraceIo, CsvRoundTrip) {
+  const Trace original = uniform_trace(500, microseconds(137));
+  const std::string path = temp_path("trace_roundtrip.csv");
+  ASSERT_TRUE(save_csv(original, path));
+  bool ok = false;
+  const Trace loaded = load_csv(path, &ok);
+  ASSERT_TRUE(ok);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) ASSERT_EQ(loaded.at(i), original.at(i));
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, CsvWithoutHeader) {
+  const std::string path = temp_path("trace_noheader.csv");
+  {
+    std::ofstream out(path);
+    out << "100\n200\n300\n";
+  }
+  bool ok = false;
+  const Trace loaded = load_csv(path, &ok);
+  ASSERT_TRUE(ok);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded.at(0), 100);
+  EXPECT_EQ(loaded.at(2), 300);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, CsvRejectsNonNumeric) {
+  const std::string path = temp_path("trace_bad.csv");
+  {
+    std::ofstream out(path);
+    out << "timestamp_ns\n100\nnot_a_number\n";
+  }
+  bool ok = true;
+  load_csv(path, &ok);
+  EXPECT_FALSE(ok);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pcpc::trace

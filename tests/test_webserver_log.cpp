@@ -1,0 +1,97 @@
+// Tests for the synthetic web-server workload generator.
+#include <gtest/gtest.h>
+
+#include "pcpc/trace/webserver_log.hpp"
+
+namespace pcpc::trace {
+namespace {
+
+WebWorkloadParams small_params() {
+  WebWorkloadParams p;
+  p.duration = seconds(5);
+  p.base_rate_hz = 1000.0;
+  return p;
+}
+
+TEST(WebWorkload, DeterministicBySeed) {
+  const Trace a = make_web_workload(small_params());
+  const Trace b = make_web_workload(small_params());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a.at(i), b.at(i));
+}
+
+TEST(WebWorkload, DifferentSeedsDiffer) {
+  WebWorkloadParams p = small_params();
+  const Trace a = make_web_workload(p);
+  p.seed ^= 0xdeadbeef;
+  const Trace b = make_web_workload(p);
+  EXPECT_NE(a.size(), b.size());
+}
+
+TEST(WebWorkload, MeanRateNearBase) {
+  WebWorkloadParams p = small_params();
+  p.bursts_per_minute = 0.0;  // isolate the base load
+  p.secondary_fraction = 0.0;
+  p.diurnal_fraction = 0.0;
+  const Trace t = make_web_workload(p);
+  const double rate = static_cast<double>(t.size()) / to_seconds(p.duration);
+  EXPECT_NEAR(rate, p.base_rate_hz, p.base_rate_hz * 0.1);
+}
+
+TEST(WebWorkload, NonLinearRate) {
+  // The paper's key dataset property: the production rate varies
+  // substantially over time.
+  WebWorkloadParams p = small_params();
+  p.duration = seconds(20);  // a full diurnal cycle
+  const Trace t = make_web_workload(p);
+  const TraceStats s = t.stats(milliseconds(250));
+  EXPECT_GT(s.peak_rate_hz, 1.4 * s.mean_rate_hz);
+}
+
+TEST(WebWorkload, WithinDuration) {
+  const Trace t = make_web_workload(small_params());
+  ASSERT_FALSE(t.empty());
+  EXPECT_GE(t.at(0), 0);
+  EXPECT_LT(t.end_time(), seconds(5));
+}
+
+TEST(WebWorkload, BurstsRaiseThePeak) {
+  WebWorkloadParams quiet = small_params();
+  quiet.bursts_per_minute = 0.0;
+  WebWorkloadParams bursty = small_params();
+  bursty.bursts_per_minute = 60.0;
+  bursty.burst_amplitude_factor = 5.0;
+  const double quiet_peak = make_web_workload(quiet).stats().peak_rate_hz;
+  const double bursty_peak = make_web_workload(bursty).stats().peak_rate_hz;
+  EXPECT_GT(bursty_peak, quiet_peak * 1.5);
+}
+
+class ShiftedWorkloadTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ShiftedWorkloadTest, EveryProducerSeesTheSameItemCount) {
+  const std::size_t producers = GetParam();
+  const auto traces = make_shifted_workloads(small_params(), producers);
+  ASSERT_EQ(traces.size(), producers);
+  for (const auto& t : traces) EXPECT_EQ(t.size(), traces.front().size());
+}
+
+TEST_P(ShiftedWorkloadTest, ShiftsAreDistinct) {
+  const std::size_t producers = GetParam();
+  const auto traces = make_shifted_workloads(small_params(), producers);
+  if (producers < 2) return;
+  // Producer 1 must differ from producer 0 (it starts 1/M further in).
+  bool any_difference = false;
+  for (std::size_t i = 0; i < std::min<std::size_t>(100, traces[0].size()); ++i) {
+    if (traces[0].at(i) != traces[1].at(i)) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+INSTANTIATE_TEST_SUITE_P(ProducerCounts, ShiftedWorkloadTest,
+                         ::testing::Values(1, 2, 5, 10));
+
+}  // namespace
+}  // namespace pcpc::trace
