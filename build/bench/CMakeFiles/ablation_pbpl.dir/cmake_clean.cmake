@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pbpl.dir/ablation_pbpl.cpp.o"
+  "CMakeFiles/ablation_pbpl.dir/ablation_pbpl.cpp.o.d"
+  "ablation_pbpl"
+  "ablation_pbpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pbpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

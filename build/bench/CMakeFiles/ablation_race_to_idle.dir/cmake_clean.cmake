@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_race_to_idle.dir/ablation_race_to_idle.cpp.o"
+  "CMakeFiles/ablation_race_to_idle.dir/ablation_race_to_idle.cpp.o.d"
+  "ablation_race_to_idle"
+  "ablation_race_to_idle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_race_to_idle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_idle_overhead.dir/fig1_idle_overhead.cpp.o"
+  "CMakeFiles/fig1_idle_overhead.dir/fig1_idle_overhead.cpp.o.d"
+  "fig1_idle_overhead"
+  "fig1_idle_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_idle_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

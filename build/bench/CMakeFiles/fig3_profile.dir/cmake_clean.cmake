@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_profile.dir/fig3_profile.cpp.o"
+  "CMakeFiles/fig3_profile.dir/fig3_profile.cpp.o.d"
+  "fig3_profile"
+  "fig3_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_five_consumers.dir/fig9_five_consumers.cpp.o"
+  "CMakeFiles/fig9_five_consumers.dir/fig9_five_consumers.cpp.o.d"
+  "fig9_five_consumers"
+  "fig9_five_consumers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_five_consumers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

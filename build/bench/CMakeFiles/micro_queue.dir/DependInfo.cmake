@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_queue.cpp" "bench/CMakeFiles/micro_queue.dir/micro_queue.cpp.o" "gcc" "bench/CMakeFiles/micro_queue.dir/micro_queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pcpc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pcpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pcpc_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pcpc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pcpc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

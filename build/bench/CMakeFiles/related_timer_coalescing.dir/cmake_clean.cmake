@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/related_timer_coalescing.dir/related_timer_coalescing.cpp.o"
+  "CMakeFiles/related_timer_coalescing.dir/related_timer_coalescing.cpp.o.d"
+  "related_timer_coalescing"
+  "related_timer_coalescing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_timer_coalescing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

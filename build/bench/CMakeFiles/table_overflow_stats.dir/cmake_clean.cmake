@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_overflow_stats.dir/table_overflow_stats.cpp.o"
+  "CMakeFiles/table_overflow_stats.dir/table_overflow_stats.cpp.o.d"
+  "table_overflow_stats"
+  "table_overflow_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_overflow_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

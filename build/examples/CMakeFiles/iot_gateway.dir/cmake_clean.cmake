@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iot_gateway.dir/iot_gateway.cpp.o"
+  "CMakeFiles/iot_gateway.dir/iot_gateway.cpp.o.d"
+  "iot_gateway"
+  "iot_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iot_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

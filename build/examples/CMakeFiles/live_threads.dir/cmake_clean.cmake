@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_threads.dir/live_threads.cpp.o"
+  "CMakeFiles/live_threads.dir/live_threads.cpp.o.d"
+  "live_threads"
+  "live_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcpc_cli.dir/pcpc_cli.cpp.o"
+  "CMakeFiles/pcpc_cli.dir/pcpc_cli.cpp.o.d"
+  "pcpc_cli"
+  "pcpc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcpc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router.dir/router.cpp.o"
+  "CMakeFiles/router.dir/router.cpp.o.d"
+  "router"
+  "router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcpc_common.dir/csv.cpp.o"
+  "CMakeFiles/pcpc_common.dir/csv.cpp.o.d"
+  "CMakeFiles/pcpc_common.dir/hypothesis.cpp.o"
+  "CMakeFiles/pcpc_common.dir/hypothesis.cpp.o.d"
+  "CMakeFiles/pcpc_common.dir/logging.cpp.o"
+  "CMakeFiles/pcpc_common.dir/logging.cpp.o.d"
+  "CMakeFiles/pcpc_common.dir/stats.cpp.o"
+  "CMakeFiles/pcpc_common.dir/stats.cpp.o.d"
+  "CMakeFiles/pcpc_common.dir/table.cpp.o"
+  "CMakeFiles/pcpc_common.dir/table.cpp.o.d"
+  "libpcpc_common.a"
+  "libpcpc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcpc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/assignment.cpp" "src/core/CMakeFiles/pcpc_core.dir/assignment.cpp.o" "gcc" "src/core/CMakeFiles/pcpc_core.dir/assignment.cpp.o.d"
+  "/root/repo/src/core/config_io.cpp" "src/core/CMakeFiles/pcpc_core.dir/config_io.cpp.o" "gcc" "src/core/CMakeFiles/pcpc_core.dir/config_io.cpp.o.d"
+  "/root/repo/src/core/consumer.cpp" "src/core/CMakeFiles/pcpc_core.dir/consumer.cpp.o" "gcc" "src/core/CMakeFiles/pcpc_core.dir/consumer.cpp.o.d"
+  "/root/repo/src/core/core_manager.cpp" "src/core/CMakeFiles/pcpc_core.dir/core_manager.cpp.o" "gcc" "src/core/CMakeFiles/pcpc_core.dir/core_manager.cpp.o.d"
+  "/root/repo/src/core/cost.cpp" "src/core/CMakeFiles/pcpc_core.dir/cost.cpp.o" "gcc" "src/core/CMakeFiles/pcpc_core.dir/cost.cpp.o.d"
+  "/root/repo/src/core/latency_guard.cpp" "src/core/CMakeFiles/pcpc_core.dir/latency_guard.cpp.o" "gcc" "src/core/CMakeFiles/pcpc_core.dir/latency_guard.cpp.o.d"
+  "/root/repo/src/core/pbpl_system.cpp" "src/core/CMakeFiles/pcpc_core.dir/pbpl_system.cpp.o" "gcc" "src/core/CMakeFiles/pcpc_core.dir/pbpl_system.cpp.o.d"
+  "/root/repo/src/core/rate_predictor.cpp" "src/core/CMakeFiles/pcpc_core.dir/rate_predictor.cpp.o" "gcc" "src/core/CMakeFiles/pcpc_core.dir/rate_predictor.cpp.o.d"
+  "/root/repo/src/core/reservation.cpp" "src/core/CMakeFiles/pcpc_core.dir/reservation.cpp.o" "gcc" "src/core/CMakeFiles/pcpc_core.dir/reservation.cpp.o.d"
+  "/root/repo/src/core/sim_core.cpp" "src/core/CMakeFiles/pcpc_core.dir/sim_core.cpp.o" "gcc" "src/core/CMakeFiles/pcpc_core.dir/sim_core.cpp.o.d"
+  "/root/repo/src/core/slot_track.cpp" "src/core/CMakeFiles/pcpc_core.dir/slot_track.cpp.o" "gcc" "src/core/CMakeFiles/pcpc_core.dir/slot_track.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pcpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pcpc_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pcpc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pcpc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

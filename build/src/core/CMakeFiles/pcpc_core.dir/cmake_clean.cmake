@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcpc_core.dir/assignment.cpp.o"
+  "CMakeFiles/pcpc_core.dir/assignment.cpp.o.d"
+  "CMakeFiles/pcpc_core.dir/config_io.cpp.o"
+  "CMakeFiles/pcpc_core.dir/config_io.cpp.o.d"
+  "CMakeFiles/pcpc_core.dir/consumer.cpp.o"
+  "CMakeFiles/pcpc_core.dir/consumer.cpp.o.d"
+  "CMakeFiles/pcpc_core.dir/core_manager.cpp.o"
+  "CMakeFiles/pcpc_core.dir/core_manager.cpp.o.d"
+  "CMakeFiles/pcpc_core.dir/cost.cpp.o"
+  "CMakeFiles/pcpc_core.dir/cost.cpp.o.d"
+  "CMakeFiles/pcpc_core.dir/latency_guard.cpp.o"
+  "CMakeFiles/pcpc_core.dir/latency_guard.cpp.o.d"
+  "CMakeFiles/pcpc_core.dir/pbpl_system.cpp.o"
+  "CMakeFiles/pcpc_core.dir/pbpl_system.cpp.o.d"
+  "CMakeFiles/pcpc_core.dir/rate_predictor.cpp.o"
+  "CMakeFiles/pcpc_core.dir/rate_predictor.cpp.o.d"
+  "CMakeFiles/pcpc_core.dir/reservation.cpp.o"
+  "CMakeFiles/pcpc_core.dir/reservation.cpp.o.d"
+  "CMakeFiles/pcpc_core.dir/sim_core.cpp.o"
+  "CMakeFiles/pcpc_core.dir/sim_core.cpp.o.d"
+  "CMakeFiles/pcpc_core.dir/slot_track.cpp.o"
+  "CMakeFiles/pcpc_core.dir/slot_track.cpp.o.d"
+  "libpcpc_core.a"
+  "libpcpc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcpc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpcpc_core.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcpc_exp.dir/analytic.cpp.o"
+  "CMakeFiles/pcpc_exp.dir/analytic.cpp.o.d"
+  "CMakeFiles/pcpc_exp.dir/experiment.cpp.o"
+  "CMakeFiles/pcpc_exp.dir/experiment.cpp.o.d"
+  "CMakeFiles/pcpc_exp.dir/paper_setup.cpp.o"
+  "CMakeFiles/pcpc_exp.dir/paper_setup.cpp.o.d"
+  "CMakeFiles/pcpc_exp.dir/report.cpp.o"
+  "CMakeFiles/pcpc_exp.dir/report.cpp.o.d"
+  "libpcpc_exp.a"
+  "libpcpc_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcpc_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcpc_impls.dir/baselines.cpp.o"
+  "CMakeFiles/pcpc_impls.dir/baselines.cpp.o.d"
+  "CMakeFiles/pcpc_impls.dir/run_result.cpp.o"
+  "CMakeFiles/pcpc_impls.dir/run_result.cpp.o.d"
+  "CMakeFiles/pcpc_impls.dir/runner.cpp.o"
+  "CMakeFiles/pcpc_impls.dir/runner.cpp.o.d"
+  "libpcpc_impls.a"
+  "libpcpc_impls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcpc_impls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

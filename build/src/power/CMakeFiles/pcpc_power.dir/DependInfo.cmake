@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/core_timeline.cpp" "src/power/CMakeFiles/pcpc_power.dir/core_timeline.cpp.o" "gcc" "src/power/CMakeFiles/pcpc_power.dir/core_timeline.cpp.o.d"
+  "/root/repo/src/power/cstate.cpp" "src/power/CMakeFiles/pcpc_power.dir/cstate.cpp.o" "gcc" "src/power/CMakeFiles/pcpc_power.dir/cstate.cpp.o.d"
+  "/root/repo/src/power/energy_ledger.cpp" "src/power/CMakeFiles/pcpc_power.dir/energy_ledger.cpp.o" "gcc" "src/power/CMakeFiles/pcpc_power.dir/energy_ledger.cpp.o.d"
+  "/root/repo/src/power/energy_trace.cpp" "src/power/CMakeFiles/pcpc_power.dir/energy_trace.cpp.o" "gcc" "src/power/CMakeFiles/pcpc_power.dir/energy_trace.cpp.o.d"
+  "/root/repo/src/power/powertop.cpp" "src/power/CMakeFiles/pcpc_power.dir/powertop.cpp.o" "gcc" "src/power/CMakeFiles/pcpc_power.dir/powertop.cpp.o.d"
+  "/root/repo/src/power/pstate.cpp" "src/power/CMakeFiles/pcpc_power.dir/pstate.cpp.o" "gcc" "src/power/CMakeFiles/pcpc_power.dir/pstate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pcpc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

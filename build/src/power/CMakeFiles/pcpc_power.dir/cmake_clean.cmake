@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcpc_power.dir/core_timeline.cpp.o"
+  "CMakeFiles/pcpc_power.dir/core_timeline.cpp.o.d"
+  "CMakeFiles/pcpc_power.dir/cstate.cpp.o"
+  "CMakeFiles/pcpc_power.dir/cstate.cpp.o.d"
+  "CMakeFiles/pcpc_power.dir/energy_ledger.cpp.o"
+  "CMakeFiles/pcpc_power.dir/energy_ledger.cpp.o.d"
+  "CMakeFiles/pcpc_power.dir/energy_trace.cpp.o"
+  "CMakeFiles/pcpc_power.dir/energy_trace.cpp.o.d"
+  "CMakeFiles/pcpc_power.dir/powertop.cpp.o"
+  "CMakeFiles/pcpc_power.dir/powertop.cpp.o.d"
+  "CMakeFiles/pcpc_power.dir/pstate.cpp.o"
+  "CMakeFiles/pcpc_power.dir/pstate.cpp.o.d"
+  "libpcpc_power.a"
+  "libpcpc_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcpc_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

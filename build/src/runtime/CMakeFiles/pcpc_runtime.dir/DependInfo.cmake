@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/cpu_meter.cpp" "src/runtime/CMakeFiles/pcpc_runtime.dir/cpu_meter.cpp.o" "gcc" "src/runtime/CMakeFiles/pcpc_runtime.dir/cpu_meter.cpp.o.d"
+  "/root/repo/src/runtime/thread_baselines.cpp" "src/runtime/CMakeFiles/pcpc_runtime.dir/thread_baselines.cpp.o" "gcc" "src/runtime/CMakeFiles/pcpc_runtime.dir/thread_baselines.cpp.o.d"
+  "/root/repo/src/runtime/thread_pbpl.cpp" "src/runtime/CMakeFiles/pcpc_runtime.dir/thread_pbpl.cpp.o" "gcc" "src/runtime/CMakeFiles/pcpc_runtime.dir/thread_pbpl.cpp.o.d"
+  "/root/repo/src/runtime/trace_replayer.cpp" "src/runtime/CMakeFiles/pcpc_runtime.dir/trace_replayer.cpp.o" "gcc" "src/runtime/CMakeFiles/pcpc_runtime.dir/trace_replayer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pcpc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pcpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pcpc_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pcpc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pcpc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcpc_runtime.dir/cpu_meter.cpp.o"
+  "CMakeFiles/pcpc_runtime.dir/cpu_meter.cpp.o.d"
+  "CMakeFiles/pcpc_runtime.dir/thread_baselines.cpp.o"
+  "CMakeFiles/pcpc_runtime.dir/thread_baselines.cpp.o.d"
+  "CMakeFiles/pcpc_runtime.dir/thread_pbpl.cpp.o"
+  "CMakeFiles/pcpc_runtime.dir/thread_pbpl.cpp.o.d"
+  "CMakeFiles/pcpc_runtime.dir/trace_replayer.cpp.o"
+  "CMakeFiles/pcpc_runtime.dir/trace_replayer.cpp.o.d"
+  "libpcpc_runtime.a"
+  "libpcpc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcpc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcpc_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/pcpc_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/pcpc_sim.dir/replay.cpp.o"
+  "CMakeFiles/pcpc_sim.dir/replay.cpp.o.d"
+  "CMakeFiles/pcpc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/pcpc_sim.dir/simulator.cpp.o.d"
+  "libpcpc_sim.a"
+  "libpcpc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcpc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

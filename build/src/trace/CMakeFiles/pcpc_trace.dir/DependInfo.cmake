@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/arrival_process.cpp" "src/trace/CMakeFiles/pcpc_trace.dir/arrival_process.cpp.o" "gcc" "src/trace/CMakeFiles/pcpc_trace.dir/arrival_process.cpp.o.d"
+  "/root/repo/src/trace/clf.cpp" "src/trace/CMakeFiles/pcpc_trace.dir/clf.cpp.o" "gcc" "src/trace/CMakeFiles/pcpc_trace.dir/clf.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/pcpc_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/pcpc_trace.dir/trace.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/pcpc_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/pcpc_trace.dir/trace_io.cpp.o.d"
+  "/root/repo/src/trace/transforms.cpp" "src/trace/CMakeFiles/pcpc_trace.dir/transforms.cpp.o" "gcc" "src/trace/CMakeFiles/pcpc_trace.dir/transforms.cpp.o.d"
+  "/root/repo/src/trace/webserver_log.cpp" "src/trace/CMakeFiles/pcpc_trace.dir/webserver_log.cpp.o" "gcc" "src/trace/CMakeFiles/pcpc_trace.dir/webserver_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pcpc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

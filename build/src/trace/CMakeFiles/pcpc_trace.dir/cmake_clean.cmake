@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcpc_trace.dir/arrival_process.cpp.o"
+  "CMakeFiles/pcpc_trace.dir/arrival_process.cpp.o.d"
+  "CMakeFiles/pcpc_trace.dir/clf.cpp.o"
+  "CMakeFiles/pcpc_trace.dir/clf.cpp.o.d"
+  "CMakeFiles/pcpc_trace.dir/trace.cpp.o"
+  "CMakeFiles/pcpc_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/pcpc_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/pcpc_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/pcpc_trace.dir/transforms.cpp.o"
+  "CMakeFiles/pcpc_trace.dir/transforms.cpp.o.d"
+  "CMakeFiles/pcpc_trace.dir/webserver_log.cpp.o"
+  "CMakeFiles/pcpc_trace.dir/webserver_log.cpp.o.d"
+  "libpcpc_trace.a"
+  "libpcpc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcpc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assignment.dir/test_assignment.cpp.o"
+  "CMakeFiles/test_assignment.dir/test_assignment.cpp.o.d"
+  "test_assignment"
+  "test_assignment.pdb"
+  "test_assignment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

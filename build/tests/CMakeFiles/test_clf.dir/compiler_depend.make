@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_clf.
+# This may be replaced when dependencies are built.

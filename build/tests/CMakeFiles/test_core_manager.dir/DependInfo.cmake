@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_core_manager.cpp" "tests/CMakeFiles/test_core_manager.dir/test_core_manager.cpp.o" "gcc" "tests/CMakeFiles/test_core_manager.dir/test_core_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/pcpc_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/impls/CMakeFiles/pcpc_impls.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pcpc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pcpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pcpc_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pcpc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pcpc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

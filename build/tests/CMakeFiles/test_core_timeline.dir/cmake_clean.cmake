@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_timeline.dir/test_core_timeline.cpp.o"
+  "CMakeFiles/test_core_timeline.dir/test_core_timeline.cpp.o.d"
+  "test_core_timeline"
+  "test_core_timeline.pdb"
+  "test_core_timeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_elastic_buffer.dir/test_elastic_buffer.cpp.o"
+  "CMakeFiles/test_elastic_buffer.dir/test_elastic_buffer.cpp.o.d"
+  "test_elastic_buffer"
+  "test_elastic_buffer.pdb"
+  "test_elastic_buffer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_elastic_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

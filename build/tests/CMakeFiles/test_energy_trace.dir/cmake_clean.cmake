@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_energy_trace.dir/test_energy_trace.cpp.o"
+  "CMakeFiles/test_energy_trace.dir/test_energy_trace.cpp.o.d"
+  "test_energy_trace"
+  "test_energy_trace.pdb"
+  "test_energy_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_energy_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_pbpl.dir/test_fuzz_pbpl.cpp.o"
+  "CMakeFiles/test_fuzz_pbpl.dir/test_fuzz_pbpl.cpp.o.d"
+  "test_fuzz_pbpl"
+  "test_fuzz_pbpl.pdb"
+  "test_fuzz_pbpl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_pbpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pbpl_system.dir/test_pbpl_system.cpp.o"
+  "CMakeFiles/test_pbpl_system.dir/test_pbpl_system.cpp.o.d"
+  "test_pbpl_system"
+  "test_pbpl_system.pdb"
+  "test_pbpl_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pbpl_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pstate.dir/test_pstate.cpp.o"
+  "CMakeFiles/test_pstate.dir/test_pstate.cpp.o.d"
+  "test_pstate"
+  "test_pstate.pdb"
+  "test_pstate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pstate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rate_predictor.dir/test_rate_predictor.cpp.o"
+  "CMakeFiles/test_rate_predictor.dir/test_rate_predictor.cpp.o.d"
+  "test_rate_predictor"
+  "test_rate_predictor.pdb"
+  "test_rate_predictor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rate_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slot_track.dir/test_slot_track.cpp.o"
+  "CMakeFiles/test_slot_track.dir/test_slot_track.cpp.o.d"
+  "test_slot_track"
+  "test_slot_track.pdb"
+  "test_slot_track[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slot_track.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

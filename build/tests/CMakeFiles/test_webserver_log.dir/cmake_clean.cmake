@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_webserver_log.dir/test_webserver_log.cpp.o"
+  "CMakeFiles/test_webserver_log.dir/test_webserver_log.cpp.o.d"
+  "test_webserver_log"
+  "test_webserver_log.pdb"
+  "test_webserver_log[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_webserver_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
