@@ -10,6 +10,25 @@
 
 namespace pcpc::core {
 
+/// What the thread host does when a producer finds its buffer full and
+/// no pool segment can absorb the item (Section V-A's "a buffer overflow
+/// can occur at any time", hardened for overload).
+enum class OverflowPolicy {
+  /// Raise an unscheduled manager wakeup and block the producer until
+  /// the forced drain makes space.  Lossless; producers feel
+  /// backpressure.  This is the paper's (and the seed's) behaviour.
+  Block,
+  /// Evict the oldest buffered item to admit the new one.  Bounded
+  /// producer latency; freshest data wins.  Evictions are counted.
+  DropOldest,
+  /// Reject the incoming item.  Bounded producer latency; in-flight
+  /// data wins.  Rejections are counted.
+  DropNewest,
+  /// Borrow pool segments as aggressively as needed; if the pool is
+  /// truly empty, fall back to Block (never drops).
+  EmergencyBorrow,
+};
+
 /// All tunables of the PBPL algorithm and its host.  Defaults follow the
 /// paper's evaluation setup (Section VI-A) where it specifies one, and a
 /// documented calibration otherwise.
@@ -59,6 +78,18 @@ struct PbplConfig {
   /// raising an unscheduled wakeup ("consumers may lend each other buffer
   /// space … and not cause new wakeups", Section I).
   bool emergency_borrow = true;
+
+  /// Thread host: what a producer does when its buffer is full and the
+  /// pre-emptive borrow (emergency_borrow above) could not make space.
+  OverflowPolicy overflow_policy = OverflowPolicy::Block;
+
+  /// Thread host: per-core deadline watchdog.  When a manager services a
+  /// slot more than `watchdog_factor · Δ` after the slot's start (the
+  /// thread was stalled by a slow handler, the scheduler, or fault
+  /// injection), it escalates: every consumer on the core is drained
+  /// immediately and rescheduled, and the overrun is counted as a missed
+  /// deadline.  0 disables the watchdog.
+  double watchdog_factor = 0.0;
 
   /// Enable the adaptive latency guard (Section VIII future work): a
   /// feedback controller that shrinks the reservation horizon after a

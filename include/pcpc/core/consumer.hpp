@@ -17,6 +17,7 @@
 #include "pcpc/core/core_manager.hpp"
 #include "pcpc/core/latency_guard.hpp"
 #include "pcpc/core/rate_predictor.hpp"
+#include "pcpc/fault/fault_injector.hpp"
 #include "pcpc/queue/elastic_buffer.hpp"
 
 namespace pcpc::core {
@@ -62,6 +63,17 @@ class PbplConsumer final : public Invocable {
   /// The adaptive latency guard; present only when config.latency_guard.
   const LatencyGuard* guard() const { return guard_ ? &*guard_ : nullptr; }
 
+  /// Chaos harness hook: slow-handler faults inflate this consumer's
+  /// virtual service time.  Null (the default) disables injection; the
+  /// injector must outlive the consumer.
+  void set_fault_injector(fault::FaultInjector* injector) { injector_ = injector; }
+
+  /// Chaos harness hook: shrinks the buffer toward one segment so
+  /// pool-pressure faults can seize the freed capacity.  Bg = B0·M means
+  /// a freshly started system has no free segments at all — external
+  /// memory pressure has to come out of the consumers' own allotment.
+  void squeeze_buffer() { buffer_.resize(1); }
+
  private:
   void make_reservation(SimTime now);
 
@@ -72,6 +84,7 @@ class PbplConsumer final : public Invocable {
   queue::ElasticBuffer<SimTime> buffer_;
   std::unique_ptr<RatePredictor> predictor_;
   std::optional<LatencyGuard> guard_;
+  fault::FaultInjector* injector_ = nullptr;
   SimTime last_invocation_ = 0;
   std::size_t last_batch_ = 1;
   ConsumerStats stats_;

@@ -62,6 +62,10 @@ class PbplSystem {
   CoreManager& manager(std::size_t core) { return *managers_.at(core); }
   std::size_t core_count() const { return cores_.size(); }
 
+  /// The shared global pool Bg; exposed so the chaos harness can apply
+  /// pool pressure (seize_segments) before a run.
+  queue::BufferPool<SimTime>& pool() { return pool_; }
+
   /// Makes every consumer's initial reservation.  Call once, before
   /// running the simulator.
   void start();

@@ -1,0 +1,55 @@
+// Chaos harness for the simulation host.
+//
+// Wires one FaultInjector into a full PBPL simulation run: producer
+// bursts and stalls become trace transforms, slow handlers inflate
+// virtual service time, slot deadlines pick up scheduling jitter, and
+// pool pressure seizes global-buffer segments before the run starts.
+// Everything stays deterministic — same traces, config and fault seed
+// reproduce the run bit-for-bit, which is what lets the chaos tests
+// assert exact item conservation under arbitrary fault mixes.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pcpc/core/config.hpp"
+#include "pcpc/core/pbpl_system.hpp"
+#include "pcpc/fault/fault_injector.hpp"
+#include "pcpc/trace/trace.hpp"
+
+namespace pcpc::fault {
+
+/// Applies producer-side faults to one trace: each arrival may burst
+/// into `burst_factor` items, and each arrival may stall, shifting that
+/// and every later arrival of this producer by `stall_duration`.  The
+/// result stays time-sorted.
+trace::Trace apply_producer_faults(const trace::Trace& original, FaultInjector& injector);
+
+/// Outcome of one chaos simulation run.
+struct ChaosRunResult {
+  core::PbplResult pbpl;          ///< the usual aggregate counters
+  FaultStats faults;              ///< what the injector actually did
+  std::size_t offered_items = 0;  ///< post-fault items within the horizon
+};
+
+/// run_pbpl with faults: transforms every trace through `injector`,
+/// installs deadline jitter on the simulator, inflates slow batches'
+/// service time and applies pool pressure, then runs to `horizon`.
+ChaosRunResult run_pbpl_under_faults(std::span<const trace::Trace> traces,
+                                     SimDuration horizon, const core::PbplConfig& config,
+                                     FaultInjector& injector);
+
+/// One named entry of the chaos scenario matrix.
+struct Scenario {
+  std::string name;
+  FaultConfig faults;
+};
+
+/// The standard scenario matrix exercised by tests and the overload
+/// bench: ×10 producer bursts, 50 ms producer stalls, a slow consumer
+/// handler, buffer-pool pressure, slot-clock jitter, and all of them at
+/// once.  `seed` seeds every scenario's injector.
+std::vector<Scenario> standard_scenarios(std::uint64_t seed);
+
+}  // namespace pcpc::fault

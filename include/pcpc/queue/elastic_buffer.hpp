@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "pcpc/common/assert.hpp"
+#include "pcpc/common/logging.hpp"
 #include "pcpc/common/stats.hpp"
 
 namespace pcpc::queue {
@@ -48,6 +49,9 @@ class BufferPool {
   /// Total slot count Bg (rounded up to segment granularity).
   std::size_t total_slots() const { return total_segments_ * segment_size_; }
 
+  /// Total segment count Bg / segment_size.
+  std::size_t total_segments() const { return total_segments_; }
+
   /// Slots not currently owned by any buffer.
   std::size_t free_slots() const { return free_segments_ * segment_size_; }
 
@@ -59,6 +63,19 @@ class BufferPool {
   /// Creates a buffer initially owning ~B0 slots (rounded up to whole
   /// segments).  Call once per consumer.
   ElasticBuffer<T> make_buffer();
+
+  /// Times make_buffer() found the pool empty and had to over-commit an
+  /// emergency segment (capacity degradation, not an abort).
+  std::uint64_t exhausted_grants() const { return exhausted_grants_; }
+
+  /// Fault injection / admission control: takes up to `want` free
+  /// segments out of circulation and returns how many were seized.
+  /// Buffers keep what they already own; resizing and emergency borrows
+  /// compete for the rest.  Undo with restore_segments().
+  std::size_t seize_segments(std::size_t want) { return acquire_segments(want); }
+
+  /// Returns previously seized segments to the free list.
+  void restore_segments(std::size_t n) { release_segments(n); }
 
  private:
   friend class ElasticBuffer<T>;
@@ -79,6 +96,7 @@ class BufferPool {
   std::size_t base_capacity_;
   std::size_t total_segments_;
   std::size_t free_segments_;
+  std::uint64_t exhausted_grants_ = 0;
 };
 
 /// One consumer's resizable buffer; capacity is a whole number of pool
@@ -182,8 +200,20 @@ class ElasticBuffer {
 template <typename T>
 ElasticBuffer<T> BufferPool<T>::make_buffer() {
   const std::size_t want = (base_capacity_ + segment_size_ - 1) / segment_size_;
-  const std::size_t granted = acquire_segments(want);
-  PCPC_ASSERT_MSG(granted > 0, "pool exhausted: too many buffers for Bg");
+  std::size_t granted = acquire_segments(want);
+  if (granted == 0) {
+    // Pool exhausted (over-subscribed consumers or fault-injected
+    // pressure).  Aborting here turns a sizing mistake into an outage;
+    // instead the pool over-commits one emergency segment so the
+    // consumer can still run — degraded to minimum capacity — and the
+    // event is counted and logged for the operator.
+    ++total_segments_;
+    granted = 1;
+    ++exhausted_grants_;
+    PCPC_WARN << "BufferPool exhausted: over-committing one emergency segment ("
+              << exhausted_grants_ << " so far); Bg grew to " << total_slots()
+              << " slots";
+  }
   return ElasticBuffer<T>(this, granted);
 }
 

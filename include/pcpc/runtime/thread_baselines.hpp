@@ -17,6 +17,7 @@
 #include "pcpc/common/latency_recorder.hpp"
 #include "pcpc/common/stats.hpp"
 #include "pcpc/common/types.hpp"
+#include "pcpc/fault/fault_injector.hpp"
 
 namespace pcpc::runtime {
 
@@ -43,9 +44,13 @@ enum class SignalPolicy {
 /// bounded deque, a condvar and one consumer thread.
 class ThreadBaseline {
  public:
-  /// `period` is used only by SignalPolicy::Periodic.
+  /// `period` is used only by SignalPolicy::Periodic.  `injector`, when
+  /// non-null, must outlive the baseline; it injects producer stalls and
+  /// bursts and slow-consumer handler delays so the baselines face the
+  /// same chaos the PBPL host does.
   ThreadBaseline(std::size_t pairs, std::size_t buffer_capacity, SignalPolicy policy,
-                 SimDuration period = milliseconds(10));
+                 SimDuration period = milliseconds(10),
+                 fault::FaultInjector* injector = nullptr);
   ~ThreadBaseline();
 
   ThreadBaseline(const ThreadBaseline&) = delete;
@@ -78,6 +83,7 @@ class ThreadBaseline {
   const std::size_t capacity_;
   const SignalPolicy policy_;
   const SimDuration period_;
+  fault::FaultInjector* injector_ = nullptr;
   std::atomic<bool> running_{true};
   std::vector<std::unique_ptr<Pair>> pairs_;
 

@@ -6,11 +6,14 @@
 // drains every consumer registered for that slot, runs each consumer's
 // predict→reserve→resize pipeline, and goes back to sleep.  Producers
 // push from their own threads; a full buffer first borrows pool segments
-// and only then forces an unscheduled manager wakeup.
+// and only then falls back to the configured overflow policy.
 //
 // The decision logic (SlotTrack, ReservationTable, choose_slot, the
 // predictors, the elastic pool) is byte-for-byte the same code the
-// simulation host runs — this file only supplies the threading shell.
+// simulation host runs — this file only supplies the threading shell,
+// plus the overload hardening the simulation host cannot exercise:
+// configurable overflow policies, a per-core deadline watchdog, the
+// live LatencyGuard, and pcpc::fault injection hooks.
 #pragma once
 
 #include <chrono>
@@ -19,6 +22,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -26,9 +30,11 @@
 #include "pcpc/common/stats.hpp"
 #include "pcpc/core/config.hpp"
 #include "pcpc/core/cost.hpp"
+#include "pcpc/core/latency_guard.hpp"
 #include "pcpc/core/rate_predictor.hpp"
 #include "pcpc/core/reservation.hpp"
 #include "pcpc/core/slot_track.hpp"
+#include "pcpc/fault/fault_injector.hpp"
 #include "pcpc/queue/elastic_buffer.hpp"
 
 namespace pcpc::runtime {
@@ -37,16 +43,28 @@ using Clock = std::chrono::steady_clock;
 
 /// Aggregate counters of one ThreadPbpl run.
 struct ThreadPbplStats {
-  std::uint64_t items = 0;
+  std::uint64_t produced = 0;            ///< items offered by producers
+  std::uint64_t items = 0;               ///< items drained (consumed)
   std::uint64_t invocations = 0;
   std::uint64_t scheduled_wakeups = 0;   ///< slot timeouts taken by managers
   std::uint64_t overflow_wakeups = 0;    ///< forced unscheduled drains
   std::uint64_t emergency_borrows = 0;
   std::uint64_t reservations = 0;
   std::uint64_t latched_reservations = 0;
+  std::uint64_t dropped_oldest = 0;      ///< evictions under DropOldest
+  std::uint64_t dropped_newest = 0;      ///< rejections under DropNewest
+  std::uint64_t dropped_on_stop = 0;     ///< items lost to a stop() race (counted!)
+  std::uint64_t missed_deadlines = 0;    ///< watchdog escalations (slot overrun > k·Δ)
+  std::uint64_t latency_violations = 0;  ///< guard-observed items past the bound
+  std::uint64_t pool_exhausted = 0;      ///< pool emergency over-commits
   std::int64_t manager_cpu_ns = 0;       ///< CPU time of all manager threads
   OnlineStats batch_sizes;
   LatencyRecorder latency_s;
+
+  /// All items that did not reach a consumer, by any drop path.
+  std::uint64_t dropped() const {
+    return dropped_oldest + dropped_newest + dropped_on_stop;
+  }
 };
 
 /// Multi-core, multi-consumer PBPL runtime on real threads.
@@ -59,8 +77,11 @@ class ThreadPbpl {
 
   /// Starts `config.cores` manager threads hosting `consumers` pairs
   /// (round-robin).  The slot track is anchored at construction time.
+  /// `injector`, when non-null, must outlive the runtime; it injects
+  /// producer stalls/bursts, slow handlers, deadline jitter and pool
+  /// pressure (see pcpc/fault/fault_injector.hpp).
   ThreadPbpl(std::size_t consumers, const core::PbplConfig& config,
-             BatchHandler handler = {});
+             BatchHandler handler = {}, fault::FaultInjector* injector = nullptr);
 
   /// Stops and joins all manager threads (drains leftovers first).
   ~ThreadPbpl();
@@ -69,9 +90,10 @@ class ThreadPbpl {
   ThreadPbpl& operator=(const ThreadPbpl&) = delete;
 
   /// Producer side: deliver one item to `consumer` now.  Thread-safe;
-  /// callable from any thread.  Blocks only in the rare case where the
-  /// buffer is full, the pool is exhausted, and the manager has not yet
-  /// completed the forced drain.
+  /// callable from any thread.  Under OverflowPolicy::Block it blocks
+  /// while the buffer is full, the pool is exhausted, and the manager
+  /// has not yet completed the forced drain; the drop policies bound it.
+  /// Every offered item is accounted: produced == items + dropped().
   void produce(std::size_t consumer);
 
   /// Stops the runtime (idempotent); the destructor calls this too.
@@ -91,9 +113,10 @@ class ThreadPbpl {
     Core* core = nullptr;
     std::unique_ptr<queue::ElasticBuffer<Clock::time_point>> buffer;
     std::unique_ptr<core::RatePredictor> predictor;
+    std::optional<core::LatencyGuard> guard;  // live latency feedback
     SimTime last_invocation = 0;
     std::size_t last_batch = 1;
-    std::uint64_t overflow_requests = 0;  // pending forced drains
+    std::uint64_t overflow_requests = 0;  // pending forced drains (0 or 1)
   };
 
   struct Core {
@@ -108,8 +131,9 @@ class ThreadPbpl {
   };
 
   SimTime now_ns() const;
-  Clock::time_point slot_deadline(core::SlotIndex slot) const;
+  Clock::time_point slot_deadline(core::SlotIndex slot);
   void manager_loop(Core& core);
+  void push_one_locked(Consumer& consumer, std::unique_lock<std::mutex>& lock);
   void invoke_locked(Core& core, Consumer& consumer, SimTime now);
   void make_reservation_locked(Core& core, Consumer& consumer, SimTime now);
 
@@ -117,12 +141,14 @@ class ThreadPbpl {
   const core::SlotTrack track_;
   const Clock::time_point epoch_;
   BatchHandler handler_;
+  fault::FaultInjector* injector_ = nullptr;
 
   mutable std::mutex mutex_;  // one coarse lock: simple and correct
   std::condition_variable producer_cv_;
   bool running_ = true;
 
   queue::BufferPool<Clock::time_point> pool_;
+  std::size_t seized_segments_ = 0;  // held by fault-injected pool pressure
   std::vector<std::unique_ptr<Consumer>> consumers_;
   std::vector<std::unique_ptr<Core>> cores_;
   ThreadPbplStats stats_;

@@ -7,7 +7,10 @@
 // subject to host-scheduler noise.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <functional>
+#include <utility>
 
 #include "pcpc/common/assert.hpp"
 #include "pcpc/sim/event_queue.hpp"
@@ -31,6 +34,24 @@ class Simulator {
     PCPC_ASSERT_MSG(delay >= 0, "negative delay");
     return queue_.schedule(now_ + delay, std::move(fn));
   }
+
+  /// Like at(), but the target time picks up the installed wakeup
+  /// perturbation (fault-injected clock jitter / timer coalescing),
+  /// clamped so the event never lands in the past.  Used for *wakeup*
+  /// scheduling (slot deadlines); workload replay keeps exact at().
+  EventId at_perturbed(SimTime t, EventFn fn) {
+    if (perturbation_) t = std::max(now_, t + perturbation_());
+    return at(t, std::move(fn));
+  }
+
+  /// Installs (or clears, with {}) the wakeup perturbation drawn by
+  /// at_perturbed(); returns a signed offset in virtual nanoseconds.
+  void set_wakeup_perturbation(std::function<SimDuration()> perturbation) {
+    perturbation_ = std::move(perturbation);
+  }
+
+  /// True when a wakeup perturbation is installed (fault injection on).
+  bool perturbed() const { return static_cast<bool>(perturbation_); }
 
   /// Cancels a pending event; false when it already fired or was cancelled.
   bool cancel(EventId id) { return queue_.cancel(id); }
@@ -63,6 +84,7 @@ class Simulator {
   EventQueue queue_;
   SimTime now_ = 0;
   std::uint64_t dispatched_ = 0;
+  std::function<SimDuration()> perturbation_;
 };
 
 }  // namespace pcpc::sim

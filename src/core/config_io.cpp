@@ -98,6 +98,15 @@ bool apply_option(PbplConfig& config, const std::string& assignment, std::string
   } else if (key == "emergency_borrow") {
     if (!parse_bool(value, b)) return fail(error, "bad emergency_borrow"), false;
     config.emergency_borrow = b;
+  } else if (key == "overflow_policy") {
+    if (value == "block") config.overflow_policy = OverflowPolicy::Block;
+    else if (value == "drop_oldest") config.overflow_policy = OverflowPolicy::DropOldest;
+    else if (value == "drop_newest") config.overflow_policy = OverflowPolicy::DropNewest;
+    else if (value == "borrow") config.overflow_policy = OverflowPolicy::EmergencyBorrow;
+    else return fail(error, "overflow_policy must be block|drop_oldest|drop_newest|borrow"), false;
+  } else if (key == "watchdog_factor") {
+    if (!parse_double(value, d) || d < 0.0) return fail(error, "watchdog_factor >= 0"), false;
+    config.watchdog_factor = d;
   } else if (key == "latency_guard") {
     if (!parse_bool(value, b)) return fail(error, "bad latency_guard"), false;
     config.latency_guard = b;
@@ -193,6 +202,16 @@ std::string describe(const PbplConfig& config) {
      << "latching=" << (config.latching ? 1 : 0) << '\n'
      << "dynamic_resize=" << (config.dynamic_resize ? 1 : 0) << '\n'
      << "emergency_borrow=" << (config.emergency_borrow ? 1 : 0) << '\n'
+     << "overflow_policy="
+     << (config.overflow_policy == OverflowPolicy::Block
+             ? "block"
+             : (config.overflow_policy == OverflowPolicy::DropOldest
+                    ? "drop_oldest"
+                    : (config.overflow_policy == OverflowPolicy::DropNewest
+                           ? "drop_newest"
+                           : "borrow")))
+     << '\n'
+     << "watchdog_factor=" << config.watchdog_factor << '\n'
      << "latency_guard=" << (config.latency_guard ? 1 : 0) << '\n'
      << "fill_tolerance=" << config.fill_tolerance << '\n'
      << "resize_headroom=" << config.resize_headroom << '\n'

@@ -76,7 +76,9 @@ SimDuration PbplConsumer::on_invoked(SimTime now, bool scheduled) {
   // 3. Reserve the next slot (and resize the buffer for it).
   make_reservation(now);
 
-  return config_.service.batch_time(batch);
+  SimDuration service = config_.service.batch_time(batch);
+  if (injector_ != nullptr && batch > 0) service += injector_->handler_delay();
+  return service;
 }
 
 void PbplConsumer::make_reservation(SimTime now) {

@@ -82,15 +82,18 @@ void CoreManager::ensure_scheduled() {
     simulator_.cancel(pending_event_);
   }
   pending_slot_ = *next;
-  pending_event_ =
-      simulator_.at(track_.start_of(*next), [this](SimTime t) { on_slot_event(t); });
+  // Wakeups (not workload events) absorb the fault-injected clock
+  // jitter: the slot fires where the perturbed timer lands.
+  pending_event_ = simulator_.at_perturbed(track_.start_of(*next),
+                                           [this](SimTime t) { on_slot_event(t); });
   has_pending_event_ = true;
 }
 
 void CoreManager::on_slot_event(SimTime t) {
   has_pending_event_ = false;
   const SlotIndex slot = pending_slot_;
-  PCPC_ASSERT_MSG(track_.start_of(slot) == t, "slot event fired at the wrong time");
+  PCPC_ASSERT_MSG(simulator_.perturbed() || track_.start_of(slot) == t,
+                  "slot event fired at the wrong time");
   const auto consumers = reservations_.take_slot(slot);
   if (!consumers.empty()) {
     ++scheduled_wakeups_;

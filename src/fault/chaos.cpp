@@ -1,0 +1,147 @@
+#include "pcpc/fault/chaos.hpp"
+
+#include <algorithm>
+
+#include "pcpc/common/assert.hpp"
+#include "pcpc/sim/replay.hpp"
+#include "pcpc/sim/simulator.hpp"
+
+namespace pcpc::fault {
+
+trace::Trace apply_producer_faults(const trace::Trace& original, FaultInjector& injector) {
+  std::vector<SimTime> out;
+  out.reserve(original.size());
+  SimDuration offset = 0;
+  for (const SimTime t : original.timestamps()) {
+    offset += injector.producer_stall();
+    const SimTime shifted = t + offset;
+    out.push_back(shifted);
+    const std::size_t extra = injector.burst_items();
+    for (std::size_t i = 0; i < extra; ++i) out.push_back(shifted);
+  }
+  return trace::Trace(std::move(out));
+}
+
+ChaosRunResult run_pbpl_under_faults(std::span<const trace::Trace> traces,
+                                     SimDuration horizon, const core::PbplConfig& config,
+                                     FaultInjector& injector) {
+  PCPC_ASSERT_MSG(!traces.empty(), "need at least one producer trace");
+  PCPC_ASSERT_MSG(horizon > 0, "horizon must be positive");
+
+  ChaosRunResult result;
+
+  // Producer faults first: they reshape the workload every other layer
+  // sees (and the utilization estimate the assignment policies use).
+  std::vector<trace::Trace> faulted;
+  faulted.reserve(traces.size());
+  for (const auto& t : traces) {
+    faulted.push_back(apply_producer_faults(t, injector));
+    for (const SimTime ts : faulted.back().timestamps()) {
+      if (ts < horizon) ++result.offered_items;
+    }
+  }
+
+  std::vector<double> utilization;
+  if (config.assignment != core::AssignmentPolicy::RoundRobin) {
+    utilization.reserve(faulted.size());
+    for (const auto& t : faulted) {
+      const double rate = static_cast<double>(t.size()) / to_seconds(horizon);
+      utilization.push_back(rate * to_seconds(config.service.per_item));
+    }
+  }
+
+  sim::Simulator simulator;
+  if (injector.config().deadline_jitter > 0) {
+    simulator.set_wakeup_perturbation([&injector] { return injector.deadline_jitter(); });
+  }
+
+  core::PbplSystem system(simulator, faulted.size(), config, utilization);
+
+  // Pool pressure: Bg = B0·M means a fresh system has zero free segments,
+  // so external memory pressure squeezes the consumers' own allotments —
+  // shrink buffers toward one segment and seize what that frees.
+  const std::size_t want =
+      injector.pressure_segments(system.pool().total_segments());
+  if (want > 0) {
+    std::size_t seized = system.pool().seize_segments(want);
+    for (std::size_t i = 0; seized < want && i < system.consumer_count(); ++i) {
+      system.consumer(i).squeeze_buffer();
+      seized += system.pool().seize_segments(want - seized);
+    }
+    injector.note_seized(seized);
+  }
+
+  for (std::size_t i = 0; i < system.consumer_count(); ++i) {
+    system.consumer(i).set_fault_injector(&injector);
+  }
+
+  system.start();
+  for (std::size_t i = 0; i < faulted.size(); ++i) {
+    core::PbplConsumer& consumer = system.consumer(i);
+    sim::replay(simulator, faulted[i].timestamps(), horizon,
+                [&consumer](SimTime t) { consumer.produce(t); });
+  }
+  simulator.run_until(horizon);
+  result.pbpl = system.finish(horizon);
+  result.faults = injector.stats();
+  return result;
+}
+
+std::vector<Scenario> standard_scenarios(std::uint64_t seed) {
+  std::vector<Scenario> scenarios;
+
+  {
+    Scenario s{"baseline", {}};
+    s.faults.seed = seed;
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s{"burst_x10", {}};
+    s.faults.seed = seed;
+    s.faults.burst_probability = 0.05;
+    s.faults.burst_factor = 10;
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s{"stall_50ms", {}};
+    s.faults.seed = seed;
+    s.faults.stall_probability = 0.01;
+    s.faults.stall_duration = milliseconds(50);
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s{"slow_consumer", {}};
+    s.faults.seed = seed;
+    s.faults.slow_handler_probability = 0.2;
+    s.faults.handler_delay = milliseconds(5);
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s{"pool_pressure", {}};
+    s.faults.seed = seed;
+    s.faults.pool_pressure = 0.75;
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s{"clock_jitter", {}};
+    s.faults.seed = seed;
+    s.faults.deadline_jitter = milliseconds(2);
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s{"everything", {}};
+    s.faults.seed = seed;
+    s.faults.burst_probability = 0.05;
+    s.faults.burst_factor = 10;
+    s.faults.stall_probability = 0.01;
+    s.faults.stall_duration = milliseconds(50);
+    s.faults.slow_handler_probability = 0.2;
+    s.faults.handler_delay = milliseconds(5);
+    s.faults.pool_pressure = 0.5;
+    s.faults.deadline_jitter = milliseconds(1);
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
+}  // namespace pcpc::fault

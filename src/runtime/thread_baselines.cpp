@@ -6,8 +6,9 @@
 namespace pcpc::runtime {
 
 ThreadBaseline::ThreadBaseline(std::size_t pairs, std::size_t buffer_capacity,
-                               SignalPolicy policy, SimDuration period)
-    : capacity_(buffer_capacity), policy_(policy), period_(period) {
+                               SignalPolicy policy, SimDuration period,
+                               fault::FaultInjector* injector)
+    : capacity_(buffer_capacity), policy_(policy), period_(period), injector_(injector) {
   PCPC_ASSERT_MSG(period > 0, "period must be positive");
   PCPC_ASSERT_MSG(pairs > 0, "need at least one pair");
   PCPC_ASSERT_MSG(buffer_capacity > 0, "buffer capacity must be positive");
@@ -24,17 +25,28 @@ ThreadBaseline::~ThreadBaseline() { stop(); }
 void ThreadBaseline::produce(std::size_t pair_index) {
   PCPC_ASSERT(pair_index < pairs_.size());
   Pair& pair = *pairs_[pair_index];
+  std::size_t items = 1;
+  if (injector_ != nullptr) {
+    // Same producer faults the PBPL host sees: stall on the producer's
+    // own thread, then deliver the whole burst back-to-back.
+    if (const SimDuration stall = injector_->producer_stall(); stall > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(stall));
+    }
+    items += injector_->burst_items();
+  }
   std::unique_lock lock(pair.mutex);
-  pair.producer_cv.wait(lock,
-                        [&] { return pair.buffer.size() < capacity_ || !running_; });
-  if (!running_) return;
-  pair.buffer.push_back(BaselineClock::now());
-  // Periodic consumers wake on their own timer; a full buffer still
-  // forces an immediate drain (the overflow wakeup).
-  if (policy_ == SignalPolicy::PerItem ||
-      (policy_ == SignalPolicy::OnFull && pair.buffer.size() >= capacity_) ||
-      (policy_ == SignalPolicy::Periodic && pair.buffer.size() >= capacity_)) {
-    pair.consumer_cv.notify_one();
+  for (std::size_t i = 0; i < items; ++i) {
+    pair.producer_cv.wait(lock,
+                          [&] { return pair.buffer.size() < capacity_ || !running_; });
+    if (!running_) return;
+    pair.buffer.push_back(BaselineClock::now());
+    // Periodic consumers wake on their own timer; a full buffer still
+    // forces an immediate drain (the overflow wakeup).
+    if (policy_ == SignalPolicy::PerItem ||
+        (policy_ == SignalPolicy::OnFull && pair.buffer.size() >= capacity_) ||
+        (policy_ == SignalPolicy::Periodic && pair.buffer.size() >= capacity_)) {
+      pair.consumer_cv.notify_one();
+    }
   }
 }
 
@@ -49,9 +61,12 @@ void ThreadBaseline::stop() {
     if (pair->thread.joinable()) pair->thread.join();
   }
   // Drain leftovers and fold per-pair counters into the aggregate.
-  std::unique_lock stats_lock(stats_mutex_);
+  // Lock order must match the consumer threads' (pair -> stats): taking
+  // stats_mutex_ first here closes a lock-order-inversion deadlock cycle
+  // with drain_locked (found by TSan).
   for (auto& pair : pairs_) {
     std::unique_lock lock(pair->mutex);
+    std::unique_lock stats_lock(stats_mutex_);
     if (!pair->buffer.empty()) {
       const auto now = BaselineClock::now();
       std::size_t batch = 0;
@@ -114,6 +129,13 @@ void ThreadBaseline::consumer_loop(Pair& pair) {
 
 void ThreadBaseline::drain_locked(Pair& pair, std::unique_lock<std::mutex>& lock) {
   const ScopedCpuTimer timer(pair.cpu_ns);
+  if (injector_ != nullptr && !pair.buffer.empty()) {
+    // Slow-consumer fault: the handler overruns while holding the pair's
+    // lock, so producers feel the stall as backpressure.
+    if (const SimDuration delay = injector_->handler_delay(); delay > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(delay));
+    }
+  }
   const auto now = BaselineClock::now();
   std::size_t batch = 0;
   while (!pair.buffer.empty()) {

@@ -14,11 +14,12 @@ constexpr core::SlotIndex kMinSlot = std::numeric_limits<core::SlotIndex>::min()
 }
 
 ThreadPbpl::ThreadPbpl(std::size_t consumers, const core::PbplConfig& config,
-                       BatchHandler handler)
+                       BatchHandler handler, fault::FaultInjector* injector)
     : config_(config),
       track_(config.resolved_slot_size()),
       epoch_(Clock::now()),
       handler_(std::move(handler)),
+      injector_(injector),
       pool_(std::max<std::size_t>(consumers, 1), config.base_buffer, config.pool_segment) {
   PCPC_ASSERT_MSG(consumers > 0, "need at least one consumer");
   PCPC_ASSERT_MSG(config.cores > 0, "need at least one core");
@@ -34,8 +35,25 @@ ThreadPbpl::ThreadPbpl(std::size_t consumers, const core::PbplConfig& config,
     consumer->buffer = std::make_unique<queue::ElasticBuffer<Clock::time_point>>(
         pool_.make_buffer());
     consumer->predictor = core::make_predictor(config.predictor, config.predictor_window);
+    if (config.latency_guard) consumer->guard.emplace(config.max_latency);
     consumer->core->consumers.push_back(consumer.get());
     consumers_.push_back(std::move(consumer));
+  }
+
+  // Fault-injected pool pressure: Bg = B0·M leaves nothing free after
+  // every consumer took its base allotment, so pressure shrinks the
+  // consumers' buffers toward one segment and seizes the freed capacity.
+  if (injector_ != nullptr) {
+    const std::size_t want = injector_->pressure_segments(pool_.total_segments());
+    if (want > 0) {
+      seized_segments_ = pool_.seize_segments(want);
+      for (auto& consumer : consumers_) {
+        if (seized_segments_ >= want) break;
+        consumer->buffer->resize(1);
+        seized_segments_ += pool_.seize_segments(want - seized_segments_);
+      }
+      injector_->note_seized(seized_segments_);
+    }
   }
 
   {
@@ -86,16 +104,48 @@ void ThreadPbpl::stop() {
     core->scheduled_wakeups = 0;
     core->cpu_ns = 0;
   }
+  stats_.pool_exhausted = pool_.exhausted_grants();
+  if (seized_segments_ > 0) {
+    pool_.restore_segments(seized_segments_);
+    seized_segments_ = 0;
+  }
 }
 
 void ThreadPbpl::produce(std::size_t consumer_index) {
+  std::size_t items = 1;
+  if (injector_ != nullptr) {
+    // Producer faults happen on the producer's own thread, outside the
+    // lock: a stall really does delay the delivery, and a burst really
+    // does arrive as one back-to-back volley.
+    if (const SimDuration stall = injector_->producer_stall(); stall > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(stall));
+    }
+    items += injector_->burst_items();
+  }
   std::unique_lock lock(mutex_);
   PCPC_ASSERT(consumer_index < consumers_.size());
   Consumer& consumer = *consumers_[consumer_index];
+  for (std::size_t i = 0; i < items; ++i) {
+    push_one_locked(consumer, lock);
+  }
+}
+
+void ThreadPbpl::push_one_locked(Consumer& consumer, std::unique_lock<std::mutex>& lock) {
+  ++stats_.produced;
+  if (!running_) {
+    // The runtime already stopped: nothing will ever drain this item.
+    // Count it instead of losing it silently.
+    ++stats_.dropped_on_stop;
+    return;
+  }
   const auto stamp = Clock::now();
   if (consumer.buffer->push(stamp)) return;
 
-  if (config_.emergency_borrow) {
+  // Pre-emptive borrow: EmergencyBorrow always tries the pool first, and
+  // the legacy emergency_borrow flag keeps its "borrow before waking"
+  // semantics under every policy.
+  if (config_.overflow_policy == core::OverflowPolicy::EmergencyBorrow ||
+      config_.emergency_borrow) {
     const std::size_t extra = std::max<std::size_t>(1, consumer.buffer->capacity() / 4);
     consumer.buffer->resize(consumer.buffer->capacity() + extra);
     if (consumer.buffer->push(stamp)) {
@@ -104,13 +154,43 @@ void ThreadPbpl::produce(std::size_t consumer_index) {
     }
   }
 
-  // Forced drain: hand the wakeup to the manager thread and wait for
-  // space (this is the unscheduled overflow wakeup).
-  while (running_ && !consumer.buffer->push(stamp)) {
-    ++consumer.overflow_requests;
-    consumer.core->overflow_pending = true;
-    consumer.core->cv.notify_all();
-    producer_cv_.wait(lock);
+  switch (config_.overflow_policy) {
+    case core::OverflowPolicy::DropOldest: {
+      consumer.buffer->pop();
+      ++stats_.dropped_oldest;
+      const bool stored = consumer.buffer->push(stamp);
+      PCPC_ASSERT_MSG(stored, "buffer still full after evicting the oldest item");
+      return;
+    }
+    case core::OverflowPolicy::DropNewest:
+      ++stats_.dropped_newest;
+      return;
+    case core::OverflowPolicy::Block:
+    case core::OverflowPolicy::EmergencyBorrow:
+      // Forced drain: hand the wakeup to the manager thread and wait for
+      // space (this is the unscheduled overflow wakeup).  The request is
+      // raised once per outstanding drain — a spurious wake of this
+      // producer must not be double-counted as a second overflow — and
+      // re-armed only after the manager consumed the previous one.
+      // running_ is re-checked BEFORE every push retry: a producer woken
+      // by stop() may reacquire the lock after the final drain already
+      // emptied the buffer, and a successful push at that point would
+      // land in a buffer nothing will ever drain again.
+      for (;;) {
+        if (!running_) {
+          // stop() raced our wait; the manager is gone and the final
+          // drain will not see this item.  Account the loss.
+          ++stats_.dropped_on_stop;
+          return;
+        }
+        if (consumer.buffer->push(stamp)) return;
+        if (consumer.overflow_requests == 0) {
+          ++consumer.overflow_requests;
+          consumer.core->overflow_pending = true;
+          consumer.core->cv.notify_all();
+        }
+        producer_cv_.wait(lock);
+      }
   }
 }
 
@@ -124,8 +204,10 @@ SimTime ThreadPbpl::now_ns() const {
       .count();
 }
 
-Clock::time_point ThreadPbpl::slot_deadline(core::SlotIndex slot) const {
-  return epoch_ + std::chrono::nanoseconds(track_.start_of(slot));
+Clock::time_point ThreadPbpl::slot_deadline(core::SlotIndex slot) {
+  SimDuration jitter = 0;
+  if (injector_ != nullptr) jitter = injector_->deadline_jitter();
+  return epoch_ + std::chrono::nanoseconds(track_.start_of(slot) + jitter);
 }
 
 void ThreadPbpl::manager_loop(Core& core) {
@@ -156,11 +238,35 @@ void ThreadPbpl::manager_loop(Core& core) {
       continue;  // stop, overflow, or a spurious wake: re-evaluate
     }
 
+    const SimTime now = now_ns();
+
+    // Deadline watchdog: the slot fired more than k·Δ late (a slow
+    // handler, fault injection, or scheduler starvation stalled this
+    // manager).  Waiting out the normal latching path would compound the
+    // overrun, so escalate: drain every consumer on the core right now
+    // and rebuild the schedule from fresh predictions.
+    if (config_.watchdog_factor > 0.0) {
+      const auto limit = static_cast<SimDuration>(
+          config_.watchdog_factor * static_cast<double>(config_.resolved_slot_size()));
+      if (now - track_.start_of(*next) > limit) {
+        ++stats_.missed_deadlines;
+        ++core.scheduled_wakeups;
+        const ScopedCpuTimer timer(core.cpu_ns);
+        core.overflow_pending = false;
+        for (Consumer* consumer : core.consumers) {
+          consumer->overflow_requests = 0;
+          core.reservations.cancel(static_cast<core::ConsumerId>(consumer->index));
+          invoke_locked(core, *consumer, now);
+        }
+        producer_cv_.notify_all();
+        continue;
+      }
+    }
+
     // The slot fired: one scheduled wakeup serves every consumer
     // registered for it (the latching group).
     ++core.scheduled_wakeups;
     const ScopedCpuTimer timer(core.cpu_ns);
-    const SimTime now = now_ns();
     const auto ids = core.reservations.take_slot(*next);
     for (const core::ConsumerId id : ids) {
       invoke_locked(core, *consumers_[id], now);
@@ -171,9 +277,20 @@ void ThreadPbpl::manager_loop(Core& core) {
 void ThreadPbpl::invoke_locked(Core& core, Consumer& consumer, SimTime now) {
   std::size_t batch = 0;
   const auto drained_at = Clock::now();
+  const std::uint64_t violations_before =
+      consumer.guard ? consumer.guard->violations() : 0;
   while (auto item = consumer.buffer->pop()) {
-    stats_.latency_s.add(std::chrono::duration<double>(drained_at - *item).count());
+    const auto latency = drained_at - *item;
+    stats_.latency_s.add(std::chrono::duration<double>(latency).count());
+    if (consumer.guard) {
+      consumer.guard->observe(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(latency).count());
+    }
     ++batch;
+  }
+  if (consumer.guard) {
+    consumer.guard->end_batch();
+    stats_.latency_violations += consumer.guard->violations() - violations_before;
   }
   stats_.items += batch;
   stats_.batch_sizes.add(static_cast<double>(batch));
@@ -187,6 +304,13 @@ void ThreadPbpl::invoke_locked(Core& core, Consumer& consumer, SimTime now) {
   }
 
   if (handler_) handler_(consumer.index, batch);
+  if (injector_ != nullptr && batch > 0) {
+    // Slow-consumer fault: the handler runs long on the manager thread,
+    // holding the lock exactly like a real slow handler would.
+    if (const SimDuration delay = injector_->handler_delay(); delay > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(delay));
+    }
+  }
 
   make_reservation_locked(core, consumer, now);
 }
@@ -199,6 +323,16 @@ void ThreadPbpl::make_reservation_locked(Core& core, Consumer& consumer, SimTime
 
   core::SlotQuery query{now, rate, capacity, config_.max_latency,
                         config_.fill_tolerance};
+  if (consumer.guard) {
+    // Live latency feedback (mirrors the simulation host): a violated
+    // batch shrinks both the fill horizon and the zero-rate poll horizon
+    // so overload tightens reservations instead of breaking the bound.
+    const double scale = consumer.guard->horizon_scale();
+    query.fill_tolerance *= scale;
+    query.max_latency = std::max<SimDuration>(
+        config_.resolved_slot_size(),
+        static_cast<SimDuration>(static_cast<double>(config_.max_latency) * scale));
+  }
   core::SlotChoice choice =
       config_.latching ? core::choose_slot(track_, core.reservations, query, config_.costs)
                        : core::fill_slot(track_, query, config_.costs);

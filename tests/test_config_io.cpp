@@ -115,6 +115,31 @@ TEST(ConfigIo, DescribeRoundTrips) {
   EXPECT_DOUBLE_EQ(parsed.fill_tolerance, original.fill_tolerance);
 }
 
+TEST(ConfigIo, OverflowPolicyAndWatchdogRoundTrip) {
+  PbplConfig config;
+  std::string error;
+  ASSERT_TRUE(apply_option(config, "overflow_policy=drop_oldest", &error)) << error;
+  EXPECT_EQ(config.overflow_policy, OverflowPolicy::DropOldest);
+  ASSERT_TRUE(apply_option(config, "overflow_policy=drop_newest", &error));
+  EXPECT_EQ(config.overflow_policy, OverflowPolicy::DropNewest);
+  ASSERT_TRUE(apply_option(config, "overflow_policy=borrow", &error));
+  EXPECT_EQ(config.overflow_policy, OverflowPolicy::EmergencyBorrow);
+  ASSERT_TRUE(apply_option(config, "watchdog_factor=2.5", &error));
+  EXPECT_DOUBLE_EQ(config.watchdog_factor, 2.5);
+  EXPECT_FALSE(apply_option(config, "overflow_policy=panic", &error));
+  EXPECT_FALSE(apply_option(config, "watchdog_factor=-1", &error));
+
+  // Both knobs survive a describe → parse round trip.
+  PbplConfig parsed;
+  std::istringstream dump(describe(config));
+  std::string line;
+  while (std::getline(dump, line)) {
+    ASSERT_TRUE(apply_option(parsed, line, &error)) << line << ": " << error;
+  }
+  EXPECT_EQ(parsed.overflow_policy, OverflowPolicy::EmergencyBorrow);
+  EXPECT_DOUBLE_EQ(parsed.watchdog_factor, 2.5);
+}
+
 TEST(ConfigIo, LoadsFileWithCommentsAndBlanks) {
   const std::string path = ::testing::TempDir() + "/pbpl.conf";
   {

@@ -173,5 +173,41 @@ TEST_P(PoolConservationTest, SlotsAreConservedUnderRandomTraffic) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PoolConservationTest, ::testing::Values(1, 2, 3, 4, 5, 6));
 
+TEST(BufferPool, ExhaustionDegradesInsteadOfAborting) {
+  // Regression: an over-subscribed pool used to PCPC_ASSERT-abort inside
+  // make_buffer().  It must instead over-commit one emergency segment,
+  // count the event, and hand out a usable (if minimal) buffer.
+  BufferPool<int> pool(/*consumers=*/2, /*base_capacity=*/8, /*segment_size=*/8);
+  auto a = pool.make_buffer();
+  auto b = pool.make_buffer();
+  EXPECT_EQ(pool.free_slots(), 0u);
+
+  auto c = pool.make_buffer();  // pool is empty: degraded grant
+  EXPECT_EQ(pool.exhausted_grants(), 1u);
+  EXPECT_EQ(c.capacity(), 8u);  // exactly one segment
+  EXPECT_TRUE(c.push(42));
+  EXPECT_EQ(c.pop(), 42);
+
+  // The over-commit grew Bg by the emergency segment, so the global
+  // owned + free == total invariant still holds.
+  EXPECT_EQ(a.capacity() + b.capacity() + c.capacity() + pool.free_slots(),
+            pool.total_slots());
+}
+
+TEST(BufferPool, SeizeAndRestoreSegmentsForPressure) {
+  BufferPool<int> pool(/*consumers=*/4, /*base_capacity=*/10, /*segment_size=*/5);
+  EXPECT_EQ(pool.total_segments(), 8u);
+  auto a = pool.make_buffer();  // takes 2 segments, 6 free
+  const std::size_t seized = pool.seize_segments(100);
+  EXPECT_EQ(seized, 6u);  // only what was free
+  EXPECT_EQ(pool.free_slots(), 0u);
+  // Growth requests now come up empty; the buffer keeps what it owns.
+  EXPECT_EQ(a.resize(40), a.capacity());
+  EXPECT_EQ(a.capacity(), 10u);
+  pool.restore_segments(seized);
+  EXPECT_EQ(pool.free_slots(), 30u);
+  EXPECT_GE(a.resize(40), 40u);
+}
+
 }  // namespace
 }  // namespace pcpc::queue

@@ -1,0 +1,268 @@
+// Tests for the pcpc::fault subsystem on the simulation host: injector
+// determinism, trace transforms, and the chaos scenario matrix run
+// through the full PBPL system with exact item conservation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pcpc/fault/chaos.hpp"
+#include "pcpc/fault/fault_injector.hpp"
+#include "pcpc/trace/arrival_process.hpp"
+#include "pcpc/trace/trace.hpp"
+
+namespace pcpc::fault {
+namespace {
+
+core::PbplConfig chaos_config() {
+  core::PbplConfig config;
+  config.cores = 2;
+  config.slot_size = milliseconds(5);
+  config.max_latency = milliseconds(25);
+  config.base_buffer = 16;
+  config.pool_segment = 4;
+  return config;
+}
+
+std::vector<trace::Trace> chaos_traces(std::size_t producers, SimDuration horizon,
+                                       std::uint64_t seed) {
+  std::vector<trace::Trace> traces;
+  Rng rng(seed);
+  for (std::size_t i = 0; i < producers; ++i) {
+    Rng stream = rng.fork();
+    const trace::ConstantRate rate(500.0 + 250.0 * static_cast<double>(i));
+    traces.push_back(trace::sample_nhpp(rate, horizon, stream));
+  }
+  return traces;
+}
+
+TEST(FaultInjector, DefaultConfigInjectsNothing) {
+  FaultInjector injector{FaultConfig{}};
+  EXPECT_FALSE(injector.config().any());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(injector.burst_items(), 0u);
+    EXPECT_EQ(injector.producer_stall(), 0);
+    EXPECT_EQ(injector.handler_delay(), 0);
+    EXPECT_EQ(injector.deadline_jitter(), 0);
+  }
+  const FaultStats stats = injector.stats();
+  EXPECT_EQ(stats.bursts, 0u);
+  EXPECT_EQ(stats.stalls, 0u);
+  EXPECT_EQ(stats.slow_batches, 0u);
+}
+
+TEST(FaultInjector, DecisionSequenceIsDeterministic) {
+  FaultConfig config;
+  config.seed = 42;
+  config.burst_probability = 0.3;
+  config.stall_probability = 0.2;
+  config.slow_handler_probability = 0.5;
+  config.deadline_jitter = milliseconds(1);
+
+  FaultInjector a(config);
+  FaultInjector b(config);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.burst_items(), b.burst_items());
+    EXPECT_EQ(a.producer_stall(), b.producer_stall());
+    EXPECT_EQ(a.handler_delay(), b.handler_delay());
+    EXPECT_EQ(a.deadline_jitter(), b.deadline_jitter());
+  }
+  const FaultStats sa = a.stats();
+  const FaultStats sb = b.stats();
+  EXPECT_EQ(sa.bursts, sb.bursts);
+  EXPECT_EQ(sa.stalls, sb.stalls);
+  EXPECT_EQ(sa.slow_batches, sb.slow_batches);
+  EXPECT_GT(sa.bursts, 0u);
+  EXPECT_GT(sa.stalls, 0u);
+}
+
+TEST(FaultInjector, FaultClassesDrawIndependentStreams) {
+  // Enabling stalls must not change the burst decision sequence: each
+  // fault class owns a forked RNG stream.
+  FaultConfig bursts_only;
+  bursts_only.seed = 7;
+  bursts_only.burst_probability = 0.25;
+
+  FaultConfig both = bursts_only;
+  both.stall_probability = 0.5;
+
+  FaultInjector a(bursts_only);
+  FaultInjector b(both);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(a.burst_items(), b.burst_items());
+    (void)b.producer_stall();  // interleave stall draws
+  }
+}
+
+TEST(FaultInjector, PressureSegmentsScalesWithPool) {
+  FaultConfig config;
+  config.pool_pressure = 0.5;
+  const FaultInjector injector(config);
+  EXPECT_EQ(injector.pressure_segments(100), 50u);
+  EXPECT_EQ(injector.pressure_segments(0), 0u);
+
+  FaultConfig full;
+  full.pool_pressure = 5.0;  // clamped below 1.0
+  const FaultInjector greedy(full);
+  EXPECT_LT(greedy.pressure_segments(100), 100u);
+}
+
+TEST(ApplyProducerFaults, BurstsAddItemsAtTheSameInstant) {
+  FaultConfig config;
+  config.seed = 11;
+  config.burst_probability = 1.0;  // every arrival bursts
+  config.burst_factor = 4;
+  FaultInjector injector(config);
+
+  const trace::Trace original = trace::uniform_trace(10, milliseconds(2));
+  const trace::Trace faulted = apply_producer_faults(original, injector);
+  EXPECT_EQ(faulted.size(), 40u);  // 10 arrivals × factor 4
+  EXPECT_EQ(injector.stats().bursts, 10u);
+  EXPECT_EQ(injector.stats().burst_items, 30u);
+  // Each original instant now carries 4 items.
+  for (std::size_t i = 0; i < faulted.size(); ++i) {
+    EXPECT_EQ(faulted.at(i), original.at(i / 4));
+  }
+}
+
+TEST(ApplyProducerFaults, StallsShiftThisAndLaterArrivals) {
+  FaultConfig config;
+  config.seed = 13;
+  config.stall_probability = 1.0;  // every arrival stalls
+  config.stall_duration = milliseconds(3);
+  FaultInjector injector(config);
+
+  const trace::Trace original = trace::uniform_trace(5, milliseconds(10));
+  const trace::Trace faulted = apply_producer_faults(original, injector);
+  ASSERT_EQ(faulted.size(), 5u);
+  // Stall offsets accumulate: item i is shifted by (i+1) stalls.
+  for (std::size_t i = 0; i < faulted.size(); ++i) {
+    EXPECT_EQ(faulted.at(i),
+              original.at(i) + static_cast<SimDuration>(i + 1) * milliseconds(3));
+  }
+  // Monotonicity survives.
+  for (std::size_t i = 1; i < faulted.size(); ++i) {
+    EXPECT_GE(faulted.at(i), faulted.at(i - 1));
+  }
+}
+
+TEST(ChaosSim, ScenarioMatrixConservesEveryOfferedItem) {
+  const SimDuration horizon = seconds(2);
+  const auto traces = chaos_traces(4, horizon, 101);
+  const auto config = chaos_config();
+
+  for (const Scenario& scenario : standard_scenarios(2024)) {
+    FaultInjector injector(scenario.faults);
+    const ChaosRunResult result =
+        run_pbpl_under_faults(traces, horizon, config, injector);
+    // The simulation host never drops: every offered (post-fault) item
+    // inside the horizon must be consumed exactly once.
+    EXPECT_EQ(result.pbpl.items, result.offered_items) << scenario.name;
+    EXPECT_GT(result.pbpl.invocations, 0u) << scenario.name;
+    ASSERT_EQ(result.pbpl.timelines.size(), config.cores) << scenario.name;
+    for (const auto& tl : result.pbpl.timelines) {
+      EXPECT_TRUE(tl.finalized()) << scenario.name;
+    }
+    if (result.pbpl.latency_s.count() > 0) {
+      EXPECT_GE(result.pbpl.latency_s.min(), 0.0) << scenario.name;
+    }
+  }
+}
+
+TEST(ChaosSim, RunsAreBitForBitReproducible) {
+  const SimDuration horizon = seconds(1);
+  const auto traces = chaos_traces(3, horizon, 55);
+  const auto config = chaos_config();
+
+  FaultConfig faults;
+  faults.seed = 99;
+  faults.burst_probability = 0.1;
+  faults.burst_factor = 10;
+  faults.stall_probability = 0.02;
+  faults.slow_handler_probability = 0.3;
+  faults.deadline_jitter = milliseconds(1);
+  faults.pool_pressure = 0.5;
+
+  FaultInjector first(faults);
+  FaultInjector second(faults);
+  const ChaosRunResult a = run_pbpl_under_faults(traces, horizon, config, first);
+  const ChaosRunResult b = run_pbpl_under_faults(traces, horizon, config, second);
+
+  EXPECT_EQ(a.offered_items, b.offered_items);
+  EXPECT_EQ(a.pbpl.items, b.pbpl.items);
+  EXPECT_EQ(a.pbpl.scheduled_wakeups, b.pbpl.scheduled_wakeups);
+  EXPECT_EQ(a.pbpl.overflow_wakeups, b.pbpl.overflow_wakeups);
+  EXPECT_EQ(a.pbpl.emergency_borrows, b.pbpl.emergency_borrows);
+  EXPECT_DOUBLE_EQ(a.pbpl.latency_s.mean(), b.pbpl.latency_s.mean());
+  EXPECT_EQ(a.faults.bursts, b.faults.bursts);
+  EXPECT_EQ(a.faults.stalls, b.faults.stalls);
+  EXPECT_EQ(a.faults.slow_batches, b.faults.slow_batches);
+  EXPECT_EQ(a.faults.seized_segments, b.faults.seized_segments);
+}
+
+TEST(ChaosSim, PoolPressureForcesOverflowTraffic) {
+  const SimDuration horizon = seconds(2);
+  const auto traces = chaos_traces(4, horizon, 77);
+  auto config = chaos_config();
+  config.base_buffer = 8;
+  config.pool_segment = 2;
+
+  FaultConfig calm;
+  calm.seed = 5;
+  FaultInjector calm_injector(calm);
+  const ChaosRunResult baseline =
+      run_pbpl_under_faults(traces, horizon, config, calm_injector);
+
+  FaultConfig squeezed = calm;
+  squeezed.pool_pressure = 0.9;
+  FaultInjector squeezed_injector(squeezed);
+  const ChaosRunResult pressured =
+      run_pbpl_under_faults(traces, horizon, config, squeezed_injector);
+
+  EXPECT_GT(pressured.faults.seized_segments, 0u);
+  EXPECT_EQ(pressured.pbpl.items, pressured.offered_items);
+  // With the pool held hostage, resizing cannot absorb bursts, so the
+  // run pays at least as many unscheduled (overflow) wakeups.
+  EXPECT_GE(pressured.pbpl.overflow_wakeups, baseline.pbpl.overflow_wakeups);
+}
+
+TEST(ChaosSim, DeadlineJitterPerturbsButNeverLoses) {
+  const SimDuration horizon = seconds(1);
+  const auto traces = chaos_traces(3, horizon, 31);
+  const auto config = chaos_config();
+
+  FaultConfig faults;
+  faults.seed = 17;
+  faults.deadline_jitter = milliseconds(2);
+  FaultInjector injector(faults);
+  const ChaosRunResult result = run_pbpl_under_faults(traces, horizon, config, injector);
+  EXPECT_GT(result.faults.jittered_deadlines, 0u);
+  EXPECT_EQ(result.pbpl.items, result.offered_items);
+}
+
+TEST(ChaosSim, BurstsDegradeLatencyGracefully) {
+  // Degradation, not collapse: a ×10 burst mix raises mean latency but
+  // the guard-free bound (items inside the horizon) still holds.
+  const SimDuration horizon = seconds(2);
+  const auto traces = chaos_traces(3, horizon, 301);
+  const auto config = chaos_config();
+
+  FaultConfig calm;
+  calm.seed = 1;
+  FaultInjector calm_injector(calm);
+  const ChaosRunResult baseline =
+      run_pbpl_under_faults(traces, horizon, config, calm_injector);
+
+  FaultConfig bursty = calm;
+  bursty.burst_probability = 0.05;
+  bursty.burst_factor = 10;
+  FaultInjector bursty_injector(bursty);
+  const ChaosRunResult stressed =
+      run_pbpl_under_faults(traces, horizon, config, bursty_injector);
+
+  EXPECT_GT(stressed.offered_items, baseline.offered_items);
+  EXPECT_EQ(stressed.pbpl.items, stressed.offered_items);
+  EXPECT_LE(stressed.pbpl.latency_s.max(), to_seconds(horizon));
+}
+
+}  // namespace
+}  // namespace pcpc::fault

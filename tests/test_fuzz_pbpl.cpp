@@ -5,11 +5,16 @@
 // every invariant the design promises.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
 #include <vector>
 
 #include "pcpc/common/rng.hpp"
 #include "pcpc/core/pbpl_system.hpp"
+#include "pcpc/fault/fault_injector.hpp"
 #include "pcpc/impls/runner.hpp"
+#include "pcpc/runtime/thread_pbpl.hpp"
 #include "pcpc/trace/arrival_process.hpp"
 #include "pcpc/trace/webserver_log.hpp"
 
@@ -149,6 +154,102 @@ TEST_P(BaselineFuzz, EveryImplementationConservesItems) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BaselineFuzz, ::testing::Range<std::uint64_t>(1, 9));
+
+class RuntimeChaosFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RuntimeChaosFuzz, ThreadHostConservesUnderRandomFaultsAndStops) {
+  // Thread-host chaos: random overflow policy, random watchdog, random
+  // fault mix, producers flooding from real threads, and a stop() that
+  // lands at a random instant — often mid-overflow-drain, so forced
+  // drains race reservation cancels.  Whatever interleaving the OS
+  // picks, the accounting identity produced == items + dropped() and the
+  // per-policy drop guarantees must hold.
+  Rng rng(GetParam() * 2654435761ULL);
+
+  core::PbplConfig config;
+  config.cores = 1 + rng.next_below(2);
+  config.slot_size = milliseconds(2 + static_cast<long>(rng.next_below(8)));
+  config.max_latency = config.slot_size * static_cast<long>(3 + rng.next_below(6));
+  config.base_buffer = 4 + rng.next_below(24);
+  config.pool_segment = 2 + rng.next_below(6);
+  config.dynamic_resize = rng.bernoulli(0.5);
+  config.emergency_borrow = rng.bernoulli(0.5);
+  config.latency_guard = rng.bernoulli(0.3);
+  config.latching = rng.bernoulli(0.8);
+  config.overflow_policy = static_cast<core::OverflowPolicy>(rng.next_below(4));
+  config.watchdog_factor = rng.bernoulli(0.5) ? rng.uniform(1.5, 4.0) : 0.0;
+
+  fault::FaultConfig faults;
+  faults.seed = GetParam();
+  faults.burst_probability = rng.bernoulli(0.5) ? rng.uniform(0.0, 0.2) : 0.0;
+  faults.burst_factor = 2 + rng.next_below(8);
+  faults.stall_probability = rng.bernoulli(0.3) ? 0.01 : 0.0;
+  faults.stall_duration = milliseconds(1 + static_cast<long>(rng.next_below(4)));
+  faults.slow_handler_probability = rng.bernoulli(0.5) ? rng.uniform(0.0, 0.5) : 0.0;
+  faults.handler_delay = milliseconds(1 + static_cast<long>(rng.next_below(5)));
+  faults.deadline_jitter =
+      rng.bernoulli(0.3) ? milliseconds(1 + static_cast<long>(rng.next_below(2))) : 0;
+  faults.pool_pressure = rng.bernoulli(0.3) ? rng.uniform(0.0, 0.8) : 0.0;
+  fault::FaultInjector injector(faults);
+
+  const std::size_t consumers = 1 + rng.next_below(4);
+  const std::size_t per_producer = 50 + rng.next_below(250);
+  const bool early_stop = rng.bernoulli(0.5);
+  const auto stop_after = std::chrono::milliseconds(1 + rng.next_below(15));
+
+  runtime::ThreadPbplStats stats;
+  {
+    runtime::ThreadPbpl runtime(consumers, config, {}, &injector);
+    std::vector<std::thread> producers;
+    for (std::size_t c = 0; c < consumers; ++c) {
+      producers.emplace_back([&, c] {
+        for (std::size_t i = 0; i < per_producer; ++i) {
+          runtime.produce(c);
+          if (i % 32 == 31) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      });
+    }
+    if (early_stop) {
+      // stop() races the flood: in-flight pushes must land as consumed
+      // or dropped_on_stop, never vanish.
+      std::this_thread::sleep_for(stop_after);
+      runtime.stop();
+    }
+    for (auto& t : producers) t.join();
+    if (!early_stop) std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    runtime.stop();
+    stats = runtime.stats();
+  }
+
+  // The accounting identity holds on every path.
+  EXPECT_EQ(stats.produced, stats.items + stats.dropped());
+  // Per-policy guarantees.
+  switch (config.overflow_policy) {
+    case core::OverflowPolicy::Block:
+    case core::OverflowPolicy::EmergencyBorrow:
+      EXPECT_EQ(stats.dropped_oldest, 0u);
+      EXPECT_EQ(stats.dropped_newest, 0u);
+      break;
+    case core::OverflowPolicy::DropOldest:
+      EXPECT_EQ(stats.dropped_newest, 0u);
+      break;
+    case core::OverflowPolicy::DropNewest:
+      EXPECT_EQ(stats.dropped_oldest, 0u);
+      break;
+  }
+  if (!early_stop) {
+    // With a graceful stop nothing was in flight, so the only losses are
+    // deliberate policy drops.
+    EXPECT_EQ(stats.dropped_on_stop, 0u);
+    if (config.overflow_policy == core::OverflowPolicy::Block ||
+        config.overflow_policy == core::OverflowPolicy::EmergencyBorrow) {
+      EXPECT_EQ(stats.items, stats.produced);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RuntimeChaosFuzz,
+                         ::testing::Range<std::uint64_t>(1, 13));
 
 }  // namespace
 }  // namespace pcpc
