@@ -8,17 +8,22 @@
 // deadline-escalation path converting unbounded slot overruns into
 // counted missed deadlines.
 //
-// Usage: chaos_overload [csv_path]   (default bench_chaos_overload.csv)
+// Usage: chaos_overload [csv_path] [--trace-out=FILE] [--metrics-out=FILE]
+//        (default bench_chaos_overload.csv; .csv metrics extension -> CSV)
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "pcpc/core/config.hpp"
 #include "pcpc/fault/fault_injector.hpp"
+#include "pcpc/obs/exporters.hpp"
+#include "pcpc/obs/obs.hpp"
 #include "pcpc/runtime/thread_pbpl.hpp"
 
 using namespace pcpc;
@@ -101,7 +106,25 @@ void print_rows(std::ostream& out, const std::vector<Cell>& cells) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string csv_path = argc > 1 ? argv[1] : "bench_chaos_overload.csv";
+  std::string csv_path = "bench_chaos_overload.csv";
+  std::string trace_out;
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(std::strlen("--trace-out="));
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(std::strlen("--metrics-out="));
+    } else {
+      csv_path = arg;
+    }
+  }
+
+  // One session spans the whole sweep; each cell's ThreadPbpl re-anchors
+  // the session clock to its own epoch.
+  std::optional<obs::Session> session;
+  if (!trace_out.empty() || !metrics_out.empty()) session.emplace();
+
   const core::OverflowPolicy policies[] = {
       core::OverflowPolicy::Block, core::OverflowPolicy::DropOldest,
       core::OverflowPolicy::DropNewest, core::OverflowPolicy::EmergencyBorrow};
@@ -156,5 +179,25 @@ int main(int argc, char** argv) {
   std::ofstream csv(csv_path);
   print_rows(csv, cells);
   std::fprintf(stderr, "wrote %s\n", csv_path.c_str());
+
+  if (session.has_value()) {
+    std::string error;
+    if (!trace_out.empty() &&
+        !obs::write_perfetto_trace(trace_out, *session, &error)) {
+      std::fprintf(stderr, "trace export failed: %s\n", error.c_str());
+      return 1;
+    }
+    if (!metrics_out.empty()) {
+      const bool as_csv = metrics_out.size() >= 4 &&
+                          metrics_out.compare(metrics_out.size() - 4, 4, ".csv") == 0;
+      const bool ok = as_csv ? obs::write_metrics_csv(metrics_out, *session, &error)
+                             : obs::write_metrics_json(metrics_out, *session, &error);
+      if (!ok) {
+        std::fprintf(stderr, "metrics export failed: %s\n", error.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "wrote %s\n", metrics_out.c_str());
+    }
+  }
   return 0;
 }

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Telemetry smoke gate.
+#
+# Runs the instrumented overhead bench: the identical sim-host workload
+# with and without a recording pcpc::obs session, timed in back-to-back
+# pairs on process CPU time.  Fails when recording costs more than 5%
+# (median paired ratio), when the wakeup ledger's Σ w(τ) disagrees with
+# the simulator's own paid-wakeup counter, or when the exported
+# metrics.json is missing/empty.  Also smoke-runs the chaos
+# bench with exporters armed so the trace/metrics plumbing on the thread
+# host stays exercised.
+#
+# Usage: ci/bench_smoke.sh [build-dir]     (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build="${1:-build}"
+out="${build}/bench_smoke"
+mkdir -p "${out}"
+
+if [[ ! -x "${build}/bench/obs_overhead" ]]; then
+  echo "bench_smoke: ${build}/bench/obs_overhead not built" >&2
+  echo "bench_smoke: run 'cmake --build ${build} --target obs_overhead chaos_overload'" >&2
+  exit 2
+fi
+
+echo "=== obs_overhead: 5% telemetry gate ==="
+"${build}/bench/obs_overhead" \
+  --metrics-out="${out}/metrics.json" \
+  --max-overhead=1.05 \
+  --repeats=9 --seconds=30 --pairs=8
+
+if [[ ! -s "${out}/metrics.json" ]]; then
+  echo "bench_smoke: ${out}/metrics.json missing or empty" >&2
+  exit 1
+fi
+grep -q '"wakeups"' "${out}/metrics.json" || {
+  echo "bench_smoke: metrics.json has no wakeup ledger" >&2
+  exit 1
+}
+
+echo "=== chaos_overload: exporter smoke (thread host) ==="
+"${build}/bench/chaos_overload" "${out}/chaos.csv" \
+  --trace-out="${out}/chaos_trace.json" \
+  --metrics-out="${out}/chaos_metrics.json" > /dev/null
+for f in chaos.csv chaos_trace.json chaos_metrics.json; do
+  [[ -s "${out}/${f}" ]] || { echo "bench_smoke: ${out}/${f} missing" >&2; exit 1; }
+done
+
+echo "bench_smoke: all gates clean (artifacts in ${out}/)"

@@ -7,22 +7,45 @@
 // the degradation shows up only in the counters (overflow wakeups,
 // missed deadlines, tail latency), never as silent loss.
 //
-// Usage: chaos_demo [seconds]   (default 2 s of simulated time)
+// Usage: chaos_demo [seconds] [--trace-out=FILE] [--metrics-out=FILE]
+//        (default 2 s of simulated time; .csv metrics extension -> CSV)
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "pcpc/fault/chaos.hpp"
 #include "pcpc/fault/fault_injector.hpp"
+#include "pcpc/obs/exporters.hpp"
+#include "pcpc/obs/obs.hpp"
 #include "pcpc/runtime/thread_pbpl.hpp"
 #include "pcpc/trace/arrival_process.hpp"
 
 using namespace pcpc;
 
 int main(int argc, char** argv) {
-  const double sim_seconds = argc > 1 ? std::atof(argv[1]) : 2.0;
+  double sim_seconds = 2.0;
+  std::string trace_out;
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(std::strlen("--trace-out="));
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(std::strlen("--metrics-out="));
+    } else {
+      sim_seconds = std::atof(arg.c_str());
+    }
+  }
   const auto horizon = static_cast<SimDuration>(sim_seconds * 1e9);
+
+  // Telemetry spans both hosts: the chaos matrix records in virtual
+  // time, the live thread run re-anchors the session clock to its epoch.
+  std::optional<obs::Session> session;
+  if (!trace_out.empty() || !metrics_out.empty()) session.emplace();
 
   // Four producers with different constant rates.
   std::vector<trace::Trace> traces;
@@ -100,5 +123,24 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(s.overflow_wakeups),
               static_cast<unsigned long long>(s.missed_deadlines),
               1e3 * s.latency_s.p99());
+
+  if (session.has_value()) {
+    std::string error;
+    if (!trace_out.empty() &&
+        !obs::write_perfetto_trace(trace_out, *session, &error)) {
+      std::fprintf(stderr, "trace export failed: %s\n", error.c_str());
+      return 1;
+    }
+    if (!metrics_out.empty()) {
+      const bool csv = metrics_out.size() >= 4 &&
+                       metrics_out.compare(metrics_out.size() - 4, 4, ".csv") == 0;
+      const bool written = csv ? obs::write_metrics_csv(metrics_out, *session, &error)
+                               : obs::write_metrics_json(metrics_out, *session, &error);
+      if (!written) {
+        std::fprintf(stderr, "metrics export failed: %s\n", error.c_str());
+        return 1;
+      }
+    }
+  }
   return s.items == s.produced ? 0 : 1;
 }

@@ -11,14 +11,19 @@
 //   --cores=A          cores                                          [2]
 //   --workload=KIND    web|poisson|mmpp|pareto                        [web]
 //   --config=FILE      PBPL config file (key=value lines)
+//   --trace-out=FILE   write a Perfetto-loadable trace.json
+//   --metrics-out=FILE write run metrics (.csv extension -> CSV, else JSON)
+//   --snapshot-ms=N    PowerTop-style stderr snapshot every N ms
 //   key=value          any pcpc::core::config_io key, applied last
 //
 // Examples:
 //   ./examples/pcpc_cli --impl=all --pairs=10 --rate=1500
 //   ./examples/pcpc_cli --workload=pareto latency_guard=1 slot_size_us=5000
+//   ./examples/pcpc_cli --trace-out=trace.json --metrics-out=metrics.json
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -26,6 +31,8 @@
 #include "pcpc/common/table.hpp"
 #include "pcpc/core/config_io.hpp"
 #include "pcpc/exp/paper_setup.hpp"
+#include "pcpc/obs/exporters.hpp"
+#include "pcpc/obs/obs.hpp"
 #include "pcpc/trace/arrival_process.hpp"
 #include "pcpc/trace/webserver_log.hpp"
 
@@ -42,8 +49,45 @@ struct CliOptions {
   std::size_t cores = 2;
   std::string workload = "web";
   std::string config_file;
+  std::string trace_out;
+  std::string metrics_out;
+  std::int64_t snapshot_ms = 0;
   std::vector<std::string> config_options;
+
+  bool wants_telemetry() const {
+    return !trace_out.empty() || !metrics_out.empty() || snapshot_ms > 0;
+  }
 };
+
+/// Writes the requested telemetry artifacts; shared by all harnesses'
+/// exit paths.  Extension picks the metrics format: .csv -> CSV, else
+/// JSON.
+bool export_telemetry(obs::Session& session, const std::string& trace_out,
+                      const std::string& metrics_out) {
+  std::string error;
+  bool ok = true;
+  if (!trace_out.empty()) {
+    if (obs::write_perfetto_trace(trace_out, session, &error)) {
+      std::fprintf(stderr, "[pcpc obs] trace written to %s\n", trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "[pcpc obs] trace export failed: %s\n", error.c_str());
+      ok = false;
+    }
+  }
+  if (!metrics_out.empty()) {
+    const bool csv = metrics_out.size() >= 4 &&
+                     metrics_out.compare(metrics_out.size() - 4, 4, ".csv") == 0;
+    const bool written = csv ? obs::write_metrics_csv(metrics_out, session, &error)
+                             : obs::write_metrics_json(metrics_out, session, &error);
+    if (written) {
+      std::fprintf(stderr, "[pcpc obs] metrics written to %s\n", metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "[pcpc obs] metrics export failed: %s\n", error.c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
 
 bool parse_cli(int argc, char** argv, CliOptions& options) {
   for (int i = 1; i < argc; ++i) {
@@ -61,6 +105,9 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
     else if (const auto v6 = value_of("--cores=")) options.cores = std::stoul(*v6);
     else if (const auto v7 = value_of("--workload=")) options.workload = *v7;
     else if (const auto v8 = value_of("--config=")) options.config_file = *v8;
+    else if (const auto v9 = value_of("--trace-out=")) options.trace_out = *v9;
+    else if (const auto v10 = value_of("--metrics-out=")) options.metrics_out = *v10;
+    else if (const auto v11 = value_of("--snapshot-ms=")) options.snapshot_ms = std::stol(*v11);
     else if (arg.find('=') != std::string::npos && arg.rfind("--", 0) != 0) {
       options.config_options.push_back(arg);
     } else {
@@ -153,6 +200,15 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Telemetry capture: all requested implementations record into one
+  // session (the trace separates them in time).
+  std::optional<obs::Session> session;
+  if (options.wants_telemetry()) {
+    obs::SessionOptions obs_options;
+    obs_options.snapshot_period_ms = options.snapshot_ms;
+    session.emplace(obs_options);
+  }
+
   const power::EnergyLedger ledger(spec.power);
   Table table({"impl", "power (mW)", "wakeups/s", "usage (ms/s)", "overflows",
                "latency (ms)"});
@@ -167,6 +223,11 @@ int main(int argc, char** argv) {
 
   if (options.impl == "pbpl" || options.impl == "all") {
     std::printf("\nPBPL configuration used:\n%s", core::describe(spec.setup.synchronized_pbpl()).c_str());
+  }
+
+  if (session.has_value() &&
+      !export_telemetry(*session, options.trace_out, options.metrics_out)) {
+    return 1;
   }
   return 0;
 }

@@ -2,7 +2,12 @@
 //
 // Experiments and the thread runtime log sparingly; the default level is
 // Warn so bench output stays clean.  The logger is process-global and
-// thread-safe at the line level.
+// thread-safe at the line level.  Every line carries a wall-clock UTC
+// timestamp (HH:MM:SS.mmm) so interleaved multi-process runs stay
+// orderable.  The PCPC_LOG_LEVEL environment variable
+// (debug|info|warn|error|off, or 0-4) overrides the default once at
+// startup; an explicit set_log_level() call always wins over the
+// environment.
 #pragma once
 
 #include <sstream>

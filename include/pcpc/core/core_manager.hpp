@@ -34,8 +34,9 @@ class Invocable {
 /// Per-core slot scheduler and consumer activator (simulation host).
 class CoreManager {
  public:
+  /// `core_id` labels this core in telemetry (pcpc::obs attribution).
   CoreManager(sim::Simulator& simulator, SimCore& core, SlotTrack track,
-              SimDuration overhead_per_wakeup);
+              SimDuration overhead_per_wakeup, std::uint16_t core_id = 0);
 
   CoreManager(const CoreManager&) = delete;
   CoreManager& operator=(const CoreManager&) = delete;
@@ -73,6 +74,9 @@ class CoreManager {
   /// Consumers hosted on this core.
   std::size_t consumer_count() const { return consumers_.size(); }
 
+  /// Telemetry label of this core.
+  std::uint16_t core_id() const { return core_id_; }
+
  private:
   void ensure_scheduled();
   void on_slot_event(SimTime t);
@@ -81,6 +85,7 @@ class CoreManager {
   SimCore& core_;
   SlotTrack track_;
   SimDuration overhead_;
+  std::uint16_t core_id_;
   ReservationTable reservations_;
   std::map<ConsumerId, Invocable*> consumers_;
   sim::EventId pending_event_ = 0;

@@ -23,6 +23,7 @@
 
 #include "pcpc/common/rng.hpp"
 #include "pcpc/common/types.hpp"
+#include "pcpc/obs/obs.hpp"
 
 namespace pcpc::fault {
 
@@ -104,6 +105,7 @@ class FaultInjector {
     const std::size_t extra = config_.burst_factor - 1;
     ++stats_.bursts;
     stats_.burst_items += extra;
+    obs::note_fault(obs::FaultKind::kBurst, static_cast<std::int64_t>(extra));
     return extra;
   }
 
@@ -114,6 +116,7 @@ class FaultInjector {
     if (!stall_rng_.bernoulli(config_.stall_probability)) return 0;
     ++stats_.stalls;
     stats_.total_stall += config_.stall_duration;
+    obs::note_fault(obs::FaultKind::kStall, config_.stall_duration);
     return config_.stall_duration;
   }
 
@@ -124,6 +127,7 @@ class FaultInjector {
     if (!handler_rng_.bernoulli(config_.slow_handler_probability)) return 0;
     ++stats_.slow_batches;
     stats_.total_handler_delay += config_.handler_delay;
+    obs::note_fault(obs::FaultKind::kSlowHandler, config_.handler_delay);
     return config_.handler_delay;
   }
 
@@ -134,7 +138,10 @@ class FaultInjector {
     std::scoped_lock lock(mutex_);
     const auto span = static_cast<double>(config_.deadline_jitter);
     const auto jitter = static_cast<SimDuration>(jitter_rng_.uniform(-span, span));
-    if (jitter != 0) ++stats_.jittered_deadlines;
+    if (jitter != 0) {
+      ++stats_.jittered_deadlines;
+      obs::note_fault(obs::FaultKind::kDeadlineJitter, jitter);
+    }
     return jitter;
   }
 
@@ -148,6 +155,10 @@ class FaultInjector {
   void note_seized(std::size_t segments) {
     std::scoped_lock lock(mutex_);
     stats_.seized_segments = segments;
+    if (segments > 0) {
+      obs::note_fault(obs::FaultKind::kPoolPressure,
+                      static_cast<std::int64_t>(segments));
+    }
   }
 
   /// Snapshot of everything injected so far.

@@ -1,0 +1,112 @@
+// Metrics registry with thread-local sharding.
+//
+// Named counters, gauges and log2 histograms.  The write path touches
+// only the calling thread's shard (one relaxed atomic add — no contended
+// cache line, no lock), and collect() merges every shard on demand.
+// Shard capacity is fixed at construction so a reader can walk shards
+// while writers append observations: nothing ever reallocates under a
+// live writer.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pcpc/common/assert.hpp"
+
+namespace pcpc::obs {
+
+/// Registry of named metrics; cheap to write from any thread.
+class Registry {
+ public:
+  using Id = std::uint32_t;
+
+  static constexpr std::size_t kMaxCounters = 128;
+  static constexpr std::size_t kMaxGauges = 32;
+  static constexpr std::size_t kMaxHistograms = 16;
+  /// Histogram bins hold log2(value); bin i counts values in [2^i, 2^{i+1})
+  /// nanoseconds (bin 0 also takes 0).  64 bins cover every int64 value.
+  static constexpr std::size_t kHistogramBins = 64;
+
+  Registry();
+  ~Registry();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Registers (or looks up) a metric by name.  Idempotent per name and
+  /// kind; asserts when the fixed capacity is exhausted.
+  Id counter(const std::string& name);
+  Id gauge(const std::string& name);
+  Id histogram(const std::string& name);
+
+  /// Write paths: thread-local shard, relaxed atomics.
+  void add(Id id, std::uint64_t delta = 1);
+  void set_gauge(Id id, std::int64_t value);
+  void observe(Id id, std::int64_t value);  ///< histogram sample
+
+  /// Direct pointers into the calling thread's shard — for callers hot
+  /// enough to cache them (the note_* hot path caches every well-known
+  /// cell).  Valid until the registry dies; revalidate through a
+  /// generation check before use.
+  std::atomic<std::uint64_t>* counter_cell(Id id);
+  /// First of the kHistogramBins cells for histogram `id`.
+  std::atomic<std::uint64_t>* histogram_bins(Id id);
+
+  /// Bin index for a histogram sample: log2(value), clamping <=0 to 0.
+  static std::size_t log2_bin(std::int64_t value) {
+    if (value <= 0) return 0;
+    return static_cast<std::size_t>(
+        std::bit_width(static_cast<std::uint64_t>(value)) - 1);
+  }
+
+  /// Merged view of all shards.
+  struct Snapshot {
+    struct Counter {
+      std::string name;
+      std::uint64_t value = 0;
+    };
+    struct Gauge {
+      std::string name;
+      std::int64_t value = 0;  ///< most recent write across shards
+    };
+    struct Hist {
+      std::string name;
+      std::uint64_t total = 0;
+      std::array<std::uint64_t, kHistogramBins> bins{};
+    };
+    std::vector<Counter> counters;
+    std::vector<Gauge> gauges;
+    std::vector<Hist> histograms;
+
+    /// Counter value by name; 0 when absent.
+    std::uint64_t counter_value(const std::string& name) const;
+  };
+
+  /// Sums every thread's shard.  Safe concurrently with writers (values
+  /// may trail in-flight increments by design).
+  Snapshot collect() const;
+
+  /// Number of thread shards created so far (tests).
+  std::size_t shard_count() const;
+
+ private:
+  struct Shard;
+  friend struct ShardAccess;
+
+  Shard& local_shard();
+
+  mutable std::mutex mutex_;
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> histogram_names_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::uint64_t generation_ = 0;  ///< distinguishes registries reusing an address
+};
+
+}  // namespace pcpc::obs

@@ -1,0 +1,223 @@
+// pcpc::obs — the observability session.
+//
+// One Session owns the metrics registry, the per-thread trace rings, the
+// wakeup ledger and (optionally) a PowerTop-style periodic stderr
+// snapshot thread.  Constructing a Session installs it globally and arms
+// instrumentation across the whole library; destroying it disarms first,
+// then tears down.  At most one session is active at a time.
+//
+// Hot-path contract: every note_*() helper is an inline wrapper whose
+// disabled cost is a single relaxed atomic load and a predictable branch.
+// Instrumentation is always compiled — there is no build flag to get
+// wrong — and near-zero when no session is installed.
+//
+// Lifetime contract: destroy the session only after the instrumented
+// threads have stopped (every harness in this repo joins its workers
+// before exporting, so this falls out naturally).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "pcpc/obs/events.hpp"
+#include "pcpc/obs/metrics.hpp"
+#include "pcpc/obs/trace_ring.hpp"
+#include "pcpc/obs/wakeup_ledger.hpp"
+
+namespace pcpc::obs {
+
+namespace detail {
+/// Armed flag, split from the session pointer so the disabled fast path
+/// is one relaxed load with no pointer chase.
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// True when a session is installed and recording.
+inline bool enabled() { return detail::g_enabled.load(std::memory_order_relaxed); }
+
+/// Session tuning knobs.
+struct SessionOptions {
+  /// Events per thread ring; rounded up to a power of two.
+  std::size_t ring_capacity = 1u << 15;
+
+  /// Central archive cap (events); rings drained past it are counted as
+  /// archive drops.  Bounds total trace memory for unbounded runs.
+  std::size_t archive_capacity = 1u << 20;
+
+  /// When > 0, a snapshot thread prints wakeups/s, CPU ms/s, items/s and
+  /// drops/s to stderr every `snapshot_period_ms` milliseconds.
+  std::int64_t snapshot_period_ms = 0;
+};
+
+/// Metric ids the instrumentation points hit; pre-registered so hot
+/// paths never take the name-lookup mutex.
+struct WellKnownMetrics {
+  Registry::Id wakeups_paid;
+  Registry::Id wakeups_free;
+  Registry::Id items;
+  Registry::Id batches;
+  Registry::Id reservations;
+  Registry::Id latched_reservations;
+  Registry::Id overflow_borrows;
+  Registry::Id overflow_drains;
+  Registry::Id drops;
+  Registry::Id watchdog_escalations;
+  Registry::Id faults_injected;
+  Registry::Id sim_events;
+  Registry::Id batch_ns;     ///< histogram: batch drain duration
+  Registry::Id batch_items;  ///< histogram: items per batch
+};
+
+/// The active observability capture.
+class Session {
+ public:
+  explicit Session(SessionOptions options = {});
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  Registry& registry() { return registry_; }
+  const Registry& registry() const { return registry_; }
+  WakeupLedger& ledger() { return ledger_; }
+  const WakeupLedger& ledger() const { return ledger_; }
+  const WellKnownMetrics& well() const { return well_; }
+  const SessionOptions& options() const { return options_; }
+
+  /// Host clock used for events without an explicit timestamp (fault
+  /// injection, baselines).  Defaults to wall time since construction;
+  /// the simulation harness points it at the virtual clock.
+  void set_clock(std::function<std::int64_t()> now_ns);
+  std::int64_t now_ns() const;
+
+  /// Pushes one event into the calling thread's ring.
+  void emit(const Event& event);
+
+  /// Drains every thread ring into the central archive (bounded by
+  /// archive_capacity; the periodic snapshot thread also does this so
+  /// long runs keep early events).
+  void archive_now();
+
+  /// archive_now() + the archived events sorted by timestamp.
+  std::vector<Event> events();
+
+  /// Drop accounting across all rings plus the archive.
+  std::uint64_t ring_dropped() const;
+  std::uint64_t archive_dropped() const;
+  std::uint64_t total_events_recorded() const;
+
+  /// The installed session, or nullptr.
+  static Session* current();
+
+ private:
+  friend struct RingAccess;
+  TraceRing& local_ring();
+  void snapshot_loop();
+  void print_snapshot(double dt_s);
+
+  SessionOptions options_;
+  Registry registry_;
+  WakeupLedger ledger_;
+  WellKnownMetrics well_;
+
+  mutable std::mutex mutex_;  // guards rings_ list and archive_
+  std::vector<std::unique_ptr<TraceRing>> rings_;
+  std::vector<Event> archive_;
+  std::uint64_t archive_dropped_ = 0;
+  std::uint64_t generation_ = 0;
+
+  std::function<std::int64_t()> clock_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  std::atomic<bool> snapshot_stop_{false};
+  std::thread snapshot_thread_;
+  std::uint64_t snap_prev_wakeups_ = 0;
+  std::uint64_t snap_prev_items_ = 0;
+  std::uint64_t snap_prev_drops_ = 0;
+  std::int64_t snap_prev_cpu_ns_ = 0;
+};
+
+namespace detail {
+// Out-of-line slow paths; called only when enabled().
+void note_wakeup_impl(std::uint16_t core, std::uint32_t consumer, std::int64_t slot,
+                      bool paid, bool scheduled, std::int64_t ts_ns);
+void note_slot_batch_impl(std::uint16_t core, std::uint32_t consumer, std::int64_t slot,
+                          std::uint64_t batch, std::int64_t ts_ns, std::int64_t dur_ns);
+void note_reservation_impl(std::uint16_t core, std::uint32_t consumer, std::int64_t slot,
+                           bool latched, std::int64_t ts_ns);
+void note_overflow_impl(std::uint16_t core, std::uint32_t consumer, OverflowAction action,
+                        std::int64_t ts_ns);
+void note_watchdog_impl(std::uint16_t core, std::int64_t overrun_ns, std::int64_t ts_ns);
+void note_fault_impl(FaultKind kind, std::int64_t magnitude);
+void note_drop_impl(std::uint32_t consumer, DropPath path, std::int64_t ts_ns);
+void count_sim_events_impl(std::uint64_t n);
+}  // namespace detail
+
+/// One consumer invocation at a core wakeup; feeds the ledger, the
+/// paid/free counters and the trace ring.
+inline void note_wakeup(std::uint16_t core, std::uint32_t consumer, std::int64_t slot,
+                        bool paid, bool scheduled, std::int64_t ts_ns) {
+  if (!enabled()) return;
+  detail::note_wakeup_impl(core, consumer, slot, paid, scheduled, ts_ns);
+}
+
+/// One batch drain (span event + batch histograms + item counter).
+inline void note_slot_batch(std::uint16_t core, std::uint32_t consumer, std::int64_t slot,
+                            std::uint64_t batch, std::int64_t ts_ns,
+                            std::int64_t dur_ns) {
+  if (!enabled()) return;
+  detail::note_slot_batch_impl(core, consumer, slot, batch, ts_ns, dur_ns);
+}
+
+/// A consumer booked (or moved to) a slot.
+inline void note_reservation(std::uint16_t core, std::uint32_t consumer,
+                             std::int64_t slot, bool latched, std::int64_t ts_ns) {
+  if (!enabled()) return;
+  detail::note_reservation_impl(core, consumer, slot, latched, ts_ns);
+}
+
+/// An overflow-policy action fired.
+inline void note_overflow(std::uint16_t core, std::uint32_t consumer,
+                          OverflowAction action, std::int64_t ts_ns) {
+  if (!enabled()) return;
+  detail::note_overflow_impl(core, consumer, action, ts_ns);
+}
+
+/// The deadline watchdog escalated a slot overrun.
+inline void note_watchdog(std::uint16_t core, std::int64_t overrun_ns,
+                          std::int64_t ts_ns) {
+  if (!enabled()) return;
+  detail::note_watchdog_impl(core, overrun_ns, ts_ns);
+}
+
+/// The fault injector fired (timestamp comes from the session clock —
+/// the injector has no clock of its own).
+inline void note_fault(FaultKind kind, std::int64_t magnitude = 0) {
+  if (!enabled()) return;
+  detail::note_fault_impl(kind, magnitude);
+}
+
+/// An item was dropped.
+inline void note_drop(std::uint32_t consumer, DropPath path, std::int64_t ts_ns) {
+  if (!enabled()) return;
+  detail::note_drop_impl(consumer, path, ts_ns);
+}
+
+/// `n` simulator events dispatched (a pure counter — no ring traffic).
+/// The event loop is the hottest path in the sim host, so the simulator
+/// batches: one bulk add per flush quantum instead of one call per event.
+inline void count_sim_events(std::uint64_t n) {
+  if (n == 0 || !enabled()) return;
+  detail::count_sim_events_impl(n);
+}
+
+/// One simulator event dispatched.
+inline void count_sim_event() { count_sim_events(1); }
+
+}  // namespace pcpc::obs

@@ -1,0 +1,147 @@
+// The wakeup ledger: paid/free attribution of every core wakeup.
+//
+// Section IV's objective is Σ_i Σ_j w(τ_{i,j}) — each consumer invocation
+// charges ω only when its core had to leave idle.  Both hosts report a
+// single aggregate today; the ledger keeps the per-consumer and per-core
+// breakdown so "which pair is burning the wakeups" is a query, not a
+// guess.  record() sits on the wakeup hot path of both hosts, so it uses
+// the same discipline as the metrics registry: one fixed-size shard per
+// writing thread (single-writer cells, relaxed load+store — no lock, no
+// lock-prefixed RMW), merged under a mutex only when somebody reads.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "pcpc/common/assert.hpp"
+
+namespace pcpc::obs {
+
+namespace detail {
+/// Stamps ledger instances so a thread-local shard cache can recognise a
+/// new ledger that reuses a freed one's address.
+inline std::atomic<std::uint64_t> g_ledger_generation{0};
+}  // namespace detail
+
+/// Accumulates paid/free wakeup attributions per consumer and per core.
+class WakeupLedger {
+ public:
+  static constexpr std::size_t kMaxConsumers = 1024;
+  static constexpr std::size_t kMaxCores = 256;
+
+  struct Attribution {
+    std::uint64_t paid = 0;
+    std::uint64_t free = 0;
+    std::uint64_t total() const { return paid + free; }
+  };
+
+  WakeupLedger()
+      : generation_(detail::g_ledger_generation.fetch_add(1) + 1) {}
+
+  WakeupLedger(const WakeupLedger&) = delete;
+  WakeupLedger& operator=(const WakeupLedger&) = delete;
+
+  /// One consumer invocation at a core wakeup.  `paid` follows the
+  /// paper's w: true iff this invocation woke an idle core.
+  void record(std::uint16_t core, std::uint32_t consumer, bool paid) {
+    PCPC_ASSERT(core < kMaxCores);
+    Shard& shard = local_shard();
+    bump(shard.totals, paid);
+    bump(shard.cores[core], paid);
+    if (consumer != 0xffffffffu) {
+      PCPC_ASSERT(consumer < kMaxConsumers);
+      bump(shard.consumers[consumer], paid);
+    }
+  }
+
+  /// Σ w(τ): total paid wakeups.
+  std::uint64_t paid_total() const {
+    std::scoped_lock lock(mutex_);
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) total += load(shard->totals).paid;
+    return total;
+  }
+
+  /// Invocations that latched onto an already-awake core.
+  std::uint64_t free_total() const {
+    std::scoped_lock lock(mutex_);
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) total += load(shard->totals).free;
+    return total;
+  }
+
+  /// Attribution indexed by consumer id, trimmed past the last consumer
+  /// with any wakeups (holes are zero).
+  std::vector<Attribution> per_consumer() const {
+    return merged([](const Shard& s) { return s.consumers.data(); }, kMaxConsumers);
+  }
+
+  /// Attribution indexed by core, trimmed likewise.
+  std::vector<Attribution> per_core() const {
+    return merged([](const Shard& s) { return s.cores.data(); }, kMaxCores);
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::uint64_t> paid{0};
+    std::atomic<std::uint64_t> free{0};
+  };
+
+  struct Shard {
+    Cell totals;
+    std::array<Cell, kMaxCores> cores{};
+    std::array<Cell, kMaxConsumers> consumers{};
+  };
+
+  /// Single-writer increment: each shard belongs to one thread, so a
+  /// relaxed load+store is race-free and skips the lock prefix.
+  static void bump(Cell& cell, bool paid) {
+    std::atomic<std::uint64_t>& c = paid ? cell.paid : cell.free;
+    c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+
+  static Attribution load(const Cell& cell) {
+    return {cell.paid.load(std::memory_order_relaxed),
+            cell.free.load(std::memory_order_relaxed)};
+  }
+
+  Shard& local_shard() {
+    struct Cache {
+      const WakeupLedger* owner = nullptr;
+      std::uint64_t generation = 0;
+      Shard* shard = nullptr;
+    };
+    thread_local Cache tls;
+    if (tls.owner == this && tls.generation == generation_) return *tls.shard;
+    std::scoped_lock lock(mutex_);
+    shards_.push_back(std::make_unique<Shard>());
+    tls = {this, generation_, shards_.back().get()};
+    return *tls.shard;
+  }
+
+  template <typename CellsOf>
+  std::vector<Attribution> merged(CellsOf cells_of, std::size_t capacity) const {
+    std::scoped_lock lock(mutex_);
+    std::vector<Attribution> out(capacity);
+    for (const auto& shard : shards_) {
+      const Cell* cells = cells_of(*shard);
+      for (std::size_t i = 0; i < capacity; ++i) {
+        const Attribution a = load(cells[i]);
+        out[i].paid += a.paid;
+        out[i].free += a.free;
+      }
+    }
+    while (!out.empty() && out.back().total() == 0) out.pop_back();
+    return out;
+  }
+
+  const std::uint64_t generation_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace pcpc::obs

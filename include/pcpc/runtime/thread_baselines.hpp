@@ -68,6 +68,7 @@ class ThreadBaseline {
 
  private:
   struct Pair {
+    std::size_t index = 0;
     std::mutex mutex;
     std::condition_variable consumer_cv;
     std::condition_variable producer_cv;

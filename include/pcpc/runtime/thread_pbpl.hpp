@@ -134,7 +134,11 @@ class ThreadPbpl {
   Clock::time_point slot_deadline(core::SlotIndex slot);
   void manager_loop(Core& core);
   void push_one_locked(Consumer& consumer, std::unique_lock<std::mutex>& lock);
-  void invoke_locked(Core& core, Consumer& consumer, SimTime now);
+  /// `slot` / `paid` / `scheduled` feed pcpc::obs wakeup attribution:
+  /// `paid` marks the invocation that actually woke this manager thread,
+  /// later consumers in the same wake latch on for free.
+  void invoke_locked(Core& core, Consumer& consumer, SimTime now,
+                     std::int64_t slot, bool paid, bool scheduled);
   void make_reservation_locked(Core& core, Consumer& consumer, SimTime now);
 
   const core::PbplConfig config_;

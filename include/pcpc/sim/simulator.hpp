@@ -80,10 +80,18 @@ class Simulator {
   /// Total number of events dispatched so far.
   std::uint64_t dispatched() const { return dispatched_; }
 
+  /// Pushes the dispatched-event count into the obs registry.  step()
+  /// batches this (one bulk add every few thousand events instead of one
+  /// instrumentation call per event — the dispatch loop is the hottest
+  /// path in the sim host); run()/run_until() flush on exit so the
+  /// counter is exact whenever a harness can observe it.
+  void flush_obs();
+
  private:
   EventQueue queue_;
   SimTime now_ = 0;
   std::uint64_t dispatched_ = 0;
+  std::uint64_t obs_flushed_ = 0;
   std::function<SimDuration()> perturbation_;
 };
 

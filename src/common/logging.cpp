@@ -1,7 +1,10 @@
 #include "pcpc/common/logging.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <mutex>
 
 namespace pcpc {
@@ -10,6 +13,7 @@ namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
 std::mutex g_mutex;
+std::once_flag g_env_once;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -22,16 +26,66 @@ const char* level_name(LogLevel level) {
   return "?????";
 }
 
+/// PCPC_LOG_LEVEL=debug|info|warn|error|off (case-insensitive, numeric
+/// 0-4 also accepted).  Applied once, lazily, on the first level query;
+/// an explicit set_log_level() consumes the once first and wins from
+/// then on.
+void apply_env_level() {
+  const char* env = std::getenv("PCPC_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return;
+  if (env[0] >= '0' && env[0] <= '4' && env[1] == '\0') {
+    g_level.store(env[0] - '0');
+    return;
+  }
+  char head = env[0];
+  if (head >= 'A' && head <= 'Z') head = static_cast<char>(head - 'A' + 'a');
+  switch (head) {
+    case 'd': g_level.store(static_cast<int>(LogLevel::Debug)); break;
+    case 'i': g_level.store(static_cast<int>(LogLevel::Info)); break;
+    case 'w': g_level.store(static_cast<int>(LogLevel::Warn)); break;
+    case 'e': g_level.store(static_cast<int>(LogLevel::Error)); break;
+    case 'o': g_level.store(static_cast<int>(LogLevel::Off)); break;
+    default: break;  // unknown value: keep the default
+  }
+}
+
+void ensure_env_applied() { std::call_once(g_env_once, apply_env_level); }
+
+/// "HH:MM:SS.mmm" wall clock (UTC) into `out`.
+void format_timestamp(char* out, std::size_t size) {
+  const auto now = std::chrono::system_clock::now();
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  std::snprintf(out, size, "%02d:%02d:%02d.%03d", tm.tm_hour, tm.tm_min, tm.tm_sec,
+                static_cast<int>(ms));
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+void set_log_level(LogLevel level) {
+  // Consume the env once first so a late lazy read can't overwrite an
+  // explicit choice.
+  ensure_env_applied();
+  g_level.store(static_cast<int>(level));
+}
 
-LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+LogLevel log_level() {
+  ensure_env_applied();
+  return static_cast<LogLevel>(g_level.load());
+}
 
 void log_line(LogLevel level, const std::string& message) {
+  ensure_env_applied();
   if (static_cast<int>(level) < g_level.load()) return;
+  char stamp[16];
+  format_timestamp(stamp, sizeof stamp);
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[pcpc %s] %s\n", level_name(level), message.c_str());
+  std::fprintf(stderr, "[pcpc %s %s] %s\n", stamp, level_name(level), message.c_str());
 }
 
 }  // namespace pcpc

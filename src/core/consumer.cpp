@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "pcpc/common/assert.hpp"
+#include "pcpc/obs/obs.hpp"
 
 namespace pcpc::core {
 
@@ -34,6 +35,8 @@ void PbplConsumer::produce(SimTime now) {
     buffer_.resize(buffer_.capacity() + extra);
     if (buffer_.push(now)) {
       ++stats_.emergency_borrows;
+      obs::note_overflow(manager_.core_id(), static_cast<std::uint32_t>(id_),
+                         obs::OverflowAction::kEmergencyBorrow, now);
       return;
     }
   }
@@ -42,6 +45,8 @@ void PbplConsumer::produce(SimTime now) {
   // batch is processed immediately (Section V-A calls this the case where
   // "a buffer overflow can occur at any time").
   ++stats_.overflow_wakeups;
+  obs::note_overflow(manager_.core_id(), static_cast<std::uint32_t>(id_),
+                     obs::OverflowAction::kForcedDrain, now);
   manager_.unscheduled_invoke(id_, now);
   const bool stored = buffer_.push(now);
   PCPC_ASSERT_MSG(stored, "buffer still full after an overflow drain");
@@ -78,6 +83,8 @@ SimDuration PbplConsumer::on_invoked(SimTime now, bool scheduled) {
 
   SimDuration service = config_.service.batch_time(batch);
   if (injector_ != nullptr && batch > 0) service += injector_->handler_delay();
+  obs::note_slot_batch(manager_.core_id(), static_cast<std::uint32_t>(id_),
+                       manager_.track().index_of(now), batch, now, service);
   return service;
 }
 
@@ -133,6 +140,8 @@ void PbplConsumer::make_reservation(SimTime now) {
   manager_.reserve(id_, choice.slot);
   ++stats_.reservations;
   if (choice.latched) ++stats_.latched_reservations;
+  obs::note_reservation(manager_.core_id(), static_cast<std::uint32_t>(id_),
+                        choice.slot, choice.latched, now);
 }
 
 }  // namespace pcpc::core

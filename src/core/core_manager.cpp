@@ -1,8 +1,10 @@
 #include "pcpc/core/core_manager.hpp"
 
 #include <limits>
+#include <vector>
 
 #include "pcpc/common/assert.hpp"
+#include "pcpc/obs/obs.hpp"
 
 namespace pcpc::core {
 
@@ -11,8 +13,12 @@ constexpr SlotIndex kMinSlot = std::numeric_limits<SlotIndex>::min();
 }
 
 CoreManager::CoreManager(sim::Simulator& simulator, SimCore& core, SlotTrack track,
-                         SimDuration overhead_per_wakeup)
-    : simulator_(simulator), core_(core), track_(track), overhead_(overhead_per_wakeup) {
+                         SimDuration overhead_per_wakeup, std::uint16_t core_id)
+    : simulator_(simulator),
+      core_(core),
+      track_(track),
+      overhead_(overhead_per_wakeup),
+      core_id_(core_id) {
   PCPC_ASSERT(overhead_per_wakeup >= 0);
 }
 
@@ -40,24 +46,31 @@ void CoreManager::unscheduled_invoke(ConsumerId consumer, SimTime now) {
   // re-targeted cleanly.
   reservations_.cancel(consumer);
   const SimDuration busy = overhead_ + it->second->on_invoked(now, /*scheduled=*/false);
-  core_.run_for(busy);
+  const bool paid = core_.run_for(busy);
+  obs::note_wakeup(core_id_, static_cast<std::uint32_t>(consumer),
+                   track_.index_of(now), paid, /*scheduled=*/false, now);
   ensure_scheduled();
 }
 
 void CoreManager::drain_all(SimTime now) {
   SimDuration busy = 0;
-  bool any = false;
+  std::vector<ConsumerId> drained;
   for (auto& [id, consumer] : consumers_) {
-    (void)id;
     if (consumer->has_pending()) {
       busy += consumer->on_invoked(now, /*scheduled=*/true);
       ++slot_invocations_;
-      any = true;
+      drained.push_back(id);
     }
   }
-  if (any) {
+  if (!drained.empty()) {
     ++scheduled_wakeups_;
-    core_.run_for(overhead_ + busy);
+    const bool paid = core_.run_for(overhead_ + busy);
+    // One wakeup serves the whole sweep: per the paper's w, only the
+    // first invocation can pay ω; the rest latch onto the awake core.
+    for (std::size_t i = 0; i < drained.size(); ++i) {
+      obs::note_wakeup(core_id_, static_cast<std::uint32_t>(drained[i]),
+                       track_.index_of(now), paid && i == 0, /*scheduled=*/true, now);
+    }
   }
   // The experiment is over: forget reservations made during the sweep and
   // cancel the wakeup that would serve them.
@@ -104,7 +117,14 @@ void CoreManager::on_slot_event(SimTime t) {
       busy += it->second->on_invoked(t, /*scheduled=*/true);
       ++slot_invocations_;
     }
-    core_.run_for(busy);
+    const bool paid = core_.run_for(busy);
+    // Paid/free attribution of the paper's w(τ_{i,j}): the slot's wakeup
+    // is charged to the first consumer in the group iff the core was
+    // idle; every other consumer latched onto it for free.
+    for (std::size_t i = 0; i < consumers.size(); ++i) {
+      obs::note_wakeup(core_id_, static_cast<std::uint32_t>(consumers[i]), slot,
+                       paid && i == 0, /*scheduled=*/true, t);
+    }
   }
   ensure_scheduled();
 }

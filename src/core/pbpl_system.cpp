@@ -19,7 +19,8 @@ PbplSystem::PbplSystem(sim::Simulator& simulator, std::size_t consumers,
   for (std::size_t c = 0; c < config_.cores; ++c) {
     cores_.push_back(std::make_unique<SimCore>(simulator_, simulator_.now()));
     managers_.push_back(std::make_unique<CoreManager>(simulator_, *cores_.back(), track,
-                                                      config_.manager_overhead));
+                                                      config_.manager_overhead,
+                                                      static_cast<std::uint16_t>(c)));
   }
   const std::vector<std::size_t> mapping = assign_consumers(
       consumers, config_.cores, config_.assignment, utilization, config_.utilization_cap);

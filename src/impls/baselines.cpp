@@ -7,6 +7,7 @@
 #include "pcpc/common/assert.hpp"
 #include "pcpc/common/rng.hpp"
 #include "pcpc/core/sim_core.hpp"
+#include "pcpc/obs/obs.hpp"
 #include "pcpc/sim/replay.hpp"
 #include "pcpc/sim/simulator.hpp"
 
@@ -51,7 +52,13 @@ struct Rig {
     }
     const SimDuration busy = overhead + service.batch_time(batch);
     pair.busy_until = now + busy;
-    core_of(pair).run_for(busy);
+    const bool paid = core_of(pair).run_for(busy);
+    obs::note_wakeup(static_cast<std::uint16_t>(pair.core),
+                     static_cast<std::uint32_t>(pair.index), obs::kNoSlot, paid,
+                     /*scheduled=*/false, now);
+    obs::note_slot_batch(static_cast<std::uint16_t>(pair.core),
+                         static_cast<std::uint32_t>(pair.index), obs::kNoSlot, batch,
+                         now, busy);
     result.items += batch;
     result.batch_sizes.add(static_cast<double>(batch));
     ++result.invocations;

@@ -1,0 +1,232 @@
+#include "pcpc/obs/exporters.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace pcpc::obs {
+
+namespace {
+
+/// Minimal JSON string escaping (metric names and labels are ASCII, but
+/// never trust a name you didn't write).
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Microsecond timestamp for the Chrome trace format.
+double to_us(std::int64_t ns) { return static_cast<double>(ns) / 1e3; }
+
+void write_event_args(std::ostream& out, const Event& e) {
+  out << "{\"consumer\":" << static_cast<std::int64_t>(
+             e.consumer == kNoConsumer ? -1 : static_cast<std::int64_t>(e.consumer));
+  switch (e.kind) {
+    case EventKind::kWakeup:
+      out << ",\"slot\":" << (e.arg0 == kNoSlot ? -1 : e.arg0)
+          << ",\"paid\":" << (e.paid() ? 1 : 0)
+          << ",\"scheduled\":" << (e.scheduled() ? 1 : 0);
+      break;
+    case EventKind::kSlotBatch:
+      out << ",\"slot\":" << (e.arg0 == kNoSlot ? -1 : e.arg0)
+          << ",\"batch\":" << e.arg1;
+      break;
+    case EventKind::kReservation:
+      out << ",\"slot\":" << e.arg0 << ",\"latched\":" << e.arg1;
+      break;
+    case EventKind::kOverflow:
+      out << ",\"action\":\""
+          << overflow_action_name(static_cast<OverflowAction>(e.arg0)) << '"';
+      break;
+    case EventKind::kWatchdog:
+      out << ",\"overrun_ns\":" << e.arg0;
+      break;
+    case EventKind::kFault:
+      out << ",\"fault\":\"" << fault_kind_name(static_cast<FaultKind>(e.arg0))
+          << "\",\"magnitude\":" << e.arg1;
+      break;
+    case EventKind::kDrop:
+      out << ",\"path\":\"" << drop_path_name(static_cast<DropPath>(e.arg0)) << '"';
+      break;
+  }
+  out << '}';
+}
+
+/// Display name of one trace event, e.g. "wakeup paid c2".
+std::string event_display_name(const Event& e) {
+  std::ostringstream name;
+  name << event_kind_name(e.kind);
+  if (e.kind == EventKind::kWakeup) name << (e.paid() ? " paid" : " free");
+  if (e.consumer != kNoConsumer) name << " c" << e.consumer;
+  return name.str();
+}
+
+template <typename WriteFn>
+bool write_file(const std::string& path, std::string* error, WriteFn&& fn) {
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  fn(out);
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write to '" + path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+void write_ledger_json(std::ostream& out, const WakeupLedger& ledger) {
+  out << "{\"paid\":" << ledger.paid_total() << ",\"free\":" << ledger.free_total();
+  out << ",\"per_consumer\":[";
+  const auto consumers = ledger.per_consumer();
+  for (std::size_t i = 0; i < consumers.size(); ++i) {
+    if (i > 0) out << ',';
+    out << "{\"consumer\":" << i << ",\"paid\":" << consumers[i].paid
+        << ",\"free\":" << consumers[i].free << '}';
+  }
+  out << "],\"per_core\":[";
+  const auto cores = ledger.per_core();
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    if (i > 0) out << ',';
+    out << "{\"core\":" << i << ",\"paid\":" << cores[i].paid
+        << ",\"free\":" << cores[i].free << '}';
+  }
+  out << "]}";
+}
+
+}  // namespace
+
+void write_perfetto_trace(std::ostream& out, Session& session) {
+  const std::vector<Event> events = session.events();
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  out << std::setprecision(15);
+
+  // Process/track metadata: one "thread" per core so Perfetto shows each
+  // core's slot activity as its own lane.
+  out << "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"pcpc\"}}";
+  std::uint16_t max_core = 0;
+  for (const Event& e : events) max_core = std::max(max_core, e.core);
+  for (std::uint16_t c = 0; c <= max_core; ++c) {
+    out << ",{\"ph\":\"M\",\"pid\":1,\"tid\":" << (c + 1)
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"core " << c << "\"}}";
+  }
+
+  for (const Event& e : events) {
+    out << ",{\"name\":\"" << json_escape(event_display_name(e)) << "\",\"cat\":\""
+        << event_kind_name(e.kind) << "\",\"pid\":1,\"tid\":" << (e.core + 1)
+        << ",\"ts\":" << to_us(e.ts_ns);
+    if (e.kind == EventKind::kSlotBatch) {
+      out << ",\"ph\":\"X\",\"dur\":" << to_us(e.dur_ns);
+    } else {
+      out << ",\"ph\":\"i\",\"s\":\"t\"";
+    }
+    out << ",\"args\":";
+    write_event_args(out, e);
+    out << '}';
+  }
+  out << "],\"otherData\":{\"tool\":\"pcpc::obs\",\"events\":" << events.size()
+      << ",\"dropped_ring\":" << session.ring_dropped()
+      << ",\"dropped_archive\":" << session.archive_dropped() << "}}";
+}
+
+bool write_perfetto_trace(const std::string& path, Session& session,
+                          std::string* error) {
+  return write_file(path, error,
+                    [&session](std::ostream& out) { write_perfetto_trace(out, session); });
+}
+
+void write_metrics_json(std::ostream& out, Session& session) {
+  const Registry::Snapshot snapshot = session.registry().collect();
+  out << "{\"counters\":{";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i > 0) out << ',';
+    out << '"' << json_escape(snapshot.counters[i].name)
+        << "\":" << snapshot.counters[i].value;
+  }
+  out << "},\"gauges\":{";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i > 0) out << ',';
+    out << '"' << json_escape(snapshot.gauges[i].name)
+        << "\":" << snapshot.gauges[i].value;
+  }
+  out << "},\"histograms\":{";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& h = snapshot.histograms[i];
+    if (i > 0) out << ',';
+    out << '"' << json_escape(h.name) << "\":{\"total\":" << h.total
+        << ",\"log2_bins\":[";
+    // Trailing zero bins are elided; the bin index is implicit.
+    std::size_t last = 0;
+    for (std::size_t b = 0; b < h.bins.size(); ++b) {
+      if (h.bins[b] != 0) last = b + 1;
+    }
+    for (std::size_t b = 0; b < last; ++b) {
+      if (b > 0) out << ',';
+      out << h.bins[b];
+    }
+    out << "]}";
+  }
+  out << "},\"wakeups\":";
+  write_ledger_json(out, session.ledger());
+  out << ",\"trace\":{\"recorded\":" << session.total_events_recorded()
+      << ",\"dropped_ring\":" << session.ring_dropped()
+      << ",\"dropped_archive\":" << session.archive_dropped() << "}}";
+}
+
+bool write_metrics_json(const std::string& path, Session& session, std::string* error) {
+  return write_file(path, error,
+                    [&session](std::ostream& out) { write_metrics_json(out, session); });
+}
+
+void write_metrics_csv(std::ostream& out, Session& session) {
+  const Registry::Snapshot snapshot = session.registry().collect();
+  out << "metric,kind,value\n";
+  for (const auto& c : snapshot.counters) {
+    out << c.name << ",counter," << c.value << '\n';
+  }
+  for (const auto& g : snapshot.gauges) {
+    out << g.name << ",gauge," << g.value << '\n';
+  }
+  for (const auto& h : snapshot.histograms) {
+    out << h.name << ".count,histogram," << h.total << '\n';
+  }
+  const WakeupLedger& ledger = session.ledger();
+  out << "wakeups.ledger.paid,counter," << ledger.paid_total() << '\n';
+  out << "wakeups.ledger.free,counter," << ledger.free_total() << '\n';
+  const auto consumers = ledger.per_consumer();
+  for (std::size_t i = 0; i < consumers.size(); ++i) {
+    out << "wakeups.consumer." << i << ".paid,counter," << consumers[i].paid << '\n';
+    out << "wakeups.consumer." << i << ".free,counter," << consumers[i].free << '\n';
+  }
+  out << "trace.recorded,counter," << session.total_events_recorded() << '\n';
+  out << "trace.dropped_ring,counter," << session.ring_dropped() << '\n';
+  out << "trace.dropped_archive,counter," << session.archive_dropped() << '\n';
+}
+
+bool write_metrics_csv(const std::string& path, Session& session, std::string* error) {
+  return write_file(path, error,
+                    [&session](std::ostream& out) { write_metrics_csv(out, session); });
+}
+
+}  // namespace pcpc::obs

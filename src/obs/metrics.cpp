@@ -1,0 +1,165 @@
+#include "pcpc/obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace pcpc::obs {
+
+namespace {
+
+/// Global generation stamp so a thread-local shard cache can recognise a
+/// new Registry that happens to reuse a freed one's address.
+std::atomic<std::uint64_t> g_registry_generation{0};
+
+/// Monotonic sequence for gauge writes: collect() keeps the write with
+/// the highest sequence, which is the most recent across shards.
+std::atomic<std::uint64_t> g_gauge_sequence{0};
+
+Registry::Id intern(std::vector<std::string>& names, const std::string& name,
+                    std::size_t capacity) {
+  const auto it = std::find(names.begin(), names.end(), name);
+  if (it != names.end()) return static_cast<Registry::Id>(it - names.begin());
+  PCPC_ASSERT_MSG(names.size() < capacity, "obs::Registry capacity exhausted");
+  names.push_back(name);
+  return static_cast<Registry::Id>(names.size() - 1);
+}
+
+}  // namespace
+
+struct Registry::Shard {
+  std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+  std::array<std::atomic<std::int64_t>, kMaxGauges> gauges{};
+  std::array<std::atomic<std::uint64_t>, kMaxGauges> gauge_seq{};
+  std::array<std::array<std::atomic<std::uint64_t>, kHistogramBins>, kMaxHistograms>
+      histograms{};
+};
+
+/// Thread-local shard cache, validated by registry address + generation
+/// (no dereference of a possibly-dead registry on the miss path).
+struct ShardAccess {
+  struct Cache {
+    const Registry* owner = nullptr;
+    std::uint64_t generation = 0;
+    Registry::Shard* shard = nullptr;
+  };
+  static Cache& cache() {
+    thread_local Cache tls;
+    return tls;
+  }
+};
+
+Registry::Registry() : generation_(g_registry_generation.fetch_add(1) + 1) {}
+
+Registry::~Registry() = default;
+
+Registry::Id Registry::counter(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  return intern(counter_names_, name, kMaxCounters);
+}
+
+Registry::Id Registry::gauge(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  return intern(gauge_names_, name, kMaxGauges);
+}
+
+Registry::Id Registry::histogram(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  return intern(histogram_names_, name, kMaxHistograms);
+}
+
+Registry::Shard& Registry::local_shard() {
+  auto& cache = ShardAccess::cache();
+  if (cache.owner == this && cache.generation == generation_) return *cache.shard;
+  std::scoped_lock lock(mutex_);
+  shards_.push_back(std::make_unique<Shard>());
+  cache = {this, generation_, shards_.back().get()};
+  return *cache.shard;
+}
+
+void Registry::add(Id id, std::uint64_t delta) {
+  PCPC_ASSERT(id < kMaxCounters);
+  // Single-writer counters: each shard belongs to exactly one thread, so
+  // a relaxed load+store increment is race-free and skips the lock
+  // prefix a fetch_add would pay — this is the hottest line in the whole
+  // subsystem (once per simulator event).
+  std::atomic<std::uint64_t>& cell = local_shard().counters[id];
+  cell.store(cell.load(std::memory_order_relaxed) + delta,
+             std::memory_order_relaxed);
+}
+
+std::atomic<std::uint64_t>* Registry::counter_cell(Id id) {
+  PCPC_ASSERT(id < kMaxCounters);
+  return &local_shard().counters[id];
+}
+
+std::atomic<std::uint64_t>* Registry::histogram_bins(Id id) {
+  PCPC_ASSERT(id < kMaxHistograms);
+  return local_shard().histograms[id].data();
+}
+
+void Registry::set_gauge(Id id, std::int64_t value) {
+  PCPC_ASSERT(id < kMaxGauges);
+  Shard& shard = local_shard();
+  shard.gauges[id].store(value, std::memory_order_relaxed);
+  shard.gauge_seq[id].store(g_gauge_sequence.fetch_add(1) + 1,
+                            std::memory_order_relaxed);
+}
+
+void Registry::observe(Id id, std::int64_t value) {
+  PCPC_ASSERT(id < kMaxHistograms);
+  std::atomic<std::uint64_t>& bin = local_shard().histograms[id][log2_bin(value)];
+  bin.store(bin.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+}
+
+Registry::Snapshot Registry::collect() const {
+  std::scoped_lock lock(mutex_);
+  Snapshot snapshot;
+  snapshot.counters.resize(counter_names_.size());
+  snapshot.gauges.resize(gauge_names_.size());
+  snapshot.histograms.resize(histogram_names_.size());
+  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+    snapshot.counters[i].name = counter_names_[i];
+  }
+  for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
+    snapshot.gauges[i].name = gauge_names_[i];
+  }
+  for (std::size_t i = 0; i < histogram_names_.size(); ++i) {
+    snapshot.histograms[i].name = histogram_names_[i];
+  }
+  std::vector<std::uint64_t> gauge_best_seq(gauge_names_.size(), 0);
+  for (const auto& shard : shards_) {
+    for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+      snapshot.counters[i].value +=
+          shard->counters[i].load(std::memory_order_relaxed);
+    }
+    for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
+      const std::uint64_t seq = shard->gauge_seq[i].load(std::memory_order_relaxed);
+      if (seq > gauge_best_seq[i]) {
+        gauge_best_seq[i] = seq;
+        snapshot.gauges[i].value = shard->gauges[i].load(std::memory_order_relaxed);
+      }
+    }
+    for (std::size_t i = 0; i < histogram_names_.size(); ++i) {
+      for (std::size_t b = 0; b < kHistogramBins; ++b) {
+        const std::uint64_t n = shard->histograms[i][b].load(std::memory_order_relaxed);
+        snapshot.histograms[i].bins[b] += n;
+        snapshot.histograms[i].total += n;
+      }
+    }
+  }
+  return snapshot;
+}
+
+std::size_t Registry::shard_count() const {
+  std::scoped_lock lock(mutex_);
+  return shards_.size();
+}
+
+std::uint64_t Registry::Snapshot::counter_value(const std::string& name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+}  // namespace pcpc::obs

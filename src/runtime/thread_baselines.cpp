@@ -1,9 +1,30 @@
 #include "pcpc/runtime/thread_baselines.hpp"
 
 #include "pcpc/common/assert.hpp"
+#include "pcpc/obs/obs.hpp"
 #include "pcpc/runtime/cpu_meter.hpp"
 
 namespace pcpc::runtime {
+
+namespace {
+
+/// Session-clock timestamp for telemetry (0 when no session is armed).
+/// Baselines have no epoch of their own, so events land on whatever
+/// timeline the harness installed.
+std::int64_t obs_now() {
+  obs::Session* session = obs::Session::current();
+  return session != nullptr ? session->now_ns() : 0;
+}
+
+/// Every baseline wakeup is paid: one thread per pair, no latching to
+/// share the wake with (this is exactly the cost PBPL amortises away).
+void note_baseline_wakeup(const std::size_t pair, const bool scheduled) {
+  if (!obs::enabled()) return;
+  obs::note_wakeup(static_cast<std::uint16_t>(pair), static_cast<std::uint32_t>(pair),
+                   obs::kNoSlot, /*paid=*/true, scheduled, obs_now());
+}
+
+}  // namespace
 
 ThreadBaseline::ThreadBaseline(std::size_t pairs, std::size_t buffer_capacity,
                                SignalPolicy policy, SimDuration period,
@@ -14,6 +35,7 @@ ThreadBaseline::ThreadBaseline(std::size_t pairs, std::size_t buffer_capacity,
   PCPC_ASSERT_MSG(buffer_capacity > 0, "buffer capacity must be positive");
   for (std::size_t i = 0; i < pairs; ++i) {
     pairs_.push_back(std::make_unique<Pair>());
+    pairs_.back()->index = i;
   }
   for (auto& pair : pairs_) {
     pair->thread = std::thread([this, pair = pair.get()] { consumer_loop(*pair); });
@@ -105,9 +127,11 @@ void ThreadBaseline::consumer_loop(Pair& pair) {
             std::cv_status::timeout) {
           if (!running_) break;
           ++pair.wakeups;  // overflow (or shutdown) signal
+          note_baseline_wakeup(pair.index, /*scheduled=*/false);
           if (pair.buffer.size() < capacity_) continue;
         } else {
           ++pair.wakeups;  // timer fire
+          note_baseline_wakeup(pair.index, /*scheduled=*/true);
           next_deadline += std::chrono::nanoseconds(period_);
         }
       }
@@ -121,6 +145,7 @@ void ThreadBaseline::consumer_loop(Pair& pair) {
       pair.consumer_cv.wait(lock);
       if (!running_) break;
       ++pair.wakeups;  // the thread actually blocked and was woken
+      note_baseline_wakeup(pair.index, /*scheduled=*/false);
       continue;        // re-check the drain condition
     }
     drain_locked(pair, lock);
@@ -146,6 +171,13 @@ void ThreadBaseline::drain_locked(Pair& pair, std::unique_lock<std::mutex>& lock
     stats_.latency_s.add(latency);
   }
   pair.producer_cv.notify_all();
+  if (obs::enabled()) {
+    obs::note_slot_batch(
+        static_cast<std::uint16_t>(pair.index), static_cast<std::uint32_t>(pair.index),
+        obs::kNoSlot, batch, obs_now(),
+        std::chrono::duration_cast<std::chrono::nanoseconds>(BaselineClock::now() - now)
+            .count());
+  }
   std::unique_lock stats_lock(stats_mutex_);
   stats_.items += batch;
   stats_.batch_sizes.add(static_cast<double>(batch));

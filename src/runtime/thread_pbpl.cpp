@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "pcpc/common/assert.hpp"
+#include "pcpc/obs/obs.hpp"
 #include "pcpc/runtime/cpu_meter.hpp"
 
 namespace pcpc::runtime {
@@ -23,6 +24,16 @@ ThreadPbpl::ThreadPbpl(std::size_t consumers, const core::PbplConfig& config,
       pool_(std::max<std::size_t>(consumers, 1), config.base_buffer, config.pool_segment) {
   PCPC_ASSERT_MSG(consumers > 0, "need at least one consumer");
   PCPC_ASSERT_MSG(config.cores > 0, "need at least one core");
+
+  // Point the telemetry clock at this run's epoch so fault events (which
+  // have no clock of their own) land on the same timeline as the wakeup
+  // and slot events.  Captured by value: the session may outlive us.
+  if (obs::enabled() && obs::Session::current() != nullptr) {
+    obs::Session::current()->set_clock([epoch = epoch_] {
+      return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - epoch)
+          .count();
+    });
+  }
 
   for (std::size_t c = 0; c < config.cores; ++c) {
     cores_.push_back(std::make_unique<Core>());
@@ -136,6 +147,8 @@ void ThreadPbpl::push_one_locked(Consumer& consumer, std::unique_lock<std::mutex
     // The runtime already stopped: nothing will ever drain this item.
     // Count it instead of losing it silently.
     ++stats_.dropped_on_stop;
+    obs::note_drop(static_cast<std::uint32_t>(consumer.index), obs::DropPath::kOnStop,
+                   now_ns());
     return;
   }
   const auto stamp = Clock::now();
@@ -150,6 +163,9 @@ void ThreadPbpl::push_one_locked(Consumer& consumer, std::unique_lock<std::mutex
     consumer.buffer->resize(consumer.buffer->capacity() + extra);
     if (consumer.buffer->push(stamp)) {
       ++stats_.emergency_borrows;
+      obs::note_overflow(static_cast<std::uint16_t>(consumer.core->index),
+                         static_cast<std::uint32_t>(consumer.index),
+                         obs::OverflowAction::kEmergencyBorrow, now_ns());
       return;
     }
   }
@@ -158,12 +174,16 @@ void ThreadPbpl::push_one_locked(Consumer& consumer, std::unique_lock<std::mutex
     case core::OverflowPolicy::DropOldest: {
       consumer.buffer->pop();
       ++stats_.dropped_oldest;
+      obs::note_drop(static_cast<std::uint32_t>(consumer.index), obs::DropPath::kOldest,
+                     now_ns());
       const bool stored = consumer.buffer->push(stamp);
       PCPC_ASSERT_MSG(stored, "buffer still full after evicting the oldest item");
       return;
     }
     case core::OverflowPolicy::DropNewest:
       ++stats_.dropped_newest;
+      obs::note_drop(static_cast<std::uint32_t>(consumer.index), obs::DropPath::kNewest,
+                     now_ns());
       return;
     case core::OverflowPolicy::Block:
     case core::OverflowPolicy::EmergencyBorrow:
@@ -187,6 +207,9 @@ void ThreadPbpl::push_one_locked(Consumer& consumer, std::unique_lock<std::mutex
         if (consumer.overflow_requests == 0) {
           ++consumer.overflow_requests;
           consumer.core->overflow_pending = true;
+          obs::note_overflow(static_cast<std::uint16_t>(consumer.core->index),
+                             static_cast<std::uint32_t>(consumer.index),
+                             obs::OverflowAction::kForcedDrain, now_ns());
           consumer.core->cv.notify_all();
         }
         producer_cv_.wait(lock);
@@ -217,12 +240,15 @@ void ThreadPbpl::manager_loop(Core& core) {
     if (core.overflow_pending) {
       core.overflow_pending = false;
       const ScopedCpuTimer timer(core.cpu_ns);
+      bool first = true;
       for (Consumer* consumer : core.consumers) {
         if (consumer->overflow_requests == 0) continue;
         consumer->overflow_requests = 0;
         ++stats_.overflow_wakeups;
         core.reservations.cancel(static_cast<core::ConsumerId>(consumer->index));
-        invoke_locked(core, *consumer, now_ns());
+        invoke_locked(core, *consumer, now_ns(), obs::kNoSlot, first,
+                      /*scheduled=*/false);
+        first = false;
       }
       producer_cv_.notify_all();
       continue;
@@ -251,12 +277,16 @@ void ThreadPbpl::manager_loop(Core& core) {
       if (now - track_.start_of(*next) > limit) {
         ++stats_.missed_deadlines;
         ++core.scheduled_wakeups;
+        obs::note_watchdog(static_cast<std::uint16_t>(core.index),
+                           now - track_.start_of(*next), now);
         const ScopedCpuTimer timer(core.cpu_ns);
         core.overflow_pending = false;
+        bool first = true;
         for (Consumer* consumer : core.consumers) {
           consumer->overflow_requests = 0;
           core.reservations.cancel(static_cast<core::ConsumerId>(consumer->index));
-          invoke_locked(core, *consumer, now);
+          invoke_locked(core, *consumer, now, *next, first, /*scheduled=*/true);
+          first = false;
         }
         producer_cv_.notify_all();
         continue;
@@ -268,13 +298,19 @@ void ThreadPbpl::manager_loop(Core& core) {
     ++core.scheduled_wakeups;
     const ScopedCpuTimer timer(core.cpu_ns);
     const auto ids = core.reservations.take_slot(*next);
+    bool first = true;
     for (const core::ConsumerId id : ids) {
-      invoke_locked(core, *consumers_[id], now);
+      invoke_locked(core, *consumers_[id], now, *next, first, /*scheduled=*/true);
+      first = false;
     }
   }
 }
 
-void ThreadPbpl::invoke_locked(Core& core, Consumer& consumer, SimTime now) {
+void ThreadPbpl::invoke_locked(Core& core, Consumer& consumer, SimTime now,
+                               std::int64_t slot, bool paid, bool scheduled) {
+  obs::note_wakeup(static_cast<std::uint16_t>(core.index),
+                   static_cast<std::uint32_t>(consumer.index), slot, paid, scheduled,
+                   now);
   std::size_t batch = 0;
   const auto drained_at = Clock::now();
   const std::uint64_t violations_before =
@@ -311,6 +347,11 @@ void ThreadPbpl::invoke_locked(Core& core, Consumer& consumer, SimTime now) {
       std::this_thread::sleep_for(std::chrono::nanoseconds(delay));
     }
   }
+  obs::note_slot_batch(
+      static_cast<std::uint16_t>(core.index),
+      static_cast<std::uint32_t>(consumer.index), slot, batch, now,
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - drained_at)
+          .count());
 
   make_reservation_locked(core, consumer, now);
 }

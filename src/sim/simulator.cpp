@@ -1,5 +1,7 @@
 #include "pcpc/sim/simulator.hpp"
 
+#include "pcpc/obs/obs.hpp"
+
 namespace pcpc::sim {
 
 bool Simulator::step() {
@@ -8,6 +10,7 @@ bool Simulator::step() {
   PCPC_ASSERT_MSG(fired.time >= now_, "event queue returned an event in the past");
   now_ = fired.time;
   ++dispatched_;
+  if ((dispatched_ & 0xfff) == 0) flush_obs();
   fired.fn(now_);
   return true;
 }
@@ -17,11 +20,19 @@ void Simulator::run_until(SimTime until) {
     step();
   }
   if (now_ < until) now_ = until;
+  flush_obs();
 }
 
 void Simulator::run() {
   while (step()) {
   }
+  flush_obs();
+}
+
+void Simulator::flush_obs() {
+  if (dispatched_ == obs_flushed_) return;
+  obs::count_sim_events(dispatched_ - obs_flushed_);
+  obs_flushed_ = dispatched_;
 }
 
 }  // namespace pcpc::sim

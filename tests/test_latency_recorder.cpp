@@ -62,5 +62,43 @@ TEST(LatencyRecorder, QuantilesMonotone) {
   EXPECT_LE(r.p95(), r.p99());
 }
 
+TEST(LatencyRecorder, SubMillisecondResolution) {
+  // Log-spaced bins give ~0.9% relative resolution at every scale: a
+  // population of 50 µs latencies with a 900 µs tail must keep the two
+  // modes apart — a linear [0, 10 s] grid would collapse both into bin 0.
+  LatencyRecorder r;
+  for (int i = 0; i < 990; ++i) r.add(50e-6);
+  for (int i = 0; i < 10; ++i) r.add(900e-6);
+  EXPECT_NEAR(r.p50(), 50e-6, 5e-6);
+  EXPECT_NEAR(r.p99(), 900e-6, 90e-6);
+  EXPECT_GT(r.p99(), 10.0 * r.p50());
+}
+
+TEST(LatencyRecorder, RelativeErrorBoundedAcrossScales) {
+  // One sample per decade from 1 µs to 1 s: each quantile must land
+  // within a few percent of the exact sample it names.
+  for (const double v : {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0}) {
+    LatencyRecorder r;
+    for (int i = 0; i < 100; ++i) r.add(v);
+    EXPECT_NEAR(r.p50() / v, 1.0, 0.03) << "scale " << v;
+    EXPECT_NEAR(r.p99() / v, 1.0, 0.03) << "scale " << v;
+  }
+}
+
+TEST(LatencyRecorder, MergePreservesSubMillisecondTail) {
+  LatencyRecorder fast, slow, all;
+  for (int i = 0; i < 500; ++i) {
+    fast.add(20e-6);
+    slow.add(400e-6);
+    all.add(20e-6);
+    all.add(400e-6);
+  }
+  fast.merge(slow);
+  EXPECT_EQ(fast.count(), all.count());
+  EXPECT_NEAR(fast.p50(), all.p50(), 1e-9);
+  EXPECT_NEAR(fast.p99(), all.p99(), 1e-9);
+  EXPECT_NEAR(fast.p99(), 400e-6, 40e-6);
+}
+
 }  // namespace
 }  // namespace pcpc
