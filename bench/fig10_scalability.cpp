@@ -1,6 +1,9 @@
 // Figure 10 reproduction: power and wakeups/s of Mutex, Sem, BP and PBPL
 // as the number of producer-consumer pairs grows through 2, 5 and 10
-// (buffer size 25).
+// (buffer size 25).  Also sweeps PBPL across the queue backends (mutex /
+// SPSC ring / MPSC segments): the hand-off substrate must not change the
+// paid-wakeup economics the figure is about.
+#include <cmath>
 #include <cstdio>
 #include <iostream>
 #include <map>
@@ -8,6 +11,7 @@
 #include "pcpc/common/table.hpp"
 #include "pcpc/exp/paper_setup.hpp"
 #include "pcpc/exp/report.hpp"
+#include "pcpc/queue/backend.hpp"
 
 using namespace pcpc;
 using exp::ImplKind;
@@ -63,6 +67,58 @@ int main() {
   std::printf(
       "  (paper: PBPL-vs-Mutex improvements of 7.5%%, 20%%, 30%% — rising with M;\n"
       "   the PBPL advantage should grow as more consumers share slots)\n");
+
+  // --- Queue-backend sweep: PBPL over mutex / SPSC / MPSC hand-offs.
+  // The sim host is deterministic, so the backends' identical admission
+  // semantics must reproduce the same throughput and the same paid
+  // wakeups; any delta is a semantic divergence, not noise.
+  Table backend_table(
+      {"backend", "M", "items/s", "wakeups/s", "paid wakeups/s", "Δpaid vs mutex"});
+  backend_table.set_title(
+      "Figure 10c — PBPL queue-backend sweep, B=25 (paid-wakeup delta gate)");
+  report.add_table("backend_sweep", "PBPL queue-backend sweep",
+                   {"backend", "consumers", "items_per_s", "wakeups_per_s",
+                    "paid_wakeups_per_s"});
+  bool paid_regressed = false;
+  for (const std::size_t consumers : kConsumers) {
+    std::map<queue::BackendKind, double> paid_per_s, items_per_s, wakeups_per_s;
+    for (const auto backend : queue::kAllBackends) {
+      auto spec = exp::multi_pair_spec(consumers, /*buffer=*/25);
+      spec.setup.pbpl.queue_backend = backend;
+      const double horizon_s = to_seconds(spec.horizon);
+      const auto replicates = exp::run_replicates(ImplKind::Pbpl, spec);
+      double paid = 0.0, items = 0.0, wakeups = 0.0;
+      for (const auto& r : replicates) {
+        paid += r.paid_wakeups / horizon_s;
+        items += r.items / horizon_s;
+        wakeups += r.wakeups_per_s;
+      }
+      const auto n = static_cast<double>(replicates.size());
+      paid_per_s[backend] = paid / n;
+      items_per_s[backend] = items / n;
+      wakeups_per_s[backend] = wakeups / n;
+      report.add_row({queue::backend_name(backend), std::to_string(consumers),
+                      format_double(items_per_s[backend], 1),
+                      format_double(wakeups_per_s[backend], 2),
+                      format_double(paid_per_s[backend], 2)});
+    }
+    const double mutex_paid = paid_per_s[queue::BackendKind::Mutex];
+    for (const auto backend : queue::kAllBackends) {
+      const double delta = paid_per_s[backend] - mutex_paid;
+      if (delta > 1e-9) paid_regressed = true;
+      backend_table.add(queue::backend_name(backend), std::to_string(consumers),
+                        format_double(items_per_s[backend], 1),
+                        format_double(wakeups_per_s[backend], 2),
+                        format_double(paid_per_s[backend], 2),
+                        format_double(delta, 2));
+    }
+  }
+  std::printf("\n");
+  backend_table.print(std::cout);
+  std::printf(paid_regressed
+                  ? "\nbackend sweep: PAID-WAKEUP REGRESSION vs mutex backend\n"
+                  : "\nbackend sweep: paid wakeups/s identical across backends\n");
+
   report.maybe_export(std::cout);
-  return 0;
+  return paid_regressed ? 1 : 0;
 }

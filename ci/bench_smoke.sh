@@ -39,6 +39,14 @@ grep -q '"wakeups"' "${out}/metrics.json" || {
   exit 1
 }
 
+echo "=== queue_floor: backend throughput gate ==="
+if [[ ! -x "${build}/bench/queue_floor" ]]; then
+  echo "bench_smoke: ${build}/bench/queue_floor not built" >&2
+  echo "bench_smoke: run 'cmake --build ${build} --target queue_floor'" >&2
+  exit 2
+fi
+"${build}/bench/queue_floor" | tee "${out}/queue_floor.txt"
+
 echo "=== chaos_overload: exporter smoke (thread host) ==="
 "${build}/bench/chaos_overload" "${out}/chaos.csv" \
   --trace-out="${out}/chaos_trace.json" \

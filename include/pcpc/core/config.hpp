@@ -7,6 +7,7 @@
 #include "pcpc/core/cost.hpp"
 #include "pcpc/core/rate_predictor.hpp"
 #include "pcpc/power/energy_ledger.hpp"
+#include "pcpc/queue/backend.hpp"
 
 namespace pcpc::core {
 
@@ -82,6 +83,12 @@ struct PbplConfig {
   /// Thread host: what a producer does when its buffer is full and the
   /// pre-emptive borrow (emergency_borrow above) could not make space.
   OverflowPolicy overflow_policy = OverflowPolicy::Block;
+
+  /// Which concurrent queue carries the producer→consumer hand-off in
+  /// both hosts: the seed's mutex-guarded elastic buffer, the Torquati
+  /// SPSC ring, or the Jiffy-style MPSC segment queue (see
+  /// pcpc/queue/backend.hpp for the contracts).
+  queue::BackendKind queue_backend = queue::BackendKind::Mutex;
 
   /// Thread host: per-core deadline watchdog.  When a manager services a
   /// slot more than `watchdog_factor · Δ` after the slot's start (the

@@ -19,6 +19,7 @@
 #include "pcpc/core/rate_predictor.hpp"
 #include "pcpc/fault/fault_injector.hpp"
 #include "pcpc/queue/elastic_buffer.hpp"
+#include "pcpc/queue/handoff.hpp"
 
 namespace pcpc::core {
 
@@ -38,8 +39,9 @@ struct ConsumerStats {
 /// One producer-consumer pair's consumer on the simulation host.
 class PbplConsumer final : public Invocable {
  public:
-  /// Registers itself with `manager` and takes a B0-sized buffer from
-  /// `pool`.  `config` must outlive the consumer.
+  /// Registers itself with `manager` and takes a B0-sized hand-off queue
+  /// (backend per config.queue_backend) from `pool`.  `config` must
+  /// outlive the consumer.
   PbplConsumer(ConsumerId id, CoreManager& manager, queue::BufferPool<SimTime>& pool,
                const PbplConfig& config);
 
@@ -53,11 +55,11 @@ class PbplConsumer final : public Invocable {
 
   // Invocable:
   SimDuration on_invoked(SimTime now, bool scheduled) override;
-  bool has_pending() const override { return !buffer_.empty(); }
+  bool has_pending() const override { return !buffer_->empty(); }
 
   ConsumerId id() const { return id_; }
   const ConsumerStats& stats() const { return stats_; }
-  const queue::ElasticBuffer<SimTime>& buffer() const { return buffer_; }
+  const queue::Handoff<SimTime>& buffer() const { return *buffer_; }
   const RatePredictor& predictor() const { return *predictor_; }
 
   /// The adaptive latency guard; present only when config.latency_guard.
@@ -72,7 +74,7 @@ class PbplConsumer final : public Invocable {
   /// pool-pressure faults can seize the freed capacity.  Bg = B0·M means
   /// a freshly started system has no free segments at all — external
   /// memory pressure has to come out of the consumers' own allotment.
-  void squeeze_buffer() { buffer_.resize(1); }
+  void squeeze_buffer() { buffer_->resize(1); }
 
  private:
   void make_reservation(SimTime now);
@@ -81,7 +83,7 @@ class PbplConsumer final : public Invocable {
   CoreManager& manager_;
   queue::BufferPool<SimTime>& pool_;
   const PbplConfig& config_;
-  queue::ElasticBuffer<SimTime> buffer_;
+  std::unique_ptr<queue::Handoff<SimTime>> buffer_;
   std::unique_ptr<RatePredictor> predictor_;
   std::optional<LatencyGuard> guard_;
   fault::FaultInjector* injector_ = nullptr;

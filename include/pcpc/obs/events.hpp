@@ -23,6 +23,7 @@ enum class EventKind : std::uint8_t {
   kWatchdog = 4,     ///< deadline watchdog escalation (arg0 = overrun ns)
   kFault = 5,        ///< injected fault fired (arg0 = FaultKind, arg1 = magnitude)
   kDrop = 6,         ///< item dropped (arg0 = DropPath)
+  kQueueResize = 7,  ///< hand-off queue capacity changed (arg0 = old, arg1 = new)
 };
 
 /// Which overflow-handling path fired.

@@ -67,6 +67,7 @@ struct WellKnownMetrics {
   Registry::Id overflow_borrows;
   Registry::Id overflow_drains;
   Registry::Id drops;
+  Registry::Id queue_resizes;
   Registry::Id watchdog_escalations;
   Registry::Id faults_injected;
   Registry::Id sim_events;
@@ -156,6 +157,8 @@ void note_overflow_impl(std::uint16_t core, std::uint32_t consumer, OverflowActi
 void note_watchdog_impl(std::uint16_t core, std::int64_t overrun_ns, std::int64_t ts_ns);
 void note_fault_impl(FaultKind kind, std::int64_t magnitude);
 void note_drop_impl(std::uint32_t consumer, DropPath path, std::int64_t ts_ns);
+void note_queue_resize_impl(std::uint32_t consumer, std::size_t old_slots,
+                            std::size_t new_slots);
 void count_sim_events_impl(std::uint64_t n);
 }  // namespace detail
 
@@ -207,6 +210,15 @@ inline void note_fault(FaultKind kind, std::int64_t magnitude = 0) {
 inline void note_drop(std::uint32_t consumer, DropPath path, std::int64_t ts_ns) {
   if (!enabled()) return;
   detail::note_drop_impl(consumer, path, ts_ns);
+}
+
+/// A hand-off queue's capacity changed (elastic resize on any backend).
+/// Timestamp comes from the session clock: resizes happen on the consumer
+/// control path, never per item, so the clock lookup is off the hot path.
+inline void note_queue_resize(std::uint32_t consumer, std::size_t old_slots,
+                              std::size_t new_slots) {
+  if (!enabled()) return;
+  detail::note_queue_resize_impl(consumer, old_slots, new_slots);
 }
 
 /// `n` simulator events dispatched (a pure counter — no ring traffic).

@@ -77,6 +77,35 @@ class BufferPool {
   /// Returns previously seized segments to the free list.
   void restore_segments(std::size_t n) { release_segments(n); }
 
+  /// Segment accounting for hand-off adapters that manage a *logical*
+  /// capacity over their own storage (the lock-free backends) instead of
+  /// owning an ElasticBuffer.  Same free-list as ElasticBuffer resizing;
+  /// the caller owns the granted segments until it returns them.
+  std::size_t grant_segments(std::size_t want) { return acquire_segments(want); }
+  void return_segments(std::size_t n) { release_segments(n); }
+
+  /// Grants a consumer's initial ~B0 share (rounded up to whole
+  /// segments) with the same emergency-overcommit semantics as
+  /// make_buffer(): never returns zero.
+  std::size_t grant_base_segments() {
+    const std::size_t want = (base_capacity_ + segment_size_ - 1) / segment_size_;
+    std::size_t granted = acquire_segments(want);
+    if (granted == 0) {
+      // Pool exhausted (over-subscribed consumers or fault-injected
+      // pressure).  Aborting here turns a sizing mistake into an outage;
+      // instead the pool over-commits one emergency segment so the
+      // consumer can still run — degraded to minimum capacity — and the
+      // event is counted and logged for the operator.
+      ++total_segments_;
+      granted = 1;
+      ++exhausted_grants_;
+      PCPC_WARN << "BufferPool exhausted: over-committing one emergency segment ("
+                << exhausted_grants_ << " so far); Bg grew to " << total_slots()
+                << " slots";
+    }
+    return granted;
+  }
+
  private:
   friend class ElasticBuffer<T>;
 
@@ -136,10 +165,19 @@ class ElasticBuffer {
   ///   B_i = min(Bg − ΣB_q , r̂·Δt)  (upsizing)
   ///   B_i = r̂·Δt                   (downsizing)
   /// with both directions clamped to whole segments.
+  /// Concurrency contract: the caller must hold whatever lock also guards
+  /// push()/pop() for the entire call — the live size is read once up
+  /// front and every clamping decision below derives from that snapshot,
+  /// so a push interleaved mid-resize could otherwise strand the buffer
+  /// with capacity < size (items stuck behind a shrunken wall).  The
+  /// thread host serializes resize with its manager mutex; the sim host
+  /// is single-threaded.
   std::size_t resize(std::size_t target) {
     const std::size_t seg = pool_->segment_size_;
-    // Never below one segment, never below what is currently buffered.
-    const std::size_t min_slots = std::max<std::size_t>(items_.size(), 1);
+    // Snapshot the fill level ONCE; never below one segment, never below
+    // what is currently buffered.
+    const std::size_t live = items_.size();
+    const std::size_t min_slots = std::max<std::size_t>(live, 1);
     const std::size_t want_slots = std::max(target, min_slots);
     const std::size_t want_segments = (want_slots + seg - 1) / seg;
     if (want_segments > segments_) {
@@ -148,6 +186,7 @@ class ElasticBuffer {
       pool_->release_segments(segments_ - want_segments);
       segments_ = want_segments;
     }
+    PCPC_ASSERT_MSG(capacity() >= live, "resize shrank below live items");
     capacity_samples_.add(static_cast<double>(capacity()));
     return capacity();
   }
@@ -199,22 +238,7 @@ class ElasticBuffer {
 
 template <typename T>
 ElasticBuffer<T> BufferPool<T>::make_buffer() {
-  const std::size_t want = (base_capacity_ + segment_size_ - 1) / segment_size_;
-  std::size_t granted = acquire_segments(want);
-  if (granted == 0) {
-    // Pool exhausted (over-subscribed consumers or fault-injected
-    // pressure).  Aborting here turns a sizing mistake into an outage;
-    // instead the pool over-commits one emergency segment so the
-    // consumer can still run — degraded to minimum capacity — and the
-    // event is counted and logged for the operator.
-    ++total_segments_;
-    granted = 1;
-    ++exhausted_grants_;
-    PCPC_WARN << "BufferPool exhausted: over-committing one emergency segment ("
-              << exhausted_grants_ << " so far); Bg grew to " << total_slots()
-              << " slots";
-  }
-  return ElasticBuffer<T>(this, granted);
+  return ElasticBuffer<T>(this, grant_base_segments());
 }
 
 }  // namespace pcpc::queue

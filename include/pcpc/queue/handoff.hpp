@@ -1,0 +1,289 @@
+// Handoff — the host-facing face of a queue backend.
+//
+// Both hosts (sim and thread) move items from producers to one consumer
+// through exactly one object per consumer.  Handoff is the small virtual
+// interface that lets that object be the seed's mutex-guarded
+// ElasticBuffer, the Torquati SPSC ring or the Jiffy-style MPSC queue
+// without the hosts caring which — while keeping the three behaviours the
+// paper's evaluation depends on:
+//
+//   - *elastic capacity*: resize() moves whole pool segments between
+//     consumers (Section V-C), also for the lock-free backends, where the
+//     storage is fixed and only the logical admission bound moves;
+//   - *drop accounting*: every rejected push is counted, so the hosts'
+//     produced == consumed + dropped identities keep holding exactly;
+//   - *observability*: capacity changes emit obs::kQueueResize and feed
+//     the capacity_samples() average the figures report.
+//
+// Locking contract: the interface itself is lock-agnostic.  For
+// BackendKind::Mutex the host must hold its own lock around every call
+// (the seed behaviour).  For the lock-free backends, try_push is safe
+// from producer threads without any lock (one producer for SpscRing, any
+// number for MpscSeg), while try_pop/resize/flush remain single-consumer
+// operations the host already serializes on its manager lock.  The
+// accessors (size/capacity/overflows/high_water) are safe anywhere but
+// only approximate while producers are live.  Pool segment accounting
+// inside resize() is NOT thread-safe — both hosts call resize() on the
+// same control path that already guards the pool.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "pcpc/common/stats.hpp"
+#include "pcpc/obs/obs.hpp"
+#include "pcpc/queue/backend.hpp"
+#include "pcpc/queue/bounded_buffer.hpp"
+#include "pcpc/queue/elastic_buffer.hpp"
+#include "pcpc/queue/mpsc_queue.hpp"
+#include "pcpc/queue/spsc_ring.hpp"
+
+namespace pcpc::queue {
+
+template <typename T>
+class Handoff {
+ public:
+  virtual ~Handoff() = default;
+
+  virtual BackendKind kind() const = 0;
+
+  /// True when try_push needs no host lock.
+  virtual bool lock_free() const = 0;
+
+  /// Producer side.  False = rejected (full); the reject is counted in
+  /// overflows() and the item stays with the caller.
+  virtual bool try_push(T value) = 0;
+
+  /// Consumer side; nullopt when nothing is visible.
+  virtual std::optional<T> try_pop() = 0;
+
+  /// Consumer side: publish any batched pushes (SPSC publication
+  /// batching); no-op elsewhere.
+  virtual void flush() {}
+
+  /// Consumer side: elastic resize toward `target` slots, clamped by the
+  /// pool's free space (growth), the live fill level (shrink) and the
+  /// backend's physical bound.  Returns the capacity actually set.
+  virtual std::size_t resize(std::size_t target) = 0;
+
+  virtual std::size_t size() const = 0;
+  virtual std::size_t capacity() const = 0;
+  virtual std::uint64_t overflows() const = 0;
+  virtual std::size_t high_water() const = 0;
+  virtual const OnlineStats& capacity_samples() const = 0;
+
+  bool empty() const { return size() == 0; }
+  bool full() const { return size() >= capacity(); }
+};
+
+/// The seed path: an ElasticBuffer under the host's own lock.
+template <typename T>
+class ElasticHandoff final : public Handoff<T> {
+ public:
+  ElasticHandoff(BufferPool<T>& pool, std::uint32_t consumer)
+      : consumer_(consumer), buffer_(pool.make_buffer()) {}
+
+  BackendKind kind() const override { return BackendKind::Mutex; }
+  bool lock_free() const override { return false; }
+
+  bool try_push(T value) override { return buffer_.push(std::move(value)); }
+  std::optional<T> try_pop() override { return buffer_.pop(); }
+
+  std::size_t resize(std::size_t target) override {
+    const std::size_t old_cap = buffer_.capacity();
+    const std::size_t new_cap = buffer_.resize(target);
+    if (new_cap != old_cap) obs::note_queue_resize(consumer_, old_cap, new_cap);
+    return new_cap;
+  }
+
+  std::size_t size() const override { return buffer_.size(); }
+  std::size_t capacity() const override { return buffer_.capacity(); }
+  std::uint64_t overflows() const override { return buffer_.overflows(); }
+  std::size_t high_water() const override { return buffer_.high_water(); }
+  const OnlineStats& capacity_samples() const override {
+    return buffer_.capacity_samples();
+  }
+
+ private:
+  std::uint32_t consumer_;
+  ElasticBuffer<T> buffer_;
+};
+
+/// Shared scaffolding of the two lock-free adapters: pool segment
+/// accounting (mirroring ElasticBuffer::resize's clamping), atomic
+/// overflow/high-water tracking from concurrent producers, and the
+/// resize obs event.  `Queue` is SpscRing<T> or MpscSegQueue<T>.
+template <typename T, typename Queue>
+class LockFreeHandoff : public Handoff<T> {
+ public:
+  bool lock_free() const override { return true; }
+
+  bool try_push(T value) override {
+    if (!queue_.try_push(std::move(value))) {
+      overflows_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    // Approximate high-water mark: size() sampled right after our push.
+    const std::size_t s = queue_.size();
+    std::size_t hw = high_water_.load(std::memory_order_relaxed);
+    while (s > hw &&
+           !high_water_.compare_exchange_weak(hw, s, std::memory_order_relaxed)) {
+    }
+    return true;
+  }
+
+  std::optional<T> try_pop() override { return queue_.try_pop(); }
+
+  std::size_t resize(std::size_t target) override {
+    const std::size_t old_cap = queue_.capacity();
+    std::size_t new_cap;
+    if (pool_ != nullptr) {
+      // Same clamping as ElasticBuffer::resize, against a single size
+      // snapshot (producers may push concurrently; a snapshot taken once
+      // cannot strand capacity below what we decided to keep).
+      const std::size_t seg = pool_->segment_size();
+      const std::size_t live = queue_.size();
+      const std::size_t min_slots = std::max<std::size_t>(live, 1);
+      const std::size_t want_slots = std::max(target, min_slots);
+      const std::size_t want_segments = (want_slots + seg - 1) / seg;
+      if (want_segments > segments_) {
+        segments_ += pool_->grant_segments(want_segments - segments_);
+      } else if (want_segments < segments_) {
+        pool_->return_segments(segments_ - want_segments);
+        segments_ = want_segments;
+      }
+      // set_capacity clamps to the physical bound; in the (emergency
+      // overcommit) corner where granted segments exceed it, the logical
+      // capacity saturates and the extra segments return on teardown.
+      new_cap = queue_.set_capacity(segments_ * seg);
+    } else {
+      new_cap = queue_.set_capacity(target);
+    }
+    capacity_samples_.add(static_cast<double>(new_cap));
+    if (new_cap != old_cap) obs::note_queue_resize(consumer_, old_cap, new_cap);
+    return new_cap;
+  }
+
+  std::size_t size() const override { return queue_.size(); }
+  std::size_t capacity() const override { return queue_.capacity(); }
+  std::uint64_t overflows() const override {
+    return overflows_.load(std::memory_order_relaxed);
+  }
+  std::size_t high_water() const override {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+  const OnlineStats& capacity_samples() const override { return capacity_samples_; }
+
+  ~LockFreeHandoff() override {
+    if (pool_ != nullptr) pool_->return_segments(segments_);
+  }
+
+ protected:
+  /// Pool-backed: starts at the consumer's B0 share, max capacity Bg.
+  LockFreeHandoff(BufferPool<T>& pool, std::uint32_t consumer,
+                  std::size_t base_segments)
+      : queue_(base_segments * pool.segment_size(),
+               std::max(pool.total_slots(), base_segments * pool.segment_size())),
+        pool_(&pool),
+        consumer_(consumer),
+        segments_(base_segments) {}
+
+  /// Standalone fixed-capacity (baseline host): no pool accounting.
+  LockFreeHandoff(std::size_t capacity, std::uint32_t consumer)
+      : queue_(capacity), pool_(nullptr), consumer_(consumer) {}
+
+  Queue queue_;
+
+ private:
+  BufferPool<T>* pool_;
+  std::uint32_t consumer_;
+  std::size_t segments_ = 0;
+  std::atomic<std::uint64_t> overflows_{0};
+  std::atomic<std::size_t> high_water_{0};
+  OnlineStats capacity_samples_;
+};
+
+template <typename T>
+class SpscHandoff final : public LockFreeHandoff<T, SpscRing<T>> {
+  using Base = LockFreeHandoff<T, SpscRing<T>>;
+
+ public:
+  SpscHandoff(BufferPool<T>& pool, std::uint32_t consumer)
+      : Base(pool, consumer, pool.grant_base_segments()) {}
+  SpscHandoff(std::size_t capacity, std::uint32_t consumer)
+      : Base(capacity, consumer) {}
+
+  BackendKind kind() const override { return BackendKind::SpscRing; }
+  void flush() override { this->queue_.flush(); }
+};
+
+template <typename T>
+class MpscHandoff final : public LockFreeHandoff<T, MpscSegQueue<T>> {
+  using Base = LockFreeHandoff<T, MpscSegQueue<T>>;
+
+ public:
+  MpscHandoff(BufferPool<T>& pool, std::uint32_t consumer)
+      : Base(pool, consumer, pool.grant_base_segments()) {}
+  MpscHandoff(std::size_t capacity, std::uint32_t consumer)
+      : Base(capacity, consumer) {}
+
+  BackendKind kind() const override { return BackendKind::MpscSeg; }
+};
+
+/// Standalone mutex-backend hand-off for hosts without a pool (the
+/// baselines): a fixed-capacity BoundedBuffer under the host's lock.
+template <typename T>
+class BoundedHandoff final : public Handoff<T> {
+ public:
+  explicit BoundedHandoff(std::size_t capacity) : buffer_(capacity) {}
+
+  BackendKind kind() const override { return BackendKind::Mutex; }
+  bool lock_free() const override { return false; }
+
+  bool try_push(T value) override { return buffer_.push(std::move(value)); }
+  std::optional<T> try_pop() override { return buffer_.pop(); }
+
+  /// Fixed capacity: resize is a no-op reporting the unchanged bound.
+  std::size_t resize(std::size_t) override { return buffer_.capacity(); }
+
+  std::size_t size() const override { return buffer_.size(); }
+  std::size_t capacity() const override { return buffer_.capacity(); }
+  std::uint64_t overflows() const override { return buffer_.overflows(); }
+  std::size_t high_water() const override { return buffer_.high_water(); }
+  const OnlineStats& capacity_samples() const override { return capacity_samples_; }
+
+ private:
+  BoundedBuffer<T> buffer_;
+  OnlineStats capacity_samples_;  ///< stays empty; capacity never moves
+};
+
+/// Pool-backed hand-off for the elastic hosts (PBPL sim + thread).
+template <typename T>
+std::unique_ptr<Handoff<T>> make_pool_handoff(BackendKind kind, BufferPool<T>& pool,
+                                              std::uint32_t consumer) {
+  switch (kind) {
+    case BackendKind::Mutex: return std::make_unique<ElasticHandoff<T>>(pool, consumer);
+    case BackendKind::SpscRing: return std::make_unique<SpscHandoff<T>>(pool, consumer);
+    case BackendKind::MpscSeg: return std::make_unique<MpscHandoff<T>>(pool, consumer);
+  }
+  return nullptr;
+}
+
+/// Fixed-capacity hand-off for the baseline host.
+template <typename T>
+std::unique_ptr<Handoff<T>> make_handoff(BackendKind kind, std::size_t capacity,
+                                         std::uint32_t consumer = 0) {
+  switch (kind) {
+    case BackendKind::Mutex: return std::make_unique<BoundedHandoff<T>>(capacity);
+    case BackendKind::SpscRing:
+      return std::make_unique<SpscHandoff<T>>(capacity, consumer);
+    case BackendKind::MpscSeg:
+      return std::make_unique<MpscHandoff<T>>(capacity, consumer);
+  }
+  return nullptr;
+}
+
+}  // namespace pcpc::queue

@@ -1,0 +1,175 @@
+// Cache-optimized wait-free single-producer/single-consumer ring.
+//
+// Torquati, "Single-Producer/Single-Consumer Queues on Shared Cache
+// Multi-Core Systems": the two costs of a naive SPSC ring are (1) each
+// side re-loading the *other* side's index on every operation and (2) the
+// producer's index store invalidating the consumer's cache line per item.
+// This ring removes both:
+//
+//   - head/tail live on their own cache lines, and each side keeps a
+//     *cached* copy of the opposite index, refreshed only when the cached
+//     value says the ring looks full/empty (amortizing the coherence miss
+//     over capacity-many operations);
+//   - the producer may *batch index publication*: items are written to
+//     their slots immediately, but the shared tail is stored once every
+//     `publish_batch` pushes (or on flush()), so a burst of k items costs
+//     one invalidation of the consumer's line instead of k.
+//
+// Both operations are wait-free: a bounded number of instructions, no
+// CAS, no retry loop.  Capacity is *logical* on top of a fixed physical
+// slot array, so the PBPL hosts can keep the paper's elastic resizing
+// (Section V-C) by moving logical capacity between consumers while the
+// storage itself stays preallocated — exactly the spirit of the paper's
+// preallocated global buffer Bg.
+//
+// Thread contract: try_push/flush from ONE producer thread at a time;
+// try_pop/size-from-consumer/set_capacity from ONE consumer thread at a
+// time.  Either role may migrate between threads if the migration itself
+// is synchronized (e.g. the runtime's manager lock).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "pcpc/common/assert.hpp"
+
+namespace pcpc::queue {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// `max_capacity` bounds the logical capacity forever (physical slots
+  /// are allocated once, rounded up to a power of two).  The initial
+  /// logical capacity is `capacity`, clamped into [1, max_capacity].
+  explicit SpscRing(std::size_t capacity, std::size_t max_capacity = 0)
+      : max_capacity_(max_capacity == 0 ? capacity : max_capacity),
+        mask_(round_up_pow2(max_capacity_) - 1),
+        slots_(mask_ + 1) {
+    PCPC_ASSERT_MSG(capacity > 0, "spsc ring capacity must be positive");
+    PCPC_ASSERT_MSG(capacity <= max_capacity_, "capacity above max_capacity");
+    logical_capacity_.store(capacity, std::memory_order_relaxed);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  // -- producer side ------------------------------------------------------
+
+  /// Appends an item; false (item kept by caller) when logically full.
+  /// A full ring flushes any unpublished items first, so the consumer can
+  /// always drain everything that was accepted.
+  bool try_push(T value) {
+    const std::uint64_t t = prod_.tail_local;
+    if (t - prod_.cached_head >= cap64()) {
+      prod_.cached_head = head_.index.load(std::memory_order_acquire);
+      if (t - prod_.cached_head >= cap64()) {
+        flush();
+        return false;
+      }
+    }
+    slots_[static_cast<std::size_t>(t) & mask_] = std::move(value);
+    prod_.tail_local = t + 1;
+    if (++prod_.pending >= prod_.publish_batch) flush();
+    return true;
+  }
+
+  /// Publishes every accepted-but-unpublished item to the consumer.
+  void flush() {
+    if (prod_.pending == 0) return;
+    tail_.index.store(prod_.tail_local, std::memory_order_release);
+    prod_.pending = 0;
+  }
+
+  /// Publish the shared tail once every `n` pushes (1 = per item, the
+  /// default).  Larger batches trade item visibility latency for fewer
+  /// coherence invalidations; call flush() to bound the delay.
+  void set_publish_batch(std::size_t n) {
+    flush();
+    prod_.publish_batch = n == 0 ? 1 : n;
+  }
+
+  // -- consumer side ------------------------------------------------------
+
+  /// Removes the oldest published item; nullopt when none is visible.
+  std::optional<T> try_pop() {
+    const std::uint64_t h = cons_.head_local;
+    if (h == cons_.cached_tail) {
+      cons_.cached_tail = tail_.index.load(std::memory_order_acquire);
+      if (h == cons_.cached_tail) return std::nullopt;
+    }
+    T value = std::move(slots_[static_cast<std::size_t>(h) & mask_]);
+    cons_.head_local = h + 1;
+    head_.index.store(h + 1, std::memory_order_release);
+    return value;
+  }
+
+  /// Raises or lowers the logical capacity, clamped into
+  /// [1, max_capacity()].  Items already accepted stay; a capacity below
+  /// the current fill level just fails pushes until the consumer drains.
+  /// Returns the capacity actually set.
+  std::size_t set_capacity(std::size_t n) {
+    const std::size_t clamped = n == 0 ? 1 : (n > max_capacity_ ? max_capacity_ : n);
+    logical_capacity_.store(clamped, std::memory_order_release);
+    return clamped;
+  }
+
+  // -- either side (approximate between operations) -----------------------
+
+  /// Published items currently buffered.
+  std::size_t size() const {
+    const std::uint64_t t = tail_.index.load(std::memory_order_acquire);
+    const std::uint64_t h = head_.index.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(t - h);
+  }
+
+  bool empty() const { return size() == 0; }
+
+  std::size_t capacity() const {
+    return logical_capacity_.load(std::memory_order_acquire);
+  }
+
+  std::size_t max_capacity() const { return max_capacity_; }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  std::uint64_t cap64() const {
+    return static_cast<std::uint64_t>(logical_capacity_.load(std::memory_order_relaxed));
+  }
+
+  /// Shared index on its own cache line; nothing else shares the line.
+  struct alignas(64) SharedIndex {
+    std::atomic<std::uint64_t> index{0};
+  };
+
+  /// Producer-private state: one line, written only by the producer.
+  struct alignas(64) ProducerState {
+    std::uint64_t tail_local = 0;   ///< includes unpublished pushes
+    std::uint64_t cached_head = 0;  ///< last observed consumer index
+    std::size_t pending = 0;        ///< pushes since the last publication
+    std::size_t publish_batch = 1;
+  };
+
+  /// Consumer-private state, likewise isolated.
+  struct alignas(64) ConsumerState {
+    std::uint64_t head_local = 0;
+    std::uint64_t cached_tail = 0;
+  };
+
+  const std::size_t max_capacity_;
+  const std::size_t mask_;
+  std::vector<T> slots_;
+  SharedIndex head_;  ///< consumer publishes consumption here
+  SharedIndex tail_;  ///< producer publishes production here
+  alignas(64) std::atomic<std::size_t> logical_capacity_;
+  ProducerState prod_;
+  ConsumerState cons_;
+};
+
+}  // namespace pcpc::queue

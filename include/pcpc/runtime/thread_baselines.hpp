@@ -8,7 +8,6 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -18,6 +17,7 @@
 #include "pcpc/common/stats.hpp"
 #include "pcpc/common/types.hpp"
 #include "pcpc/fault/fault_injector.hpp"
+#include "pcpc/queue/handoff.hpp"
 
 namespace pcpc::runtime {
 
@@ -47,10 +47,14 @@ class ThreadBaseline {
   /// `period` is used only by SignalPolicy::Periodic.  `injector`, when
   /// non-null, must outlive the baseline; it injects producer stalls and
   /// bursts and slow-consumer handler delays so the baselines face the
-  /// same chaos the PBPL host does.
+  /// same chaos the PBPL host does.  `backend` selects the hand-off
+  /// queue: the seed's mutex-guarded bounded buffer, or a lock-free ring
+  /// whose pushes bypass the pair lock (BackendKind::SpscRing then
+  /// requires one producer thread per pair; MpscSeg accepts any number).
   ThreadBaseline(std::size_t pairs, std::size_t buffer_capacity, SignalPolicy policy,
                  SimDuration period = milliseconds(10),
-                 fault::FaultInjector* injector = nullptr);
+                 fault::FaultInjector* injector = nullptr,
+                 queue::BackendKind backend = queue::BackendKind::Mutex);
   ~ThreadBaseline();
 
   ThreadBaseline(const ThreadBaseline&) = delete;
@@ -72,7 +76,7 @@ class ThreadBaseline {
     std::mutex mutex;
     std::condition_variable consumer_cv;
     std::condition_variable producer_cv;
-    std::deque<BaselineClock::time_point> buffer;
+    std::unique_ptr<queue::Handoff<BaselineClock::time_point>> buffer;
     std::thread thread;
     std::uint64_t wakeups = 0;
     std::int64_t cpu_ns = 0;

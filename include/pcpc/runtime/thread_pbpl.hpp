@@ -16,6 +16,7 @@
 // live LatencyGuard, and pcpc::fault injection hooks.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -36,6 +37,7 @@
 #include "pcpc/core/slot_track.hpp"
 #include "pcpc/fault/fault_injector.hpp"
 #include "pcpc/queue/elastic_buffer.hpp"
+#include "pcpc/queue/handoff.hpp"
 
 namespace pcpc::runtime {
 
@@ -94,13 +96,25 @@ class ThreadPbpl {
   /// while the buffer is full, the pool is exhausted, and the manager
   /// has not yet completed the forced drain; the drop policies bound it.
   /// Every offered item is accounted: produced == items + dropped().
+  ///
+  /// Backend contract (config.queue_backend): with a lock-free backend
+  /// the common case never touches the runtime lock — only the overflow
+  /// slow path does.  BackendKind::MpscSeg accepts any number of
+  /// concurrent producer threads per consumer; BackendKind::SpscRing
+  /// requires the caller to produce to each consumer from at most one
+  /// thread at a time (the ring's single-producer contract — the seed's
+  /// Mutex backend has no such restriction).
   void produce(std::size_t consumer);
 
   /// Stops the runtime (idempotent); the destructor calls this too.
   void stop();
 
-  /// Counters; call after stop() for a consistent snapshot.
-  ThreadPbplStats stats() const;
+  /// Counters; call after stop() *and after joining all producer
+  /// threads* for a consistent snapshot.  Post-stop, any items stranded
+  /// by a producer that raced stop() on the lock-free fast path are
+  /// swept into dropped_on_stop here, keeping produced == items +
+  /// dropped() exact.
+  ThreadPbplStats stats();
 
   std::size_t consumer_count() const { return consumers_.size(); }
   std::size_t core_count() const { return cores_.size(); }
@@ -111,7 +125,7 @@ class ThreadPbpl {
   struct Consumer {
     std::size_t index = 0;
     Core* core = nullptr;
-    std::unique_ptr<queue::ElasticBuffer<Clock::time_point>> buffer;
+    std::unique_ptr<queue::Handoff<Clock::time_point>> buffer;
     std::unique_ptr<core::RatePredictor> predictor;
     std::optional<core::LatencyGuard> guard;  // live latency feedback
     SimTime last_invocation = 0;
@@ -133,7 +147,9 @@ class ThreadPbpl {
   SimTime now_ns() const;
   Clock::time_point slot_deadline(core::SlotIndex slot);
   void manager_loop(Core& core);
-  void push_one_locked(Consumer& consumer, std::unique_lock<std::mutex>& lock);
+  void push_one(Consumer& consumer);
+  void push_one_slow_locked(Consumer& consumer, Clock::time_point stamp,
+                            std::unique_lock<std::mutex>& lock);
   /// `slot` / `paid` / `scheduled` feed pcpc::obs wakeup attribution:
   /// `paid` marks the invocation that actually woke this manager thread,
   /// later consumers in the same wake latch on for free.
@@ -147,9 +163,17 @@ class ThreadPbpl {
   BatchHandler handler_;
   fault::FaultInjector* injector_ = nullptr;
 
-  mutable std::mutex mutex_;  // one coarse lock: simple and correct
+  /// One coarse lock guarding every consumer-side operation (drains,
+  /// resizes, reservations, overflow slow paths).  With a lock-free
+  /// backend, producers' successful pushes bypass it entirely; with the
+  /// Mutex backend it also serializes every push, as in the seed.
+  mutable std::mutex mutex_;
   std::condition_variable producer_cv_;
-  bool running_ = true;
+  /// Atomic so the lock-free producer fast path can check liveness
+  /// without the lock; writes still happen under mutex_.
+  std::atomic<bool> running_{true};
+  /// Items offered, counted outside the lock on the fast path.
+  std::atomic<std::uint64_t> produced_{0};
 
   queue::BufferPool<Clock::time_point> pool_;
   std::size_t seized_segments_ = 0;  // held by fault-injected pool pressure

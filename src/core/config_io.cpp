@@ -104,6 +104,11 @@ bool apply_option(PbplConfig& config, const std::string& assignment, std::string
     else if (value == "drop_newest") config.overflow_policy = OverflowPolicy::DropNewest;
     else if (value == "borrow") config.overflow_policy = OverflowPolicy::EmergencyBorrow;
     else return fail(error, "overflow_policy must be block|drop_oldest|drop_newest|borrow"), false;
+  } else if (key == "queue_backend") {
+    const auto kind = queue::parse_backend(value);
+    if (!kind.has_value())
+      return fail(error, "queue_backend must be mutex|spsc|mpsc"), false;
+    config.queue_backend = *kind;
   } else if (key == "watchdog_factor") {
     if (!parse_double(value, d) || d < 0.0) return fail(error, "watchdog_factor >= 0"), false;
     config.watchdog_factor = d;
@@ -211,6 +216,7 @@ std::string describe(const PbplConfig& config) {
                            ? "drop_newest"
                            : "borrow")))
      << '\n'
+     << "queue_backend=" << queue::backend_name(config.queue_backend) << '\n'
      << "watchdog_factor=" << config.watchdog_factor << '\n'
      << "latency_guard=" << (config.latency_guard ? 1 : 0) << '\n'
      << "fill_tolerance=" << config.fill_tolerance << '\n'

@@ -14,7 +14,8 @@ PbplConsumer::PbplConsumer(ConsumerId id, CoreManager& manager,
       manager_(manager),
       pool_(pool),
       config_(config),
-      buffer_(pool.make_buffer()),
+      buffer_(queue::make_pool_handoff<SimTime>(config.queue_backend, pool,
+                                                static_cast<std::uint32_t>(id))),
       predictor_(make_predictor(config.predictor, config.predictor_window)) {
   if (config.latency_guard) guard_.emplace(config.max_latency);
   manager_.register_consumer(id_, this);
@@ -26,14 +27,14 @@ void PbplConsumer::start(SimTime now) {
 }
 
 void PbplConsumer::produce(SimTime now) {
-  if (buffer_.push(now)) return;
+  if (buffer_->try_push(now)) return;
 
   if (config_.emergency_borrow) {
     // Lean on the elastic wall: borrowing a quarter of our capacity from
     // the pool keeps us latched instead of forcing a fresh wakeup.
-    const std::size_t extra = std::max<std::size_t>(1, buffer_.capacity() / 4);
-    buffer_.resize(buffer_.capacity() + extra);
-    if (buffer_.push(now)) {
+    const std::size_t extra = std::max<std::size_t>(1, buffer_->capacity() / 4);
+    buffer_->resize(buffer_->capacity() + extra);
+    if (buffer_->try_push(now)) {
       ++stats_.emergency_borrows;
       obs::note_overflow(manager_.core_id(), static_cast<std::uint32_t>(id_),
                          obs::OverflowAction::kEmergencyBorrow, now);
@@ -48,7 +49,7 @@ void PbplConsumer::produce(SimTime now) {
   obs::note_overflow(manager_.core_id(), static_cast<std::uint32_t>(id_),
                      obs::OverflowAction::kForcedDrain, now);
   manager_.unscheduled_invoke(id_, now);
-  const bool stored = buffer_.push(now);
+  const bool stored = buffer_->try_push(now);
   PCPC_ASSERT_MSG(stored, "buffer still full after an overflow drain");
 }
 
@@ -56,7 +57,7 @@ SimDuration PbplConsumer::on_invoked(SimTime now, bool scheduled) {
   (void)scheduled;
   // 1. Consume: drain the whole buffer as one batch.
   std::size_t batch = 0;
-  while (auto item = buffer_.pop()) {
+  while (auto item = buffer_->try_pop()) {
     const SimDuration latency = now - *item;
     stats_.latency_s.add(to_seconds(latency));
     if (guard_) guard_->observe(latency);
@@ -95,7 +96,7 @@ void PbplConsumer::make_reservation(SimTime now) {
   // everything the pool could lend it right now (the paper's upsizing
   // bound Bg − ΣB_q applied before the slot search, so a high-rate
   // consumer can pick a slot "that can support its expected rate").
-  std::size_t capacity = buffer_.capacity();
+  std::size_t capacity = buffer_->capacity();
   if (config_.dynamic_resize) capacity += pool_.free_slots();
   capacity = std::max<std::size_t>(capacity, 1);
 
@@ -125,7 +126,7 @@ void PbplConsumer::make_reservation(SimTime now) {
     const auto target = static_cast<std::size_t>(
         std::ceil(choice.expected_items * config_.resize_headroom));
     const std::size_t granted =
-        buffer_.resize(std::max<std::size_t>(target, last_batch_));
+        buffer_->resize(std::max<std::size_t>(target, last_batch_));
     if (static_cast<double>(granted) < choice.expected_items) {
       // The pool could not lend enough: re-choose with what we actually
       // hold, which pulls the reservation earlier.

@@ -66,6 +66,9 @@ void write_event_args(std::ostream& out, const Event& e) {
     case EventKind::kDrop:
       out << ",\"path\":\"" << drop_path_name(static_cast<DropPath>(e.arg0)) << '"';
       break;
+    case EventKind::kQueueResize:
+      out << ",\"old_slots\":" << e.arg0 << ",\"new_slots\":" << e.arg1;
+      break;
   }
   out << '}';
 }

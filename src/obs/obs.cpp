@@ -38,6 +38,7 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kWatchdog: return "watchdog";
     case EventKind::kFault: return "fault";
     case EventKind::kDrop: return "drop";
+    case EventKind::kQueueResize: return "queue_resize";
   }
   return "?";
 }
@@ -82,6 +83,7 @@ Session::Session(SessionOptions options)
   well_.overflow_borrows = registry_.counter("overflow.emergency_borrows");
   well_.overflow_drains = registry_.counter("overflow.forced_drains");
   well_.drops = registry_.counter("drops.items");
+  well_.queue_resizes = registry_.counter("queue.resizes");
   well_.watchdog_escalations = registry_.counter("watchdog.escalations");
   well_.faults_injected = registry_.counter("faults.injected");
   well_.sim_events = registry_.counter("sim.events_dispatched");
@@ -249,6 +251,7 @@ struct HotPath {
   std::atomic<std::uint64_t>* overflow_borrows = nullptr;
   std::atomic<std::uint64_t>* overflow_drains = nullptr;
   std::atomic<std::uint64_t>* drops = nullptr;
+  std::atomic<std::uint64_t>* queue_resizes = nullptr;
   std::atomic<std::uint64_t>* watchdog_escalations = nullptr;
   std::atomic<std::uint64_t>* faults_injected = nullptr;
   std::atomic<std::uint64_t>* sim_events = nullptr;
@@ -286,6 +289,7 @@ HotPath* hot_path() {
   tls.overflow_borrows = r.counter_cell(w.overflow_borrows);
   tls.overflow_drains = r.counter_cell(w.overflow_drains);
   tls.drops = r.counter_cell(w.drops);
+  tls.queue_resizes = r.counter_cell(w.queue_resizes);
   tls.watchdog_escalations = r.counter_cell(w.watchdog_escalations);
   tls.faults_injected = r.counter_cell(w.faults_injected);
   tls.sim_events = r.counter_cell(w.sim_events);
@@ -398,6 +402,20 @@ void note_drop_impl(std::uint32_t consumer, DropPath path, std::int64_t ts_ns) {
   e.arg0 = static_cast<std::int64_t>(path);
   e.consumer = consumer;
   e.kind = EventKind::kDrop;
+  h->ring->push(e);
+}
+
+void note_queue_resize_impl(std::uint32_t consumer, std::size_t old_slots,
+                            std::size_t new_slots) {
+  HotPath* h = hot_path();
+  if (h == nullptr) return;
+  inc(h->queue_resizes);
+  Event e;
+  e.ts_ns = h->session->now_ns();
+  e.arg0 = static_cast<std::int64_t>(old_slots);
+  e.arg1 = static_cast<std::int64_t>(new_slots);
+  e.consumer = consumer;
+  e.kind = EventKind::kQueueResize;
   h->ring->push(e);
 }
 

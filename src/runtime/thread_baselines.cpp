@@ -28,7 +28,8 @@ void note_baseline_wakeup(const std::size_t pair, const bool scheduled) {
 
 ThreadBaseline::ThreadBaseline(std::size_t pairs, std::size_t buffer_capacity,
                                SignalPolicy policy, SimDuration period,
-                               fault::FaultInjector* injector)
+                               fault::FaultInjector* injector,
+                               queue::BackendKind backend)
     : capacity_(buffer_capacity), policy_(policy), period_(period), injector_(injector) {
   PCPC_ASSERT_MSG(period > 0, "period must be positive");
   PCPC_ASSERT_MSG(pairs > 0, "need at least one pair");
@@ -36,6 +37,8 @@ ThreadBaseline::ThreadBaseline(std::size_t pairs, std::size_t buffer_capacity,
   for (std::size_t i = 0; i < pairs; ++i) {
     pairs_.push_back(std::make_unique<Pair>());
     pairs_.back()->index = i;
+    pairs_.back()->buffer = queue::make_handoff<BaselineClock::time_point>(
+        backend, buffer_capacity, static_cast<std::uint32_t>(i));
   }
   for (auto& pair : pairs_) {
     pair->thread = std::thread([this, pair = pair.get()] { consumer_loop(*pair); });
@@ -56,17 +59,40 @@ void ThreadBaseline::produce(std::size_t pair_index) {
     }
     items += injector_->burst_items();
   }
+  queue::Handoff<BaselineClock::time_point>& buf = *pair.buffer;
+  if (buf.lock_free()) {
+    // Lock-free fast path: a successful push never takes the pair lock.
+    // Signaling still rendezvouses through it — an empty lock/unlock
+    // before notify fences the signal against the consumer's
+    // check-then-wait window so it cannot be lost.
+    for (std::size_t i = 0; i < items; ++i) {
+      while (!buf.try_push(BaselineClock::now())) {
+        // Full: classic bounded-buffer backpressure.
+        std::unique_lock lock(pair.mutex);
+        pair.consumer_cv.notify_one();
+        pair.producer_cv.wait(lock, [&] { return !buf.full() || !running_; });
+        if (!running_) return;
+      }
+      // Periodic consumers wake on their own timer; a full buffer still
+      // forces an immediate drain (the overflow wakeup).
+      if (policy_ == SignalPolicy::PerItem || buf.full()) {
+        { std::lock_guard<std::mutex> fence(pair.mutex); }
+        pair.consumer_cv.notify_one();
+      }
+    }
+    return;
+  }
   std::unique_lock lock(pair.mutex);
   for (std::size_t i = 0; i < items; ++i) {
-    pair.producer_cv.wait(lock,
-                          [&] { return pair.buffer.size() < capacity_ || !running_; });
+    pair.producer_cv.wait(lock, [&] { return !buf.full() || !running_; });
     if (!running_) return;
-    pair.buffer.push_back(BaselineClock::now());
+    const bool stored = buf.try_push(BaselineClock::now());
+    PCPC_ASSERT_MSG(stored, "bounded push failed below capacity");
     // Periodic consumers wake on their own timer; a full buffer still
     // forces an immediate drain (the overflow wakeup).
     if (policy_ == SignalPolicy::PerItem ||
-        (policy_ == SignalPolicy::OnFull && pair.buffer.size() >= capacity_) ||
-        (policy_ == SignalPolicy::Periodic && pair.buffer.size() >= capacity_)) {
+        (policy_ == SignalPolicy::OnFull && buf.full()) ||
+        (policy_ == SignalPolicy::Periodic && buf.full())) {
       pair.consumer_cv.notify_one();
     }
   }
@@ -89,18 +115,18 @@ void ThreadBaseline::stop() {
   for (auto& pair : pairs_) {
     std::unique_lock lock(pair->mutex);
     std::unique_lock stats_lock(stats_mutex_);
-    if (!pair->buffer.empty()) {
+    if (!pair->buffer->empty()) {
       const auto now = BaselineClock::now();
       std::size_t batch = 0;
-      while (!pair->buffer.empty()) {
-        stats_.latency_s.add(
-            std::chrono::duration<double>(now - pair->buffer.front()).count());
-        pair->buffer.pop_front();
+      while (auto item = pair->buffer->try_pop()) {
+        stats_.latency_s.add(std::chrono::duration<double>(now - *item).count());
         ++batch;
       }
-      stats_.items += batch;
-      stats_.batch_sizes.add(static_cast<double>(batch));
-      ++stats_.invocations;
+      if (batch > 0) {
+        stats_.items += batch;
+        stats_.batch_sizes.add(static_cast<double>(batch));
+        ++stats_.invocations;
+      }
     }
     stats_.consumer_wakeups += pair->wakeups;
     stats_.consumer_cpu_ns += pair->cpu_ns;
@@ -122,13 +148,13 @@ void ThreadBaseline::consumer_loop(Pair& pair) {
     if (policy_ == SignalPolicy::Periodic) {
       // Absolute-deadline timer loop: drain at every k·T, or earlier on a
       // buffer-full signal.
-      if (pair.buffer.size() < capacity_) {
+      if (!pair.buffer->full()) {
         if (pair.consumer_cv.wait_until(lock, next_deadline) !=
             std::cv_status::timeout) {
           if (!running_) break;
           ++pair.wakeups;  // overflow (or shutdown) signal
           note_baseline_wakeup(pair.index, /*scheduled=*/false);
-          if (pair.buffer.size() < capacity_) continue;
+          if (!pair.buffer->full()) continue;
         } else {
           ++pair.wakeups;  // timer fire
           note_baseline_wakeup(pair.index, /*scheduled=*/true);
@@ -138,9 +164,8 @@ void ThreadBaseline::consumer_loop(Pair& pair) {
       drain_locked(pair, lock);
       continue;
     }
-    const bool ready = policy_ == SignalPolicy::PerItem
-                           ? !pair.buffer.empty()
-                           : pair.buffer.size() >= capacity_;
+    const bool ready = policy_ == SignalPolicy::PerItem ? !pair.buffer->empty()
+                                                        : pair.buffer->full();
     if (!ready) {
       pair.consumer_cv.wait(lock);
       if (!running_) break;
@@ -154,7 +179,7 @@ void ThreadBaseline::consumer_loop(Pair& pair) {
 
 void ThreadBaseline::drain_locked(Pair& pair, std::unique_lock<std::mutex>& lock) {
   const ScopedCpuTimer timer(pair.cpu_ns);
-  if (injector_ != nullptr && !pair.buffer.empty()) {
+  if (injector_ != nullptr && !pair.buffer->empty()) {
     // Slow-consumer fault: the handler overruns while holding the pair's
     // lock, so producers feel the stall as backpressure.
     if (const SimDuration delay = injector_->handler_delay(); delay > 0) {
@@ -163,9 +188,8 @@ void ThreadBaseline::drain_locked(Pair& pair, std::unique_lock<std::mutex>& lock
   }
   const auto now = BaselineClock::now();
   std::size_t batch = 0;
-  while (!pair.buffer.empty()) {
-    const auto latency = std::chrono::duration<double>(now - pair.buffer.front()).count();
-    pair.buffer.pop_front();
+  while (auto item = pair.buffer->try_pop()) {
+    const auto latency = std::chrono::duration<double>(now - *item).count();
     ++batch;
     std::unique_lock stats_lock(stats_mutex_);
     stats_.latency_s.add(latency);

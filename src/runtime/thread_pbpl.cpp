@@ -43,8 +43,8 @@ ThreadPbpl::ThreadPbpl(std::size_t consumers, const core::PbplConfig& config,
     auto consumer = std::make_unique<Consumer>();
     consumer->index = i;
     consumer->core = cores_[i % cores_.size()].get();
-    consumer->buffer = std::make_unique<queue::ElasticBuffer<Clock::time_point>>(
-        pool_.make_buffer());
+    consumer->buffer = queue::make_pool_handoff<Clock::time_point>(
+        config.queue_backend, pool_, static_cast<std::uint32_t>(i));
     consumer->predictor = core::make_predictor(config.predictor, config.predictor_window);
     if (config.latency_guard) consumer->guard.emplace(config.max_latency);
     consumer->core->consumers.push_back(consumer.get());
@@ -85,8 +85,8 @@ ThreadPbpl::~ThreadPbpl() { stop(); }
 void ThreadPbpl::stop() {
   {
     std::unique_lock lock(mutex_);
-    if (!running_) return;
-    running_ = false;
+    if (!running_.load(std::memory_order_relaxed)) return;
+    running_.store(false, std::memory_order_release);
     for (auto& core : cores_) core->cv.notify_all();
     producer_cv_.notify_all();
   }
@@ -98,7 +98,7 @@ void ThreadPbpl::stop() {
   for (auto& consumer : consumers_) {
     std::size_t batch = 0;
     const auto drained_at = Clock::now();
-    while (auto item = consumer->buffer->pop()) {
+    while (auto item = consumer->buffer->try_pop()) {
       stats_.latency_s.add(std::chrono::duration<double>(drained_at - *item).count());
       ++batch;
     }
@@ -133,17 +133,32 @@ void ThreadPbpl::produce(std::size_t consumer_index) {
     }
     items += injector_->burst_items();
   }
-  std::unique_lock lock(mutex_);
   PCPC_ASSERT(consumer_index < consumers_.size());
   Consumer& consumer = *consumers_[consumer_index];
   for (std::size_t i = 0; i < items; ++i) {
-    push_one_locked(consumer, lock);
+    push_one(consumer);
   }
 }
 
-void ThreadPbpl::push_one_locked(Consumer& consumer, std::unique_lock<std::mutex>& lock) {
-  ++stats_.produced;
-  if (!running_) {
+void ThreadPbpl::push_one(Consumer& consumer) {
+  produced_.fetch_add(1, std::memory_order_relaxed);
+  const auto stamp = Clock::now();
+  // Lock-free fast path: with an SPSC/MPSC backend a successful push
+  // never touches the runtime lock — this is the whole point of the
+  // pluggable backends.  The running_ check narrows (but cannot close)
+  // the stop() race window; items pushed after the final drain are swept
+  // into dropped_on_stop by stats(), keeping the accounting identity.
+  if (consumer.buffer->lock_free() && running_.load(std::memory_order_acquire) &&
+      consumer.buffer->try_push(stamp)) {
+    return;
+  }
+  std::unique_lock lock(mutex_);
+  push_one_slow_locked(consumer, stamp, lock);
+}
+
+void ThreadPbpl::push_one_slow_locked(Consumer& consumer, Clock::time_point stamp,
+                                      std::unique_lock<std::mutex>& lock) {
+  if (!running_.load(std::memory_order_relaxed)) {
     // The runtime already stopped: nothing will ever drain this item.
     // Count it instead of losing it silently.
     ++stats_.dropped_on_stop;
@@ -151,8 +166,7 @@ void ThreadPbpl::push_one_locked(Consumer& consumer, std::unique_lock<std::mutex
                    now_ns());
     return;
   }
-  const auto stamp = Clock::now();
-  if (consumer.buffer->push(stamp)) return;
+  if (consumer.buffer->try_push(stamp)) return;
 
   // Pre-emptive borrow: EmergencyBorrow always tries the pool first, and
   // the legacy emergency_borrow flag keeps its "borrow before waking"
@@ -161,7 +175,7 @@ void ThreadPbpl::push_one_locked(Consumer& consumer, std::unique_lock<std::mutex
       config_.emergency_borrow) {
     const std::size_t extra = std::max<std::size_t>(1, consumer.buffer->capacity() / 4);
     consumer.buffer->resize(consumer.buffer->capacity() + extra);
-    if (consumer.buffer->push(stamp)) {
+    if (consumer.buffer->try_push(stamp)) {
       ++stats_.emergency_borrows;
       obs::note_overflow(static_cast<std::uint16_t>(consumer.core->index),
                          static_cast<std::uint32_t>(consumer.index),
@@ -172,12 +186,23 @@ void ThreadPbpl::push_one_locked(Consumer& consumer, std::unique_lock<std::mutex
 
   switch (config_.overflow_policy) {
     case core::OverflowPolicy::DropOldest: {
-      consumer.buffer->pop();
-      ++stats_.dropped_oldest;
-      obs::note_drop(static_cast<std::uint32_t>(consumer.index), obs::DropPath::kOldest,
+      // Evict-then-insert.  With the Mutex backend the first iteration
+      // always succeeds (evicting under the lock is exact).  With a
+      // lock-free backend, concurrent producers can steal the freed
+      // admission between our pop and push, so retry a bounded number of
+      // evictions and fall back to rejecting the incoming item — every
+      // branch keeps produced == items + dropped() exact.
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        if (consumer.buffer->try_pop().has_value()) {
+          ++stats_.dropped_oldest;
+          obs::note_drop(static_cast<std::uint32_t>(consumer.index),
+                         obs::DropPath::kOldest, now_ns());
+        }
+        if (consumer.buffer->try_push(stamp)) return;
+      }
+      ++stats_.dropped_newest;
+      obs::note_drop(static_cast<std::uint32_t>(consumer.index), obs::DropPath::kNewest,
                      now_ns());
-      const bool stored = consumer.buffer->push(stamp);
-      PCPC_ASSERT_MSG(stored, "buffer still full after evicting the oldest item");
       return;
     }
     case core::OverflowPolicy::DropNewest:
@@ -197,13 +222,15 @@ void ThreadPbpl::push_one_locked(Consumer& consumer, std::unique_lock<std::mutex
       // emptied the buffer, and a successful push at that point would
       // land in a buffer nothing will ever drain again.
       for (;;) {
-        if (!running_) {
+        if (!running_.load(std::memory_order_relaxed)) {
           // stop() raced our wait; the manager is gone and the final
           // drain will not see this item.  Account the loss.
           ++stats_.dropped_on_stop;
+          obs::note_drop(static_cast<std::uint32_t>(consumer.index),
+                         obs::DropPath::kOnStop, now_ns());
           return;
         }
-        if (consumer.buffer->push(stamp)) return;
+        if (consumer.buffer->try_push(stamp)) return;
         if (consumer.overflow_requests == 0) {
           ++consumer.overflow_requests;
           consumer.core->overflow_pending = true;
@@ -217,9 +244,24 @@ void ThreadPbpl::push_one_locked(Consumer& consumer, std::unique_lock<std::mutex
   }
 }
 
-ThreadPbplStats ThreadPbpl::stats() const {
+ThreadPbplStats ThreadPbpl::stats() {
   std::unique_lock lock(mutex_);
-  return stats_;
+  if (!running_.load(std::memory_order_relaxed)) {
+    // Post-stop residual sweep: a lock-free producer that read running_
+    // just before stop() flipped it may have landed an item after the
+    // final drain.  Nothing will ever consume it, so account it here —
+    // the caller joined its producers first (see the header contract).
+    for (auto& consumer : consumers_) {
+      while (consumer->buffer->try_pop().has_value()) {
+        ++stats_.dropped_on_stop;
+        obs::note_drop(static_cast<std::uint32_t>(consumer->index),
+                       obs::DropPath::kOnStop, now_ns());
+      }
+    }
+  }
+  ThreadPbplStats out = stats_;
+  out.produced = produced_.load(std::memory_order_relaxed);
+  return out;
 }
 
 SimTime ThreadPbpl::now_ns() const {
@@ -235,7 +277,7 @@ Clock::time_point ThreadPbpl::slot_deadline(core::SlotIndex slot) {
 
 void ThreadPbpl::manager_loop(Core& core) {
   std::unique_lock lock(mutex_);
-  while (running_) {
+  while (running_.load(std::memory_order_relaxed)) {
     // Forced (overflow) drains take priority over the slot schedule.
     if (core.overflow_pending) {
       core.overflow_pending = false;
@@ -315,7 +357,7 @@ void ThreadPbpl::invoke_locked(Core& core, Consumer& consumer, SimTime now,
   const auto drained_at = Clock::now();
   const std::uint64_t violations_before =
       consumer.guard ? consumer.guard->violations() : 0;
-  while (auto item = consumer.buffer->pop()) {
+  while (auto item = consumer.buffer->try_pop()) {
     const auto latency = drained_at - *item;
     stats_.latency_s.add(std::chrono::duration<double>(latency).count());
     if (consumer.guard) {

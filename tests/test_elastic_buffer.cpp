@@ -1,6 +1,9 @@
 // Tests for the elastic buffer pool (Section V-C dynamic resizing).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "pcpc/common/rng.hpp"
@@ -207,6 +210,49 @@ TEST(BufferPool, SeizeAndRestoreSegmentsForPressure) {
   pool.restore_segments(seized);
   EXPECT_EQ(pool.free_slots(), 30u);
   EXPECT_GE(a.resize(40), 40u);
+}
+
+// Regression: resize() used to re-read items_.size() per clamping
+// decision, so a push landing mid-resize (the thread host's
+// producer-vs-manager interleaving, serialized only by the caller's
+// lock) could strand capacity() < size().  The fix snapshots the fill
+// level once; this hammers grow/shrink against a concurrent enqueuer
+// under the documented external lock and checks the invariant after
+// every single operation.  Run under TSan by ci/sanitize.sh.
+TEST(ElasticBufferConcurrency, GrowRacesEnqueue) {
+  BufferPool<int> pool(/*consumers=*/2, /*base_capacity=*/16, /*segment_size=*/4);
+  auto buffer = pool.make_buffer();
+  std::mutex lock;  // the contract: one lock guards push/pop AND resize
+  std::atomic<bool> stop{false};
+
+  std::thread producer([&] {
+    Rng rng(11);
+    int item = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::lock_guard<std::mutex> guard(lock);
+      if (rng.next_below(3) == 0) {
+        buffer.pop();
+      } else {
+        buffer.push(item++);
+      }
+      ASSERT_GE(buffer.capacity(), buffer.size());
+    }
+  });
+
+  Rng rng(22);
+  for (int i = 0; i < 20000; ++i) {
+    std::lock_guard<std::mutex> guard(lock);
+    const std::size_t target = 1 + static_cast<std::size_t>(rng.next_below(32));
+    const std::size_t granted = buffer.resize(target);
+    // The one-snapshot clamp: never below what was live at the call.
+    ASSERT_GE(granted, buffer.size());
+    ASSERT_EQ(granted, buffer.capacity());
+  }
+  stop.store(true);
+  producer.join();
+
+  // Pool accounting survived the storm: owned + free == total.
+  EXPECT_EQ(buffer.capacity() + pool.free_slots(), pool.total_slots());
 }
 
 }  // namespace

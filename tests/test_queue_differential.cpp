@@ -1,0 +1,286 @@
+// Differential harness for the queue backends (mutex / SPSC ring / MPSC
+// segments).
+//
+// The backends promise *identical observable semantics* behind the
+// Handoff interface: same admission decisions, same elastic-capacity
+// clamping against the pool, same drop accounting.  So the strongest test
+// is differential — drive every backend through an identical seeded
+// workload and demand bit-identical outcomes, not merely plausible ones:
+//
+//   - the consumed item sequence (FIFO order, not just the multiset),
+//   - the sequence of dropped item values, per overflow policy,
+//   - the capacity trajectory after every elastic resize,
+//   - the overflow counter, and
+//   - the conservation identity produced == consumed + dropped + residue.
+//
+// A second tier runs the real thread host (ThreadPbpl) per backend ×
+// overflow policy and checks the identity the runtime keeps exactly even
+// under racy stop(): produced == items + dropped().
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "pcpc/common/rng.hpp"
+#include "pcpc/core/config.hpp"
+#include "pcpc/queue/handoff.hpp"
+#include "pcpc/runtime/thread_baselines.hpp"
+#include "pcpc/runtime/thread_pbpl.hpp"
+
+namespace pcpc::queue {
+namespace {
+
+using core::OverflowPolicy;
+
+constexpr BackendKind kBackends[] = {BackendKind::Mutex, BackendKind::SpscRing,
+                                     BackendKind::MpscSeg};
+constexpr OverflowPolicy kPolicies[] = {OverflowPolicy::Block,
+                                        OverflowPolicy::DropOldest,
+                                        OverflowPolicy::DropNewest,
+                                        OverflowPolicy::EmergencyBorrow};
+
+const char* policy_name(OverflowPolicy policy) {
+  switch (policy) {
+    case OverflowPolicy::Block: return "Block";
+    case OverflowPolicy::DropOldest: return "DropOldest";
+    case OverflowPolicy::DropNewest: return "DropNewest";
+    case OverflowPolicy::EmergencyBorrow: return "EmergencyBorrow";
+  }
+  return "?";
+}
+
+/// Everything observable about one driver run; two backends agree iff
+/// these compare equal field by field.
+struct Outcome {
+  std::vector<std::uint64_t> consumed;     ///< items drained, in order
+  std::vector<std::uint64_t> dropped;      ///< item values lost, in order
+  std::vector<std::uint64_t> residue;      ///< items still queued at the end
+  std::vector<std::size_t> capacities;     ///< capacity after each resize
+  std::uint64_t produced = 0;
+  std::uint64_t forced_drains = 0;         ///< Block/Borrow overflow wakeups
+  std::uint64_t borrows = 0;               ///< successful emergency upsizes
+  std::uint64_t rejected_pushes = 0;       ///< what overflows() must equal
+};
+
+/// Single-threaded reference driver: one seeded op stream (pushes,
+/// partial drains, elastic resizes) against a pool-backed hand-off,
+/// applying one overflow policy exactly the way the hosts do.
+Outcome drive(BackendKind kind, OverflowPolicy policy, std::uint64_t seed) {
+  // Two consumers' worth of pool so there is headroom to borrow, but only
+  // one hand-off — the second share is the free pool the elastic wall
+  // moves against.
+  BufferPool<std::uint64_t> pool(/*consumers=*/2, /*base_capacity=*/24,
+                                 /*segment_size=*/8);
+  auto queue = make_pool_handoff<std::uint64_t>(kind, pool, /*consumer=*/0);
+
+  Outcome out;
+  Rng rng(seed);
+  std::uint64_t next_item = 1;
+
+  auto push_with_policy = [&](std::uint64_t item) {
+    ++out.produced;
+    if (queue->try_push(item)) return;
+    ++out.rejected_pushes;
+    switch (policy) {
+      case OverflowPolicy::DropNewest:
+        out.dropped.push_back(item);
+        return;
+      case OverflowPolicy::DropOldest: {
+        if (auto victim = queue->try_pop()) out.dropped.push_back(*victim);
+        const bool stored = queue->try_push(item);
+        ASSERT_TRUE(stored) << "retry after evicting the oldest must succeed";
+        return;
+      }
+      case OverflowPolicy::EmergencyBorrow: {
+        const std::size_t cap = queue->capacity();
+        queue->resize(cap + std::max<std::size_t>(1, cap / 4));
+        out.capacities.push_back(queue->capacity());
+        if (queue->try_push(item)) {
+          ++out.borrows;
+          return;
+        }
+        ++out.rejected_pushes;
+        [[fallthrough]];
+      }
+      case OverflowPolicy::Block: {
+        // The hosts turn a blocked producer into a forced drain (the
+        // paper's unscheduled overflow wakeup); single-threaded that is
+        // an inline full drain.
+        ++out.forced_drains;
+        while (auto drained = queue->try_pop()) out.consumed.push_back(*drained);
+        const bool stored = queue->try_push(item);
+        ASSERT_TRUE(stored) << "push after a full drain must succeed";
+        return;
+      }
+    }
+  };
+
+  for (int step = 0; step < 4000; ++step) {
+    const std::uint64_t op = rng.next_below(100);
+    if (op < 70) {
+      push_with_policy(next_item++);
+    } else if (op < 85) {
+      // Partial consumer drain of 1..6 items.
+      const std::uint64_t burst = 1 + rng.next_below(6);
+      for (std::uint64_t i = 0; i < burst; ++i) {
+        auto item = queue->try_pop();
+        if (!item) break;
+        out.consumed.push_back(*item);
+      }
+    } else if (op < 95) {
+      // Elastic resize toward a random target (the per-invocation
+      // downsize/upsize of Section V-C).
+      queue->resize(1 + static_cast<std::size_t>(rng.next_below(64)));
+      out.capacities.push_back(queue->capacity());
+    } else {
+      queue->flush();  // SPSC publication batching; no-op elsewhere
+    }
+  }
+
+  while (auto item = queue->try_pop()) out.residue.push_back(*item);
+  EXPECT_EQ(queue->overflows(), out.rejected_pushes);
+  return out;
+}
+
+void expect_same(const Outcome& a, const Outcome& b, const std::string& label) {
+  EXPECT_EQ(a.consumed, b.consumed) << label;
+  EXPECT_EQ(a.dropped, b.dropped) << label;
+  EXPECT_EQ(a.residue, b.residue) << label;
+  EXPECT_EQ(a.capacities, b.capacities) << label;
+  EXPECT_EQ(a.produced, b.produced) << label;
+  EXPECT_EQ(a.forced_drains, b.forced_drains) << label;
+  EXPECT_EQ(a.borrows, b.borrows) << label;
+  EXPECT_EQ(a.rejected_pushes, b.rejected_pushes) << label;
+}
+
+TEST(QueueDifferential, BackendsAgreeUnderEveryPolicy) {
+  const std::uint64_t kSeeds[] = {1, 42, 0xdecafbadULL, 987654321};
+  for (const auto policy : kPolicies) {
+    for (const std::uint64_t seed : kSeeds) {
+      const Outcome reference = drive(BackendKind::Mutex, policy, seed);
+      // Conservation holds on the reference run itself.
+      EXPECT_EQ(reference.produced, reference.consumed.size() +
+                                        reference.dropped.size() +
+                                        reference.residue.size());
+      for (const auto kind : kBackends) {
+        if (kind == BackendKind::Mutex) continue;
+        std::ostringstream label;
+        label << backend_name(kind) << " vs mutex, " << policy_name(policy)
+              << ", seed " << seed;
+        expect_same(reference, drive(kind, policy, seed), label.str());
+      }
+    }
+  }
+}
+
+TEST(QueueDifferential, LosslessPoliciesDropNothing) {
+  for (const auto kind : kBackends) {
+    for (const auto policy : {OverflowPolicy::Block, OverflowPolicy::EmergencyBorrow}) {
+      const Outcome out = drive(kind, policy, /*seed=*/7);
+      EXPECT_TRUE(out.dropped.empty())
+          << backend_name(kind) << "/" << policy_name(policy);
+      // Lossless means the full produced sequence 1..N comes back out in
+      // order: consumed then residue.
+      std::vector<std::uint64_t> all = out.consumed;
+      all.insert(all.end(), out.residue.begin(), out.residue.end());
+      ASSERT_EQ(all.size(), out.produced);
+      for (std::uint64_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i], i + 1);
+    }
+  }
+}
+
+TEST(QueueDifferential, DroppingPoliciesKeepFifoOfSurvivors) {
+  for (const auto kind : kBackends) {
+    for (const auto policy : {OverflowPolicy::DropOldest, OverflowPolicy::DropNewest}) {
+      const Outcome out = drive(kind, policy, /*seed=*/1234);
+      EXPECT_FALSE(out.dropped.empty())
+          << "workload too tame to exercise " << policy_name(policy);
+      std::vector<std::uint64_t> survivors = out.consumed;
+      survivors.insert(survivors.end(), out.residue.begin(), out.residue.end());
+      for (std::size_t i = 1; i < survivors.size(); ++i) {
+        ASSERT_LT(survivors[i - 1], survivors[i])
+            << backend_name(kind) << "/" << policy_name(policy)
+            << ": survivors out of FIFO order at index " << i;
+      }
+    }
+  }
+}
+
+// --- Tier 2: the real thread host keeps produced == items + dropped()
+// exactly, per backend × policy, with concurrent producers. -------------
+
+core::PbplConfig runtime_config(BackendKind kind, OverflowPolicy policy) {
+  core::PbplConfig config;
+  config.cores = 2;
+  config.slot_size = milliseconds(5);
+  config.max_latency = milliseconds(25);
+  config.base_buffer = 16;
+  config.pool_segment = 8;
+  config.overflow_policy = policy;
+  config.queue_backend = kind;
+  return config;
+}
+
+TEST(QueueDifferential, ThreadHostConservesItemsPerBackendAndPolicy) {
+  constexpr std::size_t kConsumers = 2;
+  constexpr std::size_t kProducersPerConsumer = 2;
+  constexpr std::uint64_t kItems = 400;
+  for (const auto kind : kBackends) {
+    for (const auto policy : kPolicies) {
+      // The SPSC ring's contract is one producer thread per consumer.
+      const std::size_t producers =
+          kind == BackendKind::SpscRing ? 1 : kProducersPerConsumer;
+      runtime::ThreadPbpl host(kConsumers, runtime_config(kind, policy));
+      std::vector<std::thread> threads;
+      for (std::size_t c = 0; c < kConsumers; ++c) {
+        for (std::size_t p = 0; p < producers; ++p) {
+          threads.emplace_back([&host, c] {
+            for (std::uint64_t i = 0; i < kItems; ++i) host.produce(c);
+          });
+        }
+      }
+      for (auto& t : threads) t.join();
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      host.stop();
+      const auto stats = host.stats();
+      const std::string label = std::string(backend_name(kind)) + "/" +
+                                policy_name(policy);
+      EXPECT_EQ(stats.produced, kConsumers * producers * kItems) << label;
+      EXPECT_EQ(stats.produced, stats.items + stats.dropped()) << label;
+      if (policy == OverflowPolicy::Block || policy == OverflowPolicy::EmergencyBorrow) {
+        // Lossless policies may only lose items to the stop() race, and
+        // those are accounted as dropped_on_stop — never silently.
+        EXPECT_EQ(stats.dropped_oldest, 0u) << label;
+        EXPECT_EQ(stats.dropped_newest, 0u) << label;
+      }
+    }
+  }
+}
+
+TEST(QueueDifferential, BaselineHostConservesItemsPerBackend) {
+  constexpr std::size_t kPairs = 2;
+  constexpr std::uint64_t kItems = 300;
+  for (const auto kind : kBackends) {
+    for (const auto policy :
+         {runtime::SignalPolicy::PerItem, runtime::SignalPolicy::OnFull}) {
+      runtime::ThreadBaseline host(kPairs, /*buffer_capacity=*/16, policy,
+                                   milliseconds(10), /*injector=*/nullptr, kind);
+      std::vector<std::thread> producers;
+      for (std::size_t pair = 0; pair < kPairs; ++pair) {
+        producers.emplace_back([&host, pair] {
+          for (std::uint64_t i = 0; i < kItems; ++i) host.produce(pair);
+        });
+      }
+      for (auto& t : producers) t.join();
+      host.stop();
+      // Baselines block producers instead of dropping: every item lands.
+      EXPECT_EQ(host.stats().items, kPairs * kItems) << backend_name(kind);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pcpc::queue

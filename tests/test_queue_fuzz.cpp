@@ -1,0 +1,316 @@
+// Property-based fuzzing of the lock-free queue backends with real
+// threads.
+//
+// Each trial draws its shape (producer count, capacity, burst schedule,
+// capacity flapping) from the repo's deterministic Rng, so a failure
+// reproduces from the printed seed.  The properties are the queue
+// contracts themselves:
+//
+//   - no loss: with spinning producers, every produced item is consumed;
+//   - no duplication: each tagged item appears exactly once;
+//   - per-producer FIFO: producer p's items arrive in p's push order,
+//     even while the consumer flaps the logical capacity underneath;
+//   - drop accounting: with give-up producers, consumed + rejected ==
+//     produced, exactly.
+//
+// The throughput property (SPSC ring must not lose to the mutex buffer
+// single-producer) is a *statistical* claim, so it uses the repo's
+// hypothesis helpers (paired t-test across interleaved replicates) and is
+// skipped under sanitizers, whose instrumentation distorts timing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "pcpc/common/hypothesis.hpp"
+#include "pcpc/common/rng.hpp"
+#include "pcpc/queue/handoff.hpp"
+#include "pcpc/queue/mpsc_queue.hpp"
+#include "pcpc/queue/spsc_ring.hpp"
+
+// Timing assertions are meaningless under sanitizer instrumentation.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define PCPC_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define PCPC_SANITIZED 1
+#endif
+#endif
+#ifndef PCPC_SANITIZED
+#define PCPC_SANITIZED 0
+#endif
+
+namespace pcpc::queue {
+namespace {
+
+/// Tagged item: producer id in the high word, per-producer sequence
+/// number in the low word.
+std::uint64_t tag(std::uint64_t producer, std::uint64_t seq) {
+  return (producer << 32) | seq;
+}
+
+/// Checks one consumed item against the per-producer FIFO/no-loss/no-dup
+/// book-keeping.  `strict` demands gap-free sequences (spinning
+/// producers); otherwise only strictly-increasing (give-up producers).
+void check_tagged(std::map<std::uint64_t, std::uint64_t>& next_seq,
+                  std::uint64_t item, bool strict) {
+  const std::uint64_t producer = item >> 32;
+  const std::uint64_t seq = item & 0xffffffffULL;
+  auto [it, inserted] = next_seq.try_emplace(producer, 0);
+  if (strict) {
+    ASSERT_EQ(seq, it->second) << "producer " << producer
+                               << ": lost or duplicated item";
+  } else {
+    ASSERT_GE(seq, it->second) << "producer " << producer
+                               << ": reordered or duplicated item";
+  }
+  it->second = seq + 1;
+  (void)inserted;
+}
+
+TEST(QueueFuzz, MpscSpinningProducersLoseNothing) {
+  for (std::uint64_t trial = 0; trial < 10; ++trial) {
+    Rng rng(0x5eedULL * 1000 + trial);
+    const std::uint64_t producers = 1 + rng.next_below(4);
+    const std::size_t capacity = 1 + static_cast<std::size_t>(rng.next_below(128));
+    const std::size_t max_capacity =
+        capacity + static_cast<std::size_t>(rng.next_below(128));
+    const std::uint64_t items = 500 + rng.next_below(1500);
+    SCOPED_TRACE("trial " + std::to_string(trial) + ": producers=" +
+                 std::to_string(producers) + " cap=" + std::to_string(capacity) +
+                 " items=" + std::to_string(items));
+
+    MpscSegQueue<std::uint64_t> queue(capacity, max_capacity);
+    std::vector<std::thread> threads;
+    for (std::uint64_t p = 0; p < producers; ++p) {
+      // Per-producer burst schedule drawn up front (threads must not
+      // share the Rng).
+      const std::uint64_t burst = 1 + rng.next_below(16);
+      threads.emplace_back([&queue, p, items, burst] {
+        for (std::uint64_t i = 0; i < items; ++i) {
+          while (!queue.try_push(tag(p, i))) std::this_thread::yield();
+          if (i % burst == burst - 1) std::this_thread::yield();
+        }
+      });
+    }
+
+    // Consumer: drain everything while flapping the logical capacity —
+    // the elastic resize happening mid-flight must never break FIFO or
+    // lose admitted items.
+    std::map<std::uint64_t, std::uint64_t> next_seq;
+    std::uint64_t consumed = 0;
+    Rng consumer_rng(trial);
+    while (consumed < producers * items) {
+      if (auto item = queue.try_pop()) {
+        check_tagged(next_seq, *item, /*strict=*/true);
+        ++consumed;
+        if (consumed % 257 == 0) {
+          queue.set_capacity(1 + static_cast<std::size_t>(
+                                     consumer_rng.next_below(max_capacity)));
+        }
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(queue.size(), 0u);
+    EXPECT_FALSE(queue.try_pop().has_value());
+  }
+}
+
+TEST(QueueFuzz, SpscFifoSurvivesCapacityFlappingAndBatching) {
+  for (std::uint64_t trial = 0; trial < 10; ++trial) {
+    Rng rng(0xabcdULL * 1000 + trial);
+    const std::size_t capacity = 1 + static_cast<std::size_t>(rng.next_below(64));
+    const std::size_t max_capacity =
+        capacity + static_cast<std::size_t>(rng.next_below(64));
+    const std::uint64_t items = 1000 + rng.next_below(3000);
+    const std::size_t publish_batch = 1 + static_cast<std::size_t>(rng.next_below(8));
+    SCOPED_TRACE("trial " + std::to_string(trial));
+
+    SpscRing<std::uint64_t> ring(capacity, max_capacity);
+    std::thread producer([&ring, items, publish_batch] {
+      ring.set_publish_batch(publish_batch);
+      for (std::uint64_t i = 0; i < items; ++i) {
+        while (!ring.try_push(i)) std::this_thread::yield();
+      }
+      ring.flush();  // publish the final partial batch
+    });
+
+    std::uint64_t expected = 0;
+    Rng consumer_rng(trial);
+    while (expected < items) {
+      if (auto item = ring.try_pop()) {
+        ASSERT_EQ(*item, expected) << "SPSC broke FIFO";
+        ++expected;
+        if (expected % 193 == 0) {
+          ring.set_capacity(1 + static_cast<std::size_t>(
+                                    consumer_rng.next_below(max_capacity)));
+        }
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    producer.join();
+    EXPECT_EQ(ring.size(), 0u);
+  }
+}
+
+TEST(QueueFuzz, HandoffDropAccountingIsExactUnderGiveUpProducers) {
+  for (const auto kind : {BackendKind::Mutex, BackendKind::MpscSeg}) {
+    for (std::uint64_t trial = 0; trial < 6; ++trial) {
+      Rng rng(0xfeedULL * 100 + trial);
+      const std::uint64_t producers = 2 + rng.next_below(3);
+      const std::size_t capacity = 1 + static_cast<std::size_t>(rng.next_below(32));
+      const std::uint64_t items = 2000 + rng.next_below(2000);
+      SCOPED_TRACE(std::string(backend_name(kind)) + " trial " +
+                   std::to_string(trial));
+
+      auto queue = make_handoff<std::uint64_t>(kind, capacity);
+      // The mutex backend's contract: the host holds a lock around every
+      // call.  The lock-free backend takes no lock on push.
+      std::mutex host_lock;
+      const bool locked = !queue->lock_free();
+      std::atomic<std::uint64_t> rejected{0};
+      std::atomic<bool> done{false};
+
+      std::vector<std::thread> threads;
+      for (std::uint64_t p = 0; p < producers; ++p) {
+        threads.emplace_back([&, p] {
+          std::uint64_t my_rejects = 0;
+          for (std::uint64_t i = 0; i < items; ++i) {
+            bool stored;
+            if (locked) {
+              std::lock_guard<std::mutex> guard(host_lock);
+              stored = queue->try_push(tag(p, i));
+            } else {
+              stored = queue->try_push(tag(p, i));
+            }
+            if (!stored) ++my_rejects;  // give up: the item is dropped
+          }
+          rejected.fetch_add(my_rejects);
+        });
+      }
+
+      std::map<std::uint64_t, std::uint64_t> next_seq;
+      std::uint64_t consumed = 0;
+      std::thread consumer([&] {
+        for (;;) {
+          std::optional<std::uint64_t> item;
+          if (locked) {
+            std::lock_guard<std::mutex> guard(host_lock);
+            item = queue->try_pop();
+          } else {
+            item = queue->try_pop();
+          }
+          if (item) {
+            check_tagged(next_seq, *item, /*strict=*/false);
+            ++consumed;
+          } else if (done.load()) {
+            if (locked) {
+              std::lock_guard<std::mutex> guard(host_lock);
+              if (queue->size() == 0) return;
+            } else if (queue->size() == 0) {
+              return;
+            }
+          } else {
+            std::this_thread::yield();
+          }
+        }
+      });
+      for (auto& t : threads) t.join();
+      done.store(true);
+      consumer.join();
+
+      // The conservation identity, exactly: every offered item either
+      // reached the consumer or was rejected at the wall — and the
+      // hand-off's own overflow counter saw every rejection.
+      EXPECT_EQ(consumed + rejected.load(), producers * items);
+      EXPECT_EQ(queue->overflows(), rejected.load());
+      EXPECT_GT(rejected.load(), 0u) << "workload too tame to hit the wall";
+    }
+  }
+}
+
+TEST(QueueFuzz, SpscThroughputNotWorseThanMutexSingleProducer) {
+  if (PCPC_SANITIZED) {
+    GTEST_SKIP() << "timing property skipped under sanitizers";
+  }
+  // Paired replicates, interleaved so machine noise hits both sides
+  // alike; the hypothesis helper then asks whether the per-pair
+  // throughput differences could plausibly favour the mutex buffer.
+  constexpr std::size_t kPairs = 10;
+  constexpr std::uint64_t kItems = 100000;
+  constexpr std::size_t kCapacity = 256;
+
+  auto run_once = [&](BackendKind kind) {
+    auto queue = make_handoff<std::uint64_t>(kind, kCapacity);
+    std::mutex host_lock;
+    const bool locked = !queue->lock_free();
+    const auto start = std::chrono::steady_clock::now();
+    std::thread producer([&] {
+      for (std::uint64_t i = 0; i < kItems; ++i) {
+        for (;;) {
+          bool stored;
+          if (locked) {
+            std::lock_guard<std::mutex> guard(host_lock);
+            stored = queue->try_push(i);
+          } else {
+            stored = queue->try_push(i);
+          }
+          if (stored) break;
+          std::this_thread::yield();
+        }
+      }
+    });
+    std::uint64_t consumed = 0;
+    while (consumed < kItems) {
+      std::optional<std::uint64_t> item;
+      if (locked) {
+        std::lock_guard<std::mutex> guard(host_lock);
+        item = queue->try_pop();
+      } else {
+        item = queue->try_pop();
+      }
+      if (item) {
+        ++consumed;
+      } else {
+        // Back off when empty so the mutex side is not strangled by
+        // lock contention from a spinning consumer.
+        std::this_thread::yield();
+      }
+    }
+    producer.join();
+    const auto elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    return static_cast<double>(kItems) / elapsed;  // items per second
+  };
+
+  std::vector<double> spsc, mutex_buf;
+  for (std::size_t i = 0; i < kPairs; ++i) {
+    mutex_buf.push_back(run_once(BackendKind::Mutex));
+    spsc.push_back(run_once(BackendKind::SpscRing));
+  }
+  double spsc_mean = 0, mutex_mean = 0;
+  for (std::size_t i = 0; i < kPairs; ++i) {
+    spsc_mean += spsc[i] / static_cast<double>(kPairs);
+    mutex_mean += mutex_buf[i] / static_cast<double>(kPairs);
+  }
+  const TestResult verdict = paired_t_test(spsc, mutex_buf, /*level=*/0.99);
+  // Fail only on a *statistically confident* regression: the mutex
+  // buffer significantly ahead at 99% two-sided confidence.
+  EXPECT_FALSE(verdict.significant && mutex_mean > spsc_mean)
+      << "SPSC ring slower than mutex buffer single-producer: "
+      << spsc_mean / 1e6 << " vs " << mutex_mean / 1e6
+      << " Mitems/s (t=" << verdict.statistic << ")";
+}
+
+}  // namespace
+}  // namespace pcpc::queue
