@@ -100,6 +100,25 @@ void BM_EventQueueScheduleFire(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueScheduleFire);
 
+void BM_EventQueueCancelChurn(benchmark::State& state) {
+  // The simulator's dominant pattern: every reservation schedules a slot
+  // wakeup and most are cancelled (re-reserved) before firing.  This is
+  // the case the flag-stamped liveness array exists for — cancel() and
+  // the lazy skip on pop are a bounds check plus a byte, not hash-set
+  // traffic.
+  sim::EventQueue queue;
+  SimTime t = 0;
+  const auto noop = [](SimTime) {};
+  for (auto _ : state) {
+    const sim::EventId stale = queue.schedule(t + 100, noop);
+    benchmark::DoNotOptimize(queue.cancel(stale));
+    queue.schedule(t + 50, noop);
+    benchmark::DoNotOptimize(queue.pop());
+    t += 100;
+  }
+}
+BENCHMARK(BM_EventQueueCancelChurn);
+
 }  // namespace
 
 BENCHMARK_MAIN();

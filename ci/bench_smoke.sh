@@ -6,7 +6,10 @@
 # pairs on process CPU time.  Fails when recording costs more than 5%
 # (median paired ratio), when the wakeup ledger's Σ w(τ) disagrees with
 # the simulator's own paid-wakeup counter, or when the exported
-# metrics.json is missing/empty.  Also smoke-runs the chaos
+# metrics.json is missing/empty.  Then runs the queue_floor backend
+# throughput gate and the shard_scaling runtime gate (4 cores must drain
+# a saturated handler-bound workload at >= 1.8x the 1-core rate without
+# minting wakeups beyond the slot schedule).  Also smoke-runs the chaos
 # bench with exporters armed so the trace/metrics plumbing on the thread
 # host stays exercised.
 #
@@ -46,6 +49,14 @@ if [[ ! -x "${build}/bench/queue_floor" ]]; then
   exit 2
 fi
 "${build}/bench/queue_floor" | tee "${out}/queue_floor.txt"
+
+echo "=== shard_scaling: per-core runtime scaling gate ==="
+if [[ ! -x "${build}/bench/shard_scaling" ]]; then
+  echo "bench_smoke: ${build}/bench/shard_scaling not built" >&2
+  echo "bench_smoke: run 'cmake --build ${build} --target shard_scaling'" >&2
+  exit 2
+fi
+"${build}/bench/shard_scaling" --items=2000 --trials=3 | tee "${out}/shard_scaling.txt"
 
 echo "=== chaos_overload: exporter smoke (thread host) ==="
 "${build}/bench/chaos_overload" "${out}/chaos.csv" \

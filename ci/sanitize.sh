@@ -15,7 +15,7 @@ prefix="${1:-build-san}"
 
 # The suites worth the sanitizer slowdown: every test that spawns real
 # threads or drives the fault injector.
-suite_regex='ChaosRuntime|ChaosBaseline|ChaosSim|FaultInjector|ApplyProducerFaults|ThreadPbpl|ThreadBaseline|TraceReplayer|RuntimeChaosFuzz|BufferPool|ElasticBuffer|QueueDifferential|QueueFuzz|Registry|TraceRing|Session|WakeupLedger|example_chaos_demo|example_live_threads'
+suite_regex='ChaosRuntime|ChaosBaseline|ChaosSim|FaultInjector|ApplyProducerFaults|ThreadPbpl|ThreadBaseline|TraceReplayer|RuntimeChaosFuzz|RuntimeSharding|BufferPool|ElasticBuffer|QueueDifferential|QueueFuzz|Registry|TraceRing|Session|WakeupLedger|example_chaos_demo|example_live_threads'
 
 run_pass() {
   local name="$1" sanitize="$2"
@@ -26,6 +26,7 @@ run_pass() {
   echo "=== ${name}: build ==="
   cmake --build "${dir}" -j "$(nproc)" \
     --target test_chaos_runtime test_fault_injection test_runtime \
+             test_runtime_sharding \
              test_fuzz_pbpl test_elastic_buffer test_obs test_obs_ledger \
              test_queue_differential test_queue_fuzz \
              chaos_demo live_threads

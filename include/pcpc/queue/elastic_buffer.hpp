@@ -11,6 +11,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <optional>
@@ -27,8 +28,10 @@ class ElasticBuffer;
 
 /// The global preallocated buffer Bg, managed as fixed-size segments.
 ///
-/// Single-threaded (simulation host).  The thread host in pcpc::runtime
-/// guards one of these with a mutex.
+/// Segment accounting is atomic (CAS on the free count), so the thread
+/// host's per-core managers can acquire/release segments concurrently
+/// without a shared lock; the simulation host just never contends.  The
+/// individual ElasticBuffers stay single-consumer (their own host lock).
 template <typename T>
 class BufferPool {
  public:
@@ -40,20 +43,24 @@ class BufferPool {
         base_capacity_(base_capacity),
         total_segments_(consumers *
                         ((base_capacity + segment_size - 1) / segment_size)),
-        free_segments_(total_segments_) {
+        free_segments_(total_segments_.load(std::memory_order_relaxed)) {
     PCPC_ASSERT_MSG(consumers > 0, "pool needs at least one consumer");
     PCPC_ASSERT_MSG(base_capacity > 0, "base capacity must be positive");
     PCPC_ASSERT_MSG(segment_size > 0, "segment size must be positive");
   }
 
   /// Total slot count Bg (rounded up to segment granularity).
-  std::size_t total_slots() const { return total_segments_ * segment_size_; }
+  std::size_t total_slots() const { return total_segments() * segment_size_; }
 
   /// Total segment count Bg / segment_size.
-  std::size_t total_segments() const { return total_segments_; }
+  std::size_t total_segments() const {
+    return total_segments_.load(std::memory_order_relaxed);
+  }
 
   /// Slots not currently owned by any buffer.
-  std::size_t free_slots() const { return free_segments_ * segment_size_; }
+  std::size_t free_slots() const {
+    return free_segments_.load(std::memory_order_relaxed) * segment_size_;
+  }
 
   /// The per-consumer initial capacity B0.
   std::size_t base_capacity() const { return base_capacity_; }
@@ -66,7 +73,9 @@ class BufferPool {
 
   /// Times make_buffer() found the pool empty and had to over-commit an
   /// emergency segment (capacity degradation, not an abort).
-  std::uint64_t exhausted_grants() const { return exhausted_grants_; }
+  std::uint64_t exhausted_grants() const {
+    return exhausted_grants_.load(std::memory_order_relaxed);
+  }
 
   /// Fault injection / admission control: takes up to `want` free
   /// segments out of circulation and returns how many were seized.
@@ -96,11 +105,12 @@ class BufferPool {
       // instead the pool over-commits one emergency segment so the
       // consumer can still run — degraded to minimum capacity — and the
       // event is counted and logged for the operator.
-      ++total_segments_;
+      total_segments_.fetch_add(1, std::memory_order_relaxed);
       granted = 1;
-      ++exhausted_grants_;
+      const std::uint64_t exhausted =
+          exhausted_grants_.fetch_add(1, std::memory_order_relaxed) + 1;
       PCPC_WARN << "BufferPool exhausted: over-committing one emergency segment ("
-                << exhausted_grants_ << " so far); Bg grew to " << total_slots()
+                << exhausted << " so far); Bg grew to " << total_slots()
                 << " slots";
     }
     return granted;
@@ -110,22 +120,30 @@ class BufferPool {
   friend class ElasticBuffer<T>;
 
   /// Takes up to `want` segments from the pool; returns how many granted.
+  /// Lock-free: a CAS loop against the free count, so per-core managers
+  /// can resize concurrently without sharing a lock.
   std::size_t acquire_segments(std::size_t want) {
-    const std::size_t granted = std::min(want, free_segments_);
-    free_segments_ -= granted;
+    std::size_t free = free_segments_.load(std::memory_order_relaxed);
+    std::size_t granted;
+    do {
+      granted = std::min(want, free);
+      if (granted == 0) return 0;
+    } while (!free_segments_.compare_exchange_weak(
+        free, free - granted, std::memory_order_acq_rel, std::memory_order_relaxed));
     return granted;
   }
 
   void release_segments(std::size_t n) {
-    free_segments_ += n;
-    PCPC_ASSERT_MSG(free_segments_ <= total_segments_, "segment double-release");
+    const std::size_t now_free =
+        free_segments_.fetch_add(n, std::memory_order_acq_rel) + n;
+    PCPC_ASSERT_MSG(now_free <= total_segments(), "segment double-release");
   }
 
   std::size_t segment_size_;
   std::size_t base_capacity_;
-  std::size_t total_segments_;
-  std::size_t free_segments_;
-  std::uint64_t exhausted_grants_ = 0;
+  std::atomic<std::size_t> total_segments_;
+  std::atomic<std::size_t> free_segments_;
+  std::atomic<std::uint64_t> exhausted_grants_{0};
 };
 
 /// One consumer's resizable buffer; capacity is a whole number of pool

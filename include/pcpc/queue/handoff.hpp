@@ -17,10 +17,11 @@
 //
 // Locking contract: the interface itself is lock-agnostic.  For
 // BackendKind::Mutex the host must hold its own lock around every call
-// (the seed behaviour).  For the lock-free backends, try_push is safe
-// from producer threads without any lock (one producer for SpscRing, any
-// number for MpscSeg), while try_pop/resize/flush remain single-consumer
-// operations the host already serializes on its manager lock.  The
+// (the seed behaviour).  For the lock-free backends, try_push and
+// try_push_bulk are safe from producer threads without any lock (one
+// producer for SpscRing, any number for MpscSeg), while
+// try_pop/pop_bulk/resize/flush remain single-consumer operations the
+// host already serializes on its manager lock.  The
 // accessors (size/capacity/overflows/high_water) are safe anywhere but
 // only approximate while producers are live.  Pool segment accounting
 // inside resize() is NOT thread-safe — both hosts call resize() on the
@@ -32,7 +33,10 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
+#include <utility>
 
+#include "pcpc/common/assert.hpp"
 #include "pcpc/common/stats.hpp"
 #include "pcpc/obs/obs.hpp"
 #include "pcpc/queue/backend.hpp"
@@ -42,6 +46,10 @@
 #include "pcpc/queue/spsc_ring.hpp"
 
 namespace pcpc::queue {
+
+/// Chunk size of Handoff::drain: one virtual pop_bulk call per this many
+/// items, staged through a stack buffer.
+inline constexpr std::size_t kDrainChunk = 128;
 
 template <typename T>
 class Handoff {
@@ -57,8 +65,59 @@ class Handoff {
   /// overflows() and the item stays with the caller.
   virtual bool try_push(T value) = 0;
 
+  /// Producer side, volley form: accepts the longest prefix of `items`
+  /// that fits and returns its length.  Each rejected item counts one
+  /// overflow, like `items.size() - n` single pushes would.  The lock-free
+  /// backends take the whole volley with O(1) shared-state updates (one
+  /// tail publication / one admission claim) instead of per-item ones.
+  virtual std::size_t try_push_bulk(std::span<const T> items) {
+    // Per-item fallback: every leftover item is still offered (and its
+    // reject counted) so the overflow accounting matches what
+    // items.size() single pushes would have recorded.  Capacity cannot
+    // grow mid-call, so acceptance stays a prefix.  The failing push
+    // that ended the prefix already counted item n's reject; offer the
+    // items after it so each of their rejects is counted exactly once.
+    std::size_t n = 0;
+    while (n < items.size() && try_push(items[n])) ++n;
+    for (std::size_t i = n + 1; i < items.size(); ++i) {
+      const bool stored = try_push(items[i]);
+      PCPC_ASSERT_MSG(!stored, "bulk push accepted out of prefix order");
+    }
+    return n;
+  }
+
   /// Consumer side; nullopt when nothing is visible.
   virtual std::optional<T> try_pop() = 0;
+
+  /// Consumer side, bulk form: removes up to `out.size()` items in FIFO
+  /// order and returns the count — the same item sequence repeated
+  /// try_pop would yield, minus the per-item virtual dispatch (and, on
+  /// the lock-free backends, with one shared-index publication per chunk
+  /// instead of per item).
+  virtual std::size_t pop_bulk(std::span<T> out) {
+    std::size_t n = 0;
+    while (n < out.size()) {
+      auto item = try_pop();
+      if (!item.has_value()) break;
+      out[n++] = std::move(*item);
+    }
+    return n;
+  }
+
+  /// Consumer side: drains everything currently visible through `fn`
+  /// (called once per item, FIFO order), chunking pop_bulk through a
+  /// stack buffer.  Returns the number of items drained.
+  template <typename Fn>
+  std::size_t drain(Fn&& fn) {
+    T chunk[kDrainChunk];
+    std::size_t total = 0;
+    for (;;) {
+      const std::size_t n = pop_bulk(std::span<T>(chunk, kDrainChunk));
+      if (n == 0) return total;
+      total += n;
+      for (std::size_t i = 0; i < n; ++i) fn(std::move(chunk[i]));
+    }
+  }
 
   /// Consumer side: publish any batched pushes (SPSC publication
   /// batching); no-op elsewhere.
@@ -91,6 +150,18 @@ class ElasticHandoff final : public Handoff<T> {
 
   bool try_push(T value) override { return buffer_.push(std::move(value)); }
   std::optional<T> try_pop() override { return buffer_.pop(); }
+
+  /// Devirtualized bulk pop: one virtual call per chunk, direct
+  /// ElasticBuffer::pop inside.
+  std::size_t pop_bulk(std::span<T> out) override {
+    std::size_t n = 0;
+    while (n < out.size()) {
+      auto item = buffer_.pop();
+      if (!item.has_value()) break;
+      out[n++] = std::move(*item);
+    }
+    return n;
+  }
 
   std::size_t resize(std::size_t target) override {
     const std::size_t old_cap = buffer_.capacity();
@@ -135,7 +206,24 @@ class LockFreeHandoff : public Handoff<T> {
     return true;
   }
 
+  std::size_t try_push_bulk(std::span<const T> items) override {
+    const std::size_t n = queue_.try_push_bulk(items);
+    if (n < items.size()) {
+      overflows_.fetch_add(items.size() - n, std::memory_order_relaxed);
+    }
+    if (n > 0) {
+      const std::size_t s = queue_.size();
+      std::size_t hw = high_water_.load(std::memory_order_relaxed);
+      while (s > hw &&
+             !high_water_.compare_exchange_weak(hw, s, std::memory_order_relaxed)) {
+      }
+    }
+    return n;
+  }
+
   std::optional<T> try_pop() override { return queue_.try_pop(); }
+
+  std::size_t pop_bulk(std::span<T> out) override { return queue_.pop_bulk(out); }
 
   std::size_t resize(std::size_t target) override {
     const std::size_t old_cap = queue_.capacity();
@@ -245,6 +333,17 @@ class BoundedHandoff final : public Handoff<T> {
 
   bool try_push(T value) override { return buffer_.push(std::move(value)); }
   std::optional<T> try_pop() override { return buffer_.pop(); }
+
+  /// Devirtualized bulk pop over the ring (see ElasticHandoff).
+  std::size_t pop_bulk(std::span<T> out) override {
+    std::size_t n = 0;
+    while (n < out.size()) {
+      auto item = buffer_.pop();
+      if (!item.has_value()) break;
+      out[n++] = std::move(*item);
+    }
+    return n;
+  }
 
   /// Fixed capacity: resize is a no-op reporting the unchanged bound.
   std::size_t resize(std::size_t) override { return buffer_.capacity(); }

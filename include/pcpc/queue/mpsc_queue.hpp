@@ -44,10 +44,12 @@
 // (migration allowed if externally synchronized).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -114,6 +116,38 @@ class MpscSegQueue {
     return true;
   }
 
+  /// Appends a volley: one admission fetch_add and one ticket fetch_add
+  /// claim a contiguous run for the whole volley (instead of 2k RMWs for
+  /// k items), then the slots are filled with the usual per-slot
+  /// handshake.  Accepts the longest prefix that fits the logical
+  /// capacity; returns the number accepted.
+  std::size_t try_push_bulk(std::span<const T> items) {
+    if (items.empty()) return 0;
+    const std::uint64_t admitted =
+        size_.fetch_add(items.size(), std::memory_order_acquire);
+    const std::uint64_t cap = cap64();
+    const std::size_t n =
+        admitted >= cap ? 0
+                        : static_cast<std::size_t>(
+                              std::min<std::uint64_t>(items.size(), cap - admitted));
+    if (n < items.size()) {
+      size_.fetch_sub(items.size() - n, std::memory_order_relaxed);
+    }
+    if (n == 0) return 0;
+    const std::uint64_t first = tail_ticket_.fetch_add(n, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t ticket = first + i;
+      Slot& slot = slot_of(ticket);
+      std::size_t spins = 0;
+      while (slot.seq.load(std::memory_order_acquire) != ticket) {
+        if (++spins > 1024) std::this_thread::yield();
+      }
+      slot.value = items[i];
+      slot.seq.store(ticket + 1, std::memory_order_release);
+    }
+    return n;
+  }
+
   // -- consumer side ------------------------------------------------------
 
   /// Removes the oldest published item, in strict ticket order; nullopt
@@ -131,6 +165,25 @@ class MpscSegQueue {
     if (head_ % kSegSlots == 0) head_seg_ = head_seg_->next;
     size_.fetch_sub(1, std::memory_order_release);
     return value;
+  }
+
+  /// Removes up to `out.size()` published items in strict ticket order,
+  /// walking the preallocated segments in place and adjusting the
+  /// admission counter ONCE for the whole run (the per-slot re-sequencing
+  /// stores stay — they are the producer handshake).  Stops early at the
+  /// first unpublished slot, exactly like repeated try_pop would.
+  std::size_t pop_bulk(std::span<T> out) {
+    std::size_t n = 0;
+    while (n < out.size()) {
+      Slot& slot = head_seg_->slots[static_cast<std::size_t>(head_ % kSegSlots)];
+      if (slot.seq.load(std::memory_order_acquire) != head_ + 1) break;
+      out[n++] = std::move(slot.value);
+      slot.seq.store(head_ + n_slots_, std::memory_order_release);
+      ++head_;
+      if (head_ % kSegSlots == 0) head_seg_ = head_seg_->next;
+    }
+    if (n > 0) size_.fetch_sub(n, std::memory_order_release);
+    return n;
   }
 
   /// Raises or lowers the logical capacity, clamped into

@@ -23,7 +23,8 @@ namespace pcpc::runtime {
 
 using BaselineClock = std::chrono::steady_clock;
 
-/// Counters of a thread-baseline run.
+/// Counters of a thread-baseline run.  Each pair accumulates its own
+/// shard under its own lock; stats() merges the shards on demand.
 struct ThreadBaselineStats {
   std::uint64_t items = 0;
   std::uint64_t invocations = 0;
@@ -31,6 +32,17 @@ struct ThreadBaselineStats {
   std::int64_t consumer_cpu_ns = 0;
   OnlineStats batch_sizes;
   LatencyRecorder latency_s;
+
+  /// Folds another shard into this one (exact: counters add, the batch
+  /// and latency distributions merge losslessly).
+  void merge(const ThreadBaselineStats& other) {
+    items += other.items;
+    invocations += other.invocations;
+    consumer_wakeups += other.consumer_wakeups;
+    consumer_cpu_ns += other.consumer_cpu_ns;
+    batch_sizes.merge(other.batch_sizes);
+    latency_s.merge(other.latency_s);
+  }
 };
 
 /// How the producer signals the consumer.
@@ -67,7 +79,8 @@ class ThreadBaseline {
   /// Stops and joins consumers, draining leftovers.  Idempotent.
   void stop();
 
-  /// Counters; call after stop() for a consistent snapshot.
+  /// Counters; call after stop() for a consistent snapshot.  Merges the
+  /// per-pair stats shards (no global stats lock exists).
   ThreadBaselineStats stats() const;
 
  private:
@@ -78,8 +91,8 @@ class ThreadBaseline {
     std::condition_variable producer_cv;
     std::unique_ptr<queue::Handoff<BaselineClock::time_point>> buffer;
     std::thread thread;
-    std::uint64_t wakeups = 0;
-    std::int64_t cpu_ns = 0;
+    /// This pair's stats shard, guarded by `mutex`.
+    ThreadBaselineStats stats;
   };
 
   void consumer_loop(Pair& pair);
@@ -91,9 +104,6 @@ class ThreadBaseline {
   fault::FaultInjector* injector_ = nullptr;
   std::atomic<bool> running_{true};
   std::vector<std::unique_ptr<Pair>> pairs_;
-
-  mutable std::mutex stats_mutex_;
-  ThreadBaselineStats stats_;
 };
 
 }  // namespace pcpc::runtime

@@ -14,6 +14,18 @@
 // plus the overload hardening the simulation host cannot exercise:
 // configurable overflow policies, a per-core deadline watchdog, the
 // live LatencyGuard, and pcpc::fault injection hooks.
+//
+// Sharding (Section V-B: one core manager per core, disjoint consumer
+// sets): every Core owns its mutex, its condition variables, its
+// reservation table and its stats shard, so cores never contend with
+// each other.  The only cross-core state is lock-free: the running flag,
+// the produced counter and the buffer pool's segment accounting.  The
+// user BatchHandler and fault-injected handler delays run on the manager
+// thread but OUTSIDE the core lock, so a slow handler stalls only its
+// own core's schedule (which the per-core watchdog then escalates) and
+// never blocks that core's producers from pushing, let alone other
+// cores.  Buffers drain through Handoff::pop_bulk — chunked bulk pops
+// instead of per-item virtual try_pop calls.
 #pragma once
 
 #include <atomic>
@@ -43,7 +55,8 @@ namespace pcpc::runtime {
 
 using Clock = std::chrono::steady_clock;
 
-/// Aggregate counters of one ThreadPbpl run.
+/// Aggregate counters of one ThreadPbpl run.  Each core accumulates its
+/// own shard under its own lock; stats() merges the shards on demand.
 struct ThreadPbplStats {
   std::uint64_t produced = 0;            ///< items offered by producers
   std::uint64_t items = 0;               ///< items drained (consumed)
@@ -67,14 +80,37 @@ struct ThreadPbplStats {
   std::uint64_t dropped() const {
     return dropped_oldest + dropped_newest + dropped_on_stop;
   }
+
+  /// Folds another shard into this one (exact: counters add, the batch
+  /// and latency distributions merge losslessly).
+  void merge(const ThreadPbplStats& other) {
+    produced += other.produced;
+    items += other.items;
+    invocations += other.invocations;
+    scheduled_wakeups += other.scheduled_wakeups;
+    overflow_wakeups += other.overflow_wakeups;
+    emergency_borrows += other.emergency_borrows;
+    reservations += other.reservations;
+    latched_reservations += other.latched_reservations;
+    dropped_oldest += other.dropped_oldest;
+    dropped_newest += other.dropped_newest;
+    dropped_on_stop += other.dropped_on_stop;
+    missed_deadlines += other.missed_deadlines;
+    latency_violations += other.latency_violations;
+    pool_exhausted += other.pool_exhausted;
+    manager_cpu_ns += other.manager_cpu_ns;
+    batch_sizes.merge(other.batch_sizes);
+    latency_s.merge(other.latency_s);
+  }
 };
 
 /// Multi-core, multi-consumer PBPL runtime on real threads.
 class ThreadPbpl {
  public:
   /// Called for every drained batch (consumer index, batch size).  May be
-  /// empty.  Runs on the manager thread — keep it short, it is the
-  /// consumer's "processing" step.
+  /// empty.  Runs on the manager thread with NO runtime lock held: a slow
+  /// handler delays only its own core's next slot (and trips that core's
+  /// watchdog), never another core or a producer's push.
   using BatchHandler = std::function<void(std::size_t consumer, std::size_t batch)>;
 
   /// Starts `config.cores` manager threads hosting `consumers` pairs
@@ -98,22 +134,25 @@ class ThreadPbpl {
   /// Every offered item is accounted: produced == items + dropped().
   ///
   /// Backend contract (config.queue_backend): with a lock-free backend
-  /// the common case never touches the runtime lock — only the overflow
-  /// slow path does.  BackendKind::MpscSeg accepts any number of
-  /// concurrent producer threads per consumer; BackendKind::SpscRing
-  /// requires the caller to produce to each consumer from at most one
-  /// thread at a time (the ring's single-producer contract — the seed's
-  /// Mutex backend has no such restriction).
+  /// the common case never touches any runtime lock — only the overflow
+  /// slow path takes the owning core's lock.  BackendKind::MpscSeg
+  /// accepts any number of concurrent producer threads per consumer;
+  /// BackendKind::SpscRing requires the caller to produce to each
+  /// consumer from at most one thread at a time (the ring's
+  /// single-producer contract — the seed's Mutex backend has no such
+  /// restriction).  Fault-injected burst volleys go through the bulk
+  /// push path: each item keeps its own timestamp, but the volley is
+  /// admitted with one shared-state update.
   void produce(std::size_t consumer);
 
   /// Stops the runtime (idempotent); the destructor calls this too.
   void stop();
 
   /// Counters; call after stop() *and after joining all producer
-  /// threads* for a consistent snapshot.  Post-stop, any items stranded
-  /// by a producer that raced stop() on the lock-free fast path are
-  /// swept into dropped_on_stop here, keeping produced == items +
-  /// dropped() exact.
+  /// threads* for a consistent snapshot.  Merges the per-core shards.
+  /// Post-stop, any items stranded by a producer that raced stop() on
+  /// the lock-free fast path are swept into dropped_on_stop here,
+  /// keeping produced == items + dropped() exact.
   ThreadPbplStats stats();
 
   std::size_t consumer_count() const { return consumers_.size(); }
@@ -133,28 +172,52 @@ class ThreadPbpl {
     std::uint64_t overflow_requests = 0;  // pending forced drains (0 or 1)
   };
 
+  /// A drained batch whose handler still has to run (outside the lock).
+  struct PendingBatch {
+    Consumer* consumer = nullptr;
+    std::size_t batch = 0;
+    std::int64_t slot = 0;
+    SimTime now = 0;
+    Clock::time_point drained_at{};
+  };
+
+  /// One core = one manager thread + everything it needs, behind its own
+  /// lock.  Nothing here is ever touched under another core's lock.
   struct Core {
     std::size_t index = 0;
+    std::mutex mutex;
+    std::condition_variable cv;           ///< manager sleeps here
+    std::condition_variable producer_cv;  ///< blocked producers sleep here
     core::ReservationTable reservations;
     std::vector<Consumer*> consumers;
-    std::condition_variable cv;
     std::thread thread;
-    std::uint64_t scheduled_wakeups = 0;
-    std::int64_t cpu_ns = 0;
     bool overflow_pending = false;
+    /// This core's stats shard, guarded by `mutex` (written by the
+    /// manager and by producers' slow paths, both of which hold it).
+    ThreadPbplStats stats;
+    /// Manager-only scratch for the drain→unlock→handler hand-off.
+    std::vector<PendingBatch> pending;
   };
 
   SimTime now_ns() const;
   Clock::time_point slot_deadline(core::SlotIndex slot);
   void manager_loop(Core& core);
   void push_one(Consumer& consumer);
+  void push_volley(Consumer& consumer, std::size_t items);
   void push_one_slow_locked(Consumer& consumer, Clock::time_point stamp,
                             std::unique_lock<std::mutex>& lock);
+  /// Drains `consumer` (bulk pops), records stats into the core shard and
+  /// makes the next reservation — all under the core lock.  The handler
+  /// call is queued on core.pending for run_handlers().
   /// `slot` / `paid` / `scheduled` feed pcpc::obs wakeup attribution:
   /// `paid` marks the invocation that actually woke this manager thread,
   /// later consumers in the same wake latch on for free.
-  void invoke_locked(Core& core, Consumer& consumer, SimTime now,
-                     std::int64_t slot, bool paid, bool scheduled);
+  void drain_locked(Core& core, Consumer& consumer, SimTime now, std::int64_t slot,
+                    bool paid, bool scheduled);
+  /// Runs the queued handlers (and fault-injected handler delays) with
+  /// the core lock RELEASED, then re-acquires it.  Producers may push —
+  /// and other cores may do anything — while a handler runs.
+  void run_handlers(Core& core, std::unique_lock<std::mutex>& lock);
   void make_reservation_locked(Core& core, Consumer& consumer, SimTime now);
 
   const core::PbplConfig config_;
@@ -163,23 +226,15 @@ class ThreadPbpl {
   BatchHandler handler_;
   fault::FaultInjector* injector_ = nullptr;
 
-  /// One coarse lock guarding every consumer-side operation (drains,
-  /// resizes, reservations, overflow slow paths).  With a lock-free
-  /// backend, producers' successful pushes bypass it entirely; with the
-  /// Mutex backend it also serializes every push, as in the seed.
-  mutable std::mutex mutex_;
-  std::condition_variable producer_cv_;
-  /// Atomic so the lock-free producer fast path can check liveness
-  /// without the lock; writes still happen under mutex_.
+  /// Lock-free cross-core state: liveness for the producer fast path and
+  /// the offered-items counter.  Everything else is per-core.
   std::atomic<bool> running_{true};
-  /// Items offered, counted outside the lock on the fast path.
   std::atomic<std::uint64_t> produced_{0};
 
   queue::BufferPool<Clock::time_point> pool_;
   std::size_t seized_segments_ = 0;  // held by fault-injected pool pressure
   std::vector<std::unique_ptr<Consumer>> consumers_;
   std::vector<std::unique_ptr<Core>> cores_;
-  ThreadPbplStats stats_;
 };
 
 }  // namespace pcpc::runtime

@@ -3,14 +3,22 @@
 // A binary min-heap ordered by (time, sequence number) — the sequence
 // number makes simultaneous events fire in scheduling order, which keeps
 // every experiment fully deterministic.  Cancellation is lazy: cancelled
-// entries stay in the heap and are skipped on pop; a side set of pending
-// ids keeps cancel() exact (cancelling a fired event is a no-op).
+// entries stay in the heap and are skipped on pop.
+//
+// Liveness is tracked by a flag-stamped dense array instead of a hash
+// set: event ids are handed out sequentially, so `states_[id - base_]`
+// resolves a cancel()/pending() probe with one bounds check and one byte
+// load — no hashing, no buckets, no per-operation allocation (the seed
+// kept an unordered_set of live ids, which put a hash insert+erase on
+// every schedule/fire pair).  Retired prefixes of the array are trimmed
+// amortized, and the array resets entirely whenever the queue drains, so
+// memory stays proportional to the live+recently-retired window rather
+// than to all ids ever issued.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "pcpc/common/types.hpp"
@@ -34,13 +42,13 @@ class EventQueue {
   bool cancel(EventId id);
 
   /// True when the given event is still pending.
-  bool pending(EventId id) const { return pending_.contains(id); }
+  bool pending(EventId id) const { return is_pending(id); }
 
   /// True when no live (non-cancelled) events remain.
-  bool empty() const { return pending_.empty(); }
+  bool empty() const { return live_ == 0; }
 
   /// Number of live events.
-  std::size_t size() const { return pending_.size(); }
+  std::size_t size() const { return live_; }
 
   /// Time of the earliest live event; kNever when empty.
   SimTime next_time() const;
@@ -72,10 +80,28 @@ class EventQueue {
     }
   };
 
+  /// Liveness stamp of one issued id.  One byte; never goes back to
+  /// Pending, so a stale heap entry can only be skipped, never revived.
+  enum class State : std::uint8_t { Pending, Fired, Cancelled };
+
+  bool is_pending(EventId id) const {
+    // Ids below base_ were retired and trimmed; ids at or above next_id_
+    // were never issued.  Both probe as "not pending", which is exactly
+    // the contract cancel()/pending() had with the id set.
+    return id >= base_ && id < next_id_ &&
+           states_[static_cast<std::size_t>(id - base_)] == State::Pending;
+  }
+
+  void retire(EventId id, State to);
   void drop_cancelled() const;
+  void compact();
 
   mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
-  std::unordered_set<EventId> pending_;
+  /// states_[i] stamps event id base_ + i.
+  std::vector<State> states_;
+  EventId base_ = 1;         ///< id of states_[0]
+  std::size_t live_ = 0;     ///< entries stamped Pending
+  std::size_t retired_ = 0;  ///< retirements since the last compact()
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
 };

@@ -55,14 +55,13 @@ void PbplConsumer::produce(SimTime now) {
 
 SimDuration PbplConsumer::on_invoked(SimTime now, bool scheduled) {
   (void)scheduled;
-  // 1. Consume: drain the whole buffer as one batch.
-  std::size_t batch = 0;
-  while (auto item = buffer_->try_pop()) {
-    const SimDuration latency = now - *item;
+  // 1. Consume: drain the whole buffer as one batch (chunked bulk pops —
+  //    same item order and stats as the old per-item try_pop loop).
+  const std::size_t batch = buffer_->drain([&](SimTime item) {
+    const SimDuration latency = now - item;
     stats_.latency_s.add(to_seconds(latency));
     if (guard_) guard_->observe(latency);
-    ++batch;
-  }
+  });
   if (guard_) {
     guard_->end_batch();
     stats_.latency_violations = guard_->violations();

@@ -108,36 +108,34 @@ void ThreadBaseline::stop() {
   for (auto& pair : pairs_) {
     if (pair->thread.joinable()) pair->thread.join();
   }
-  // Drain leftovers and fold per-pair counters into the aggregate.
-  // Lock order must match the consumer threads' (pair -> stats): taking
-  // stats_mutex_ first here closes a lock-order-inversion deadlock cycle
-  // with drain_locked (found by TSan).
+  // Drain leftovers into each pair's own shard.  Only the pair lock is
+  // involved — per-pair stats sharding dissolved the old global stats
+  // mutex (and with it the lock-order-inversion cycle TSan once found
+  // between drain_locked and this loop).
   for (auto& pair : pairs_) {
     std::unique_lock lock(pair->mutex);
-    std::unique_lock stats_lock(stats_mutex_);
     if (!pair->buffer->empty()) {
       const auto now = BaselineClock::now();
-      std::size_t batch = 0;
-      while (auto item = pair->buffer->try_pop()) {
-        stats_.latency_s.add(std::chrono::duration<double>(now - *item).count());
-        ++batch;
-      }
+      const std::size_t batch =
+          pair->buffer->drain([&](BaselineClock::time_point stamp) {
+            pair->stats.latency_s.add(std::chrono::duration<double>(now - stamp).count());
+          });
       if (batch > 0) {
-        stats_.items += batch;
-        stats_.batch_sizes.add(static_cast<double>(batch));
-        ++stats_.invocations;
+        pair->stats.items += batch;
+        pair->stats.batch_sizes.add(static_cast<double>(batch));
+        ++pair->stats.invocations;
       }
     }
-    stats_.consumer_wakeups += pair->wakeups;
-    stats_.consumer_cpu_ns += pair->cpu_ns;
-    pair->wakeups = 0;
-    pair->cpu_ns = 0;
   }
 }
 
 ThreadBaselineStats ThreadBaseline::stats() const {
-  std::unique_lock lock(stats_mutex_);
-  return stats_;
+  ThreadBaselineStats out;
+  for (const auto& pair : pairs_) {
+    std::unique_lock lock(pair->mutex);
+    out.merge(pair->stats);
+  }
+  return out;
 }
 
 void ThreadBaseline::consumer_loop(Pair& pair) {
@@ -152,11 +150,11 @@ void ThreadBaseline::consumer_loop(Pair& pair) {
         if (pair.consumer_cv.wait_until(lock, next_deadline) !=
             std::cv_status::timeout) {
           if (!running_) break;
-          ++pair.wakeups;  // overflow (or shutdown) signal
+          ++pair.stats.consumer_wakeups;  // overflow (or shutdown) signal
           note_baseline_wakeup(pair.index, /*scheduled=*/false);
           if (!pair.buffer->full()) continue;
         } else {
-          ++pair.wakeups;  // timer fire
+          ++pair.stats.consumer_wakeups;  // timer fire
           note_baseline_wakeup(pair.index, /*scheduled=*/true);
           next_deadline += std::chrono::nanoseconds(period_);
         }
@@ -169,7 +167,7 @@ void ThreadBaseline::consumer_loop(Pair& pair) {
     if (!ready) {
       pair.consumer_cv.wait(lock);
       if (!running_) break;
-      ++pair.wakeups;  // the thread actually blocked and was woken
+      ++pair.stats.consumer_wakeups;  // the thread actually blocked and was woken
       note_baseline_wakeup(pair.index, /*scheduled=*/false);
       continue;        // re-check the drain condition
     }
@@ -178,22 +176,22 @@ void ThreadBaseline::consumer_loop(Pair& pair) {
 }
 
 void ThreadBaseline::drain_locked(Pair& pair, std::unique_lock<std::mutex>& lock) {
-  const ScopedCpuTimer timer(pair.cpu_ns);
+  const ScopedCpuTimer timer(pair.stats.consumer_cpu_ns);
   if (injector_ != nullptr && !pair.buffer->empty()) {
     // Slow-consumer fault: the handler overruns while holding the pair's
-    // lock, so producers feel the stall as backpressure.
+    // lock, so producers feel the stall as backpressure.  (Deliberately
+    // unlike the PBPL host, whose handlers run outside the lock — the
+    // baselines model the classic coupled design.)
     if (const SimDuration delay = injector_->handler_delay(); delay > 0) {
       std::this_thread::sleep_for(std::chrono::nanoseconds(delay));
     }
   }
   const auto now = BaselineClock::now();
-  std::size_t batch = 0;
-  while (auto item = pair.buffer->try_pop()) {
-    const auto latency = std::chrono::duration<double>(now - *item).count();
-    ++batch;
-    std::unique_lock stats_lock(stats_mutex_);
-    stats_.latency_s.add(latency);
-  }
+  // Bulk drain into the pair's own shard: chunked pop_bulk instead of a
+  // virtual try_pop plus a global stats lock per item.
+  const std::size_t batch = pair.buffer->drain([&](BaselineClock::time_point stamp) {
+    pair.stats.latency_s.add(std::chrono::duration<double>(now - stamp).count());
+  });
   pair.producer_cv.notify_all();
   if (obs::enabled()) {
     obs::note_slot_batch(
@@ -202,10 +200,9 @@ void ThreadBaseline::drain_locked(Pair& pair, std::unique_lock<std::mutex>& lock
         std::chrono::duration_cast<std::chrono::nanoseconds>(BaselineClock::now() - now)
             .count());
   }
-  std::unique_lock stats_lock(stats_mutex_);
-  stats_.items += batch;
-  stats_.batch_sizes.add(static_cast<double>(batch));
-  ++stats_.invocations;
+  pair.stats.items += batch;
+  pair.stats.batch_sizes.add(static_cast<double>(batch));
+  ++pair.stats.invocations;
   (void)lock;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
 
 #include "pcpc/common/assert.hpp"
 #include "pcpc/obs/obs.hpp"
@@ -67,12 +68,12 @@ ThreadPbpl::ThreadPbpl(std::size_t consumers, const core::PbplConfig& config,
     }
   }
 
-  {
-    std::unique_lock lock(mutex_);
+  for (auto& core : cores_) {
+    std::unique_lock lock(core->mutex);
     const SimTime now = now_ns();
-    for (auto& consumer : consumers_) {
+    for (Consumer* consumer : core->consumers) {
       consumer->last_invocation = now;
-      make_reservation_locked(*consumer->core, *consumer, now);
+      make_reservation_locked(*core, *consumer, now);
     }
   }
   for (auto& core : cores_) {
@@ -83,39 +84,40 @@ ThreadPbpl::ThreadPbpl(std::size_t consumers, const core::PbplConfig& config,
 ThreadPbpl::~ThreadPbpl() { stop(); }
 
 void ThreadPbpl::stop() {
-  {
-    std::unique_lock lock(mutex_);
-    if (!running_.load(std::memory_order_relaxed)) return;
-    running_.store(false, std::memory_order_release);
-    for (auto& core : cores_) core->cv.notify_all();
-    producer_cv_.notify_all();
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  for (auto& core : cores_) {
+    std::lock_guard<std::mutex> lock(core->mutex);
+    core->cv.notify_all();
+    core->producer_cv.notify_all();
   }
   for (auto& core : cores_) {
     if (core->thread.joinable()) core->thread.join();
   }
-  // Final drain: account leftovers without extra wakeups.
-  std::unique_lock lock(mutex_);
-  for (auto& consumer : consumers_) {
-    std::size_t batch = 0;
-    const auto drained_at = Clock::now();
-    while (auto item = consumer->buffer->try_pop()) {
-      stats_.latency_s.add(std::chrono::duration<double>(drained_at - *item).count());
-      ++batch;
-    }
-    if (batch > 0) {
-      stats_.items += batch;
-      stats_.batch_sizes.add(static_cast<double>(batch));
-      ++stats_.invocations;
-      if (handler_) handler_(consumer->index, batch);
-    }
-  }
+  // Final drain: account leftovers without extra wakeups.  Handlers keep
+  // their no-lock contract even though the managers are gone.
   for (auto& core : cores_) {
-    stats_.scheduled_wakeups += core->scheduled_wakeups;
-    stats_.manager_cpu_ns += core->cpu_ns;
-    core->scheduled_wakeups = 0;
-    core->cpu_ns = 0;
+    std::unique_lock lock(core->mutex);
+    core->pending.clear();
+    for (Consumer* consumer : core->consumers) {
+      const auto drained_at = Clock::now();
+      const std::size_t batch = consumer->buffer->drain([&](Clock::time_point stamp) {
+        core->stats.latency_s.add(
+            std::chrono::duration<double>(drained_at - stamp).count());
+      });
+      if (batch > 0) {
+        core->stats.items += batch;
+        core->stats.batch_sizes.add(static_cast<double>(batch));
+        ++core->stats.invocations;
+        core->pending.push_back({consumer, batch, obs::kNoSlot, now_ns(), drained_at});
+      }
+    }
+    if (handler_ && !core->pending.empty()) {
+      lock.unlock();
+      for (const PendingBatch& p : core->pending) handler_(p.consumer->index, p.batch);
+      lock.lock();
+    }
+    core->pending.clear();
   }
-  stats_.pool_exhausted = pool_.exhausted_grants();
   if (seized_segments_ > 0) {
     pool_.restore_segments(seized_segments_);
     seized_segments_ = 0;
@@ -125,7 +127,7 @@ void ThreadPbpl::stop() {
 void ThreadPbpl::produce(std::size_t consumer_index) {
   std::size_t items = 1;
   if (injector_ != nullptr) {
-    // Producer faults happen on the producer's own thread, outside the
+    // Producer faults happen on the producer's own thread, outside any
     // lock: a stall really does delay the delivery, and a burst really
     // does arrive as one back-to-back volley.
     if (const SimDuration stall = injector_->producer_stall(); stall > 0) {
@@ -135,8 +137,10 @@ void ThreadPbpl::produce(std::size_t consumer_index) {
   }
   PCPC_ASSERT(consumer_index < consumers_.size());
   Consumer& consumer = *consumers_[consumer_index];
-  for (std::size_t i = 0; i < items; ++i) {
+  if (items == 1) {
     push_one(consumer);
+  } else {
+    push_volley(consumer, items);
   }
 }
 
@@ -144,7 +148,7 @@ void ThreadPbpl::push_one(Consumer& consumer) {
   produced_.fetch_add(1, std::memory_order_relaxed);
   const auto stamp = Clock::now();
   // Lock-free fast path: with an SPSC/MPSC backend a successful push
-  // never touches the runtime lock — this is the whole point of the
+  // never touches any runtime lock — this is the whole point of the
   // pluggable backends.  The running_ check narrows (but cannot close)
   // the stop() race window; items pushed after the final drain are swept
   // into dropped_on_stop by stats(), keeping the accounting identity.
@@ -152,16 +156,44 @@ void ThreadPbpl::push_one(Consumer& consumer) {
       consumer.buffer->try_push(stamp)) {
     return;
   }
-  std::unique_lock lock(mutex_);
+  std::unique_lock lock(consumer.core->mutex);
   push_one_slow_locked(consumer, stamp, lock);
+}
+
+void ThreadPbpl::push_volley(Consumer& consumer, std::size_t items) {
+  // Fault-injected burst volley: every item still reads its own
+  // timestamp (identical latency accounting to `items` single pushes),
+  // but admission goes through try_push_bulk — one tail publication /
+  // admission claim per chunk instead of per item.  Whatever the bulk
+  // path rejects falls through to the per-item overflow slow path under
+  // the owning core's lock, so every overflow policy and the
+  // produced == items + dropped() identity behave exactly as before.
+  Clock::time_point chunk[queue::kDrainChunk];
+  while (items > 0) {
+    const std::size_t n = std::min(items, queue::kDrainChunk);
+    items -= n;
+    produced_.fetch_add(n, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < n; ++i) chunk[i] = Clock::now();
+    std::size_t accepted = 0;
+    if (consumer.buffer->lock_free() && running_.load(std::memory_order_acquire)) {
+      accepted = consumer.buffer->try_push_bulk(
+          std::span<const Clock::time_point>(chunk, n));
+    }
+    if (accepted == n) continue;
+    std::unique_lock lock(consumer.core->mutex);
+    for (std::size_t i = accepted; i < n; ++i) {
+      push_one_slow_locked(consumer, chunk[i], lock);
+    }
+  }
 }
 
 void ThreadPbpl::push_one_slow_locked(Consumer& consumer, Clock::time_point stamp,
                                       std::unique_lock<std::mutex>& lock) {
+  Core& core = *consumer.core;
   if (!running_.load(std::memory_order_relaxed)) {
     // The runtime already stopped: nothing will ever drain this item.
     // Count it instead of losing it silently.
-    ++stats_.dropped_on_stop;
+    ++core.stats.dropped_on_stop;
     obs::note_drop(static_cast<std::uint32_t>(consumer.index), obs::DropPath::kOnStop,
                    now_ns());
     return;
@@ -176,8 +208,8 @@ void ThreadPbpl::push_one_slow_locked(Consumer& consumer, Clock::time_point stam
     const std::size_t extra = std::max<std::size_t>(1, consumer.buffer->capacity() / 4);
     consumer.buffer->resize(consumer.buffer->capacity() + extra);
     if (consumer.buffer->try_push(stamp)) {
-      ++stats_.emergency_borrows;
-      obs::note_overflow(static_cast<std::uint16_t>(consumer.core->index),
+      ++core.stats.emergency_borrows;
+      obs::note_overflow(static_cast<std::uint16_t>(core.index),
                          static_cast<std::uint32_t>(consumer.index),
                          obs::OverflowAction::kEmergencyBorrow, now_ns());
       return;
@@ -194,29 +226,29 @@ void ThreadPbpl::push_one_slow_locked(Consumer& consumer, Clock::time_point stam
       // branch keeps produced == items + dropped() exact.
       for (int attempt = 0; attempt < 16; ++attempt) {
         if (consumer.buffer->try_pop().has_value()) {
-          ++stats_.dropped_oldest;
+          ++core.stats.dropped_oldest;
           obs::note_drop(static_cast<std::uint32_t>(consumer.index),
                          obs::DropPath::kOldest, now_ns());
         }
         if (consumer.buffer->try_push(stamp)) return;
       }
-      ++stats_.dropped_newest;
+      ++core.stats.dropped_newest;
       obs::note_drop(static_cast<std::uint32_t>(consumer.index), obs::DropPath::kNewest,
                      now_ns());
       return;
     }
     case core::OverflowPolicy::DropNewest:
-      ++stats_.dropped_newest;
+      ++core.stats.dropped_newest;
       obs::note_drop(static_cast<std::uint32_t>(consumer.index), obs::DropPath::kNewest,
                      now_ns());
       return;
     case core::OverflowPolicy::Block:
     case core::OverflowPolicy::EmergencyBorrow:
-      // Forced drain: hand the wakeup to the manager thread and wait for
-      // space (this is the unscheduled overflow wakeup).  The request is
-      // raised once per outstanding drain — a spurious wake of this
-      // producer must not be double-counted as a second overflow — and
-      // re-armed only after the manager consumed the previous one.
+      // Forced drain: hand the wakeup to the owning core's manager and
+      // wait for space (this is the unscheduled overflow wakeup).  The
+      // request is raised once per outstanding drain — a spurious wake of
+      // this producer must not be double-counted as a second overflow —
+      // and re-armed only after the manager consumed the previous one.
       // running_ is re-checked BEFORE every push retry: a producer woken
       // by stop() may reacquire the lock after the final drain already
       // emptied the buffer, and a successful push at that point would
@@ -225,7 +257,7 @@ void ThreadPbpl::push_one_slow_locked(Consumer& consumer, Clock::time_point stam
         if (!running_.load(std::memory_order_relaxed)) {
           // stop() raced our wait; the manager is gone and the final
           // drain will not see this item.  Account the loss.
-          ++stats_.dropped_on_stop;
+          ++core.stats.dropped_on_stop;
           obs::note_drop(static_cast<std::uint32_t>(consumer.index),
                          obs::DropPath::kOnStop, now_ns());
           return;
@@ -233,34 +265,39 @@ void ThreadPbpl::push_one_slow_locked(Consumer& consumer, Clock::time_point stam
         if (consumer.buffer->try_push(stamp)) return;
         if (consumer.overflow_requests == 0) {
           ++consumer.overflow_requests;
-          consumer.core->overflow_pending = true;
-          obs::note_overflow(static_cast<std::uint16_t>(consumer.core->index),
+          core.overflow_pending = true;
+          obs::note_overflow(static_cast<std::uint16_t>(core.index),
                              static_cast<std::uint32_t>(consumer.index),
                              obs::OverflowAction::kForcedDrain, now_ns());
-          consumer.core->cv.notify_all();
+          core.cv.notify_all();
         }
-        producer_cv_.wait(lock);
+        core.producer_cv.wait(lock);
       }
   }
 }
 
 ThreadPbplStats ThreadPbpl::stats() {
-  std::unique_lock lock(mutex_);
-  if (!running_.load(std::memory_order_relaxed)) {
-    // Post-stop residual sweep: a lock-free producer that read running_
-    // just before stop() flipped it may have landed an item after the
-    // final drain.  Nothing will ever consume it, so account it here —
-    // the caller joined its producers first (see the header contract).
-    for (auto& consumer : consumers_) {
-      while (consumer->buffer->try_pop().has_value()) {
-        ++stats_.dropped_on_stop;
-        obs::note_drop(static_cast<std::uint32_t>(consumer->index),
-                       obs::DropPath::kOnStop, now_ns());
+  ThreadPbplStats out;
+  const bool stopped = !running_.load(std::memory_order_acquire);
+  for (auto& core : cores_) {
+    std::unique_lock lock(core->mutex);
+    if (stopped) {
+      // Post-stop residual sweep: a lock-free producer that read running_
+      // just before stop() flipped it may have landed an item after the
+      // final drain.  Nothing will ever consume it, so account it here —
+      // the caller joined its producers first (see the header contract).
+      for (Consumer* consumer : core->consumers) {
+        const std::size_t swept = consumer->buffer->drain([&](Clock::time_point) {
+          obs::note_drop(static_cast<std::uint32_t>(consumer->index),
+                         obs::DropPath::kOnStop, now_ns());
+        });
+        core->stats.dropped_on_stop += swept;
       }
     }
+    out.merge(core->stats);
   }
-  ThreadPbplStats out = stats_;
   out.produced = produced_.load(std::memory_order_relaxed);
+  out.pool_exhausted = pool_.exhausted_grants();
   return out;
 }
 
@@ -276,23 +313,28 @@ Clock::time_point ThreadPbpl::slot_deadline(core::SlotIndex slot) {
 }
 
 void ThreadPbpl::manager_loop(Core& core) {
-  std::unique_lock lock(mutex_);
+  std::unique_lock lock(core.mutex);
   while (running_.load(std::memory_order_relaxed)) {
     // Forced (overflow) drains take priority over the slot schedule.
     if (core.overflow_pending) {
       core.overflow_pending = false;
-      const ScopedCpuTimer timer(core.cpu_ns);
-      bool first = true;
-      for (Consumer* consumer : core.consumers) {
-        if (consumer->overflow_requests == 0) continue;
-        consumer->overflow_requests = 0;
-        ++stats_.overflow_wakeups;
-        core.reservations.cancel(static_cast<core::ConsumerId>(consumer->index));
-        invoke_locked(core, *consumer, now_ns(), obs::kNoSlot, first,
-                      /*scheduled=*/false);
-        first = false;
+      {
+        const ScopedCpuTimer timer(core.stats.manager_cpu_ns);
+        bool first = true;
+        for (Consumer* consumer : core.consumers) {
+          if (consumer->overflow_requests == 0) continue;
+          consumer->overflow_requests = 0;
+          ++core.stats.overflow_wakeups;
+          core.reservations.cancel(static_cast<core::ConsumerId>(consumer->index));
+          drain_locked(core, *consumer, now_ns(), obs::kNoSlot, first,
+                       /*scheduled=*/false);
+          first = false;
+        }
       }
-      producer_cv_.notify_all();
+      // Space is free the moment the drains are done: wake blocked
+      // producers BEFORE the handlers run, they can refill meanwhile.
+      core.producer_cv.notify_all();
+      run_handlers(core, lock);
       continue;
     }
 
@@ -317,62 +359,68 @@ void ThreadPbpl::manager_loop(Core& core) {
       const auto limit = static_cast<SimDuration>(
           config_.watchdog_factor * static_cast<double>(config_.resolved_slot_size()));
       if (now - track_.start_of(*next) > limit) {
-        ++stats_.missed_deadlines;
-        ++core.scheduled_wakeups;
+        ++core.stats.missed_deadlines;
+        ++core.stats.scheduled_wakeups;
         obs::note_watchdog(static_cast<std::uint16_t>(core.index),
                            now - track_.start_of(*next), now);
-        const ScopedCpuTimer timer(core.cpu_ns);
-        core.overflow_pending = false;
-        bool first = true;
-        for (Consumer* consumer : core.consumers) {
-          consumer->overflow_requests = 0;
-          core.reservations.cancel(static_cast<core::ConsumerId>(consumer->index));
-          invoke_locked(core, *consumer, now, *next, first, /*scheduled=*/true);
-          first = false;
+        {
+          const ScopedCpuTimer timer(core.stats.manager_cpu_ns);
+          core.overflow_pending = false;
+          bool first = true;
+          for (Consumer* consumer : core.consumers) {
+            consumer->overflow_requests = 0;
+            core.reservations.cancel(static_cast<core::ConsumerId>(consumer->index));
+            drain_locked(core, *consumer, now, *next, first, /*scheduled=*/true);
+            first = false;
+          }
         }
-        producer_cv_.notify_all();
+        core.producer_cv.notify_all();
+        run_handlers(core, lock);
         continue;
       }
     }
 
     // The slot fired: one scheduled wakeup serves every consumer
     // registered for it (the latching group).
-    ++core.scheduled_wakeups;
-    const ScopedCpuTimer timer(core.cpu_ns);
-    const auto ids = core.reservations.take_slot(*next);
-    bool first = true;
-    for (const core::ConsumerId id : ids) {
-      invoke_locked(core, *consumers_[id], now, *next, first, /*scheduled=*/true);
-      first = false;
+    ++core.stats.scheduled_wakeups;
+    {
+      const ScopedCpuTimer timer(core.stats.manager_cpu_ns);
+      const auto ids = core.reservations.take_slot(*next);
+      bool first = true;
+      for (const core::ConsumerId id : ids) {
+        drain_locked(core, *consumers_[id], now, *next, first, /*scheduled=*/true);
+        first = false;
+      }
     }
+    run_handlers(core, lock);
   }
 }
 
-void ThreadPbpl::invoke_locked(Core& core, Consumer& consumer, SimTime now,
-                               std::int64_t slot, bool paid, bool scheduled) {
+void ThreadPbpl::drain_locked(Core& core, Consumer& consumer, SimTime now,
+                              std::int64_t slot, bool paid, bool scheduled) {
   obs::note_wakeup(static_cast<std::uint16_t>(core.index),
                    static_cast<std::uint32_t>(consumer.index), slot, paid, scheduled,
                    now);
-  std::size_t batch = 0;
   const auto drained_at = Clock::now();
   const std::uint64_t violations_before =
       consumer.guard ? consumer.guard->violations() : 0;
-  while (auto item = consumer.buffer->try_pop()) {
-    const auto latency = drained_at - *item;
-    stats_.latency_s.add(std::chrono::duration<double>(latency).count());
+  // Bulk drain: chunked pop_bulk instead of one virtual try_pop per item
+  // (and, on the lock-free backends, one head publication per chunk).
+  const std::size_t batch = consumer.buffer->drain([&](Clock::time_point stamp) {
+    const auto latency = drained_at - stamp;
+    core.stats.latency_s.add(std::chrono::duration<double>(latency).count());
     if (consumer.guard) {
       consumer.guard->observe(
           std::chrono::duration_cast<std::chrono::nanoseconds>(latency).count());
     }
-    ++batch;
-  }
+  });
   if (consumer.guard) {
     consumer.guard->end_batch();
-    stats_.latency_violations += consumer.guard->violations() - violations_before;
+    core.stats.latency_violations += consumer.guard->violations() - violations_before;
   }
-  stats_.items += batch;
-  stats_.batch_sizes.add(static_cast<double>(batch));
-  ++stats_.invocations;
+  core.stats.items += batch;
+  core.stats.batch_sizes.add(static_cast<double>(batch));
+  ++core.stats.invocations;
   if (batch > 0) consumer.last_batch = batch;
 
   if (now > consumer.last_invocation) {
@@ -381,21 +429,34 @@ void ThreadPbpl::invoke_locked(Core& core, Consumer& consumer, SimTime now,
     consumer.last_invocation = now;
   }
 
-  if (handler_) handler_(consumer.index, batch);
-  if (injector_ != nullptr && batch > 0) {
-    // Slow-consumer fault: the handler runs long on the manager thread,
-    // holding the lock exactly like a real slow handler would.
-    if (const SimDuration delay = injector_->handler_delay(); delay > 0) {
-      std::this_thread::sleep_for(std::chrono::nanoseconds(delay));
-    }
-  }
-  obs::note_slot_batch(
-      static_cast<std::uint16_t>(core.index),
-      static_cast<std::uint32_t>(consumer.index), slot, batch, now,
-      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - drained_at)
-          .count());
-
   make_reservation_locked(core, consumer, now);
+  core.pending.push_back({&consumer, batch, slot, now, drained_at});
+}
+
+void ThreadPbpl::run_handlers(Core& core, std::unique_lock<std::mutex>& lock) {
+  if (core.pending.empty()) return;
+  // Handler CPU is still manager-thread CPU; the timer's destructor
+  // writes the shard after the lock is re-held.
+  const ScopedCpuTimer timer(core.stats.manager_cpu_ns);
+  lock.unlock();
+  for (const PendingBatch& p : core.pending) {
+    if (handler_) handler_(p.consumer->index, p.batch);
+    if (injector_ != nullptr && p.batch > 0) {
+      // Slow-consumer fault: the handler runs long on the manager thread
+      // — stalling this core's schedule (and tripping its watchdog), but
+      // no lock is held, so producers and other cores keep going.
+      if (const SimDuration delay = injector_->handler_delay(); delay > 0) {
+        std::this_thread::sleep_for(std::chrono::nanoseconds(delay));
+      }
+    }
+    obs::note_slot_batch(
+        static_cast<std::uint16_t>(core.index),
+        static_cast<std::uint32_t>(p.consumer->index), p.slot, p.batch, p.now,
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - p.drained_at)
+            .count());
+  }
+  lock.lock();
+  core.pending.clear();
 }
 
 void ThreadPbpl::make_reservation_locked(Core& core, Consumer& consumer, SimTime now) {
@@ -434,8 +495,8 @@ void ThreadPbpl::make_reservation_locked(Core& core, Consumer& consumer, SimTime
   }
 
   core.reservations.reserve(static_cast<core::ConsumerId>(consumer.index), choice.slot);
-  ++stats_.reservations;
-  if (choice.latched) ++stats_.latched_reservations;
+  ++core.stats.reservations;
+  if (choice.latched) ++core.stats.latched_reservations;
   // A new earliest reservation must re-target the manager's wait.
   core.cv.notify_all();
 }
