@@ -9,9 +9,15 @@
 # metrics.json is missing/empty.  Then runs the queue_floor backend
 # throughput gate and the shard_scaling runtime gate (4 cores must drain
 # a saturated handler-bound workload at >= 1.8x the 1-core rate without
-# minting wakeups beyond the slot schedule).  Also smoke-runs the chaos
-# bench with exporters armed so the trace/metrics plumbing on the thread
-# host stays exercised.
+# minting wakeups beyond the slot schedule), and the ipc_floor
+# cross-process gate (forked producers over the shm channel: throughput
+# floor, futex-wake frugality, exact no-fault conservation).  Also
+# smoke-runs the chaos bench with exporters armed so the trace/metrics
+# plumbing on the thread host stays exercised.
+#
+# Every gate appends one JSON line to BENCH_<gate>.json at the repo
+# root — timestamp, git sha, and the gate's headline numbers — so the
+# benches keep a trajectory across commits instead of only gating.
 #
 # Usage: ci/bench_smoke.sh [build-dir]     (default: build)
 set -euo pipefail
@@ -20,6 +26,13 @@ cd "$(dirname "$0")/.."
 build="${1:-build}"
 out="${build}/bench_smoke"
 mkdir -p "${out}"
+
+stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+sha="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+# record <gate> <json-fields>: append one trajectory line for this run.
+record() {
+  printf '{"utc":"%s","git":"%s",%s}\n' "${stamp}" "${sha}" "$2" >> "BENCH_$1.json"
+}
 
 if [[ ! -x "${build}/bench/obs_overhead" ]]; then
   echo "bench_smoke: ${build}/bench/obs_overhead not built" >&2
@@ -31,7 +44,9 @@ echo "=== obs_overhead: 5% telemetry gate ==="
 "${build}/bench/obs_overhead" \
   --metrics-out="${out}/metrics.json" \
   --max-overhead=1.05 \
-  --repeats=9 --seconds=30 --pairs=8
+  --repeats=9 --seconds=30 --pairs=8 | tee "${out}/obs_overhead.txt"
+overhead_pct="$(grep -oE 'paired ratios\): [0-9.]+' "${out}/obs_overhead.txt" | grep -oE '[0-9.]+$' || echo null)"
+record obs_overhead "\"overhead_pct\":${overhead_pct},\"gate_pct\":5.0,\"pass\":true"
 
 if [[ ! -s "${out}/metrics.json" ]]; then
   echo "bench_smoke: ${out}/metrics.json missing or empty" >&2
@@ -49,6 +64,9 @@ if [[ ! -x "${build}/bench/queue_floor" ]]; then
   exit 2
 fi
 "${build}/bench/queue_floor" | tee "${out}/queue_floor.txt"
+spsc_x="$(grep -oE '\([0-9.]+x\)' "${out}/queue_floor.txt" | head -1 | tr -d '()x')"
+mpsc_x="$(grep -oE '\([0-9.]+x\)' "${out}/queue_floor.txt" | tail -1 | tr -d '()x')"
+record queue_floor "\"spsc_vs_mutex_1p\":${spsc_x:-null},\"mpsc_vs_mutex_4p\":${mpsc_x:-null},\"pass\":true"
 
 echo "=== shard_scaling: per-core runtime scaling gate ==="
 if [[ ! -x "${build}/bench/shard_scaling" ]]; then
@@ -57,6 +75,18 @@ if [[ ! -x "${build}/bench/shard_scaling" ]]; then
   exit 2
 fi
 "${build}/bench/shard_scaling" --items=2000 --trials=3 | tee "${out}/shard_scaling.txt"
+scaling_x="$(grep -oE 'throughput: [0-9.]+x' "${out}/shard_scaling.txt" | grep -oE '[0-9.]+')"
+record shard_scaling "\"four_core_vs_one\":${scaling_x:-null},\"gate\":1.8,\"pass\":true"
+
+echo "=== ipc_floor: cross-process host gate ==="
+if [[ ! -x "${build}/bench/ipc_floor" ]]; then
+  echo "bench_smoke: ${build}/bench/ipc_floor not built" >&2
+  echo "bench_smoke: run 'cmake --build ${build} --target ipc_floor'" >&2
+  exit 2
+fi
+"${build}/bench/ipc_floor" --json-out="${out}/ipc_floor.json" | tee "${out}/ipc_floor.txt"
+# The bench already emits its record as JSON; fold it into the trajectory.
+record ipc_floor "$(sed 's/^{//;s/}$//' "${out}/ipc_floor.json")"
 
 echo "=== chaos_overload: exporter smoke (thread host) ==="
 "${build}/bench/chaos_overload" "${out}/chaos.csv" \

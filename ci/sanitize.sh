@@ -14,8 +14,10 @@ cd "$(dirname "$0")/.."
 prefix="${1:-build-san}"
 
 # The suites worth the sanitizer slowdown: every test that spawns real
-# threads or drives the fault injector.
-suite_regex='ChaosRuntime|ChaosBaseline|ChaosSim|FaultInjector|ApplyProducerFaults|ThreadPbpl|ThreadBaseline|TraceReplayer|RuntimeChaosFuzz|RuntimeSharding|BufferPool|ElasticBuffer|QueueDifferential|QueueFuzz|Registry|TraceRing|Session|WakeupLedger|example_chaos_demo|example_live_threads'
+# threads or drives the fault injector.  IpcCrash forks real producer
+# processes — it self-skips under TSan (fork + shm atomics are outside
+# TSan's model) and runs fully under ASan/UBSan.
+suite_regex='ChaosRuntime|ChaosBaseline|ChaosSim|FaultInjector|ApplyProducerFaults|ThreadPbpl|ThreadBaseline|TraceReplayer|RuntimeChaosFuzz|RuntimeSharding|BufferPool|ElasticBuffer|QueueDifferential|QueueFuzz|IpcCrash|Registry|TraceRing|Session|WakeupLedger|example_chaos_demo|example_live_threads'
 
 run_pass() {
   local name="$1" sanitize="$2"
@@ -28,7 +30,7 @@ run_pass() {
     --target test_chaos_runtime test_fault_injection test_runtime \
              test_runtime_sharding \
              test_fuzz_pbpl test_elastic_buffer test_obs test_obs_ledger \
-             test_queue_differential test_queue_fuzz \
+             test_queue_differential test_queue_fuzz test_ipc_crash \
              chaos_demo live_threads
   echo "=== ${name}: test ==="
   ctest --test-dir "${dir}" --output-on-failure -R "${suite_regex}"

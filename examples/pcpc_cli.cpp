@@ -3,7 +3,7 @@
 //
 //   $ ./examples/pcpc_cli [options] [pbpl key=value ...]
 //
-//   --impl=NAME        bw|yield|mutex|sem|bp|pbp|spbp|cpbp|pbpl|all  [pbpl]
+//   --impl=NAME        bw|yield|mutex|sem|bp|pbp|spbp|cpbp|pbpl|all|ipc  [pbpl]
 //   --pairs=M          producer-consumer pairs                        [5]
 //   --rate=HZ          mean production rate per pair                  [2000]
 //   --seconds=S        horizon                                        [5]
@@ -11,6 +11,8 @@
 //   --cores=A          cores                                          [2]
 //   --workload=KIND    web|poisson|mmpp|pareto                        [web]
 //   --config=FILE      PBPL config file (key=value lines)
+//   --ipc-name=/NAME   shm channel name for --impl=ipc             [/pcpc_cli]
+//   --ipc-role=ROLE    both|consumer|producer for --impl=ipc           [both]
 //   --trace-out=FILE   write a Perfetto-loadable trace.json
 //   --metrics-out=FILE write run metrics (.csv extension -> CSV, else JSON)
 //   --snapshot-ms=N    PowerTop-style stderr snapshot every N ms
@@ -20,6 +22,12 @@
 //   ./examples/pcpc_cli --impl=all --pairs=10 --rate=1500
 //   ./examples/pcpc_cli --workload=pareto latency_guard=1 slot_size_us=5000
 //   ./examples/pcpc_cli --trace-out=trace.json --metrics-out=metrics.json
+//   ./examples/pcpc_cli --impl=ipc --ipc-role=consumer --ipc-name=/demo &
+//   ./examples/pcpc_cli --impl=ipc --ipc-role=producer --ipc-name=/demo
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -31,6 +39,7 @@
 #include "pcpc/common/table.hpp"
 #include "pcpc/core/config_io.hpp"
 #include "pcpc/exp/paper_setup.hpp"
+#include "pcpc/ipc/channel.hpp"
 #include "pcpc/obs/exporters.hpp"
 #include "pcpc/obs/obs.hpp"
 #include "pcpc/trace/arrival_process.hpp"
@@ -49,6 +58,8 @@ struct CliOptions {
   std::size_t cores = 2;
   std::string workload = "web";
   std::string config_file;
+  std::string ipc_name = "/pcpc_cli";
+  std::string ipc_role = "both";
   std::string trace_out;
   std::string metrics_out;
   std::int64_t snapshot_ms = 0;
@@ -108,6 +119,8 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
     else if (const auto v9 = value_of("--trace-out=")) options.trace_out = *v9;
     else if (const auto v10 = value_of("--metrics-out=")) options.metrics_out = *v10;
     else if (const auto v11 = value_of("--snapshot-ms=")) options.snapshot_ms = std::stol(*v11);
+    else if (const auto v12 = value_of("--ipc-name=")) options.ipc_name = *v12;
+    else if (const auto v13 = value_of("--ipc-role=")) options.ipc_role = *v13;
     else if (arg.find('=') != std::string::npos && arg.rfind("--", 0) != 0) {
       options.config_options.push_back(arg);
     } else {
@@ -159,11 +172,176 @@ std::vector<trace::Trace> make_workload(const CliOptions& options, SimDuration h
   return traces;
 }
 
+/// Cross-process host (--impl=ipc): real producer processes over one shm
+/// channel.  --ipc-role picks this process's part:
+///   both      create the channel here and fork --pairs producer processes
+///   consumer  create the channel and drain for --seconds
+///   producer  attach with retry/backoff, push --rate * --seconds items
+/// Returns a process exit code, or -1 to request graceful fallback to
+/// the in-process thread host (no futex support, or shm attach gave up).
+int run_ipc(const CliOptions& options) {
+  if (options.ipc_role != "both" && options.ipc_role != "consumer" &&
+      options.ipc_role != "producer") {
+    std::fprintf(stderr, "unknown --ipc-role '%s'\n", options.ipc_role.c_str());
+    return 2;
+  }
+  if (!ipc::kFutexSupported) {
+    std::fprintf(stderr, "[pcpc ipc] futex wakeups unsupported on this platform\n");
+    return -1;
+  }
+  const std::uint64_t per_producer =
+      static_cast<std::uint64_t>(options.rate_hz * options.seconds_d);
+  const auto ull = [](std::uint64_t v) { return static_cast<unsigned long long>(v); };
+
+  std::optional<obs::Session> session;
+  if (options.wants_telemetry()) {
+    obs::SessionOptions obs_options;
+    obs_options.snapshot_period_ms = options.snapshot_ms;
+    session.emplace(obs_options);
+  }
+  std::string error;
+
+  if (options.ipc_role == "producer") {
+    ipc::ProducerConfig pcfg;
+    pcfg.attach.attempts = 50;  // a consumer may still be starting: ~25 s budget
+    auto producer = ipc::Producer::attach(options.ipc_name, pcfg, &error);
+    if (!producer.has_value()) {
+      std::fprintf(stderr, "[pcpc ipc] attach to %s gave up: %s\n",
+                   options.ipc_name.c_str(), error.c_str());
+      return -1;
+    }
+    std::uint64_t acked = 0;
+    std::uint64_t dropped = 0;
+    for (std::uint64_t i = 0; i < per_producer; ++i) {
+      const ipc::PushResult r = producer->push(i);
+      if (r == ipc::PushResult::kOk) {
+        ++acked;
+        continue;
+      }
+      ++dropped;
+      if (r == ipc::PushResult::kConsumerDead) {
+        std::fprintf(stderr,
+                     "[pcpc ipc] consumer is dead after %llu acked pushes; stopping\n",
+                     ull(acked));
+        break;
+      }
+    }
+    std::printf("[pcpc ipc] producer %d done on %s: %llu acked, %llu dropped\n",
+                static_cast<int>(::getpid()), options.ipc_name.c_str(), ull(acked),
+                ull(dropped));
+    if (session.has_value() &&
+        !export_telemetry(*session, options.trace_out, options.metrics_out)) {
+      return 1;
+    }
+    return 0;
+  }
+
+  // consumer / both: this process owns the channel and drains it.
+  ipc::ChannelConfig cfg;
+  cfg.capacity = options.buffer;
+  auto consumer = ipc::Consumer::create(options.ipc_name, cfg, &error);
+  if (!consumer.has_value()) {
+    std::fprintf(stderr, "[pcpc ipc] channel create at %s failed: %s\n",
+                 options.ipc_name.c_str(), error.c_str());
+    return -1;
+  }
+  std::printf("[pcpc ipc] channel %s up: capacity %zu, role %s\n",
+              options.ipc_name.c_str(), options.buffer, options.ipc_role.c_str());
+
+  std::vector<pid_t> children;
+  if (options.ipc_role == "both") {
+    for (std::size_t p = 0; p < options.pairs; ++p) {
+      const pid_t pid = ::fork();
+      if (pid == 0) {
+        auto child = ipc::Producer::attach(consumer->shm_name());
+        if (!child.has_value()) _exit(2);
+        for (std::uint64_t i = 0; i < per_producer; ++i) {
+          while (child->push(i) == ipc::PushResult::kFull) {
+          }
+        }
+        child->detach();
+        _exit(0);
+      }
+      if (pid < 0) {
+        std::perror("[pcpc ipc] fork");
+        break;
+      }
+      children.push_back(pid);
+    }
+  }
+
+  using clock = std::chrono::steady_clock;
+  const auto start = clock::now();
+  // `both` runs to completion (children gone, ring drained) under a
+  // generous wedge deadline; `consumer` serves the wall-clock horizon.
+  const auto deadline =
+      start + std::chrono::duration_cast<clock::duration>(
+                  std::chrono::duration<double>(
+                      options.seconds_d + (children.empty() ? 0.0 : 60.0)));
+  std::uint64_t consumed_items = 0;
+  while (true) {
+    consumed_items += consumer->drain([](std::uint64_t) {});
+    consumer->reap();
+    for (auto it = children.begin(); it != children.end();) {
+      int status = 0;
+      if (::waitpid(*it, &status, WNOHANG) == *it) {
+        it = children.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (options.ipc_role == "both") {
+      if (children.empty() && consumer->report().residue == 0) break;
+      if (clock::now() >= deadline) {
+        std::fprintf(stderr, "[pcpc ipc] wedge: residue left past the deadline\n");
+        return 1;
+      }
+    } else if (clock::now() >= deadline) {
+      break;
+    }
+    if (!consumer->has_visible_work()) consumer->wait(/*timeout_ns=*/1'000'000);
+  }
+  const double elapsed = std::chrono::duration<double>(clock::now() - start).count();
+
+  const ipc::ConservationReport rep = consumer->report();
+  std::printf(
+      "[pcpc ipc] drained %llu items in %.2f s (%.2f Mitems/s): "
+      "%llu reclaimed, %llu peers reaped, %llu paid wakes (%.4f/item)\n",
+      ull(consumed_items), elapsed,
+      static_cast<double>(consumed_items) / elapsed / 1e6, ull(rep.reclaimed),
+      ull(rep.peers_reaped), ull(rep.futex_wakes),
+      consumed_items > 0
+          ? static_cast<double>(rep.futex_wakes) / static_cast<double>(consumed_items)
+          : 0.0);
+  if (rep.admitted != rep.consumed + rep.reclaimed + rep.residue) {
+    std::fprintf(stderr, "[pcpc ipc] conservation identity broken\n");
+    return 1;
+  }
+  if (session.has_value() &&
+      !export_telemetry(*session, options.trace_out, options.metrics_out)) {
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliOptions options;
   if (!parse_cli(argc, argv, options)) return 2;
+
+  // The cross-process host handles its own run loop; everything else
+  // goes through the simulation harness below.  A failed shm setup (or a
+  // platform without futexes) degrades to the in-process thread host
+  // rather than erroring out.
+  if (options.impl == "ipc") {
+    const int rc = run_ipc(options);
+    if (rc >= 0) return rc;
+    std::fprintf(stderr,
+                 "[pcpc ipc] falling back to the in-process thread host "
+                 "(--impl=pbpl)\n");
+    options.impl = "pbpl";
+  }
 
   // Assemble the setup from the calibrated defaults, then user overrides.
   exp::ExperimentSpec spec = exp::multi_pair_spec(options.pairs, options.buffer);

@@ -64,11 +64,31 @@ struct FaultConfig {
   /// emergency borrows fight over the remainder.  Clamped to [0, 1).
   double pool_pressure = 0.0;
 
+  /// Process kill (pcpc::ipc hosts): with `kill_probability` per push
+  /// opportunity, the producer process SIGKILLs itself at a crash point
+  /// drawn uniformly from the slot protocol's steps (after-claim,
+  /// mid-publish, after-publish) — the harness wires the decision into
+  /// Producer::set_crash_hook.  In-process hosts ignore it.
+  double kill_probability = 0.0;
+
+  /// Process suspend: with `stop_probability` per push opportunity, the
+  /// producer is SIGSTOPped for `stop_duration`, then SIGCONTed — alive
+  /// the whole time, so its leases must survive (no reclaim).
+  double stop_probability = 0.0;
+  SimDuration stop_duration = milliseconds(20);
+
+  /// Attach delay: with `attach_delay_probability` per attach attempt,
+  /// the attaching process sleeps `attach_delay` first, exercising the
+  /// bounded-retry/backoff attach path.
+  double attach_delay_probability = 0.0;
+  SimDuration attach_delay = milliseconds(10);
+
   /// True when any fault class is active.
   bool any() const {
     return burst_probability > 0.0 || stall_probability > 0.0 ||
            slow_handler_probability > 0.0 || deadline_jitter > 0 ||
-           pool_pressure > 0.0;
+           pool_pressure > 0.0 || kill_probability > 0.0 ||
+           stop_probability > 0.0 || attach_delay_probability > 0.0;
   }
 };
 
@@ -82,6 +102,11 @@ struct FaultStats {
   SimDuration total_stall = 0;         ///< summed stall time
   SimDuration total_handler_delay = 0; ///< summed handler delay
   std::size_t seized_segments = 0;     ///< pool segments held by pressure
+  std::uint64_t process_kills = 0;     ///< SIGKILL crash points fired
+  std::uint64_t process_stops = 0;     ///< SIGSTOP/SIGCONT suspensions
+  std::uint64_t attach_delays = 0;     ///< delayed shm attach attempts
+  SimDuration total_stop = 0;          ///< summed suspension time
+  SimDuration total_attach_delay = 0;  ///< summed attach delay
 };
 
 /// Seeded, thread-safe fault oracle.  Deterministic: the decision
@@ -93,7 +118,10 @@ class FaultInjector {
         burst_rng_(mix(config.seed, 1)),
         stall_rng_(mix(config.seed, 2)),
         handler_rng_(mix(config.seed, 3)),
-        jitter_rng_(mix(config.seed, 4)) {}
+        jitter_rng_(mix(config.seed, 4)),
+        kill_rng_(mix(config.seed, 5)),
+        stop_rng_(mix(config.seed, 6)),
+        attach_rng_(mix(config.seed, 7)) {}
 
   const FaultConfig& config() const { return config_; }
 
@@ -161,6 +189,44 @@ class FaultInjector {
     }
   }
 
+  /// Crash point for this push opportunity: -1 = none, else 0..2 mapping
+  /// onto pcpc::ipc::CrashPoint (after-claim, mid-publish,
+  /// after-publish).  The caller (a forked producer) SIGKILLs itself
+  /// when its push reaches that point.
+  int process_crash_point() {
+    if (config_.kill_probability <= 0.0) return -1;
+    std::scoped_lock lock(mutex_);
+    if (!kill_rng_.bernoulli(config_.kill_probability)) return -1;
+    const int point = static_cast<int>(kill_rng_.next_below(3));
+    ++stats_.process_kills;
+    obs::note_fault(obs::FaultKind::kProcKill, point);
+    return point;
+  }
+
+  /// How long this process should be suspended (SIGSTOP…SIGCONT) before
+  /// the next push (0 = none).  The parent harness applies the signals;
+  /// the decision is drawn here so it replays by seed.
+  SimDuration process_stop() {
+    if (config_.stop_probability <= 0.0 || config_.stop_duration <= 0) return 0;
+    std::scoped_lock lock(mutex_);
+    if (!stop_rng_.bernoulli(config_.stop_probability)) return 0;
+    ++stats_.process_stops;
+    stats_.total_stop += config_.stop_duration;
+    obs::note_fault(obs::FaultKind::kProcStop, config_.stop_duration);
+    return config_.stop_duration;
+  }
+
+  /// Delay to impose before this shm attach attempt (0 = none).
+  SimDuration attach_delay() {
+    if (config_.attach_delay_probability <= 0.0 || config_.attach_delay <= 0) return 0;
+    std::scoped_lock lock(mutex_);
+    if (!attach_rng_.bernoulli(config_.attach_delay_probability)) return 0;
+    ++stats_.attach_delays;
+    stats_.total_attach_delay += config_.attach_delay;
+    obs::note_fault(obs::FaultKind::kAttachDelay, config_.attach_delay);
+    return config_.attach_delay;
+  }
+
   /// Snapshot of everything injected so far.
   FaultStats stats() const {
     std::scoped_lock lock(mutex_);
@@ -179,6 +245,9 @@ class FaultInjector {
   Rng stall_rng_;
   Rng handler_rng_;
   Rng jitter_rng_;
+  Rng kill_rng_;
+  Rng stop_rng_;
+  Rng attach_rng_;
   FaultStats stats_;
 };
 

@@ -1,0 +1,239 @@
+// Crash-safe cross-process MPSC channel over one shm segment.
+//
+// Endpoint objects (one Consumer, up to kMaxProducers Producers, each in
+// its own process) wrap the shared layout from layout.hpp.  The slot
+// protocol — claim/lease/publish/reclaim — is documented there; this
+// header adds the process-facing machinery:
+//
+//   - registry join/leave with per-peer heartbeats,
+//   - the reaper (dead-peer detection + whole-ring lease sweep),
+//   - the futex doorbell with *exact* paid-wakeup accounting: a producer
+//     pays a futex_wake only after winning the kConsumerSleeping ->
+//     kConsumerWoken CAS, so every increment of ChannelHeader::futex_wakes
+//     creates exactly one kConsumerWoken token, and the consumer consumes
+//     each token exactly once (its wake-side exchange back to awake).
+//     The obs ledger's paid-wakeup total therefore equals the shm futex
+//     wake counter identically, not statistically.
+//
+// Failure semantics (the contract the kill-chaos harness checks):
+//   - SIGKILLed producer: consumer detects it (heartbeat stale + pid
+//     probe), reclaims its in-flight lease and any hole it left, and
+//     keeps draining — never wedges.
+//   - SIGSTOPped producer: alive by definition; its lease is honored and
+//     the consumer stalls on that slot until SIGCONT (strict order is
+//     part of the differential contract, not negotiable under stop).
+//   - Dead consumer: producers observe it via the registry and fail
+//     pushes with PushResult::kConsumerDead after bounded retry/backoff.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "pcpc/ipc/futex.hpp"
+#include "pcpc/ipc/layout.hpp"
+#include "pcpc/ipc/shm.hpp"
+
+namespace pcpc::ipc {
+
+/// CLOCK_MONOTONIC in nanoseconds (shared timebase for heartbeats/leases).
+std::int64_t now_ns();
+
+/// Liveness probe: false when `pid` is gone OR a zombie (SIGKILLed
+/// children stay zombies until the parent reaps them; for lease purposes
+/// a zombie is dead — it will never publish again).
+bool pid_alive(std::int32_t pid);
+
+/// Channel geometry + protocol timing, fixed at creation.
+struct ChannelConfig {
+  std::size_t capacity = 1024;            ///< logical admission bound
+  std::int64_t lease_ns = 5'000'000;      ///< free-hole reclaim age (5 ms)
+  std::int64_t heartbeat_period_ns = 1'000'000;  ///< peer refresh Delta
+  std::int64_t heartbeat_timeout_ns = 0;  ///< staleness bound; 0 = 8 * period
+  std::uint64_t wake_threshold = 0;       ///< doorbell at fill >= this; 0 = cap/2
+};
+
+/// Producer-side retry policy for a full ring / slow consumer.
+struct ProducerConfig {
+  int full_retries = 64;
+  std::int64_t initial_backoff_ns = 2'000;
+  std::int64_t max_backoff_ns = 1'000'000;
+  AttachOptions attach;
+};
+
+enum class PushResult : std::uint8_t {
+  kOk = 0,
+  kFull = 1,          ///< still full after bounded retry/backoff
+  kConsumerDead = 2,  ///< registry says nobody will ever drain this
+  kLeaseLost = 3,     ///< consumer reclaimed our slot mid-publish
+};
+
+const char* push_result_name(PushResult r);
+
+/// Crash-injection points for the kill-chaos harness: the hook runs
+/// between protocol steps so a test child can raise(SIGKILL) exactly
+/// there.  Production code never sets it.
+enum class CrashPoint : std::uint8_t {
+  kAfterClaim = 0,   ///< ticket claimed, lease not yet taken (leaves a hole)
+  kMidPublish = 1,   ///< lease taken, value not yet published (leaves a lock)
+  kAfterPublish = 2, ///< value published, counters not yet bumped
+};
+
+/// Everything the conservation harness asserts on, read from shm.
+struct ConservationReport {
+  std::uint64_t admitted = 0;   ///< tail_ticket: tickets handed out
+  std::uint64_t consumed = 0;
+  std::uint64_t reclaimed = 0;
+  std::uint64_t residue = 0;    ///< admitted - consumed - reclaimed (in flight)
+  std::uint64_t acked_pushes = 0;  ///< producer-counted successful publishes
+  std::uint64_t dropped = 0;       ///< producer-counted rejects (full / dead)
+  std::uint64_t lease_lost = 0;
+  std::uint64_t futex_wakes = 0;   ///< paid wakes (producer-side count)
+  std::uint64_t doorbell = 0;
+  std::uint64_t peers_reaped = 0;
+};
+
+/// Reads the report off any mapped channel segment.
+ConservationReport read_report(const ChannelHeader& hdr);
+
+/// Why Consumer::wait returned.
+enum class WakeKind : std::uint8_t {
+  kDoorbell = 0,  ///< paid wake: a producer rang and futex_wake'd us
+  kTimeout = 1,   ///< free wake: slot timer Delta elapsed
+  kPoll = 2,      ///< work was already visible; never slept
+};
+
+/// The single draining endpoint.  Creates and owns the segment; unlinks
+/// it on destruction.  All methods are single-threaded (one consumer).
+class Consumer {
+ public:
+  Consumer() = default;
+  ~Consumer();
+  Consumer(Consumer&&) noexcept;
+  Consumer& operator=(Consumer&&) noexcept;
+  Consumer(const Consumer&) = delete;
+  Consumer& operator=(const Consumer&) = delete;
+
+  static std::optional<Consumer> create(const std::string& shm_name,
+                                        const ChannelConfig& config,
+                                        std::string* error = nullptr);
+
+  /// Pops published items in strict ticket order, invoking `fn(value)`
+  /// per item, until the ring is empty, a hole/lease blocks the head, or
+  /// `max_items` is reached.  Performs inline recovery: expired free
+  /// holes and leases of provably dead owners are reclaimed as they
+  /// arrive at the head.  Returns items consumed (reclaims excluded).
+  template <typename Fn>
+  std::size_t drain(Fn&& fn, std::size_t max_items = SIZE_MAX) {
+    maybe_heartbeat();
+    std::size_t n = 0;
+    while (n < max_items) {
+      const std::uint64_t h = hdr_->head.load(std::memory_order_relaxed);
+      if (h == hdr_->tail_ticket.load(std::memory_order_acquire)) break;
+      IpcSlot& slot = slots_[h % hdr_->n_slots];
+      const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+      if (seq == h + 1) {  // published
+        const std::uint64_t value = slot.value;
+        slot.seq.store(h + hdr_->n_slots, std::memory_order_release);
+        hdr_->head.store(h + 1, std::memory_order_release);
+        hdr_->consumed.fetch_add(1, std::memory_order_relaxed);
+        hole_ticket_ = UINT64_MAX;
+        fn(value);
+        ++n;
+      } else if (seq == h + hdr_->n_slots) {  // swept out-of-band by the reaper
+        hdr_->head.store(h + 1, std::memory_order_release);
+        hole_ticket_ = UINT64_MAX;
+      } else if (!try_recover_head(h, slot, seq)) {
+        break;  // head blocked on a live lease / young hole; caller re-enters
+      }
+    }
+    return n;
+  }
+
+  /// Parks on the futex doorbell for up to `timeout_ns` once the ring
+  /// looks empty, attributing the wake through pcpc::obs (paid when a
+  /// producer futex_wake'd us, free/scheduled on timeout).  Returns
+  /// immediately with kPoll when work is already visible.
+  WakeKind wait(std::int64_t timeout_ns);
+
+  /// Dead-peer detection: marks producers with stale heartbeats whose
+  /// pid is gone as dead, sweeps the whole ring for their leases
+  /// (reclaiming each), and frees their registry slots for reuse.
+  /// Returns the number of peers reaped.
+  std::size_t reap();
+
+  void heartbeat();
+
+  ConservationReport report() const { return read_report(*hdr_); }
+  const ChannelHeader& header() const { return *hdr_; }
+  const std::string& shm_name() const { return segment_.name(); }
+  bool valid() const { return hdr_ != nullptr; }
+
+  /// True when the head slot has a published item ready to pop.
+  bool has_visible_work() const;
+
+ private:
+  bool try_recover_head(std::uint64_t h, IpcSlot& slot, std::uint64_t seq);
+  void maybe_heartbeat();
+
+  ShmSegment segment_;
+  ChannelHeader* hdr_ = nullptr;
+  IpcSlot* slots_ = nullptr;
+  std::uint64_t hole_ticket_ = UINT64_MAX;  ///< head hole being aged
+  std::int64_t hole_since_ns_ = 0;
+  std::int64_t last_heartbeat_ns_ = 0;
+};
+
+/// One producing endpoint.  Attaches to an existing channel (with the
+/// shm-level retry/backoff) and joins the registry.  Single-threaded.
+class Producer {
+ public:
+  Producer() = default;
+  ~Producer();
+  Producer(Producer&&) noexcept;
+  Producer& operator=(Producer&&) noexcept;
+  Producer(const Producer&) = delete;
+  Producer& operator=(const Producer&) = delete;
+
+  static std::optional<Producer> attach(const std::string& shm_name,
+                                        const ProducerConfig& config = {},
+                                        std::string* error = nullptr);
+
+  /// Publishes one value.  Retries a full ring `full_retries` times with
+  /// exponential backoff before giving up with kFull; checks consumer
+  /// liveness on every retry and fails fast with kConsumerDead.  kFull
+  /// and kConsumerDead are counted as drops (the overflow policy of this
+  /// host is DropNewest — the caller keeps the value and may re-offer).
+  PushResult push(std::uint64_t value);
+
+  void heartbeat();
+
+  /// Test-only: invoked between protocol steps (see CrashPoint).
+  void set_crash_hook(std::function<void(CrashPoint)> hook) {
+    crash_hook_ = std::move(hook);
+  }
+
+  ConservationReport report() const { return read_report(*hdr_); }
+  std::size_t registry_index() const { return index_; }
+  bool valid() const { return hdr_ != nullptr; }
+  bool consumer_dead() const;
+
+  /// Leaves the registry (clean detach).  Called by the destructor.
+  void detach();
+
+ private:
+  void maybe_heartbeat();
+  void ring_doorbell();
+
+  ShmSegment segment_;
+  ChannelHeader* hdr_ = nullptr;
+  IpcSlot* slots_ = nullptr;
+  std::size_t index_ = SIZE_MAX;
+  ProducerConfig config_;
+  std::int64_t last_heartbeat_ns_ = 0;
+  std::function<void(CrashPoint)> crash_hook_;
+};
+
+}  // namespace pcpc::ipc

@@ -1,0 +1,81 @@
+// Thin futex wrapper for cross-process wakeups (Linux only).
+//
+// The pcpc::ipc host parks a consumer process on a 32-bit word inside
+// the shared-memory segment and lets producer processes wake it with one
+// syscall — the cross-process analogue of the thread host's
+// condition_variable, with the property the paper's accounting needs:
+// the *producer* decides (and records) when a wake is issued, so paid
+// wakeups are countable at the exact point they cost a syscall.
+//
+// On non-Linux platforms kFutexSupported is false and both calls report
+// failure; callers (the ipc host, pcpc_cli) must degrade to an
+// in-process host instead — the EINTR/timeout semantics below are
+// Linux's.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace pcpc::ipc {
+
+#if defined(__linux__)
+inline constexpr bool kFutexSupported = true;
+
+/// Why a futex_wait returned.
+enum class WaitResult : std::uint8_t {
+  kWoken = 0,     ///< woken (or the word already changed — treat as woken)
+  kTimeout = 1,   ///< timed out
+  kInterrupted = 2,  ///< EINTR; retry or fall through to the poll path
+};
+
+/// Sleeps while `*word == expected`, up to `timeout_ns` (< 0 = forever).
+/// Cross-process safe when `word` lives in a MAP_SHARED mapping.
+inline WaitResult futex_wait(std::atomic<std::uint32_t>* word, std::uint32_t expected,
+                             std::int64_t timeout_ns) {
+  timespec ts{};
+  timespec* tsp = nullptr;
+  if (timeout_ns >= 0) {
+    ts.tv_sec = static_cast<time_t>(timeout_ns / 1'000'000'000);
+    ts.tv_nsec = static_cast<long>(timeout_ns % 1'000'000'000);
+    tsp = &ts;
+  }
+  const long rc = syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(word),
+                          FUTEX_WAIT, expected, tsp, nullptr, 0);
+  if (rc == 0) return WaitResult::kWoken;
+  switch (errno) {
+    case EAGAIN: return WaitResult::kWoken;  // word already moved past `expected`
+    case ETIMEDOUT: return WaitResult::kTimeout;
+    default: return WaitResult::kInterrupted;
+  }
+}
+
+/// Wakes up to `n` waiters parked on `word`; returns how many were woken.
+inline int futex_wake(std::atomic<std::uint32_t>* word, int n) {
+  const long rc = syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(word),
+                          FUTEX_WAKE, n, nullptr, nullptr, 0);
+  return rc < 0 ? 0 : static_cast<int>(rc);
+}
+
+#else  // !__linux__
+
+inline constexpr bool kFutexSupported = false;
+
+enum class WaitResult : std::uint8_t { kWoken = 0, kTimeout = 1, kInterrupted = 2 };
+
+inline WaitResult futex_wait(std::atomic<std::uint32_t>*, std::uint32_t, std::int64_t) {
+  return WaitResult::kInterrupted;
+}
+inline int futex_wake(std::atomic<std::uint32_t>*, int) { return 0; }
+
+#endif
+
+}  // namespace pcpc::ipc

@@ -1,0 +1,81 @@
+// POSIX shared-memory segments with bounded-retry attach.
+//
+// One ShmSegment is one shm_open + mmap(MAP_SHARED) mapping.  The
+// creator sizes and zero-fills it (ftruncate); attachers retry with
+// exponential backoff until the segment exists AND its creator has
+// marked the layout initialized (the first 8 bytes hold a ready marker
+// written by the layout code *after* construction, so an attacher can
+// never observe a half-built header).  Attach failure is a value, not an
+// exception — callers degrade (pcpc_cli falls back to the in-process
+// thread host) instead of crashing.
+//
+// Lifetime: destroying the object unmaps; the segment itself persists
+// until unlink() (owner) or process reboot.  A crashed peer therefore
+// never invalidates the mapping of the survivors — the basis of the
+// dead-peer recovery protocol in channel.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace pcpc::ipc {
+
+/// Attach retry policy: `attempts` tries spaced by an exponentially
+/// growing backoff starting at `initial_backoff_ms`, doubled per retry
+/// and capped at `max_backoff_ms`.  Defaults give up after ~1.5 s.
+struct AttachOptions {
+  int attempts = 10;
+  std::int64_t initial_backoff_ms = 2;
+  std::int64_t max_backoff_ms = 500;
+};
+
+/// A mapped shared-memory segment.  Movable, not copyable.
+class ShmSegment {
+ public:
+  ShmSegment() = default;
+  ~ShmSegment();
+
+  ShmSegment(ShmSegment&& other) noexcept;
+  ShmSegment& operator=(ShmSegment&& other) noexcept;
+  ShmSegment(const ShmSegment&) = delete;
+  ShmSegment& operator=(const ShmSegment&) = delete;
+
+  /// Creates (O_CREAT|O_EXCL) and maps a zero-filled segment of `bytes`.
+  /// On name collision with a stale segment, unlinks and retries once.
+  /// Returns an unmapped segment (valid() == false) on failure, with the
+  /// reason in *error.
+  static ShmSegment create(const std::string& name, std::size_t bytes,
+                           std::string* error = nullptr);
+
+  /// Attaches to an existing segment, retrying per `options` while the
+  /// segment is missing, not yet sized, or not yet marked ready.  The
+  /// ready marker is the first 8 bytes (see mark_ready()).
+  static ShmSegment attach(const std::string& name, const AttachOptions& options = {},
+                           std::string* error = nullptr);
+
+  /// Creator only: publishes the ready marker (release store into the
+  /// first 8 bytes).  Call after the layout is fully constructed.
+  void mark_ready();
+
+  /// Removes the name; existing mappings stay valid until unmapped.
+  void unlink();
+
+  bool valid() const { return base_ != nullptr; }
+  void* base() const { return base_; }
+  std::size_t bytes() const { return bytes_; }
+  const std::string& name() const { return name_; }
+
+  /// Bytes past the ready marker — where the layout actually lives.
+  void* payload() const;
+  static std::size_t payload_offset();
+
+ private:
+  void* base_ = nullptr;
+  std::size_t bytes_ = 0;
+  int fd_ = -1;
+  bool owner_ = false;
+  std::string name_;
+};
+
+}  // namespace pcpc::ipc

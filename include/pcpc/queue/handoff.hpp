@@ -43,6 +43,7 @@
 #include "pcpc/queue/bounded_buffer.hpp"
 #include "pcpc/queue/elastic_buffer.hpp"
 #include "pcpc/queue/mpsc_queue.hpp"
+#include "pcpc/queue/placement.hpp"
 #include "pcpc/queue/spsc_ring.hpp"
 
 namespace pcpc::queue {
@@ -271,17 +272,20 @@ class LockFreeHandoff : public Handoff<T> {
 
  protected:
   /// Pool-backed: starts at the consumer's B0 share, max capacity Bg.
+  /// `placement` selects where the queue's slot array lives (heap by
+  /// default; an OffsetSlots queue type takes a caller-placed region).
   LockFreeHandoff(BufferPool<T>& pool, std::uint32_t consumer,
-                  std::size_t base_segments)
+                  std::size_t base_segments, Placement placement = {})
       : queue_(base_segments * pool.segment_size(),
-               std::max(pool.total_slots(), base_segments * pool.segment_size())),
+               std::max(pool.total_slots(), base_segments * pool.segment_size()),
+               placement),
         pool_(&pool),
         consumer_(consumer),
         segments_(base_segments) {}
 
   /// Standalone fixed-capacity (baseline host): no pool accounting.
   LockFreeHandoff(std::size_t capacity, std::uint32_t consumer)
-      : queue_(capacity), pool_(nullptr), consumer_(consumer) {}
+      : queue_(capacity, capacity, Placement{}), pool_(nullptr), consumer_(consumer) {}
 
   Queue queue_;
 
@@ -294,13 +298,13 @@ class LockFreeHandoff : public Handoff<T> {
   OnlineStats capacity_samples_;
 };
 
-template <typename T>
-class SpscHandoff final : public LockFreeHandoff<T, SpscRing<T>> {
-  using Base = LockFreeHandoff<T, SpscRing<T>>;
+template <typename T, template <typename> class SlotsTmpl = HeapSlots>
+class SpscHandoff final : public LockFreeHandoff<T, SpscRing<T, SlotsTmpl>> {
+  using Base = LockFreeHandoff<T, SpscRing<T, SlotsTmpl>>;
 
  public:
-  SpscHandoff(BufferPool<T>& pool, std::uint32_t consumer)
-      : Base(pool, consumer, pool.grant_base_segments()) {}
+  SpscHandoff(BufferPool<T>& pool, std::uint32_t consumer, Placement placement = {})
+      : Base(pool, consumer, pool.grant_base_segments(), placement) {}
   SpscHandoff(std::size_t capacity, std::uint32_t consumer)
       : Base(capacity, consumer) {}
 
@@ -308,13 +312,14 @@ class SpscHandoff final : public LockFreeHandoff<T, SpscRing<T>> {
   void flush() override { this->queue_.flush(); }
 };
 
-template <typename T>
-class MpscHandoff final : public LockFreeHandoff<T, MpscSegQueue<T>> {
-  using Base = LockFreeHandoff<T, MpscSegQueue<T>>;
+template <typename T, template <typename> class SlotsTmpl = HeapSlots>
+class MpscHandoff final
+    : public LockFreeHandoff<T, MpscSegQueue<T, 64, SlotsTmpl>> {
+  using Base = LockFreeHandoff<T, MpscSegQueue<T, 64, SlotsTmpl>>;
 
  public:
-  MpscHandoff(BufferPool<T>& pool, std::uint32_t consumer)
-      : Base(pool, consumer, pool.grant_base_segments()) {}
+  MpscHandoff(BufferPool<T>& pool, std::uint32_t consumer, Placement placement = {})
+      : Base(pool, consumer, pool.grant_base_segments(), placement) {}
   MpscHandoff(std::size_t capacity, std::uint32_t consumer)
       : Base(capacity, consumer) {}
 
@@ -367,6 +372,40 @@ std::unique_ptr<Handoff<T>> make_pool_handoff(BackendKind kind, BufferPool<T>& p
     case BackendKind::Mutex: return std::make_unique<ElasticHandoff<T>>(pool, consumer);
     case BackendKind::SpscRing: return std::make_unique<SpscHandoff<T>>(pool, consumer);
     case BackendKind::MpscSeg: return std::make_unique<MpscHandoff<T>>(pool, consumer);
+  }
+  return nullptr;
+}
+
+/// Worst-case slot-array bytes a placed pool hand-off may need for this
+/// pool (max capacity saturates at Bg; one extra segment covers the
+/// emergency-overcommit corner where a base grant exceeds the pool).
+template <typename T>
+std::size_t placed_handoff_bytes(BackendKind kind, const BufferPool<T>& pool) {
+  const std::size_t max_cap = pool.total_slots() + pool.segment_size();
+  switch (kind) {
+    case BackendKind::Mutex: return 0;  // deque storage cannot be placed
+    case BackendKind::SpscRing: return SpscRing<T>::placement_bytes(max_cap);
+    case BackendKind::MpscSeg: return MpscSegQueue<T>::placement_bytes(max_cap);
+  }
+  return 0;
+}
+
+/// Pool-backed hand-off whose slot array lives in a caller-placed region
+/// (e.g. a shared-memory mapping) instead of the heap — the placement-
+/// agnostic face of the lock-free backends.  Size the region with
+/// placed_handoff_bytes().  Mutex has no placed variant (deque storage);
+/// callers get nullptr and should fall back to make_pool_handoff.
+template <typename T>
+std::unique_ptr<Handoff<T>> make_placed_pool_handoff(BackendKind kind,
+                                                     BufferPool<T>& pool,
+                                                     std::uint32_t consumer,
+                                                     Placement placement) {
+  switch (kind) {
+    case BackendKind::Mutex: return nullptr;
+    case BackendKind::SpscRing:
+      return std::make_unique<SpscHandoff<T, OffsetSlots>>(pool, consumer, placement);
+    case BackendKind::MpscSeg:
+      return std::make_unique<MpscHandoff<T, OffsetSlots>>(pool, consumer, placement);
   }
   return nullptr;
 }

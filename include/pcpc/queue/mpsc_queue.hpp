@@ -1,23 +1,30 @@
 // Linked-segment multi-producer/single-consumer queue.
 //
 // Shaped after Jiffy (Adas & Friedman, "Jiffy: A Fast, Memory Efficient,
-// Wait-Free Multi-Producer Single-Consumer Queue"): storage is a linked
-// list of fixed-size segments, producers claim slots with a single
-// fetch_add on a global ticket and publish each item with one release
-// store to the slot's sequence word, and the lone consumer walks the
-// segment links in order.  Two deliberate divergences, both motivated by
-// the paper this repo reproduces:
+// Wait-Free Multi-Producer Single-Consumer Queue"): storage is a sequence
+// of fixed-size segments, producers claim slots with a single fetch_add
+// on a global ticket and publish each item with one release store to the
+// slot's sequence word, and the lone consumer walks the segments in
+// order.  Two deliberate divergences, both motivated by the paper this
+// repo reproduces:
 //
-//   - Segments are preallocated and linked into a ring at construction
-//     instead of allocated on demand.  The paper's Section V-C insists
-//     the global buffer Bg be preallocated ("using linked lists … not
-//     actual contiguous resizing"), and a bounded ring makes the queue
-//     allocation-free and reclamation-free on the hot path — no hazard
-//     pointers, no epoch scheme, nothing for a sanitizer to find.
+//   - Segments are preallocated at construction instead of allocated on
+//     demand.  The paper's Section V-C insists the global buffer Bg be
+//     preallocated ("using linked lists … not actual contiguous
+//     resizing"), and a bounded ring makes the queue allocation-free and
+//     reclamation-free on the hot path — no hazard pointers, no epoch
+//     scheme, nothing for a sanitizer to find.
 //   - The queue is bounded by a *logical* capacity enforced with an
 //     admission counter, adjustable at runtime, so the PBPL hosts keep
 //     elastic resizing and the four overflow policies working unchanged
 //     on top of it.
+//
+// Storage note: the preallocated segments form one contiguous slot array
+// addressed by `ticket % n_slots` — pure offset arithmetic, no pointers
+// — so the array can be carried by any placement policy (placement.hpp):
+// the heap by default, or a caller-placed region for the pcpc::ipc
+// shared-memory host.  Segment boundaries survive only as the kSegSlots
+// rounding of the physical slot count.
 //
 // Slot handoff uses per-slot sequence numbers (the Vyukov bounded-queue
 // handshake): the producer holding ticket t waits for seq == t, writes,
@@ -26,7 +33,7 @@
 // holding ticket t + N_slots to reuse the slot.  Sequence numbers are
 // monotone, so a stale read can only mean "keep waiting" — there is no
 // ABA window.  The admission counter makes the producer's wait provably
-// short: the ring holds max_capacity + producer_slack + 1 slots, so a
+// short: the array holds max_capacity + producer_slack + 1 slots, so a
 // ticket N_slots ahead can only be issued after the consumer has already
 // popped (and re-sequenced) the slot's previous occupant; the wait only
 // covers cache propagation of that store.
@@ -47,48 +54,52 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
-#include <memory>
 #include <optional>
 #include <span>
 #include <thread>
-#include <vector>
 
 #include "pcpc/common/assert.hpp"
+#include "pcpc/queue/placement.hpp"
 
 namespace pcpc::queue {
 
-template <typename T, std::size_t kSegSlots = 64>
+/// One ticket's cell: the Vyukov sequence word plus the payload.
+template <typename T>
+struct MpscSlot {
+  std::atomic<std::uint64_t> seq{0};
+  T value{};
+};
+
+template <typename T, std::size_t kSegSlots = 64,
+          template <typename> class SlotsTmpl = HeapSlots>
 class MpscSegQueue {
  public:
+  using Slot = MpscSlot<T>;
+
   /// `capacity` is the initial logical bound, `max_capacity` the largest
   /// it may ever be raised to (0 = same as capacity).  `producer_slack`
   /// bounds how many producer threads may be inside try_push at once.
+  /// `placement` selects where the slot array lives (see placement.hpp).
   explicit MpscSegQueue(std::size_t capacity, std::size_t max_capacity = 0,
-                        std::size_t producer_slack = 128)
+                        std::size_t producer_slack = 128, Placement placement = {})
       : max_capacity_(max_capacity == 0 ? capacity : max_capacity),
-        slack_(producer_slack) {
+        slack_(producer_slack),
+        n_slots_(physical_slots_u64(max_capacity_, producer_slack)),
+        slots_(static_cast<std::size_t>(n_slots_), placement) {
     PCPC_ASSERT_MSG(capacity > 0, "mpsc queue capacity must be positive");
     PCPC_ASSERT_MSG(capacity <= max_capacity_, "capacity above max_capacity");
-    const std::size_t slots_needed = max_capacity_ + slack_ + 1;
-    const std::size_t nsegs = (slots_needed + kSegSlots - 1) / kSegSlots;
-    segments_.reserve(nsegs);
-    for (std::size_t i = 0; i < nsegs; ++i) {
-      segments_.push_back(std::make_unique<Segment>());
-      for (std::size_t s = 0; s < kSegSlots; ++s) {
-        // Physical slot p expects its first producer to hold ticket p.
-        segments_[i]->slots[s].seq.store(
-            static_cast<std::uint64_t>(i * kSegSlots + s), std::memory_order_relaxed);
-      }
+    // Physical slot p expects its first producer to hold ticket p.
+    for (std::uint64_t p = 0; p < n_slots_; ++p) {
+      slots_.data()[static_cast<std::size_t>(p)].seq.store(p, std::memory_order_relaxed);
     }
-    // Link the preallocated segments into a ring; the consumer follows
-    // next pointers, producers address segments directly by ticket.
-    for (std::size_t i = 0; i < nsegs; ++i) {
-      segments_[i]->next = segments_[(i + 1) % nsegs].get();
-    }
-    n_slots_ = static_cast<std::uint64_t>(nsegs * kSegSlots);
-    head_seg_ = segments_[0].get();
     logical_capacity_.store(capacity, std::memory_order_relaxed);
   }
+
+  /// Placement with the default producer slack — the uniform
+  /// (capacity, max, placement) shape the Handoff adapters construct
+  /// through for every lock-free queue type.
+  MpscSegQueue(std::size_t capacity, std::size_t max_capacity, Placement placement)
+      : MpscSegQueue(capacity, max_capacity, 128, placement) {}
 
   MpscSegQueue(const MpscSegQueue&) = delete;
   MpscSegQueue& operator=(const MpscSegQueue&) = delete;
@@ -154,7 +165,7 @@ class MpscSegQueue {
   /// when the head slot has no published item (empty queue, or its
   /// producer is mid-publication).
   std::optional<T> try_pop() {
-    Slot& slot = head_seg_->slots[static_cast<std::size_t>(head_ % kSegSlots)];
+    Slot& slot = slot_of(head_);
     if (slot.seq.load(std::memory_order_acquire) != head_ + 1) return std::nullopt;
     T value = std::move(slot.value);
     // Re-sequence the slot for its next producer, one ring revolution
@@ -162,25 +173,23 @@ class MpscSegQueue {
     // against the eventual overwrite.
     slot.seq.store(head_ + n_slots_, std::memory_order_release);
     ++head_;
-    if (head_ % kSegSlots == 0) head_seg_ = head_seg_->next;
     size_.fetch_sub(1, std::memory_order_release);
     return value;
   }
 
   /// Removes up to `out.size()` published items in strict ticket order,
-  /// walking the preallocated segments in place and adjusting the
-  /// admission counter ONCE for the whole run (the per-slot re-sequencing
-  /// stores stay — they are the producer handshake).  Stops early at the
-  /// first unpublished slot, exactly like repeated try_pop would.
+  /// walking the preallocated slots in place and adjusting the admission
+  /// counter ONCE for the whole run (the per-slot re-sequencing stores
+  /// stay — they are the producer handshake).  Stops early at the first
+  /// unpublished slot, exactly like repeated try_pop would.
   std::size_t pop_bulk(std::span<T> out) {
     std::size_t n = 0;
     while (n < out.size()) {
-      Slot& slot = head_seg_->slots[static_cast<std::size_t>(head_ % kSegSlots)];
+      Slot& slot = slot_of(head_);
       if (slot.seq.load(std::memory_order_acquire) != head_ + 1) break;
       out[n++] = std::move(slot.value);
       slot.seq.store(head_ + n_slots_, std::memory_order_release);
       ++head_;
-      if (head_ % kSegSlots == 0) head_seg_ = head_seg_->next;
     }
     if (n > 0) size_.fetch_sub(n, std::memory_order_release);
     return n;
@@ -213,37 +222,44 @@ class MpscSegQueue {
 
   std::size_t max_capacity() const { return max_capacity_; }
 
- private:
-  struct Slot {
-    std::atomic<std::uint64_t> seq{0};
-    T value{};
-  };
+  /// Physical slot count for a (max_capacity, producer_slack) pair —
+  /// exposed so a shm layout can size an OffsetSlots placement region.
+  static std::size_t physical_slots(std::size_t max_capacity,
+                                    std::size_t producer_slack = 128) {
+    return static_cast<std::size_t>(physical_slots_u64(max_capacity, producer_slack));
+  }
 
-  struct Segment {
-    Slot slots[kSegSlots];
-    Segment* next = nullptr;
-  };
+  /// Bytes an OffsetSlots placement region must provide.
+  static std::size_t placement_bytes(std::size_t max_capacity,
+                                     std::size_t producer_slack = 128) {
+    return physical_slots(max_capacity, producer_slack) * sizeof(Slot);
+  }
+
+ private:
+  static std::uint64_t physical_slots_u64(std::size_t max_capacity,
+                                          std::size_t producer_slack) {
+    const std::size_t slots_needed = max_capacity + producer_slack + 1;
+    const std::size_t nsegs = (slots_needed + kSegSlots - 1) / kSegSlots;
+    return static_cast<std::uint64_t>(nsegs * kSegSlots);
+  }
 
   std::uint64_t cap64() const {
     return static_cast<std::uint64_t>(logical_capacity_.load(std::memory_order_relaxed));
   }
 
   Slot& slot_of(std::uint64_t ticket) {
-    const std::uint64_t p = ticket % n_slots_;
-    return segments_[static_cast<std::size_t>(p / kSegSlots)]
-        ->slots[static_cast<std::size_t>(p % kSegSlots)];
+    return slots_.data()[static_cast<std::size_t>(ticket % n_slots_)];
   }
 
   const std::size_t max_capacity_;
   const std::size_t slack_;
-  std::vector<std::unique_ptr<Segment>> segments_;
-  std::uint64_t n_slots_ = 0;
+  const std::uint64_t n_slots_;
+  SlotsTmpl<Slot> slots_;
 
   alignas(64) std::atomic<std::uint64_t> size_{0};         ///< admission counter
   alignas(64) std::atomic<std::uint64_t> tail_ticket_{0};  ///< slot tickets
   alignas(64) std::atomic<std::size_t> logical_capacity_{1};
   alignas(64) std::uint64_t head_ = 0;  ///< consumer-private position
-  Segment* head_seg_ = nullptr;         ///< consumer-private segment cursor
 };
 
 }  // namespace pcpc::queue

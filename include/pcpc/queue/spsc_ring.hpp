@@ -22,6 +22,11 @@
 // storage itself stays preallocated — exactly the spirit of the paper's
 // preallocated global buffer Bg.
 //
+// Slot storage is placement-agnostic (placement.hpp): HeapSlots (the
+// default, owned array) or OffsetSlots (caller-placed, self-relative —
+// how the pcpc::ipc host puts ring segments in shared memory).  The
+// admission/index logic is byte-identical across placements.
+//
 // Thread contract: try_push/flush from ONE producer thread at a time;
 // try_pop/size-from-consumer/set_capacity from ONE consumer thread at a
 // time.  Either role may migrate between threads if the migration itself
@@ -33,22 +38,24 @@
 #include <cstdint>
 #include <optional>
 #include <span>
-#include <vector>
 
 #include "pcpc/common/assert.hpp"
+#include "pcpc/queue/placement.hpp"
 
 namespace pcpc::queue {
 
-template <typename T>
+template <typename T, template <typename> class SlotsTmpl = HeapSlots>
 class SpscRing {
  public:
   /// `max_capacity` bounds the logical capacity forever (physical slots
   /// are allocated once, rounded up to a power of two).  The initial
   /// logical capacity is `capacity`, clamped into [1, max_capacity].
-  explicit SpscRing(std::size_t capacity, std::size_t max_capacity = 0)
+  /// `placement` selects where the slot array lives (see placement.hpp).
+  explicit SpscRing(std::size_t capacity, std::size_t max_capacity = 0,
+                    Placement placement = {})
       : max_capacity_(max_capacity == 0 ? capacity : max_capacity),
         mask_(round_up_pow2(max_capacity_) - 1),
-        slots_(mask_ + 1) {
+        slots_(mask_ + 1, placement) {
     PCPC_ASSERT_MSG(capacity > 0, "spsc ring capacity must be positive");
     PCPC_ASSERT_MSG(capacity <= max_capacity_, "capacity above max_capacity");
     logical_capacity_.store(capacity, std::memory_order_relaxed);
@@ -71,7 +78,7 @@ class SpscRing {
         return false;
       }
     }
-    slots_[static_cast<std::size_t>(t) & mask_] = std::move(value);
+    slot(static_cast<std::size_t>(t) & mask_) = std::move(value);
     prod_.tail_local = t + 1;
     if (++prod_.pending >= prod_.publish_batch) flush();
     return true;
@@ -92,7 +99,7 @@ class SpscRing {
     const std::size_t n = static_cast<std::size_t>(
         std::min<std::uint64_t>(items.size(), space));
     for (std::size_t i = 0; i < n; ++i) {
-      slots_[static_cast<std::size_t>(t + i) & mask_] = items[i];
+      slot(static_cast<std::size_t>(t + i) & mask_) = items[i];
     }
     prod_.tail_local = t + n;
     prod_.pending += n;
@@ -124,7 +131,7 @@ class SpscRing {
       cons_.cached_tail = tail_.index.load(std::memory_order_acquire);
       if (h == cons_.cached_tail) return std::nullopt;
     }
-    T value = std::move(slots_[static_cast<std::size_t>(h) & mask_]);
+    T value = std::move(slot(static_cast<std::size_t>(h) & mask_));
     cons_.head_local = h + 1;
     head_.index.store(h + 1, std::memory_order_release);
     return value;
@@ -151,8 +158,8 @@ class SpscRing {
           std::min<std::uint64_t>(out.size() - n, cons_.cached_tail - h));
       const std::size_t start = static_cast<std::size_t>(h) & mask_;
       const std::size_t first = std::min(take, mask_ + 1 - start);
-      for (std::size_t i = 0; i < first; ++i) out[n + i] = std::move(slots_[start + i]);
-      for (std::size_t i = first; i < take; ++i) out[n + i] = std::move(slots_[i - first]);
+      for (std::size_t i = 0; i < first; ++i) out[n + i] = std::move(slot(start + i));
+      for (std::size_t i = first; i < take; ++i) out[n + i] = std::move(slot(i - first));
       cons_.head_local = h + take;
       n += take;
     }
@@ -187,6 +194,16 @@ class SpscRing {
 
   std::size_t max_capacity() const { return max_capacity_; }
 
+  /// Physical slot count for a given max capacity (shm layout sizing).
+  static std::size_t physical_slots(std::size_t max_capacity) {
+    return round_up_pow2(max_capacity);
+  }
+
+  /// Bytes an OffsetSlots placement region must provide.
+  static std::size_t placement_bytes(std::size_t max_capacity) {
+    return physical_slots(max_capacity) * sizeof(T);
+  }
+
  private:
   static std::size_t round_up_pow2(std::size_t n) {
     std::size_t p = 1;
@@ -217,9 +234,11 @@ class SpscRing {
     std::uint64_t cached_tail = 0;
   };
 
+  T& slot(std::size_t i) { return slots_.data()[i]; }
+
   const std::size_t max_capacity_;
   const std::size_t mask_;
-  std::vector<T> slots_;
+  SlotsTmpl<T> slots_;
   SharedIndex head_;  ///< consumer publishes consumption here
   SharedIndex tail_;  ///< producer publishes production here
   alignas(64) std::atomic<std::size_t> logical_capacity_;

@@ -1,0 +1,168 @@
+#include "pcpc/ipc/shm.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "pcpc/common/assert.hpp"
+#include "pcpc/common/logging.hpp"
+
+namespace pcpc::ipc {
+
+namespace {
+
+constexpr std::uint64_t kReadyMagic = 0x70637063'69706331ULL;  // "pcpcipc1"
+
+void set_error(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what + ": " + std::strerror(errno);
+}
+
+std::atomic<std::uint64_t>* ready_word(void* base) {
+  return reinterpret_cast<std::atomic<std::uint64_t>*>(base);
+}
+
+}  // namespace
+
+ShmSegment::~ShmSegment() {
+  if (base_ != nullptr) ::munmap(base_, bytes_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+ShmSegment::ShmSegment(ShmSegment&& other) noexcept
+    : base_(other.base_), bytes_(other.bytes_), fd_(other.fd_), owner_(other.owner_),
+      name_(std::move(other.name_)) {
+  other.base_ = nullptr;
+  other.bytes_ = 0;
+  other.fd_ = -1;
+  other.owner_ = false;
+}
+
+ShmSegment& ShmSegment::operator=(ShmSegment&& other) noexcept {
+  if (this != &other) {
+    if (base_ != nullptr) ::munmap(base_, bytes_);
+    if (fd_ >= 0) ::close(fd_);
+    base_ = other.base_;
+    bytes_ = other.bytes_;
+    fd_ = other.fd_;
+    owner_ = other.owner_;
+    name_ = std::move(other.name_);
+    other.base_ = nullptr;
+    other.bytes_ = 0;
+    other.fd_ = -1;
+    other.owner_ = false;
+  }
+  return *this;
+}
+
+ShmSegment ShmSegment::create(const std::string& name, std::size_t bytes,
+                              std::string* error) {
+  ShmSegment seg;
+  const std::size_t total = bytes + payload_offset();
+  int fd = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd < 0 && errno == EEXIST) {
+    // A previous owner crashed without unlinking: reclaim the name.  Any
+    // still-attached peer keeps its old mapping; new peers get ours.
+    PCPC_WARN << "ShmSegment: reclaiming stale segment " << name;
+    ::shm_unlink(name.c_str());
+    fd = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  }
+  if (fd < 0) {
+    set_error(error, "shm_open(" + name + ")");
+    return seg;
+  }
+  if (::ftruncate(fd, static_cast<off_t>(total)) != 0) {
+    set_error(error, "ftruncate(" + name + ")");
+    ::close(fd);
+    ::shm_unlink(name.c_str());
+    return seg;
+  }
+  void* base = ::mmap(nullptr, total, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (base == MAP_FAILED) {
+    set_error(error, "mmap(" + name + ")");
+    ::close(fd);
+    ::shm_unlink(name.c_str());
+    return seg;
+  }
+  seg.base_ = base;
+  seg.bytes_ = total;
+  seg.fd_ = fd;
+  seg.owner_ = true;
+  seg.name_ = name;
+  return seg;
+}
+
+ShmSegment ShmSegment::attach(const std::string& name, const AttachOptions& options,
+                              std::string* error) {
+  ShmSegment seg;
+  std::int64_t backoff_ms = options.initial_backoff_ms;
+  std::string why = "segment never appeared";
+  for (int attempt = 0; attempt < options.attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, options.max_backoff_ms);
+    }
+    const int fd = ::shm_open(name.c_str(), O_RDWR, 0600);
+    if (fd < 0) {
+      why = std::string("shm_open: ") + std::strerror(errno);
+      continue;
+    }
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || st.st_size < static_cast<off_t>(payload_offset())) {
+      // Exists but the creator has not sized it yet.
+      why = "segment not yet sized";
+      ::close(fd);
+      continue;
+    }
+    void* base = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                        PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+    if (base == MAP_FAILED) {
+      why = std::string("mmap: ") + std::strerror(errno);
+      ::close(fd);
+      continue;
+    }
+    if (ready_word(base)->load(std::memory_order_acquire) != kReadyMagic) {
+      // Mapped mid-construction; back off and retry.
+      why = "segment not yet marked ready";
+      ::munmap(base, static_cast<std::size_t>(st.st_size));
+      ::close(fd);
+      continue;
+    }
+    seg.base_ = base;
+    seg.bytes_ = static_cast<std::size_t>(st.st_size);
+    seg.fd_ = fd;
+    seg.owner_ = false;
+    seg.name_ = name;
+    return seg;
+  }
+  if (error != nullptr) {
+    *error = "attach(" + name + ") gave up after " + std::to_string(options.attempts) +
+             " attempts (" + why + ")";
+  }
+  return seg;
+}
+
+void ShmSegment::mark_ready() {
+  PCPC_ASSERT_MSG(valid() && owner_, "mark_ready on a non-owner segment");
+  ready_word(base_)->store(kReadyMagic, std::memory_order_release);
+}
+
+void ShmSegment::unlink() {
+  if (!name_.empty()) ::shm_unlink(name_.c_str());
+}
+
+void* ShmSegment::payload() const {
+  return static_cast<char*>(base_) + payload_offset();
+}
+
+std::size_t ShmSegment::payload_offset() {
+  return 64;  // ready marker in its own cache line, payload cache-aligned
+}
+
+}  // namespace pcpc::ipc

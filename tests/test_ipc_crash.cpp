@@ -1,0 +1,487 @@
+// Kill-chaos harness for the pcpc::ipc cross-process host.
+//
+// Forks REAL producer processes against a consumer in the test process
+// and SIGKILLs/SIGSTOPs them at seeded protocol points (after-claim,
+// mid-publish, after-publish — drawn from the same FaultInjector streams
+// as every other chaos suite).  The properties are the channel's whole
+// reason to exist:
+//
+//   - conservation: admitted tickets == consumed + reclaimed, exactly,
+//     no matter where producers die (the ticket word is the ground truth
+//     the attempt-level counters are then bounded against);
+//   - no wedge: the consumer always finishes draining within a deadline
+//     after the last producer dies — dead leases and holes are reclaimed,
+//     never waited on forever;
+//   - SIGSTOP is not death: a suspended producer's lease is honored (no
+//     reclaim) and its publish completes after SIGCONT;
+//   - paid-wakeup exactness: the obs ledger's paid total equals the
+//     channel's futex-wake counter identically;
+//   - graceful degradation: a producer facing a dead consumer gets
+//     kConsumerDead from bounded retry, not a hang.
+//
+// Fork-based: runs under ASan/UBSan; skipped under TSan, whose runtime
+// does not survive fork-without-exec in multithreaded images.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pcpc/fault/fault_injector.hpp"
+#include "pcpc/ipc/channel.hpp"
+#include "pcpc/obs/obs.hpp"
+
+#if defined(__SANITIZE_THREAD__)
+#define PCPC_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PCPC_TSAN 1
+#endif
+#endif
+#ifndef PCPC_TSAN
+#define PCPC_TSAN 0
+#endif
+
+#define PCPC_SKIP_UNDER_TSAN()                                              \
+  do {                                                                      \
+    if (PCPC_TSAN) GTEST_SKIP() << "fork-based harness incompatible with TSan"; \
+  } while (0)
+
+namespace pcpc::ipc {
+namespace {
+
+std::string unique_name(const char* tag) {
+  static std::atomic<int> counter{0};
+  return "/pcpc_" + std::string(tag) + "_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1));
+}
+
+std::uint64_t tag_item(std::uint64_t producer, std::uint64_t seq) {
+  return (producer << 32) | seq;
+}
+
+ChannelConfig chaos_config() {
+  ChannelConfig cfg;
+  cfg.capacity = 256;
+  cfg.lease_ns = 2'000'000;            // 2 ms hole aging
+  cfg.heartbeat_period_ns = 500'000;   // 0.5 ms Delta
+  cfg.heartbeat_timeout_ns = 4'000'000;
+  cfg.wake_threshold = 8;
+  return cfg;
+}
+
+ProducerConfig child_producer_config() {
+  ProducerConfig cfg;
+  cfg.attach.attempts = 100;
+  cfg.attach.initial_backoff_ms = 1;
+  cfg.attach.max_backoff_ms = 20;
+  cfg.full_retries = 1000;
+  return cfg;
+}
+
+/// Child body: attach, push `n_items` tagged values, self-SIGKILL at the
+/// injector-chosen crash point when the seed says so.  Children must
+/// _exit — never return into gtest.
+[[noreturn]] void chaos_producer_child(const std::string& name, std::uint64_t child_idx,
+                                       std::uint64_t seed, std::uint64_t n_items) {
+  fault::FaultConfig fault_cfg;
+  fault_cfg.seed = seed * 1000003 + child_idx;
+  fault_cfg.kill_probability = 0.001;  // ~45% of children die per run
+  fault::FaultInjector injector(fault_cfg);
+
+  auto producer = Producer::attach(name, child_producer_config());
+  if (!producer.has_value()) _exit(2);
+  for (std::uint64_t seq = 0; seq < n_items; ++seq) {
+    const int crash_point = injector.process_crash_point();
+    if (crash_point >= 0) {
+      producer->set_crash_hook([crash_point](CrashPoint point) {
+        if (static_cast<int>(point) == crash_point) ::kill(::getpid(), SIGKILL);
+      });
+    } else {
+      producer->set_crash_hook(nullptr);
+    }
+    producer->push(tag_item(child_idx, seq));
+  }
+  producer->detach();
+  _exit(0);
+}
+
+struct ChaosOutcome {
+  std::size_t killed = 0;
+  std::size_t clean = 0;
+  std::uint64_t consumed_items = 0;
+  ConservationReport report;
+};
+
+/// One seeded schedule: 3 forked producers vs the in-test consumer.
+/// Fills *outcome; fails the test on conservation/order violations.
+void run_chaos_schedule(std::uint64_t seed, ChaosOutcome* outcome) {
+  constexpr std::size_t kProducers = 3;
+  constexpr std::uint64_t kItems = 600;
+  const std::string name = unique_name("chaos");
+
+  auto consumer = Consumer::create(name, chaos_config());
+  ASSERT_TRUE(consumer.has_value());
+
+  std::vector<pid_t> children;
+  for (std::size_t i = 0; i < kProducers; ++i) {
+    const pid_t pid = ::fork();
+    if (pid == 0) chaos_producer_child(name, i, seed, kItems);
+    ASSERT_GT(pid, 0) << "fork failed";
+    children.push_back(pid);
+  }
+
+  std::vector<std::uint64_t> next_seq(kProducers, 0);
+  std::size_t order_violations = 0;
+  auto on_item = [&](std::uint64_t value) {
+    const std::uint64_t idx = value >> 32;
+    const std::uint64_t seq = value & 0xffffffffULL;
+    if (idx >= kProducers || seq < next_seq[idx]) {
+      ++order_violations;
+    } else {
+      next_seq[idx] = seq + 1;  // gaps allowed (drops); regressions are not
+    }
+    ++outcome->consumed_items;
+  };
+
+  std::size_t live = children.size();
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (true) {
+    consumer->drain(on_item);
+    consumer->reap();
+    for (pid_t& pid : children) {
+      if (pid == 0) continue;
+      int status = 0;
+      if (::waitpid(pid, &status, WNOHANG) == pid) {
+        if (WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL) ++outcome->killed;
+        if (WIFEXITED(status)) {
+          EXPECT_EQ(WEXITSTATUS(status), 0) << "producer child failed to attach";
+          ++outcome->clean;
+        }
+        pid = 0;
+        --live;
+      }
+    }
+    if (live == 0) {
+      consumer->drain(on_item);
+      consumer->reap();
+      const ConservationReport rep = consumer->report();
+      if (rep.residue == 0) break;
+    }
+    consumer->wait(/*timeout_ns=*/500'000);
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "consumer wedged: residue=" << consumer->report().residue
+        << " after all producers exited (seed " << seed << ")";
+  }
+
+  outcome->report = consumer->report();
+  EXPECT_EQ(order_violations, 0u) << "seed " << seed;
+
+  // The conservation identity, exact: every admitted ticket resolved.
+  EXPECT_EQ(outcome->report.admitted,
+            outcome->report.consumed + outcome->report.reclaimed)
+      << "seed " << seed;
+  // Published items are never reclaimed, so producer-acked pushes bound
+  // consumed from below; a producer dying between its publish CAS and
+  // its counter bump accounts for at most one item per kill.
+  EXPECT_LE(outcome->report.acked_pushes, outcome->report.consumed)
+      << "seed " << seed;
+  EXPECT_LE(outcome->report.consumed,
+            outcome->report.acked_pushes + outcome->killed)
+      << "seed " << seed;
+  // Each producer holds at most one unresolved ticket when it dies.
+  EXPECT_LE(outcome->report.reclaimed, outcome->killed) << "seed " << seed;
+  EXPECT_EQ(outcome->consumed_items, outcome->report.consumed) << "seed " << seed;
+}
+
+TEST(IpcCrash, KillChaosConservationAcrossSeededSchedules) {
+  PCPC_SKIP_UNDER_TSAN();
+  constexpr std::uint64_t kSchedules = 100;
+  std::size_t total_killed = 0;
+  std::size_t total_clean = 0;
+  std::uint64_t total_reclaimed = 0;
+  for (std::uint64_t seed = 1; seed <= kSchedules; ++seed) {
+    if (testing::Test::HasFatalFailure()) break;
+    ChaosOutcome outcome;
+    run_chaos_schedule(seed, &outcome);
+    total_killed += outcome.killed;
+    total_clean += outcome.clean;
+    total_reclaimed += outcome.report.reclaimed;
+  }
+  // The schedule mix must actually exercise both fates, or the suite is
+  // testing nothing: with kill_probability 0.001 over 600 pushes about
+  // half the children die, spread across all three crash points.
+  EXPECT_GE(total_killed, kSchedules / 2);
+  EXPECT_GE(total_clean, kSchedules / 2);
+  // And some deaths must have left work to reclaim (holes/leases).
+  EXPECT_GT(total_reclaimed, 0u);
+}
+
+TEST(IpcCrash, SigstopHolderKeepsLeaseUntilCont) {
+  PCPC_SKIP_UNDER_TSAN();
+  const std::string name = unique_name("stop");
+  ChannelConfig cfg = chaos_config();
+  auto consumer = Consumer::create(name, cfg);
+  ASSERT_TRUE(consumer.has_value());
+
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    auto producer = Producer::attach(name, child_producer_config());
+    if (!producer.has_value()) _exit(2);
+    // Self-suspend while holding the write lease of item 5 (the sixth
+    // publish): the stopped process is alive, so the consumer must
+    // honor the lease while items 0..4 drain normally.
+    producer->set_crash_hook([](CrashPoint point) {
+      static int publishes = 0;
+      if (point == CrashPoint::kMidPublish && ++publishes == 6) ::raise(SIGSTOP);
+    });
+    for (std::uint64_t seq = 0; seq < 10; ++seq) {
+      producer->push(tag_item(0, seq));
+    }
+    producer->detach();
+    _exit(0);
+  }
+  ASSERT_GT(pid, 0);
+
+  // Consume items 0..4, then observe the held lease for several lease
+  // periods: head must block WITHOUT reclaiming (the holder is alive).
+  std::uint64_t consumed = 0;
+  const auto stall_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (consumed < 5) {
+    consumed += consumer->drain([](std::uint64_t) {});
+    consumer->wait(500'000);
+    ASSERT_LT(std::chrono::steady_clock::now(), stall_deadline);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));  // >> lease_ns
+  consumer->drain([](std::uint64_t) {});
+  consumer->reap();
+  EXPECT_EQ(consumer->report().reclaimed, 0u)
+      << "reclaimed a SIGSTOPped (alive) producer's lease";
+
+  ::kill(pid, SIGCONT);
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (consumed < 10) {
+    consumed += consumer->drain([](std::uint64_t) {});
+    consumer->wait(500'000);
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "publish did not resume after SIGCONT";
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  const ConservationReport rep = consumer->report();
+  EXPECT_EQ(rep.admitted, rep.consumed);
+  EXPECT_EQ(rep.reclaimed, 0u);
+}
+
+TEST(IpcCrash, PaidWakeupsMatchFutexWakeCountExactly) {
+  PCPC_SKIP_UNDER_TSAN();
+  if (!kFutexSupported) GTEST_SKIP() << "no futex on this platform";
+  const std::string name = unique_name("futex");
+  ChannelConfig cfg = chaos_config();
+  cfg.wake_threshold = 1;  // every published item may ring
+  auto consumer = Consumer::create(name, cfg);
+  ASSERT_TRUE(consumer.has_value());
+
+  obs::Session session;
+  constexpr std::uint64_t kItems = 5000;
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    auto producer = Producer::attach(name, child_producer_config());
+    if (!producer.has_value()) _exit(2);
+    for (std::uint64_t seq = 0; seq < kItems; ++seq) {
+      while (producer->push(seq) != PushResult::kOk) {
+      }
+    }
+    producer->detach();
+    _exit(0);
+  }
+  ASSERT_GT(pid, 0);
+
+  std::uint64_t consumed = 0;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (consumed < kItems) {
+    consumed += consumer->drain([](std::uint64_t) {});
+    if (consumed < kItems) consumer->wait(2'000'000);
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+
+  const ConservationReport rep = consumer->report();
+  EXPECT_EQ(rep.consumed, kItems);
+  // The exactness claim: every paid wake the ledger attributes is one
+  // producer-counted futex_wake, one-to-one, not approximately.
+  EXPECT_EQ(session.ledger().paid_total(), rep.futex_wakes);
+  EXPECT_GT(rep.futex_wakes, 0u);
+}
+
+TEST(IpcCrash, ProducerDegradesWhenConsumerDies) {
+  PCPC_SKIP_UNDER_TSAN();
+  const std::string name = unique_name("deadcons");
+  // The child owns the consumer; tell the parent the pid so it can kill it.
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ChannelConfig cfg = chaos_config();
+    auto consumer = Consumer::create(name, cfg);
+    if (!consumer.has_value()) _exit(2);
+    for (;;) {
+      consumer->drain([](std::uint64_t) {});
+      consumer->wait(1'000'000);
+    }
+  }
+  ASSERT_GT(pid, 0);
+
+  ProducerConfig pcfg = child_producer_config();
+  pcfg.full_retries = 50;
+  std::string error;
+  std::optional<Producer> producer;
+  const auto attach_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!producer.has_value()) {
+    producer = Producer::attach(name, pcfg, &error);
+    ASSERT_LT(std::chrono::steady_clock::now(), attach_deadline) << error;
+  }
+  EXPECT_EQ(producer->push(1), PushResult::kOk);
+
+  ::kill(pid, SIGKILL);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+
+  // Bounded degradation: within the heartbeat timeout the registry
+  // proves the consumer dead and pushes fail fast instead of hanging.
+  const auto t0 = std::chrono::steady_clock::now();
+  PushResult last = PushResult::kOk;
+  const auto degrade_deadline = t0 + std::chrono::seconds(10);
+  while (last != PushResult::kConsumerDead) {
+    last = producer->push(2);
+    ASSERT_LT(std::chrono::steady_clock::now(), degrade_deadline)
+        << "push never surfaced kConsumerDead; last=" << push_result_name(last);
+  }
+  // Subsequent pushes fail immediately (no full retry loop burned).
+  const auto t1 = std::chrono::steady_clock::now();
+  EXPECT_EQ(producer->push(3), PushResult::kConsumerDead);
+  EXPECT_LT(std::chrono::steady_clock::now() - t1, std::chrono::seconds(1));
+
+  producer->detach();
+  ::shm_unlink(name.c_str());  // the killed child never unlinked
+}
+
+TEST(IpcCrash, RegistrySlotReusableAfterReap) {
+  PCPC_SKIP_UNDER_TSAN();
+  const std::string name = unique_name("reuse");
+  auto consumer = Consumer::create(name, chaos_config());
+  ASSERT_TRUE(consumer.has_value());
+
+  // Kill a producer mid-publish so it dies holding a lease.
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    auto producer = Producer::attach(name, child_producer_config());
+    if (!producer.has_value()) _exit(2);
+    producer->push(1);
+    producer->set_crash_hook([](CrashPoint point) {
+      if (point == CrashPoint::kMidPublish) ::kill(::getpid(), SIGKILL);
+    });
+    producer->push(2);
+    _exit(3);  // unreachable
+  }
+  ASSERT_GT(pid, 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL);
+
+  // Recovery: drain + reap until the lease is reclaimed AND the reaper
+  // has retired the dead registry entry (head-of-ring reclaim can beat
+  // the heartbeat-staleness bound; the registry slot frees only via reap).
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (consumer->report().residue != 0 || consumer->report().peers_reaped == 0) {
+    consumer->drain([](std::uint64_t) {});
+    consumer->reap();
+    consumer->wait(500'000);
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "lease never reclaimed";
+  }
+  ConservationReport rep = consumer->report();
+  EXPECT_EQ(rep.consumed, 1u);
+  EXPECT_EQ(rep.reclaimed, 1u);
+  EXPECT_EQ(rep.peers_reaped, 1u);
+
+  // The freed registry slot must accept a new producer, and the channel
+  // must keep flowing.
+  auto producer = Producer::attach(name, child_producer_config());
+  ASSERT_TRUE(producer.has_value());
+  EXPECT_EQ(producer->push(7), PushResult::kOk);
+  std::uint64_t got = 0;
+  const auto drain_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (consumer->drain([&](std::uint64_t v) { got = v; }) == 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), drain_deadline);
+  }
+  EXPECT_EQ(got, 7u);
+  rep = consumer->report();
+  EXPECT_EQ(rep.admitted, rep.consumed + rep.reclaimed);
+}
+
+TEST(IpcCrash, AttachBacksOffUntilCreationAndGivesUpCleanly) {
+  PCPC_SKIP_UNDER_TSAN();
+  const std::string name = unique_name("attach");
+
+  // Attach launched BEFORE the segment exists must succeed once the
+  // consumer shows up within the backoff budget.
+  std::optional<Consumer> consumer;
+  std::thread creator([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    consumer = Consumer::create(name, chaos_config());
+  });
+  ProducerConfig pcfg;
+  pcfg.attach.attempts = 50;
+  pcfg.attach.initial_backoff_ms = 2;
+  pcfg.attach.max_backoff_ms = 20;
+  std::string error;
+  auto producer = Producer::attach(name, pcfg, &error);
+  creator.join();
+  ASSERT_TRUE(producer.has_value()) << error;
+  ASSERT_TRUE(consumer.has_value());
+  EXPECT_EQ(producer->push(42), PushResult::kOk);
+
+  // A name nobody ever creates fails after bounded attempts, with the
+  // reason in the error string (the CLI logs this before falling back).
+  ProducerConfig missing;
+  missing.attach.attempts = 3;
+  missing.attach.initial_backoff_ms = 1;
+  missing.attach.max_backoff_ms = 2;
+  error.clear();
+  const auto t0 = std::chrono::steady_clock::now();
+  auto nope = Producer::attach(unique_name("never"), missing, &error);
+  EXPECT_FALSE(nope.has_value());
+  EXPECT_NE(error.find("gave up"), std::string::npos) << error;
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(5));
+}
+
+TEST(IpcCrash, AttachRejectsAbiMismatch) {
+  PCPC_SKIP_UNDER_TSAN();
+  const std::string name = unique_name("abi");
+  auto consumer = Consumer::create(name, chaos_config());
+  ASSERT_TRUE(consumer.has_value());
+  // Corrupt the guard in place: a producer built against a different
+  // layout must refuse to attach rather than scribble on the ring.
+  auto* hdr = const_cast<ChannelHeader*>(&consumer->header());
+  hdr->abi_guard ^= 0xdeadbeef;
+  std::string error;
+  ProducerConfig pcfg;
+  pcfg.attach.attempts = 2;
+  pcfg.attach.initial_backoff_ms = 1;
+  auto producer = Producer::attach(name, pcfg, &error);
+  EXPECT_FALSE(producer.has_value());
+  EXPECT_NE(error.find("ABI"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace pcpc::ipc

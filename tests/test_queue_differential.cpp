@@ -18,14 +18,18 @@
 // under racy stop(): produced == items + dropped().
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <memory>
 #include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "pcpc/common/rng.hpp"
 #include "pcpc/core/config.hpp"
+#include "pcpc/ipc/shm.hpp"
 #include "pcpc/queue/handoff.hpp"
 #include "pcpc/runtime/thread_baselines.hpp"
 #include "pcpc/runtime/thread_pbpl.hpp"
@@ -66,17 +70,13 @@ struct Outcome {
 };
 
 /// Single-threaded reference driver: one seeded op stream (pushes,
-/// partial drains, elastic resizes) against a pool-backed hand-off,
-/// applying one overflow policy exactly the way the hosts do.
-Outcome drive(BackendKind kind, OverflowPolicy policy, std::uint64_t seed) {
-  // Two consumers' worth of pool so there is headroom to borrow, but only
-  // one hand-off — the second share is the free pool the elastic wall
-  // moves against.
-  BufferPool<std::uint64_t> pool(/*consumers=*/2, /*base_capacity=*/24,
-                                 /*segment_size=*/8);
-  auto queue = make_pool_handoff<std::uint64_t>(kind, pool, /*consumer=*/0);
-
-  Outcome out;
+/// partial drains, elastic resizes) against a caller-supplied hand-off,
+/// applying one overflow policy exactly the way the hosts do.  Taking
+/// the hand-off as a parameter is what lets the same op stream run
+/// against heap-placed and shm-placed storage of the same backend.
+void drive_handoff(Handoff<std::uint64_t>& handoff, OverflowPolicy policy,
+                   std::uint64_t seed, Outcome& out) {
+  Handoff<std::uint64_t>* queue = &handoff;
   Rng rng(seed);
   std::uint64_t next_item = 1;
 
@@ -142,6 +142,41 @@ Outcome drive(BackendKind kind, OverflowPolicy policy, std::uint64_t seed) {
 
   while (auto item = queue->try_pop()) out.residue.push_back(*item);
   EXPECT_EQ(queue->overflows(), out.rejected_pushes);
+}
+
+/// Heap-placed run: two consumers' worth of pool so there is headroom to
+/// borrow, but only one hand-off — the second share is the free pool the
+/// elastic wall moves against.
+Outcome drive(BackendKind kind, OverflowPolicy policy, std::uint64_t seed) {
+  BufferPool<std::uint64_t> pool(/*consumers=*/2, /*base_capacity=*/24,
+                                 /*segment_size=*/8);
+  auto queue = make_pool_handoff<std::uint64_t>(kind, pool, /*consumer=*/0);
+  Outcome out;
+  drive_handoff(*queue, policy, seed, out);
+  return out;
+}
+
+/// Same workload, but the backend's slot array lives in a real
+/// MAP_SHARED shared-memory mapping (OffsetSlots placement) — the
+/// storage the pcpc::ipc host uses.  Placement must be semantically
+/// invisible: heap and shm runs must produce bit-identical outcomes.
+Outcome drive_in_shm(BackendKind kind, OverflowPolicy policy, std::uint64_t seed) {
+  BufferPool<std::uint64_t> pool(/*consumers=*/2, /*base_capacity=*/24,
+                                 /*segment_size=*/8);
+  const std::size_t bytes = placed_handoff_bytes(kind, pool);
+  const std::string name =
+      "/pcpc_diff_" + std::to_string(::getpid()) + "_" + std::to_string(seed);
+  std::string error;
+  ipc::ShmSegment segment = ipc::ShmSegment::create(name, bytes, &error);
+  Outcome out;
+  EXPECT_TRUE(segment.valid()) << error;
+  if (!segment.valid()) return out;
+  auto queue = make_placed_pool_handoff<std::uint64_t>(
+      kind, pool, /*consumer=*/0, Placement{segment.payload(), bytes});
+  EXPECT_NE(queue, nullptr);
+  if (queue != nullptr) drive_handoff(*queue, policy, seed, out);
+  queue.reset();  // destroy slots before the mapping goes away
+  segment.unlink();
   return out;
 }
 
@@ -171,6 +206,22 @@ TEST(QueueDifferential, BackendsAgreeUnderEveryPolicy) {
         label << backend_name(kind) << " vs mutex, " << policy_name(policy)
               << ", seed " << seed;
         expect_same(reference, drive(kind, policy, seed), label.str());
+      }
+    }
+  }
+}
+
+TEST(QueueDifferential, HeapAndShmPlacementsAgreeBitForBit) {
+  // Mutex is excluded by design: deque storage has no placed variant.
+  const std::uint64_t kSeeds[] = {3, 0xfeedULL, 271828};
+  for (const auto kind : {BackendKind::SpscRing, BackendKind::MpscSeg}) {
+    for (const auto policy : kPolicies) {
+      for (const std::uint64_t seed : kSeeds) {
+        std::ostringstream label;
+        label << backend_name(kind) << " heap vs shm, " << policy_name(policy)
+              << ", seed " << seed;
+        expect_same(drive(kind, policy, seed), drive_in_shm(kind, policy, seed),
+                    label.str());
       }
     }
   }
