@@ -16,6 +16,9 @@
 //   --trace-out=FILE   write a Perfetto-loadable trace.json
 //   --metrics-out=FILE write run metrics (.csv extension -> CSV, else JSON)
 //   --snapshot-ms=N    PowerTop-style stderr snapshot every N ms
+//   --span-every=N     sample every Nth item's lifecycle span          [0=off]
+//   --slo-report=FILE  write the wakeup→energy attribution + per-pair
+//                      Δ-budget SLO report (one JSON object)
 //   key=value          any pcpc::core::config_io key, applied last
 //
 // Examples:
@@ -40,6 +43,7 @@
 #include "pcpc/core/config_io.hpp"
 #include "pcpc/exp/paper_setup.hpp"
 #include "pcpc/ipc/channel.hpp"
+#include "pcpc/obs/attribution.hpp"
 #include "pcpc/obs/exporters.hpp"
 #include "pcpc/obs/obs.hpp"
 #include "pcpc/trace/arrival_process.hpp"
@@ -62,11 +66,14 @@ struct CliOptions {
   std::string ipc_role = "both";
   std::string trace_out;
   std::string metrics_out;
+  std::string slo_report;
   std::int64_t snapshot_ms = 0;
+  std::uint64_t span_every = 0;
   std::vector<std::string> config_options;
 
   bool wants_telemetry() const {
-    return !trace_out.empty() || !metrics_out.empty() || snapshot_ms > 0;
+    return !trace_out.empty() || !metrics_out.empty() || !slo_report.empty() ||
+           snapshot_ms > 0 || span_every > 0;
   }
 };
 
@@ -100,6 +107,28 @@ bool export_telemetry(obs::Session& session, const std::string& trace_out,
   return ok;
 }
 
+/// Writes the --slo-report artifact (no-op when the flag is unset).
+bool export_slo_report(const obs::AttributionReport& report, const std::string& path) {
+  if (path.empty()) return true;
+  std::string error;
+  if (obs::write_slo_report(path, report, &error)) {
+    std::fprintf(stderr, "[pcpc obs] slo report written to %s\n", path.c_str());
+    return true;
+  }
+  std::fprintf(stderr, "[pcpc obs] slo report export failed: %s\n", error.c_str());
+  return false;
+}
+
+/// Energy model + Δ budget for attribution, from the paper-calibrated
+/// spec (the same defaults every other artifact uses).
+obs::AttributionOptions attribution_options(const exp::ExperimentSpec& spec) {
+  obs::AttributionOptions opt;
+  opt.power = spec.power;
+  opt.service = spec.setup.pbpl.service;
+  opt.delta_ns = spec.setup.pbpl.max_latency;
+  return opt;
+}
+
 bool parse_cli(int argc, char** argv, CliOptions& options) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -121,6 +150,8 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
     else if (const auto v11 = value_of("--snapshot-ms=")) options.snapshot_ms = std::stol(*v11);
     else if (const auto v12 = value_of("--ipc-name=")) options.ipc_name = *v12;
     else if (const auto v13 = value_of("--ipc-role=")) options.ipc_role = *v13;
+    else if (const auto v14 = value_of("--span-every=")) options.span_every = std::stoull(*v14);
+    else if (const auto v15 = value_of("--slo-report=")) options.slo_report = *v15;
     else if (arg.find('=') != std::string::npos && arg.rfind("--", 0) != 0) {
       options.config_options.push_back(arg);
     } else {
@@ -197,6 +228,7 @@ int run_ipc(const CliOptions& options) {
   if (options.wants_telemetry()) {
     obs::SessionOptions obs_options;
     obs_options.snapshot_period_ms = options.snapshot_ms;
+    obs_options.span_sample_every = options.span_every;
     session.emplace(obs_options);
   }
   std::string error;
@@ -209,6 +241,13 @@ int run_ipc(const CliOptions& options) {
       std::fprintf(stderr, "[pcpc ipc] attach to %s gave up: %s\n",
                    options.ipc_name.c_str(), error.c_str());
       return -1;
+    }
+    if (session.has_value()) {
+      // All ipc-side events live in the segment-epoch clock domain; put
+      // this process's local events on the same timeline.
+      session->set_clock([epoch = producer->header().epoch_mono_ns] {
+        return ipc::now_ns() - epoch;
+      });
     }
     std::uint64_t acked = 0;
     std::uint64_t dropped = 0;
@@ -239,11 +278,19 @@ int run_ipc(const CliOptions& options) {
   // consumer / both: this process owns the channel and drains it.
   ipc::ChannelConfig cfg;
   cfg.capacity = options.buffer;
+  cfg.span_sample_every = options.span_every;
   auto consumer = ipc::Consumer::create(options.ipc_name, cfg, &error);
   if (!consumer.has_value()) {
     std::fprintf(stderr, "[pcpc ipc] channel create at %s failed: %s\n",
                  options.ipc_name.c_str(), error.c_str());
     return -1;
+  }
+  if (session.has_value()) {
+    // Merged-trace clock domain: the segment epoch is time zero for every
+    // process on this channel (producers' span stamps arrive rebased).
+    session->set_clock([epoch = consumer->header().epoch_mono_ns] {
+      return ipc::now_ns() - epoch;
+    });
   }
   std::printf("[pcpc ipc] channel %s up: capacity %zu, role %s\n",
               options.ipc_name.c_str(), options.buffer, options.ipc_role.c_str());
@@ -317,9 +364,51 @@ int run_ipc(const CliOptions& options) {
     std::fprintf(stderr, "[pcpc ipc] conservation identity broken\n");
     return 1;
   }
-  if (session.has_value() &&
-      !export_telemetry(*session, options.trace_out, options.metrics_out)) {
-    return 1;
+  if (session.has_value()) {
+    // Sweep any span events still sitting in live peers' shm rings into
+    // the local session before exporting.
+    consumer->drain_telemetry();
+    if (!options.slo_report.empty()) {
+      obs::AttributionReport report;
+      report.spans = obs::fold_spans(session->events());
+      // Pair rows come from the shm telemetry region, not a local
+      // ledger: each live producer registry slot is one pair, and
+      // whatever already detached or was reaped sits in the retired
+      // fold — kept as one aggregate row so the report's totals remain
+      // the channel's exact cross-process totals.
+      const ipc::TelemetrySnapshot tel = consumer->telemetry();
+      std::uint64_t live_items = 0, live_drops = 0, live_paid = 0, live_free = 0;
+      for (const ipc::PeerTelemetrySnapshot& peer : tel.live) {
+        obs::PairAttribution row;
+        row.pair = static_cast<std::uint32_t>(peer.index);
+        row.items = peer.pushed;
+        row.drops = peer.dropped;
+        row.paid = peer.paid_wakes;
+        row.free = peer.doorbells_free;
+        live_items += peer.pushed;
+        live_drops += peer.dropped;
+        live_paid += peer.paid_wakes;
+        live_free += peer.doorbells_free;
+        report.pairs.push_back(row);
+      }
+      if (tel.pushed > live_items || tel.dropped > live_drops ||
+          tel.paid_wakes > live_paid || tel.doorbells_free > live_free) {
+        obs::PairAttribution retired;
+        retired.pair = 0xffffffffu;  // the retired-peers aggregate
+        retired.items = tel.pushed - live_items;
+        retired.drops = tel.dropped - live_drops;
+        retired.paid = tel.paid_wakes - live_paid;
+        retired.free = tel.doorbells_free - live_free;
+        report.pairs.push_back(retired);
+      }
+      const exp::ExperimentSpec spec =
+          exp::multi_pair_spec(options.pairs, options.buffer);
+      obs::finalize_attribution(report, attribution_options(spec));
+      if (!export_slo_report(report, options.slo_report)) return 1;
+    }
+    if (!export_telemetry(*session, options.trace_out, options.metrics_out)) {
+      return 1;
+    }
   }
   return 0;
 }
@@ -384,6 +473,7 @@ int main(int argc, char** argv) {
   if (options.wants_telemetry()) {
     obs::SessionOptions obs_options;
     obs_options.snapshot_period_ms = options.snapshot_ms;
+    obs_options.span_sample_every = options.span_every;
     session.emplace(obs_options);
   }
 
@@ -403,9 +493,15 @@ int main(int argc, char** argv) {
     std::printf("\nPBPL configuration used:\n%s", core::describe(spec.setup.synchronized_pbpl()).c_str());
   }
 
-  if (session.has_value() &&
-      !export_telemetry(*session, options.trace_out, options.metrics_out)) {
-    return 1;
+  if (session.has_value()) {
+    if (!options.slo_report.empty()) {
+      const obs::AttributionReport report =
+          obs::build_attribution(*session, attribution_options(spec));
+      if (!export_slo_report(report, options.slo_report)) return 1;
+    }
+    if (!export_telemetry(*session, options.trace_out, options.metrics_out)) {
+      return 1;
+    }
   }
   return 0;
 }

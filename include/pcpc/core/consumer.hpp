@@ -90,6 +90,15 @@ class PbplConsumer final : public Invocable {
   SimTime last_invocation_ = 0;
   std::size_t last_batch_ = 1;
   ConsumerStats stats_;
+  /// Positional 1-in-N span sampling (the buffer carries timestamps
+  /// only): admissions counted on produce, drained positions on invoke.
+  /// Single-threaded by the simulation contract, so plain counters.  The
+  /// next_ cursors replace a per-item `seq % N` with one compare — this
+  /// sits on the gated sim hot path (bench/obs_overhead).
+  std::uint64_t span_produce_seq_ = 0;
+  std::uint64_t span_next_produce_ = 0;
+  std::uint64_t span_drain_seq_ = 0;
+  std::uint64_t span_next_drain_ = 0;
 };
 
 }  // namespace pcpc::core

@@ -35,6 +35,8 @@
 #include "pcpc/ipc/futex.hpp"
 #include "pcpc/ipc/layout.hpp"
 #include "pcpc/ipc/shm.hpp"
+#include "pcpc/ipc/telemetry.hpp"
+#include "pcpc/obs/obs.hpp"
 
 namespace pcpc::ipc {
 
@@ -53,6 +55,10 @@ struct ChannelConfig {
   std::int64_t heartbeat_period_ns = 1'000'000;  ///< peer refresh Delta
   std::int64_t heartbeat_timeout_ns = 0;  ///< staleness bound; 0 = 8 * period
   std::uint64_t wake_threshold = 0;       ///< doorbell at fill >= this; 0 = cap/2
+  /// 1-in-N item-lifecycle sampling, shared by every peer (the ticket is
+  /// the sample key, so both sides agree without tagging payloads).
+  /// 0 disarms spans on this channel.
+  std::uint64_t span_sample_every = 0;
 };
 
 /// Producer-side retry policy for a full ring / slow consumer.
@@ -140,7 +146,18 @@ class Consumer {
         hdr_->head.store(h + 1, std::memory_order_release);
         hdr_->consumed.fetch_add(1, std::memory_order_relaxed);
         hole_ticket_ = UINT64_MAX;
-        fn(value);
+        // Lifecycle sampling keys on the ticket (h), the same rule the
+        // producer used for the produce/enqueue stages of this item.
+        if (span_every_ != 0 && h % span_every_ == 0 && obs::enabled()) {
+          const std::int64_t t0 = now_ns() - hdr_->epoch_mono_ns;
+          fn(value);
+          obs::note_item_stage(obs::kNoConsumer, 0, h, obs::ItemStage::kDrainStart,
+                               t0);
+          obs::note_item_stage(obs::kNoConsumer, 0, h, obs::ItemStage::kHandlerDone,
+                               now_ns() - hdr_->epoch_mono_ns);
+        } else {
+          fn(value);
+        }
         ++n;
       } else if (seq == h + hdr_->n_slots) {  // swept out-of-band by the reaper
         hdr_->head.store(h + 1, std::memory_order_release);
@@ -159,10 +176,19 @@ class Consumer {
   WakeKind wait(std::int64_t timeout_ns);
 
   /// Dead-peer detection: marks producers with stale heartbeats whose
-  /// pid is gone as dead, sweeps the whole ring for their leases
-  /// (reclaiming each), and frees their registry slots for reuse.
-  /// Returns the number of peers reaped.
+  /// pid is gone as dead, drains their telemetry rings, sweeps the whole
+  /// ring for their leases (reclaiming each), folds their counters
+  /// (including telemetry cells) into the retired tallies, and frees
+  /// their registry slots for reuse.  Returns the number of peers reaped.
   std::size_t reap();
+
+  /// Drains every producer's shm trace ring into the local obs::Session
+  /// (events re-stamped with origin = registry index + 1).  No-op when
+  /// no session is installed.  Returns events merged.
+  std::size_t drain_telemetry();
+
+  /// Merged cross-process metric totals (live peer cells + retired).
+  TelemetrySnapshot telemetry() const { return merged_telemetry(*hdr_); }
 
   void heartbeat();
 
@@ -176,6 +202,7 @@ class Consumer {
 
  private:
   bool try_recover_head(std::uint64_t h, IpcSlot& slot, std::uint64_t seq);
+  std::size_t drain_peer_telemetry(std::size_t idx);
   void maybe_heartbeat();
 
   ShmSegment segment_;
@@ -184,6 +211,7 @@ class Consumer {
   std::uint64_t hole_ticket_ = UINT64_MAX;  ///< head hole being aged
   std::int64_t hole_since_ns_ = 0;
   std::int64_t last_heartbeat_ns_ = 0;
+  std::uint64_t span_every_ = 0;  ///< cached hdr_->span_sample_every
 };
 
 /// One producing endpoint.  Attaches to an existing channel (with the
@@ -216,6 +244,8 @@ class Producer {
   }
 
   ConservationReport report() const { return read_report(*hdr_); }
+  TelemetrySnapshot telemetry() const { return merged_telemetry(*hdr_); }
+  const ChannelHeader& header() const { return *hdr_; }
   std::size_t registry_index() const { return index_; }
   bool valid() const { return hdr_ != nullptr; }
   bool consumer_dead() const;
@@ -233,6 +263,7 @@ class Producer {
   std::size_t index_ = SIZE_MAX;
   ProducerConfig config_;
   std::int64_t last_heartbeat_ns_ = 0;
+  std::uint64_t span_every_ = 0;  ///< cached hdr_->span_sample_every
   std::function<void(CrashPoint)> crash_hook_;
 };
 

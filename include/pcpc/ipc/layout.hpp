@@ -55,9 +55,13 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "pcpc/ipc/telemetry.hpp"
+
 namespace pcpc::ipc {
 
-inline constexpr std::uint32_t kLayoutVersion = 1;
+// v2: telemetry plane — epoch_mono_ns shared trace clock, span sampling
+// period, per-peer PeerTelemetry blocks + retired_tel fold counters.
+inline constexpr std::uint32_t kLayoutVersion = 2;
 
 /// Registry capacity; bounded so the header has a fixed size.
 inline constexpr std::size_t kMaxProducers = 16;
@@ -127,6 +131,13 @@ struct alignas(64) ChannelHeader {
   std::int64_t heartbeat_period_ns = 0;
   std::int64_t heartbeat_timeout_ns = 0;  ///< k * Delta staleness bound
   std::uint64_t wake_threshold = 0;       ///< ring doorbell at fill >= this
+  /// CLOCK_MONOTONIC at creation: the shared trace-clock zero.  Every
+  /// event timestamp any peer records — producer-side shm ring events,
+  /// the consumer's wakeup/span events — is `now_ns() - epoch_mono_ns`,
+  /// so a merged trace has one clock domain regardless of which process
+  /// recorded which event.
+  std::int64_t epoch_mono_ns = 0;
+  std::uint64_t span_sample_every = 0;  ///< 1-in-N lifecycle sampling; 0 = off
 
   // -- ring indices -------------------------------------------------------
   alignas(64) std::atomic<std::uint64_t> tail_ticket{0};  ///< admitted tickets
@@ -149,10 +160,17 @@ struct alignas(64) ChannelHeader {
   std::atomic<std::uint64_t> retired_pushed{0};
   std::atomic<std::uint64_t> retired_dropped{0};
   std::atomic<std::uint64_t> retired_lease_lost{0};
+  /// Telemetry cells folded from retiring peers, indexed by TelCounter;
+  /// same exactly-once exchange/add protocol as the three above.
+  std::atomic<std::uint64_t> retired_tel[kTelCounterCount] = {};
 
   // -- peer registry ------------------------------------------------------
   PeerSlot consumer_peer;
   PeerSlot producers[kMaxProducers];
+
+  // -- telemetry plane ----------------------------------------------------
+  /// producer_tel[i] belongs to producers[i]'s current owner.
+  PeerTelemetry producer_tel[kMaxProducers];
   // IpcSlot array follows at slots_offset().
 };
 
@@ -168,7 +186,8 @@ inline constexpr std::size_t segment_payload_bytes(std::uint64_t n_slots) {
 inline constexpr std::uint32_t abi_fingerprint() {
   return static_cast<std::uint32_t>(sizeof(ChannelHeader) * 1000003u +
                                     sizeof(IpcSlot) * 10007u +
-                                    sizeof(PeerSlot) * 101u + kLayoutVersion);
+                                    sizeof(PeerSlot) * 101u +
+                                    sizeof(PeerTelemetry) * 13u + kLayoutVersion);
 }
 
 }  // namespace pcpc::ipc

@@ -24,6 +24,18 @@ enum class EventKind : std::uint8_t {
   kFault = 5,        ///< injected fault fired (arg0 = FaultKind, arg1 = magnitude)
   kDrop = 6,         ///< item dropped (arg0 = DropPath)
   kQueueResize = 7,  ///< hand-off queue capacity changed (arg0 = old, arg1 = new)
+  kItemStage = 8,    ///< sampled item-lifecycle stage (arg0 = item id, arg1 = ItemStage)
+};
+
+/// Lifecycle stage of a sampled item (EventKind::kItemStage, arg1).
+/// The wake stage is not stamped directly: the span fold joins each
+/// drain-start against the last kWakeup event on the same (origin, core)
+/// track, so sampled wakes are by construction a subset of the ledger's.
+enum class ItemStage : std::uint8_t {
+  kProduce = 0,      ///< producer entered push/produce
+  kEnqueue = 1,      ///< item published into the hand-off queue
+  kDrainStart = 2,   ///< consumer began draining the batch holding it
+  kHandlerDone = 3,  ///< handler finished the batch holding it
 };
 
 /// Which overflow-handling path fired.
@@ -62,9 +74,15 @@ inline constexpr std::int64_t kNoSlot = INT64_MIN;
 inline constexpr std::uint8_t kFlagPaid = 1u << 0;       ///< wakeup paid ω
 inline constexpr std::uint8_t kFlagScheduled = 1u << 1;  ///< slot-scheduled (not overflow)
 
+/// Sentinel origin: the event was recorded by this process.
+inline constexpr std::uint16_t kOriginLocal = 0;
+
 /// One fixed-size trace record.  `arg0`/`arg1` are kind-specific: slot
 /// index and batch size for kSlotBatch, slot and latched for
-/// kReservation, see EventKind.
+/// kReservation, see EventKind.  `origin` identifies the recording
+/// process in a merged cross-process trace: kOriginLocal for events this
+/// process recorded, k+1 for events drained from ipc producer registry
+/// slot k's shm trace ring (exporters map origins to Perfetto pids).
 struct Event {
   std::int64_t ts_ns = 0;   ///< host time
   std::int64_t dur_ns = 0;  ///< span length; 0 = instant
@@ -74,10 +92,15 @@ struct Event {
   std::uint16_t core = 0;
   EventKind kind = EventKind::kWakeup;
   std::uint8_t flags = 0;
+  std::uint16_t origin = kOriginLocal;
 
   bool paid() const { return (flags & kFlagPaid) != 0; }
   bool scheduled() const { return (flags & kFlagScheduled) != 0; }
 };
+static_assert(sizeof(Event) == 48, "Event is shared-memory ABI (pcpc::ipc)");
+
+/// Stable name of a lifecycle stage (trace export, reports).
+const char* item_stage_name(ItemStage stage);
 
 /// Stable name of an event kind (trace export, snapshots, tests).
 const char* event_kind_name(EventKind kind);

@@ -36,10 +36,27 @@ namespace detail {
 /// Armed flag, split from the session pointer so the disabled fast path
 /// is one relaxed load with no pointer chase.
 extern std::atomic<bool> g_enabled;
+/// Item-lifecycle sampling period (0 = spans disarmed).  Split out for
+/// the same reason: the per-item sampling decision is one relaxed load.
+extern std::atomic<std::uint64_t> g_span_every;
 }  // namespace detail
 
 /// True when a session is installed and recording.
 inline bool enabled() { return detail::g_enabled.load(std::memory_order_relaxed); }
+
+/// Sampling period of the item-lifecycle spans; 0 when disarmed.
+inline std::uint64_t span_sample_every() {
+  return detail::g_span_every.load(std::memory_order_relaxed);
+}
+
+/// True iff item sequence number `seq` is lifecycle-sampled.  Every host
+/// uses the same rule (seq % N == 0) on a per-item sequence that both
+/// sides of the hand-off can derive, so producer-side and consumer-side
+/// stages of the same item agree without tagging the payload.
+inline bool span_sampled(std::uint64_t seq) {
+  const std::uint64_t every = span_sample_every();
+  return every != 0 && seq % every == 0;
+}
 
 /// Session tuning knobs.
 struct SessionOptions {
@@ -53,6 +70,12 @@ struct SessionOptions {
   /// When > 0, a snapshot thread prints wakeups/s, CPU ms/s, items/s and
   /// drops/s to stderr every `snapshot_period_ms` milliseconds.
   std::int64_t snapshot_period_ms = 0;
+
+  /// When > 0, every Nth item gets lifecycle-stage span events
+  /// (produce → enqueue → drain-start → handler-done) on all hosts.
+  /// 0 disarms the span path entirely (its disabled cost is one relaxed
+  /// load folded into the enabled() check).
+  std::uint64_t span_sample_every = 0;
 };
 
 /// Metric ids the instrumentation points hit; pre-registered so hot
@@ -71,6 +94,7 @@ struct WellKnownMetrics {
   Registry::Id watchdog_escalations;
   Registry::Id faults_injected;
   Registry::Id sim_events;
+  Registry::Id span_stages;  ///< counter: lifecycle stage events recorded
   Registry::Id batch_ns;     ///< histogram: batch drain duration
   Registry::Id batch_items;  ///< histogram: items per batch
 };
@@ -160,6 +184,8 @@ void note_drop_impl(std::uint32_t consumer, DropPath path, std::int64_t ts_ns);
 void note_queue_resize_impl(std::uint32_t consumer, std::size_t old_slots,
                             std::size_t new_slots);
 void count_sim_events_impl(std::uint64_t n);
+void note_item_stage_impl(std::uint32_t consumer, std::uint16_t core,
+                          std::uint64_t item_id, ItemStage stage, std::int64_t ts_ns);
 }  // namespace detail
 
 /// One consumer invocation at a core wakeup; feeds the ledger, the
@@ -231,5 +257,17 @@ inline void count_sim_events(std::uint64_t n) {
 
 /// One simulator event dispatched.
 inline void count_sim_event() { count_sim_events(1); }
+
+/// One lifecycle stage of a sampled item.  `item_id` must be identical
+/// across all stages of the same item (ipc host: the ring ticket; thread
+/// and sim hosts: consumer << 32 | per-pair sequence).  Callers guard
+/// with span_sampled(seq) so the per-item cost when spans are disarmed is
+/// the one relaxed load inside span_sampled().
+inline void note_item_stage(std::uint32_t consumer, std::uint16_t core,
+                            std::uint64_t item_id, ItemStage stage,
+                            std::int64_t ts_ns) {
+  if (!enabled()) return;
+  detail::note_item_stage_impl(consumer, core, item_id, stage, ts_ns);
+}
 
 }  // namespace pcpc::obs

@@ -39,6 +39,16 @@ class WakeupLedger {
     std::uint64_t total() const { return paid + free; }
   };
 
+  /// Work accounting alongside the wakeups: how many items, batch
+  /// invocations, and drops each consumer/core generated.  Joined with
+  /// Attribution by the attribution report into joules/item and
+  /// items/paid-wake per pair and per core.
+  struct Work {
+    std::uint64_t items = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t drops = 0;
+  };
+
   WakeupLedger()
       : generation_(detail::g_ledger_generation.fetch_add(1) + 1) {}
 
@@ -85,16 +95,74 @@ class WakeupLedger {
     return merged([](const Shard& s) { return s.cores.data(); }, kMaxCores);
   }
 
+  /// One drained batch: `items` popped in one invocation of `consumer`
+  /// on `core`.  Called per batch (not per item) from note_slot_batch.
+  void record_batch(std::uint16_t core, std::uint32_t consumer, std::uint64_t items) {
+    PCPC_ASSERT(core < kMaxCores);
+    Shard& shard = local_shard();
+    bump_work(shard.core_work[core], items, 1, 0);
+    if (consumer != 0xffffffffu) {
+      PCPC_ASSERT(consumer < kMaxConsumers);
+      bump_work(shard.consumer_work[consumer], items, 1, 0);
+    }
+  }
+
+  /// One dropped item charged to `consumer` (core unknown at drop time).
+  void record_drop(std::uint32_t consumer) {
+    if (consumer == 0xffffffffu) return;
+    PCPC_ASSERT(consumer < kMaxConsumers);
+    bump_work(local_shard().consumer_work[consumer], 0, 0, 1);
+  }
+
+  /// Work indexed by consumer id, trimmed like per_consumer().
+  std::vector<Work> per_consumer_work() const {
+    return merged_work([](const Shard& s) { return s.consumer_work.data(); },
+                       kMaxConsumers);
+  }
+
+  /// Work indexed by core, trimmed likewise.
+  std::vector<Work> per_core_work() const {
+    return merged_work([](const Shard& s) { return s.core_work.data(); }, kMaxCores);
+  }
+
+  /// Σ items drained across all consumers.
+  std::uint64_t items_total() const {
+    std::scoped_lock lock(mutex_);
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_)
+      for (const auto& cell : shard->consumer_work)
+        total += cell.items.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  /// Σ drops across all consumers.
+  std::uint64_t drops_total() const {
+    std::scoped_lock lock(mutex_);
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_)
+      for (const auto& cell : shard->consumer_work)
+        total += cell.drops.load(std::memory_order_relaxed);
+    return total;
+  }
+
  private:
   struct Cell {
     std::atomic<std::uint64_t> paid{0};
     std::atomic<std::uint64_t> free{0};
   };
 
+  struct WorkCell {
+    std::atomic<std::uint64_t> items{0};
+    std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> drops{0};
+  };
+
   struct Shard {
     Cell totals;
     std::array<Cell, kMaxCores> cores{};
     std::array<Cell, kMaxConsumers> consumers{};
+    std::array<WorkCell, kMaxCores> core_work{};
+    std::array<WorkCell, kMaxConsumers> consumer_work{};
   };
 
   /// Single-writer increment: each shard belongs to one thread, so a
@@ -107,6 +175,24 @@ class WakeupLedger {
   static Attribution load(const Cell& cell) {
     return {cell.paid.load(std::memory_order_relaxed),
             cell.free.load(std::memory_order_relaxed)};
+  }
+
+  /// Single-writer work increment, same discipline as bump().
+  static void bump_work(WorkCell& cell, std::uint64_t items, std::uint64_t batches,
+                        std::uint64_t drops) {
+    const auto add = [](std::atomic<std::uint64_t>& c, std::uint64_t n) {
+      if (n != 0)
+        c.store(c.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
+    };
+    add(cell.items, items);
+    add(cell.batches, batches);
+    add(cell.drops, drops);
+  }
+
+  static Work load_work(const WorkCell& cell) {
+    return {cell.items.load(std::memory_order_relaxed),
+            cell.batches.load(std::memory_order_relaxed),
+            cell.drops.load(std::memory_order_relaxed)};
   }
 
   Shard& local_shard() {
@@ -136,6 +222,25 @@ class WakeupLedger {
       }
     }
     while (!out.empty() && out.back().total() == 0) out.pop_back();
+    return out;
+  }
+
+  template <typename CellsOf>
+  std::vector<Work> merged_work(CellsOf cells_of, std::size_t capacity) const {
+    std::scoped_lock lock(mutex_);
+    std::vector<Work> out(capacity);
+    for (const auto& shard : shards_) {
+      const WorkCell* cells = cells_of(*shard);
+      for (std::size_t i = 0; i < capacity; ++i) {
+        const Work w = load_work(cells[i]);
+        out[i].items += w.items;
+        out[i].batches += w.batches;
+        out[i].drops += w.drops;
+      }
+    }
+    while (!out.empty() && out.back().items == 0 && out.back().batches == 0 &&
+           out.back().drops == 0)
+      out.pop_back();
     return out;
   }
 

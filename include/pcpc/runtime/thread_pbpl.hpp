@@ -170,6 +170,14 @@ class ThreadPbpl {
     SimTime last_invocation = 0;
     std::size_t last_batch = 1;
     std::uint64_t overflow_requests = 0;  // pending forced drains (0 or 1)
+    /// Sampled item-lifecycle spans (positional 1-in-N): producers claim
+    /// admission sequence numbers here; the manager counts drained
+    /// positions in span_drain_seq (manager-only, under the core lock).
+    /// Positions match admissions exactly under FIFO without drops; with
+    /// drops or MPSC interleaving the sampled span is best-effort (the
+    /// counters the identities are pinned on never come from spans).
+    std::atomic<std::uint64_t> span_produce_seq{0};
+    std::uint64_t span_drain_seq = 0;
   };
 
   /// A drained batch whose handler still has to run (outside the lock).
@@ -179,6 +187,9 @@ class ThreadPbpl {
     std::int64_t slot = 0;
     SimTime now = 0;
     Clock::time_point drained_at{};
+    /// Item ids of sampled spans drained in this batch (usually empty);
+    /// run_handlers stamps their handler-done stage after the handler.
+    std::vector<std::uint64_t> sampled;
   };
 
   /// One core = one manager thread + everything it needs, behind its own

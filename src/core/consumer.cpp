@@ -27,6 +27,20 @@ void PbplConsumer::start(SimTime now) {
 }
 
 void PbplConsumer::produce(SimTime now) {
+  // Sampled lifecycle span: in virtual time admission is instantaneous,
+  // so a sampled item stamps produce and enqueue at the same tick.
+  if (const std::uint64_t every = obs::span_sample_every(); every != 0) {
+    const std::uint64_t seq = span_produce_seq_++;
+    if (seq == span_next_produce_) {
+      span_next_produce_ += every;
+      const std::uint64_t item =
+          (static_cast<std::uint64_t>(id_) << 32) | (seq & 0xffffffffu);
+      obs::note_item_stage(static_cast<std::uint32_t>(id_), manager_.core_id(), item,
+                           obs::ItemStage::kProduce, now);
+      obs::note_item_stage(static_cast<std::uint32_t>(id_), manager_.core_id(), item,
+                           obs::ItemStage::kEnqueue, now);
+    }
+  }
   if (buffer_->try_push(now)) return;
 
   if (config_.emergency_borrow) {
@@ -57,11 +71,25 @@ SimDuration PbplConsumer::on_invoked(SimTime now, bool scheduled) {
   (void)scheduled;
   // 1. Consume: drain the whole buffer as one batch (chunked bulk pops —
   //    same item order and stats as the old per-item try_pop loop).
+  const std::uint64_t span_every = obs::span_sample_every();
+  std::vector<std::uint64_t> sampled;
   const std::size_t batch = buffer_->drain([&](SimTime item) {
     const SimDuration latency = now - item;
     stats_.latency_s.add(to_seconds(latency));
     if (guard_) guard_->observe(latency);
+    if (span_every != 0) {
+      const std::uint64_t seq = span_drain_seq_++;
+      if (seq == span_next_drain_) {
+        span_next_drain_ += span_every;
+        sampled.push_back((static_cast<std::uint64_t>(id_) << 32) |
+                          (seq & 0xffffffffu));
+      }
+    }
   });
+  for (const std::uint64_t item : sampled) {
+    obs::note_item_stage(static_cast<std::uint32_t>(id_), manager_.core_id(), item,
+                         obs::ItemStage::kDrainStart, now);
+  }
   if (guard_) {
     guard_->end_batch();
     stats_.latency_violations = guard_->violations();
@@ -85,6 +113,11 @@ SimDuration PbplConsumer::on_invoked(SimTime now, bool scheduled) {
   if (injector_ != nullptr && batch > 0) service += injector_->handler_delay();
   obs::note_slot_batch(manager_.core_id(), static_cast<std::uint32_t>(id_),
                        manager_.track().index_of(now), batch, now, service);
+  // In virtual time the handler completes when the service model says so.
+  for (const std::uint64_t item : sampled) {
+    obs::note_item_stage(static_cast<std::uint32_t>(id_), manager_.core_id(), item,
+                         obs::ItemStage::kHandlerDone, now + service);
+  }
   return service;
 }
 

@@ -107,7 +107,8 @@ IpcSlot* slots_of(const ShmSegment& seg) {
 /// the fold exactly-once; a report racing the fold can transiently
 /// undercount but settles exact (the harness reads reports only after
 /// waitpid, which orders after a clean child's own detach fold).
-void retire_peer_counters(ChannelHeader& hdr, PeerSlot& peer) {
+void retire_peer_counters(ChannelHeader& hdr, std::size_t idx) {
+  PeerSlot& peer = hdr.producers[idx];
   hdr.retired_pushed.fetch_add(
       peer.pushed.exchange(0, std::memory_order_acq_rel), std::memory_order_relaxed);
   hdr.retired_dropped.fetch_add(
@@ -115,6 +116,11 @@ void retire_peer_counters(ChannelHeader& hdr, PeerSlot& peer) {
   hdr.retired_lease_lost.fetch_add(
       peer.lease_lost.exchange(0, std::memory_order_acq_rel),
       std::memory_order_relaxed);
+  PeerTelemetry& tel = hdr.producer_tel[idx];
+  for (std::size_t c = 0; c < kTelCounterCount; ++c) {
+    hdr.retired_tel[c].fetch_add(tel.counters[c].exchange(0, std::memory_order_acq_rel),
+                                 std::memory_order_relaxed);
+  }
 }
 
 void join_peer(PeerSlot& peer, std::uint64_t epoch) {
@@ -154,7 +160,7 @@ Consumer::~Consumer() {
 Consumer::Consumer(Consumer&& other) noexcept
     : segment_(std::move(other.segment_)), hdr_(other.hdr_), slots_(other.slots_),
       hole_ticket_(other.hole_ticket_), hole_since_ns_(other.hole_since_ns_),
-      last_heartbeat_ns_(other.last_heartbeat_ns_) {
+      last_heartbeat_ns_(other.last_heartbeat_ns_), span_every_(other.span_every_) {
   other.hdr_ = nullptr;
   other.slots_ = nullptr;
 }
@@ -187,6 +193,8 @@ std::optional<Consumer> Consumer::create(const std::string& shm_name,
   hdr->wake_threshold = config.wake_threshold > 0
                             ? config.wake_threshold
                             : std::max<std::uint64_t>(1, config.capacity / 2);
+  hdr->epoch_mono_ns = now_ns();
+  hdr->span_sample_every = config.span_sample_every;
   IpcSlot* slots = slots_of(seg);
   for (std::uint64_t p = 0; p < n_slots; ++p) {
     auto* slot = new (&slots[p]) IpcSlot();
@@ -200,6 +208,7 @@ std::optional<Consumer> Consumer::create(const std::string& shm_name,
   c.hdr_ = hdr;
   c.slots_ = slots;
   c.last_heartbeat_ns_ = now_ns();
+  c.span_every_ = hdr->span_sample_every;
   return c;
 }
 
@@ -271,6 +280,25 @@ bool Consumer::try_recover_head(std::uint64_t h, IpcSlot& slot, std::uint64_t se
   return false;
 }
 
+std::size_t Consumer::drain_peer_telemetry(std::size_t idx) {
+  obs::Session* session = obs::Session::current();
+  if (session == nullptr) return 0;
+  return telemetry_drain(hdr_->producer_tel[idx], [&](const obs::Event& e) {
+    obs::Event merged = e;
+    merged.origin = static_cast<std::uint16_t>(idx + 1);
+    session->emit(merged);
+  });
+}
+
+std::size_t Consumer::drain_telemetry() {
+  if (obs::Session::current() == nullptr) return 0;
+  std::size_t n = 0;
+  for (std::size_t idx = 0; idx < kMaxProducers; ++idx) {
+    n += drain_peer_telemetry(idx);
+  }
+  return n;
+}
+
 std::size_t Consumer::reap() {
   const std::int64_t timeout = hdr_->heartbeat_timeout_ns;
   std::size_t reaped = 0;
@@ -298,7 +326,12 @@ std::size_t Consumer::reap() {
     }
     PCPC_WARN << "ipc: reaped dead producer idx=" << idx << " pid=" << pid
               << " (swept " << swept << " lease" << (swept == 1 ? "" : "s") << ")";
-    retire_peer_counters(*hdr_, peer);
+    // Salvage whatever trace events the dead peer published before the
+    // slot's ring inherits a new owner, then fold its metric cells into
+    // the retired tallies — same no-counts-lost-to-SIGKILL rule as the
+    // pushed/dropped fold.
+    drain_peer_telemetry(idx);
+    retire_peer_counters(*hdr_, idx);
     peer.pid.store(0, std::memory_order_relaxed);
     peer.state.store(kPeerFree, std::memory_order_release);
     hdr_->peers_reaped.fetch_add(1, std::memory_order_relaxed);
@@ -309,6 +342,10 @@ std::size_t Consumer::reap() {
 
 WakeKind Consumer::wait(std::int64_t timeout_ns) {
   maybe_heartbeat();
+  // The idle edge is the natural merge point: pull producer-side trace
+  // events out of the shm rings before parking (cheap when rings are
+  // empty — one head/tail load per registry slot).
+  drain_telemetry();
   if (has_visible_work()) return WakeKind::kPoll;
 
   const std::uint32_t ticket = hdr_->doorbell.load(std::memory_order_acquire);
@@ -326,8 +363,11 @@ WakeKind Consumer::wait(std::int64_t timeout_ns) {
   const std::uint32_t prev =
       hdr_->consumer_state.exchange(kConsumerAwake, std::memory_order_acq_rel);
   const bool paid = prev == kConsumerWoken;
+  // Timestamp in the segment-epoch clock domain, like every other event
+  // any peer of this channel records — merged traces must not mix
+  // absolute CLOCK_MONOTONIC with per-process epochs.
   obs::note_wakeup(/*core=*/0, /*consumer=*/0, obs::kNoSlot, paid,
-                   /*scheduled=*/!paid, now_ns());
+                   /*scheduled=*/!paid, now_ns() - hdr_->epoch_mono_ns);
   if (paid) return WakeKind::kDoorbell;
   return wr == WaitResult::kTimeout ? WakeKind::kTimeout : WakeKind::kPoll;
 }
@@ -341,7 +381,7 @@ Producer::~Producer() { detach(); }
 Producer::Producer(Producer&& other) noexcept
     : segment_(std::move(other.segment_)), hdr_(other.hdr_), slots_(other.slots_),
       index_(other.index_), config_(other.config_),
-      last_heartbeat_ns_(other.last_heartbeat_ns_),
+      last_heartbeat_ns_(other.last_heartbeat_ns_), span_every_(other.span_every_),
       crash_hook_(std::move(other.crash_hook_)) {
   other.hdr_ = nullptr;
   other.slots_ = nullptr;
@@ -357,6 +397,7 @@ Producer& Producer::operator=(Producer&& other) noexcept {
     index_ = other.index_;
     config_ = other.config_;
     last_heartbeat_ns_ = other.last_heartbeat_ns_;
+    span_every_ = other.span_every_;
     crash_hook_ = std::move(other.crash_hook_);
     other.hdr_ = nullptr;
     other.slots_ = nullptr;
@@ -371,7 +412,7 @@ void Producer::detach() {
     return;
   }
   PeerSlot& peer = hdr_->producers[index_];
-  retire_peer_counters(*hdr_, peer);
+  retire_peer_counters(*hdr_, index_);
   peer.pid.store(0, std::memory_order_relaxed);
   peer.state.store(kPeerFree, std::memory_order_release);
   hdr_ = nullptr;
@@ -422,6 +463,7 @@ std::optional<Producer> Producer::attach(const std::string& shm_name,
   p.index_ = index;
   p.config_ = config;
   p.last_heartbeat_ns_ = now_ns();
+  p.span_every_ = hdr->span_sample_every;
   return p;
 }
 
@@ -449,14 +491,24 @@ void Producer::ring_doorbell() {
                                                    std::memory_order_acq_rel)) {
     // We won the right to wake: count the paid wake at the exact point it
     // costs a syscall (the identity the obs ledger is checked against).
+    // The per-peer telemetry cell is bumped in the same branch, so the
+    // merged cross-process paid-wake total equals futex_wakes identically.
     hdr_->futex_wakes.fetch_add(1, std::memory_order_relaxed);
+    telemetry_bump(hdr_->producer_tel[index_], kTelPaidWakes);
     futex_wake(&hdr_->doorbell, 1);
+  } else {
+    telemetry_bump(hdr_->producer_tel[index_], kTelDoorbellFree);
   }
 }
 
 PushResult Producer::push(std::uint64_t value) {
   PeerSlot& me = hdr_->producers[index_];
   maybe_heartbeat();
+  // Entry timestamp for the produce stage.  Read the clock only when
+  // spans are armed on this channel (one branch otherwise); whether THIS
+  // item is sampled is only decidable after the ticket claim below.
+  std::int64_t span_enter_ns = 0;
+  if (span_every_ != 0) span_enter_ns = now_ns();
 
   // Admission: optimistic fullness pre-check WITHOUT claiming a ticket.
   // A rejected push must leave no trace in the ring, or a producer dying
@@ -511,6 +563,24 @@ PushResult Producer::push(std::uint64_t value) {
   if (crash_hook_) crash_hook_(CrashPoint::kAfterPublish);
 
   me.pushed.fetch_add(1, std::memory_order_relaxed);
+  if (span_every_ != 0 && t % span_every_ == 0) {
+    // Sampled item: publish produce/enqueue stages into this peer's shm
+    // trace ring, in the segment-epoch clock domain.  The ticket is the
+    // item id — the consumer derives the same id for its stages without
+    // any payload tagging.
+    PeerTelemetry& tel = hdr_->producer_tel[index_];
+    obs::Event e;
+    e.ts_ns = span_enter_ns - hdr_->epoch_mono_ns;
+    e.arg0 = static_cast<std::int64_t>(t);
+    e.arg1 = static_cast<std::int64_t>(obs::ItemStage::kProduce);
+    e.consumer = static_cast<std::uint32_t>(index_);  ///< the pair id
+    e.kind = obs::EventKind::kItemStage;
+    telemetry_push(tel, e);
+    e.ts_ns = now_ns() - hdr_->epoch_mono_ns;
+    e.arg1 = static_cast<std::int64_t>(obs::ItemStage::kEnqueue);
+    telemetry_push(tel, e);
+    telemetry_bump(tel, kTelSpanStages, 2);
+  }
   ring_doorbell();
   return PushResult::kOk;
 }

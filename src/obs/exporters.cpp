@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <iomanip>
+#include <map>
 #include <sstream>
 
 namespace pcpc::obs {
@@ -69,6 +70,10 @@ void write_event_args(std::ostream& out, const Event& e) {
     case EventKind::kQueueResize:
       out << ",\"old_slots\":" << e.arg0 << ",\"new_slots\":" << e.arg1;
       break;
+    case EventKind::kItemStage:
+      out << ",\"item\":" << e.arg0 << ",\"stage\":\""
+          << item_stage_name(static_cast<ItemStage>(e.arg1)) << '"';
+      break;
   }
   out << '}';
 }
@@ -78,9 +83,17 @@ std::string event_display_name(const Event& e) {
   std::ostringstream name;
   name << event_kind_name(e.kind);
   if (e.kind == EventKind::kWakeup) name << (e.paid() ? " paid" : " free");
+  if (e.kind == EventKind::kItemStage) {
+    name << ' ' << item_stage_name(static_cast<ItemStage>(e.arg1));
+  }
   if (e.consumer != kNoConsumer) name << " c" << e.consumer;
   return name.str();
 }
+
+/// Perfetto pid of an event: origins map to distinct process tracks in
+/// the merged cross-process trace (origin 0 = the exporting process,
+/// origin k = ipc producer registry slot k-1's process).
+int event_pid(const Event& e) { return 1 + e.origin; }
 
 template <typename WriteFn>
 bool write_file(const std::string& path, std::string* error, WriteFn&& fn) {
@@ -124,21 +137,51 @@ void write_perfetto_trace(std::ostream& out, Session& session) {
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   out << std::setprecision(15);
 
-  // Process/track metadata: one "thread" per core so Perfetto shows each
-  // core's slot activity as its own lane.
-  out << "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
-         "\"args\":{\"name\":\"pcpc\"}}";
-  std::uint16_t max_core = 0;
-  for (const Event& e : events) max_core = std::max(max_core, e.core);
-  for (std::uint16_t c = 0; c <= max_core; ++c) {
-    out << ",{\"ph\":\"M\",\"pid\":1,\"tid\":" << (c + 1)
-        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"core " << c << "\"}}";
+  // Process/track metadata: one Perfetto "process" per event origin
+  // (this process + each merged ipc producer), one "thread" per core
+  // within it, so a merged cross-process trace renders each process's
+  // cores as separate lanes.  All origins share the segment-epoch clock
+  // domain, so no per-track offset is needed.
+  std::map<std::uint16_t, std::uint16_t> origin_max_core;
+  for (const Event& e : events) {
+    auto [it, fresh] = origin_max_core.try_emplace(e.origin, e.core);
+    if (!fresh) it->second = std::max(it->second, e.core);
+  }
+  if (origin_max_core.empty()) origin_max_core[kOriginLocal] = 0;
+  bool first = true;
+  for (const auto& [origin, max_core] : origin_max_core) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"ph\":\"M\",\"pid\":" << (1 + origin)
+        << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"";
+    if (origin == kOriginLocal) {
+      out << "pcpc";
+    } else {
+      out << "pcpc producer " << (origin - 1);
+    }
+    out << "\"}}";
+    for (std::uint16_t c = 0; c <= max_core; ++c) {
+      out << ",{\"ph\":\"M\",\"pid\":" << (1 + origin) << ",\"tid\":" << (c + 1)
+          << ",\"name\":\"thread_name\",\"args\":{\"name\":\"core " << c << "\"}}";
+    }
+  }
+
+  // Sampled lifecycle spans become flow-connected slices: each stage is
+  // a slice lasting until the item's next stage on the same track, and a
+  // flow (cat "item_flow", id = item id) threads the stages across
+  // process/core tracks.  Group stage events by item id first.
+  std::map<std::int64_t, std::vector<std::size_t>> span_stages;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].kind == EventKind::kItemStage) {
+      span_stages[events[i].arg0].push_back(i);
+    }
   }
 
   for (const Event& e : events) {
+    if (e.kind == EventKind::kItemStage) continue;  // emitted with their flow below
     out << ",{\"name\":\"" << json_escape(event_display_name(e)) << "\",\"cat\":\""
-        << event_kind_name(e.kind) << "\",\"pid\":1,\"tid\":" << (e.core + 1)
-        << ",\"ts\":" << to_us(e.ts_ns);
+        << event_kind_name(e.kind) << "\",\"pid\":" << event_pid(e)
+        << ",\"tid\":" << (e.core + 1) << ",\"ts\":" << to_us(e.ts_ns);
     if (e.kind == EventKind::kSlotBatch) {
       out << ",\"ph\":\"X\",\"dur\":" << to_us(e.dur_ns);
     } else {
@@ -148,6 +191,37 @@ void write_perfetto_trace(std::ostream& out, Session& session) {
     write_event_args(out, e);
     out << '}';
   }
+
+  for (const auto& [item, stages] : span_stages) {
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+      const Event& e = events[stages[i]];
+      // Slice until the item's next stage on the same track (produce →
+      // enqueue on the producer, drain-start → handler-done on the
+      // consumer); terminal stages get a minimal visible width.
+      std::int64_t dur_ns = 1000;
+      if (i + 1 < stages.size()) {
+        const Event& next = events[stages[i + 1]];
+        if (next.origin == e.origin && next.core == e.core) {
+          dur_ns = std::max<std::int64_t>(next.ts_ns - e.ts_ns, 0);
+        }
+      }
+      out << ",{\"name\":\"" << json_escape(event_display_name(e))
+          << "\",\"cat\":\"item_stage\",\"pid\":" << event_pid(e)
+          << ",\"tid\":" << (e.core + 1) << ",\"ts\":" << to_us(e.ts_ns)
+          << ",\"ph\":\"X\",\"dur\":" << to_us(dur_ns) << ",\"args\":";
+      write_event_args(out, e);
+      out << '}';
+      if (stages.size() < 2) continue;
+      // The flow arrow binds to the slice just emitted.
+      const char* ph = i == 0 ? "s" : (i + 1 == stages.size() ? "f" : "t");
+      out << ",{\"name\":\"item\",\"cat\":\"item_flow\",\"id\":" << item
+          << ",\"pid\":" << event_pid(e) << ",\"tid\":" << (e.core + 1)
+          << ",\"ts\":" << to_us(e.ts_ns) << ",\"ph\":\"" << ph << '"';
+      if (*ph == 'f') out << ",\"bp\":\"e\"";
+      out << '}';
+    }
+  }
+
   out << "],\"otherData\":{\"tool\":\"pcpc::obs\",\"events\":" << events.size()
       << ",\"dropped_ring\":" << session.ring_dropped()
       << ",\"dropped_archive\":" << session.archive_dropped() << "}}";

@@ -10,6 +10,7 @@ namespace pcpc::obs {
 
 namespace detail {
 std::atomic<bool> g_enabled{false};
+std::atomic<std::uint64_t> g_span_every{0};
 }  // namespace detail
 
 namespace {
@@ -39,6 +40,17 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kFault: return "fault";
     case EventKind::kDrop: return "drop";
     case EventKind::kQueueResize: return "queue_resize";
+    case EventKind::kItemStage: return "item_stage";
+  }
+  return "?";
+}
+
+const char* item_stage_name(ItemStage stage) {
+  switch (stage) {
+    case ItemStage::kProduce: return "produce";
+    case ItemStage::kEnqueue: return "enqueue";
+    case ItemStage::kDrainStart: return "drain_start";
+    case ItemStage::kHandlerDone: return "handler_done";
   }
   return "?";
 }
@@ -90,11 +102,13 @@ Session::Session(SessionOptions options)
   well_.watchdog_escalations = registry_.counter("watchdog.escalations");
   well_.faults_injected = registry_.counter("faults.injected");
   well_.sim_events = registry_.counter("sim.events_dispatched");
+  well_.span_stages = registry_.counter("span.stages");
   well_.batch_ns = registry_.histogram("consumer.batch_ns");
   well_.batch_items = registry_.histogram("consumer.batch_items");
 
   generation_ = g_session_generation.fetch_add(1) + 1;
   g_session.store(this, std::memory_order_release);
+  detail::g_span_every.store(options_.span_sample_every, std::memory_order_release);
   detail::g_enabled.store(true, std::memory_order_release);
 
   if (options_.snapshot_period_ms > 0) {
@@ -107,6 +121,7 @@ Session::~Session() {
   // Disarm before tearing anything down so late note_*() calls fall
   // through the enabled() guard instead of racing the destructor.
   detail::g_enabled.store(false, std::memory_order_release);
+  detail::g_span_every.store(0, std::memory_order_release);
   g_session.store(nullptr, std::memory_order_release);
   g_session_generation.fetch_add(1);
   if (snapshot_thread_.joinable()) {
@@ -258,6 +273,7 @@ struct HotPath {
   std::atomic<std::uint64_t>* watchdog_escalations = nullptr;
   std::atomic<std::uint64_t>* faults_injected = nullptr;
   std::atomic<std::uint64_t>* sim_events = nullptr;
+  std::atomic<std::uint64_t>* span_stages = nullptr;
   std::atomic<std::uint64_t>* batch_ns_bins = nullptr;
   std::atomic<std::uint64_t>* batch_items_bins = nullptr;
 };
@@ -296,6 +312,7 @@ HotPath* hot_path() {
   tls.watchdog_escalations = r.counter_cell(w.watchdog_escalations);
   tls.faults_injected = r.counter_cell(w.faults_injected);
   tls.sim_events = r.counter_cell(w.sim_events);
+  tls.span_stages = r.counter_cell(w.span_stages);
   tls.batch_ns_bins = r.histogram_bins(w.batch_ns);
   tls.batch_items_bins = r.histogram_bins(w.batch_items);
   tls.session = s;
@@ -328,6 +345,7 @@ void note_slot_batch_impl(std::uint16_t core, std::uint32_t consumer, std::int64
   if (h == nullptr) return;
   inc(h->items, batch);
   inc(h->batches);
+  h->session->ledger().record_batch(core, consumer, batch);
   inc(h->batch_ns_bins + Registry::log2_bin(dur_ns));
   inc(h->batch_items_bins + Registry::log2_bin(static_cast<std::int64_t>(batch)));
   Event e;
@@ -400,6 +418,7 @@ void note_drop_impl(std::uint32_t consumer, DropPath path, std::int64_t ts_ns) {
   HotPath* h = hot_path();
   if (h == nullptr) return;
   inc(h->drops);
+  h->session->ledger().record_drop(consumer);
   Event e;
   e.ts_ns = ts_ns;
   e.arg0 = static_cast<std::int64_t>(path);
@@ -426,6 +445,21 @@ void count_sim_events_impl(std::uint64_t n) {
   HotPath* h = hot_path();
   if (h == nullptr) return;
   inc(h->sim_events, n);
+}
+
+void note_item_stage_impl(std::uint32_t consumer, std::uint16_t core,
+                          std::uint64_t item_id, ItemStage stage, std::int64_t ts_ns) {
+  HotPath* h = hot_path();
+  if (h == nullptr) return;
+  inc(h->span_stages);
+  Event e;
+  e.ts_ns = ts_ns;
+  e.arg0 = static_cast<std::int64_t>(item_id);
+  e.arg1 = static_cast<std::int64_t>(stage);
+  e.consumer = consumer;
+  e.core = core;
+  e.kind = EventKind::kItemStage;
+  h->ring->push(e);
 }
 
 }  // namespace detail

@@ -13,7 +13,15 @@ namespace pcpc::runtime {
 
 namespace {
 constexpr core::SlotIndex kMinSlot = std::numeric_limits<core::SlotIndex>::min();
+
+/// Sampled-span item id: the pair in the high half, the item's admission
+/// position in the low half.  The drain side reconstructs the same id
+/// from its own drained-position counter (positional sampling — the
+/// buffer carries timestamps only, no per-item tags).
+std::uint64_t span_item_id(std::size_t consumer, std::uint64_t seq) {
+  return (static_cast<std::uint64_t>(consumer) << 32) | (seq & 0xffffffffu);
 }
+}  // namespace
 
 ThreadPbpl::ThreadPbpl(std::size_t consumers, const core::PbplConfig& config,
                        BatchHandler handler, fault::FaultInjector* injector)
@@ -108,7 +116,14 @@ void ThreadPbpl::stop() {
         core->stats.items += batch;
         core->stats.batch_sizes.add(static_cast<double>(batch));
         ++core->stats.invocations;
-        core->pending.push_back({consumer, batch, obs::kNoSlot, now_ns(), drained_at});
+        // The ledger must see these items too (no wake is minted, so the
+        // paid/free identities are untouched): without this, attribution's
+        // Σ pair items would fall short of the runtime's own item total by
+        // exactly the leftovers drained here.
+        obs::note_slot_batch(static_cast<std::uint16_t>(core->index),
+                             static_cast<std::uint32_t>(consumer->index), obs::kNoSlot,
+                             batch, now_ns(), 0);
+        core->pending.push_back({consumer, batch, obs::kNoSlot, now_ns(), drained_at, {}});
       }
     }
     if (handler_ && !core->pending.empty()) {
@@ -146,6 +161,24 @@ void ThreadPbpl::produce(std::size_t consumer_index) {
 
 void ThreadPbpl::push_one(Consumer& consumer) {
   produced_.fetch_add(1, std::memory_order_relaxed);
+  // Sampled lifecycle span (1-in-N): claim this item's admission
+  // position; a sampled item stamps produce before the push and enqueue
+  // after it.  Unsampled items pay one relaxed load + one relaxed
+  // fetch_add, nothing else.
+  const std::uint64_t span_every = obs::span_sample_every();
+  std::uint64_t span_id = 0;
+  bool span = false;
+  if (span_every != 0) {
+    const std::uint64_t seq =
+        consumer.span_produce_seq.fetch_add(1, std::memory_order_relaxed);
+    if (seq % span_every == 0) {
+      span = true;
+      span_id = span_item_id(consumer.index, seq);
+      obs::note_item_stage(static_cast<std::uint32_t>(consumer.index),
+                           static_cast<std::uint16_t>(consumer.core->index), span_id,
+                           obs::ItemStage::kProduce, now_ns());
+    }
+  }
   const auto stamp = Clock::now();
   // Lock-free fast path: with an SPSC/MPSC backend a successful push
   // never touches any runtime lock — this is the whole point of the
@@ -154,10 +187,22 @@ void ThreadPbpl::push_one(Consumer& consumer) {
   // into dropped_on_stop by stats(), keeping the accounting identity.
   if (consumer.buffer->lock_free() && running_.load(std::memory_order_acquire) &&
       consumer.buffer->try_push(stamp)) {
+    if (span) {
+      obs::note_item_stage(static_cast<std::uint32_t>(consumer.index),
+                           static_cast<std::uint16_t>(consumer.core->index), span_id,
+                           obs::ItemStage::kEnqueue, now_ns());
+    }
     return;
   }
-  std::unique_lock lock(consumer.core->mutex);
-  push_one_slow_locked(consumer, stamp, lock);
+  {
+    std::unique_lock lock(consumer.core->mutex);
+    push_one_slow_locked(consumer, stamp, lock);
+  }
+  if (span) {
+    obs::note_item_stage(static_cast<std::uint32_t>(consumer.index),
+                         static_cast<std::uint16_t>(consumer.core->index), span_id,
+                         obs::ItemStage::kEnqueue, now_ns());
+  }
 }
 
 void ThreadPbpl::push_volley(Consumer& consumer, std::size_t items) {
@@ -169,20 +214,44 @@ void ThreadPbpl::push_volley(Consumer& consumer, std::size_t items) {
   // the owning core's lock, so every overflow policy and the
   // produced == items + dropped() identity behave exactly as before.
   Clock::time_point chunk[queue::kDrainChunk];
+  const std::uint64_t span_every = obs::span_sample_every();
   while (items > 0) {
     const std::size_t n = std::min(items, queue::kDrainChunk);
     items -= n;
     produced_.fetch_add(n, std::memory_order_relaxed);
+    // Claim the chunk's admission positions in one add so the drain
+    // side's positional counter stays aligned with sampled ids.
+    std::uint64_t seq0 = 0;
+    if (span_every != 0) {
+      seq0 = consumer.span_produce_seq.fetch_add(n, std::memory_order_relaxed);
+    }
     for (std::size_t i = 0; i < n; ++i) chunk[i] = Clock::now();
     std::size_t accepted = 0;
     if (consumer.buffer->lock_free() && running_.load(std::memory_order_acquire)) {
       accepted = consumer.buffer->try_push_bulk(
           std::span<const Clock::time_point>(chunk, n));
     }
-    if (accepted == n) continue;
-    std::unique_lock lock(consumer.core->mutex);
-    for (std::size_t i = accepted; i < n; ++i) {
-      push_one_slow_locked(consumer, chunk[i], lock);
+    if (accepted < n) {
+      std::unique_lock lock(consumer.core->mutex);
+      for (std::size_t i = accepted; i < n; ++i) {
+        push_one_slow_locked(consumer, chunk[i], lock);
+      }
+    }
+    if (span_every != 0) {
+      // Volley items are admitted back-to-back; sampled ones get produce
+      // and enqueue stamped together after the chunk lands.
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t seq = seq0 + i;
+        if (seq % span_every != 0) continue;
+        const std::uint64_t id = span_item_id(consumer.index, seq);
+        const SimTime ts = now_ns();
+        obs::note_item_stage(static_cast<std::uint32_t>(consumer.index),
+                             static_cast<std::uint16_t>(consumer.core->index), id,
+                             obs::ItemStage::kProduce, ts);
+        obs::note_item_stage(static_cast<std::uint32_t>(consumer.index),
+                             static_cast<std::uint16_t>(consumer.core->index), id,
+                             obs::ItemStage::kEnqueue, ts);
+      }
     }
   }
 }
@@ -404,6 +473,12 @@ void ThreadPbpl::drain_locked(Core& core, Consumer& consumer, SimTime now,
   const auto drained_at = Clock::now();
   const std::uint64_t violations_before =
       consumer.guard ? consumer.guard->violations() : 0;
+  // Positional span sampling, consumer side: count drained positions and
+  // reconstruct the sampled producer ids.  The drain-start stamp shares
+  // `now` with the note_wakeup above, so the fold's wake join (inclusive
+  // ≤ bound) attributes these spans to exactly this wakeup.
+  const std::uint64_t span_every = obs::span_sample_every();
+  std::vector<std::uint64_t> sampled;
   // Bulk drain: chunked pop_bulk instead of one virtual try_pop per item
   // (and, on the lock-free backends, one head publication per chunk).
   const std::size_t batch = consumer.buffer->drain([&](Clock::time_point stamp) {
@@ -413,7 +488,18 @@ void ThreadPbpl::drain_locked(Core& core, Consumer& consumer, SimTime now,
       consumer.guard->observe(
           std::chrono::duration_cast<std::chrono::nanoseconds>(latency).count());
     }
+    if (span_every != 0) {
+      const std::uint64_t seq = consumer.span_drain_seq++;
+      if (seq % span_every == 0) {
+        sampled.push_back(span_item_id(consumer.index, seq));
+      }
+    }
   });
+  for (const std::uint64_t id : sampled) {
+    obs::note_item_stage(static_cast<std::uint32_t>(consumer.index),
+                         static_cast<std::uint16_t>(core.index), id,
+                         obs::ItemStage::kDrainStart, now);
+  }
   if (consumer.guard) {
     consumer.guard->end_batch();
     core.stats.latency_violations += consumer.guard->violations() - violations_before;
@@ -430,7 +516,7 @@ void ThreadPbpl::drain_locked(Core& core, Consumer& consumer, SimTime now,
   }
 
   make_reservation_locked(core, consumer, now);
-  core.pending.push_back({&consumer, batch, slot, now, drained_at});
+  core.pending.push_back({&consumer, batch, slot, now, drained_at, std::move(sampled)});
 }
 
 void ThreadPbpl::run_handlers(Core& core, std::unique_lock<std::mutex>& lock) {
@@ -454,6 +540,14 @@ void ThreadPbpl::run_handlers(Core& core, std::unique_lock<std::mutex>& lock) {
         static_cast<std::uint32_t>(p.consumer->index), p.slot, p.batch, p.now,
         std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - p.drained_at)
             .count());
+    if (!p.sampled.empty()) {
+      const SimTime done = now_ns();
+      for (const std::uint64_t id : p.sampled) {
+        obs::note_item_stage(static_cast<std::uint32_t>(p.consumer->index),
+                             static_cast<std::uint16_t>(core.index), id,
+                             obs::ItemStage::kHandlerDone, done);
+      }
+    }
   }
   lock.lock();
   core.pending.clear();
