@@ -7,17 +7,119 @@
 // on how deep the idle ladder goes and how long the window is — exactly
 // the interplay the paper's "race-to-idle … should be combined with
 // minimizing wakeups" paragraph describes.
+//
+// Part two extends the ablation to the fleet: a utilization sweep
+// (5% → 95% of the packed-core budget, phase-shifted sinusoid arrivals)
+// with the elastic controller off vs on.  Race-to-idle at fleet scope IS
+// core parking — consolidate the work, let the emptied cores reach the
+// deep states — and the sweep shows where that trade pays: large paid-
+// wakeup and joules/item cuts at low utilization, converging to parity
+// as the load saturates the packed placement.  `--json-out=FILE` appends
+// one JSON line per (utilization, mode) point.
 #include <cstdio>
+#include <cstring>
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "pcpc/common/rng.hpp"
 #include "pcpc/common/table.hpp"
+#include "pcpc/core/pbpl_system.hpp"
+#include "pcpc/fleet/controller.hpp"
+#include "pcpc/fleet/sim_driver.hpp"
 #include "pcpc/power/cstate.hpp"
+#include "pcpc/power/energy_ledger.hpp"
 #include "pcpc/power/pstate.hpp"
+#include "pcpc/sim/replay.hpp"
+#include "pcpc/trace/arrival_process.hpp"
 
 using namespace pcpc;
 using namespace pcpc::power;
 
-int main() {
+namespace {
+
+constexpr std::size_t kSweepPairs = 8;
+constexpr std::size_t kSweepCores = 4;
+constexpr SimDuration kSweepHorizon = seconds(1);
+
+struct SweepPoint {
+  double paid_per_s = 0.0;
+  double uj_per_item = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t migrations = 0;
+};
+
+SweepPoint run_sweep_point(double utilization, bool elastic) {
+  core::PbplConfig config;
+  config.cores = kSweepCores;
+  config.assignment = core::AssignmentPolicy::RoundRobin;
+  config.slot_size = milliseconds(10);
+  config.max_latency = milliseconds(100);
+  config.base_buffer = 25;
+  config.service.per_item = microseconds(20);
+
+  // `utilization` is the busy fraction the whole fleet would put on ONE
+  // core; per-pair rate follows from the per-item service time.
+  const double rate_hz = utilization / (static_cast<double>(kSweepPairs) *
+                                        to_seconds(config.service.per_item));
+  std::vector<trace::Trace> traces;
+  for (std::size_t i = 0; i < kSweepPairs; ++i) {
+    Rng rng(0xab1a7e5eedULL + i);
+    const trace::SinusoidRate rate(rate_hz, rate_hz / 4.0, seconds(1),
+                                   0.7 * static_cast<double>(i));
+    traces.push_back(trace::sample_nhpp(rate, kSweepHorizon, rng));
+  }
+
+  sim::Simulator simulator;
+  core::PbplSystem system(simulator, kSweepPairs, config);
+
+  fleet::FleetConfig fc;
+  fc.mode = elastic ? fleet::FleetMode::kElastic : fleet::FleetMode::kOff;
+  fc.control_period = milliseconds(50);
+  fc.cooldown = milliseconds(200);
+  fc.cost.slot = config.resolved_slot_size();
+  fc.cost.max_latency = config.max_latency;
+  fc.cost.buffer_items = config.base_buffer;
+  fc.cost.service = config.service;
+  fc.cost.manager_overhead = config.manager_overhead;
+  fc.cost.utilization_cap = config.utilization_cap;
+  fleet::FleetController controller(kSweepPairs, kSweepCores, fc);
+  fleet::SimFleetDriver driver(simulator, system, controller);
+
+  system.start();
+  if (elastic) driver.start();
+  for (std::size_t i = 0; i < kSweepPairs; ++i) {
+    core::PbplConsumer& consumer = system.consumer(i);
+    sim::replay(simulator, traces[i].timestamps(), kSweepHorizon,
+                [&consumer](SimTime t) { consumer.produce(t); });
+  }
+  simulator.run_until(kSweepHorizon);
+  driver.stop();
+  const core::PbplResult result = system.finish(kSweepHorizon);
+
+  SweepPoint point;
+  const double horizon_s = to_seconds(kSweepHorizon);
+  point.paid_per_s = static_cast<double>(result.paid_wakeups) / horizon_s;
+  point.p99_ms = result.latency_s.p99() * 1e3;
+  point.migrations = driver.migrations();
+  const EnergyLedger ledger;
+  double joules = 0.0;
+  for (const auto& timeline : result.timelines) {
+    joules += ledger.energy_joules(timeline) - ledger.baseline_joules(timeline);
+  }
+  joules += static_cast<double>(result.items) * ledger.params().item_transport_energy_j +
+            static_cast<double>(result.paid_wakeups) * ledger.params().wakeup_energy_j;
+  point.uj_per_item = joules / static_cast<double>(result.items) * 1e6;
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json-out=", 11) == 0) json_out = argv[i] + 11;
+  }
   const PStateModel pstates = PStateModel::arndale_like();
 
   // Batch work sized like a PBPL slot's batch: 20 items × 3 µs at
@@ -63,5 +165,55 @@ int main() {
       "reaches the deep states and race-to-idle becomes near-optimal, which is\n"
       "what justifies the paper's two-state simplification *given* its grouped\n"
       "(long-gap) wakeup pattern.  Grouping and race-to-idle are complements.\n");
+
+  // --- Part two: fleet-scope race-to-idle (elastic parking) sweep.
+  Table sweep({"util", "mode", "paid wakeups/s", "uJ/item", "p99 (ms)", "migrations",
+               "paid cut"});
+  sweep.set_title(
+      "Fleet utilization sweep: static round-robin vs elastic parking\n"
+      "(8 pairs, 4 cores, phase-shifted sinusoid arrivals, 1 s horizon)");
+
+  FILE* json = nullptr;
+  if (!json_out.empty()) {
+    json = std::fopen(json_out.c_str(), "a");
+    if (json == nullptr) {
+      std::fprintf(stderr, "cannot open %s for append\n", json_out.c_str());
+      return 1;
+    }
+  }
+
+  for (const double util : {0.05, 0.10, 0.25, 0.50, 0.75, 0.95}) {
+    const SweepPoint fixed = run_sweep_point(util, /*elastic=*/false);
+    const SweepPoint elastic = run_sweep_point(util, /*elastic=*/true);
+    const double cut =
+        100.0 * (fixed.paid_per_s - elastic.paid_per_s) / fixed.paid_per_s;
+    const std::string util_label = format_double(util * 100.0, 0) + " %";
+    sweep.add(util_label, "static", format_double(fixed.paid_per_s, 1),
+              format_double(fixed.uj_per_item, 2), format_double(fixed.p99_ms, 2), "0",
+              "");
+    sweep.add(util_label, "elastic", format_double(elastic.paid_per_s, 1),
+              format_double(elastic.uj_per_item, 2), format_double(elastic.p99_ms, 2),
+              std::to_string(elastic.migrations), format_double(cut, 1) + " %");
+    if (json != nullptr) {
+      std::fprintf(json,
+                   "{\"bench\":\"fleet_util_sweep\",\"util_pct\":%.0f,"
+                   "\"static_paid_per_s\":%.2f,\"elastic_paid_per_s\":%.2f,"
+                   "\"paid_cut_pct\":%.1f,\"static_uj_per_item\":%.3f,"
+                   "\"elastic_uj_per_item\":%.3f,\"static_p99_ms\":%.3f,"
+                   "\"elastic_p99_ms\":%.3f,\"migrations\":%llu}\n",
+                   util * 100.0, fixed.paid_per_s, elastic.paid_per_s, cut,
+                   fixed.uj_per_item, elastic.uj_per_item, fixed.p99_ms, elastic.p99_ms,
+                   static_cast<unsigned long long>(elastic.migrations));
+    }
+  }
+  if (json != nullptr) std::fclose(json);
+  std::printf("\n");
+  sweep.print(std::cout);
+  std::printf(
+      "\nReading: parking is race-to-idle one level up.  At low utilization the\n"
+      "controller consolidates the pairs and the emptied cores' contiguous idle\n"
+      "reaches the deep states — paid wakeups and joules/item drop sharply.  As\n"
+      "utilization approaches the packed placement's cap the candidate stops\n"
+      "beating the hysteresis margin and both modes converge.\n");
   return 0;
 }

@@ -1,0 +1,170 @@
+// Fleet parking gate (also run by ci/bench_smoke.sh): at a ~10% packed
+// utilization point — 8 pairs whose combined load fits comfortably on
+// one of 4 cores — the elastic fleet controller must consolidate the
+// pairs, let the emptied cores sleep through, and thereby cut paid
+// wakeups by >= 30% and joules/item vs the static round-robin placement,
+// with zero per-pair Delta-SLO violations.  Deterministic: the sim host,
+// the controller and the seeded traces replay bit-identically.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "pcpc/common/rng.hpp"
+#include "pcpc/core/pbpl_system.hpp"
+#include "pcpc/fleet/controller.hpp"
+#include "pcpc/fleet/sim_driver.hpp"
+#include "pcpc/obs/attribution.hpp"
+#include "pcpc/obs/obs.hpp"
+#include "pcpc/power/energy_ledger.hpp"
+#include "pcpc/sim/replay.hpp"
+#include "pcpc/trace/arrival_process.hpp"
+
+using namespace pcpc;
+
+namespace {
+
+constexpr std::size_t kPairs = 8;
+constexpr std::size_t kCores = 4;
+constexpr double kRateHz = 625.0;  // per pair; packed core busy ~10%
+constexpr SimDuration kHorizon = seconds(2);
+
+core::PbplConfig bench_config() {
+  core::PbplConfig config;
+  config.cores = kCores;
+  config.assignment = core::AssignmentPolicy::RoundRobin;  // the static baseline
+  config.slot_size = milliseconds(10);
+  config.max_latency = milliseconds(100);
+  config.base_buffer = 25;
+  config.service.per_item = microseconds(20);
+  return config;
+}
+
+struct RunOutcome {
+  double paid_per_s = 0.0;
+  double joules_per_item = 0.0;
+  double extra_mw = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t items = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t slo_samples = 0;
+  std::uint64_t slo_violations = 0;
+};
+
+RunOutcome run(bool elastic) {
+  const core::PbplConfig config = bench_config();
+
+  // Phase-shifted arrivals: every pair carries the same mean rate but a
+  // different seed and phase, so the static placement cannot latch its
+  // way to the packed placement's wakeup bill by accident.
+  std::vector<trace::Trace> traces;
+  for (std::size_t i = 0; i < kPairs; ++i) {
+    Rng rng(0x5eedf1ee7UL + i);
+    const trace::SinusoidRate rate(kRateHz, kRateHz / 4.0, seconds(1),
+                                   0.7 * static_cast<double>(i));
+    traces.push_back(trace::sample_nhpp(rate, kHorizon, rng));
+  }
+
+  obs::SessionOptions options;
+  options.span_sample_every = 16;
+  obs::Session session(options);
+
+  sim::Simulator simulator;
+  session.set_clock([&simulator] { return simulator.now(); });
+
+  core::PbplSystem system(simulator, kPairs, config);
+
+  fleet::FleetConfig fc;
+  fc.mode = elastic ? fleet::FleetMode::kElastic : fleet::FleetMode::kOff;
+  fc.control_period = milliseconds(50);
+  fc.cooldown = milliseconds(200);
+  fc.cost.slot = config.resolved_slot_size();
+  fc.cost.max_latency = config.max_latency;
+  fc.cost.buffer_items = config.base_buffer;
+  fc.cost.service = config.service;
+  fc.cost.manager_overhead = config.manager_overhead;
+  fc.cost.utilization_cap = config.utilization_cap;
+  fleet::FleetController controller(kPairs, kCores, fc);
+  fleet::SimFleetDriver driver(simulator, system, controller);
+
+  system.start();
+  if (elastic) driver.start();
+  for (std::size_t i = 0; i < kPairs; ++i) {
+    core::PbplConsumer& consumer = system.consumer(i);
+    sim::replay(simulator, traces[i].timestamps(), kHorizon,
+                [&consumer](SimTime t) { consumer.produce(t); });
+  }
+  simulator.run_until(kHorizon);
+  driver.stop();
+  const core::PbplResult result = system.finish(kHorizon);
+
+  std::size_t offered = 0;
+  for (const auto& t : traces) offered += t.size();
+  if (result.items != offered) {
+    std::fprintf(stderr, "conservation violated: offered %zu consumed %llu\n", offered,
+                 static_cast<unsigned long long>(result.items));
+    std::exit(2);
+  }
+
+  RunOutcome out;
+  const double horizon_s = to_seconds(kHorizon);
+  out.items = result.items;
+  out.migrations = driver.migrations();
+  out.paid_per_s = static_cast<double>(result.paid_wakeups) / horizon_s;
+  out.p99_ms = result.latency_s.p99() * 1e3;
+
+  const power::EnergyLedger ledger;
+  double joules = 0.0;
+  for (const auto& timeline : result.timelines) {
+    joules += ledger.energy_joules(timeline) - ledger.baseline_joules(timeline);
+  }
+  joules += static_cast<double>(result.items) * ledger.params().item_transport_energy_j +
+            static_cast<double>(result.paid_wakeups) * ledger.params().wakeup_energy_j;
+  out.joules_per_item = joules / static_cast<double>(result.items);
+  out.extra_mw = joules / horizon_s * 1e3;
+
+  obs::AttributionOptions attr;
+  attr.service = config.service;
+  attr.delta_ns = config.max_latency;
+  const obs::AttributionReport report = obs::build_attribution(session, attr);
+  for (const auto& pair : report.pairs) {
+    out.slo_samples += pair.slo_samples;
+    out.slo_violations += pair.slo_violations;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const RunOutcome fixed = run(/*elastic=*/false);
+  const RunOutcome elastic = run(/*elastic=*/true);
+
+  const double cut = 100.0 * (fixed.paid_per_s - elastic.paid_per_s) / fixed.paid_per_s;
+  const bool paid_ok = elastic.paid_per_s <= 0.7 * fixed.paid_per_s;
+  const bool joules_ok = elastic.joules_per_item < fixed.joules_per_item;
+  const bool slo_ok = elastic.slo_violations == 0 && elastic.slo_samples > 0;
+  const bool migrated = elastic.migrations > 0;
+  const bool pass = paid_ok && joules_ok && slo_ok && migrated;
+
+  std::printf(
+      "fleet_parking: static %.1f paid/s %.2f uJ/item p99 %.2f ms | "
+      "elastic %.1f paid/s %.2f uJ/item p99 %.2f ms | cut %.1f%% "
+      "migrations %llu slo %llu/%llu\n",
+      fixed.paid_per_s, fixed.joules_per_item * 1e6, fixed.p99_ms, elastic.paid_per_s,
+      elastic.joules_per_item * 1e6, elastic.p99_ms, cut,
+      static_cast<unsigned long long>(elastic.migrations),
+      static_cast<unsigned long long>(elastic.slo_violations),
+      static_cast<unsigned long long>(elastic.slo_samples));
+
+  std::printf(
+      "{\"bench\":\"fleet_parking\",\"static_paid_per_s\":%.2f,"
+      "\"elastic_paid_per_s\":%.2f,\"paid_cut_pct\":%.1f,"
+      "\"static_uj_per_item\":%.3f,\"elastic_uj_per_item\":%.3f,"
+      "\"static_p99_ms\":%.3f,\"elastic_p99_ms\":%.3f,"
+      "\"migrations\":%llu,\"slo_violations\":%llu,\"pass\":%s}\n",
+      fixed.paid_per_s, elastic.paid_per_s, cut, fixed.joules_per_item * 1e6,
+      elastic.joules_per_item * 1e6, fixed.p99_ms, elastic.p99_ms,
+      static_cast<unsigned long long>(elastic.migrations),
+      static_cast<unsigned long long>(elastic.slo_violations), pass ? "true" : "false");
+  return pass ? 0 : 1;
+}

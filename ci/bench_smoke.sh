@@ -11,9 +11,12 @@
 # a saturated handler-bound workload at >= 1.8x the 1-core rate without
 # minting wakeups beyond the slot schedule), and the ipc_floor
 # cross-process gate (forked producers over the shm channel: throughput
-# floor, futex-wake frugality, exact no-fault conservation).  Also
-# smoke-runs the chaos bench with exporters armed so the trace/metrics
-# plumbing on the thread host stays exercised.
+# floor, futex-wake frugality, exact no-fault conservation), and the
+# fleet_parking elastic-autoscaler gate (at ~10% utilization the
+# controller must cut paid wakeups >= 30% and joules/item vs the static
+# placement with zero Δ-SLO violations).  Also smoke-runs the chaos
+# bench with exporters armed so the trace/metrics plumbing on the thread
+# host stays exercised.
 #
 # Every gate appends one JSON line to BENCH_<gate>.json at the repo
 # root — timestamp, git sha, and the gate's headline numbers — so the
@@ -103,6 +106,19 @@ fi
 "${build}/bench/ipc_floor" --json-out="${out}/ipc_floor.json" | tee "${out}/ipc_floor.txt"
 # The bench already emits its record as JSON; fold it into the trajectory.
 record ipc_floor "$(sed 's/^{//;s/}$//' "${out}/ipc_floor.json")"
+
+echo "=== fleet_parking: elastic autoscaler gate ==="
+if [[ ! -x "${build}/bench/fleet_parking" ]]; then
+  echo "bench_smoke: ${build}/bench/fleet_parking not built" >&2
+  echo "bench_smoke: run 'cmake --build ${build} --target fleet_parking'" >&2
+  exit 2
+fi
+# At the ~10% utilization point the elastic controller must cut paid
+# wakeups >= 30% and joules/item vs the static placement with zero Δ-SLO
+# violations.  Deterministic sim replay: no retry needed.
+"${build}/bench/fleet_parking" | tee "${out}/fleet_parking.txt"
+# The bench's last line is its JSON record; fold it into the trajectory.
+record fleet_parking "$(tail -1 "${out}/fleet_parking.txt" | sed 's/^{//;s/}$//')"
 
 echo "=== chaos_overload: exporter smoke (thread host) ==="
 "${build}/bench/chaos_overload" "${out}/chaos.csv" \

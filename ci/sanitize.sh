@@ -17,7 +17,7 @@ prefix="${1:-build-san}"
 # threads or drives the fault injector.  IpcCrash forks real producer
 # processes — it self-skips under TSan (fork + shm atomics are outside
 # TSan's model) and runs fully under ASan/UBSan.
-suite_regex='ChaosRuntime|ChaosBaseline|ChaosSim|FaultInjector|ApplyProducerFaults|ThreadPbpl|ThreadBaseline|TraceReplayer|RuntimeChaosFuzz|RuntimeSharding|BufferPool|ElasticBuffer|QueueDifferential|QueueFuzz|IpcCrash|ObsIpc|ObsAttribution|Registry|TraceRing|Session|WakeupLedger|example_chaos_demo|example_live_threads'
+suite_regex='ChaosRuntime|ChaosBaseline|ChaosSim|FaultInjector|ApplyProducerFaults|ThreadPbpl|ThreadBaseline|TraceReplayer|RuntimeChaosFuzz|RuntimeSharding|BufferPool|ElasticBuffer|QueueDifferential|QueueFuzz|IpcCrash|ObsIpc|ObsAttribution|Registry|TraceRing|Session|WakeupLedger|Fleet|example_chaos_demo|example_live_threads'
 
 run_pass() {
   local name="$1" sanitize="$2"
@@ -28,7 +28,7 @@ run_pass() {
   echo "=== ${name}: build ==="
   cmake --build "${dir}" -j "$(nproc)" \
     --target test_chaos_runtime test_fault_injection test_runtime \
-             test_runtime_sharding \
+             test_runtime_sharding test_fleet \
              test_fuzz_pbpl test_elastic_buffer test_obs test_obs_ledger \
              test_queue_differential test_queue_fuzz test_ipc_crash \
              test_obs_ipc chaos_demo live_threads

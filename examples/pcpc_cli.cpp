@@ -19,12 +19,20 @@
 //   --span-every=N     sample every Nth item's lifecycle span          [0=off]
 //   --slo-report=FILE  write the wakeup→energy attribution + per-pair
 //                      Δ-budget SLO report (one JSON object)
+//   --fleet=MODE       off|static|elastic placement management          [off]
+//                      static packs the placement once at startup;
+//                      elastic arms the live controller (migration +
+//                      core parking) for an extra fleet-scoped run
+//   --fleet-report=FILE  write the fleet run's outcome (one JSON object:
+//                      mode, migrations, paid wakeups, joules/item,
+//                      final placement, predicted per-pair rates)
 //   key=value          any pcpc::core::config_io key, applied last
 //
 // Examples:
 //   ./examples/pcpc_cli --impl=all --pairs=10 --rate=1500
 //   ./examples/pcpc_cli --workload=pareto latency_guard=1 slot_size_us=5000
 //   ./examples/pcpc_cli --trace-out=trace.json --metrics-out=metrics.json
+//   ./examples/pcpc_cli --fleet=elastic --fleet-report=fleet.json --cores=4
 //   ./examples/pcpc_cli --impl=ipc --ipc-role=consumer --ipc-name=/demo &
 //   ./examples/pcpc_cli --impl=ipc --ipc-role=producer --ipc-name=/demo
 #include <sys/wait.h>
@@ -42,7 +50,10 @@
 #include "pcpc/common/table.hpp"
 #include "pcpc/core/config_io.hpp"
 #include "pcpc/exp/paper_setup.hpp"
+#include "pcpc/fleet/controller.hpp"
+#include "pcpc/fleet/sim_driver.hpp"
 #include "pcpc/ipc/channel.hpp"
+#include "pcpc/sim/replay.hpp"
 #include "pcpc/obs/attribution.hpp"
 #include "pcpc/obs/exporters.hpp"
 #include "pcpc/obs/obs.hpp"
@@ -67,6 +78,8 @@ struct CliOptions {
   std::string trace_out;
   std::string metrics_out;
   std::string slo_report;
+  std::string fleet = "off";
+  std::string fleet_report;
   std::int64_t snapshot_ms = 0;
   std::uint64_t span_every = 0;
   std::vector<std::string> config_options;
@@ -152,12 +165,20 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
     else if (const auto v13 = value_of("--ipc-role=")) options.ipc_role = *v13;
     else if (const auto v14 = value_of("--span-every=")) options.span_every = std::stoull(*v14);
     else if (const auto v15 = value_of("--slo-report=")) options.slo_report = *v15;
+    else if (const auto v16 = value_of("--fleet=")) options.fleet = *v16;
+    else if (const auto v17 = value_of("--fleet-report=")) options.fleet_report = *v17;
     else if (arg.find('=') != std::string::npos && arg.rfind("--", 0) != 0) {
       options.config_options.push_back(arg);
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return false;
     }
+  }
+  fleet::FleetMode mode;
+  if (!fleet::parse_fleet_mode(options.fleet.c_str(), &mode)) {
+    std::fprintf(stderr, "unknown --fleet mode '%s' (off|static|elastic)\n",
+                 options.fleet.c_str());
+    return false;
   }
   return options.pairs > 0 && options.rate_hz > 0 && options.seconds_d > 0;
 }
@@ -201,6 +222,111 @@ std::vector<trace::Trace> make_workload(const CliOptions& options, SimDuration h
     }
   }
   return traces;
+}
+
+/// Fleet-scoped run (--fleet=static|elastic): replays the same traces on
+/// the simulation host with placement management armed.  `static` packs
+/// the pairs once at startup from the traces' mean rates (first-fit-
+/// decreasing under the utilization cap) and never revisits the mapping;
+/// `elastic` starts from the configured assignment and lets the live
+/// controller migrate pairs and empty cores as the predicted rates move.
+/// Prints a summary line and, with --fleet-report=FILE, writes the
+/// outcome as one JSON object.
+int run_fleet(fleet::FleetMode mode, std::span<const trace::Trace> traces,
+              SimDuration horizon, const exp::ExperimentSpec& spec,
+              const std::string& report_path) {
+  core::PbplConfig config = spec.setup.synchronized_pbpl();
+
+  // Expected core share of each pair, from the offered trace itself —
+  // what a load-aware startup placement would know.
+  std::vector<double> utilization;
+  utilization.reserve(traces.size());
+  for (const auto& t : traces) {
+    utilization.push_back(t.stats().mean_rate_hz * to_seconds(config.service.per_item));
+  }
+  if (mode == fleet::FleetMode::kStatic) {
+    config.assignment = core::AssignmentPolicy::Packed;
+  }
+
+  sim::Simulator simulator;
+  core::PbplSystem system(simulator, traces.size(), config, utilization);
+
+  fleet::FleetConfig fc;
+  fc.mode = mode;
+  fc.cost.slot = config.resolved_slot_size();
+  fc.cost.max_latency = config.max_latency;
+  fc.cost.buffer_items = config.base_buffer;
+  fc.cost.service = config.service;
+  fc.cost.manager_overhead = config.manager_overhead;
+  fc.cost.utilization_cap = config.utilization_cap;
+  fleet::FleetController controller(traces.size(), config.cores, fc);
+  fleet::SimFleetDriver driver(simulator, system, controller);
+
+  system.start();
+  if (mode == fleet::FleetMode::kElastic) driver.start();
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    core::PbplConsumer& consumer = system.consumer(i);
+    sim::replay(simulator, traces[i].timestamps(), horizon,
+                [&consumer](SimTime t) { consumer.produce(t); });
+  }
+  simulator.run_until(horizon);
+  driver.stop();
+  const std::vector<std::size_t> placement = system.placement();
+  const core::PbplResult result = system.finish(horizon);
+
+  const power::EnergyLedger ledger(spec.power);
+  double joules = 0.0;
+  for (const auto& timeline : result.timelines) {
+    joules += ledger.energy_joules(timeline) - ledger.baseline_joules(timeline);
+  }
+  joules += static_cast<double>(result.items) * ledger.params().item_transport_energy_j +
+            static_cast<double>(result.paid_wakeups) * ledger.params().wakeup_energy_j;
+  const double horizon_s = to_seconds(horizon);
+  const double paid_per_s = static_cast<double>(result.paid_wakeups) / horizon_s;
+  const double uj_per_item =
+      result.items > 0 ? joules / static_cast<double>(result.items) * 1e6 : 0.0;
+
+  std::string placement_str;
+  for (const std::size_t core : placement) {
+    if (!placement_str.empty()) placement_str += ' ';
+    placement_str += std::to_string(core);
+  }
+  std::printf("\nfleet (%s): %.1f paid wakeups/s, %.2f uJ/item, "
+              "%llu migrations over %llu ticks, placement [%s]\n",
+              fleet_mode_name(mode), paid_per_s, uj_per_item,
+              static_cast<unsigned long long>(driver.migrations()),
+              static_cast<unsigned long long>(driver.ticks()), placement_str.c_str());
+
+  if (report_path.empty()) return 0;
+  FILE* out = std::fopen(report_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write fleet report to %s\n", report_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\"mode\":\"%s\",\"pairs\":%zu,\"cores\":%zu,"
+               "\"migrations\":%llu,\"ticks\":%llu,\"items\":%llu,"
+               "\"paid_wakeups\":%llu,\"paid_per_s\":%.3f,"
+               "\"joules_per_item\":%.9g,\"placement\":[",
+               fleet_mode_name(mode), traces.size(),
+               static_cast<std::size_t>(config.cores),
+               static_cast<unsigned long long>(driver.migrations()),
+               static_cast<unsigned long long>(driver.ticks()),
+               static_cast<unsigned long long>(result.items),
+               static_cast<unsigned long long>(result.paid_wakeups), paid_per_s,
+               uj_per_item * 1e-6);
+  for (std::size_t i = 0; i < placement.size(); ++i) {
+    std::fprintf(out, "%s%zu", i > 0 ? "," : "", placement[i]);
+  }
+  std::fprintf(out, "],\"predicted_rates_hz\":[");
+  const std::vector<double>& rates = controller.rates();
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    std::fprintf(out, "%s%.3f", i > 0 ? "," : "", rates[i]);
+  }
+  std::fprintf(out, "]}\n");
+  std::fclose(out);
+  std::fprintf(stderr, "[pcpc fleet] report written to %s\n", report_path.c_str());
+  return 0;
 }
 
 /// Cross-process host (--impl=ipc): real producer processes over one shm
@@ -491,6 +617,13 @@ int main(int argc, char** argv) {
 
   if (options.impl == "pbpl" || options.impl == "all") {
     std::printf("\nPBPL configuration used:\n%s", core::describe(spec.setup.synchronized_pbpl()).c_str());
+  }
+
+  fleet::FleetMode fleet_mode = fleet::FleetMode::kOff;
+  fleet::parse_fleet_mode(options.fleet.c_str(), &fleet_mode);
+  if (fleet_mode != fleet::FleetMode::kOff) {
+    const int rc = run_fleet(fleet_mode, traces, horizon, spec, options.fleet_report);
+    if (rc != 0) return rc;
   }
 
   if (session.has_value()) {

@@ -14,6 +14,14 @@
 // from the sampled lifecycle spans.  It is the obs::build_attribution
 // report rendered as a top(1)-style screen.
 //
+// The elastic fleet controller is armed, so the screen also carries a
+// fleet panel: per-core parked/active state, the live placement map
+// (which monitor runs on which core), and the migration/park counters.
+// Every frame additionally snapshots the runtime counters and checks
+// the conservation inequality items + drops <= produced — a snapshot
+// taken *while* a consumer is mid-migration must still satisfy it,
+// which is exactly what the quiesce protocol guarantees.
+//
 //   $ ./examples/runtime_monitor [seconds]
 #include <unistd.h>
 
@@ -28,6 +36,7 @@
 #include "pcpc/common/rng.hpp"
 #include "pcpc/common/table.hpp"
 #include "pcpc/core/config.hpp"
+#include "pcpc/fleet/controller.hpp"
 #include "pcpc/obs/attribution.hpp"
 #include "pcpc/obs/obs.hpp"
 #include "pcpc/runtime/thread_pbpl.hpp"
@@ -101,6 +110,41 @@ void render_frame(const obs::AttributionReport& report, double elapsed_s,
   std::cout.flush();
 }
 
+/// The fleet panel: per-core parked/active state with the placement
+/// map, plus the migration/park counters and the live conservation
+/// self-check (valid even when the snapshot lands mid-migration).
+void render_fleet_panel(runtime::ThreadPbpl& runtime,
+                        const runtime::ThreadPbplStats& live, double elapsed_s,
+                        bool conserved) {
+  const std::vector<std::size_t> placement = runtime.placement();
+  const std::vector<bool> parked = runtime.parked_cores();
+  const double mig_per_s = elapsed_s > 0
+                               ? static_cast<double>(live.migrations) / elapsed_s
+                               : 0.0;
+  std::printf("fleet: %llu migrations (%.1f/s), %llu parks, %llu unparks\n",
+              static_cast<unsigned long long>(live.migrations), mig_per_s,
+              static_cast<unsigned long long>(live.core_parks),
+              static_cast<unsigned long long>(live.core_unparks));
+  for (std::size_t c = 0; c < parked.size(); ++c) {
+    std::printf("  core %zu [%s]:", c, parked[c] ? "parked" : "active");
+    bool any = false;
+    for (std::size_t pair = 0; pair < placement.size(); ++pair) {
+      if (placement[pair] == c) {
+        std::printf(" monitor-%zu", pair);
+        any = true;
+      }
+    }
+    std::printf(any ? "\n" : " (empty)\n");
+  }
+  std::printf("conservation (live snapshot): items %llu + drops %llu <= "
+              "produced %llu — %s\n",
+              static_cast<unsigned long long>(live.items),
+              static_cast<unsigned long long>(live.dropped()),
+              static_cast<unsigned long long>(live.produced),
+              conserved ? "ok" : "VIOLATED");
+  std::cout.flush();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -128,7 +172,7 @@ int main(int argc, char** argv) {
   obs::Session session(session_options);
 
   core::PbplConfig config;
-  config.cores = 2;
+  config.cores = 4;
   config.base_buffer = 64;
   config.slot_size = milliseconds(5);
   config.max_latency = milliseconds(25);  // the detection bound == Δ budget
@@ -137,7 +181,15 @@ int main(int argc, char** argv) {
   aopt.service.per_item = microseconds(2);  // property check per event
   aopt.delta_ns = config.max_latency;
 
-  runtime::ThreadPbpl runtime(traces.size(), config);
+  // Elastic fleet: the controller re-prices the placement 10×/s, packs
+  // the cheap monitors together and parks the cores it empties; the
+  // panel below shows the moves as they happen.
+  fleet::FleetConfig fleet;
+  fleet.mode = fleet::FleetMode::kElastic;
+  fleet.control_period = milliseconds(100);
+  fleet.cooldown = milliseconds(400);
+
+  runtime::ThreadPbpl runtime(traces.size(), config, {}, nullptr, fleet);
 
   // Producer threads replay their source compressed to wall time.
   const double scale = run_s / to_seconds(horizon);
@@ -164,12 +216,20 @@ int main(int argc, char** argv) {
   // Screen clearing only on a real terminal; piped output (the smoke
   // test) gets sequential frames.
   const bool tty = ::isatty(1) == 1;
+  bool live_conserved = true;
   while (std::chrono::steady_clock::now() < deadline) {
     std::this_thread::sleep_for(std::chrono::milliseconds(400));
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
     render_frame(obs::build_attribution(session, aopt), elapsed, tty);
+    // Live conservation self-check.  stats() reads the per-core shards
+    // first and the produced counter last, so even a snapshot straddling
+    // an in-flight migration must satisfy items + drops <= produced.
+    const runtime::ThreadPbplStats live = runtime.stats();
+    const bool ok = live.items + live.dropped() <= live.produced;
+    live_conserved = live_conserved && ok;
+    render_fleet_panel(runtime, live, elapsed, ok);
   }
 
   stop.store(true, std::memory_order_relaxed);
@@ -181,6 +241,11 @@ int main(int argc, char** argv) {
   render_frame(report, run_s, /*clear_screen=*/false);
 
   const runtime::ThreadPbplStats stats = runtime.stats();
+  render_fleet_panel(runtime, stats, run_s, live_conserved);
+  if (!live_conserved) {
+    std::fprintf(stderr, "live conservation self-check failed mid-run\n");
+    return 1;
+  }
   if (stats.produced != stats.items + stats.dropped()) {
     std::fprintf(stderr, "conservation identity broken: produced %llu != %llu + %llu\n",
                  static_cast<unsigned long long>(stats.produced),

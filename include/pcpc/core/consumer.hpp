@@ -76,11 +76,19 @@ class PbplConsumer final : public Invocable {
   /// memory pressure has to come out of the consumers' own allotment.
   void squeeze_buffer() { buffer_->resize(1); }
 
+  /// Fleet migration: moves this consumer to `next`'s core.  The buffer
+  /// travels untouched (no items copied, dropped or reordered — the
+  /// hand-off queue is core-agnostic), the old reservation is cancelled
+  /// and a fresh one is made on the destination's slot track, so
+  /// `produced == items` conservation holds across the move by
+  /// construction.
+  void rebind(CoreManager& next, SimTime now);
+
  private:
   void make_reservation(SimTime now);
 
   ConsumerId id_;
-  CoreManager& manager_;
+  CoreManager* manager_;
   queue::BufferPool<SimTime>& pool_;
   const PbplConfig& config_;
   std::unique_ptr<queue::Handoff<SimTime>> buffer_;

@@ -44,6 +44,11 @@ class CoreManager {
   /// Adds a consumer hosted on this core.  Ids must be unique.
   void register_consumer(ConsumerId id, Invocable* consumer);
 
+  /// Removes a consumer (fleet migration): cancels its reservation and
+  /// re-targets — or cancels — the pending wakeup, so a core left with no
+  /// reservations schedules nothing and simply goes idle.
+  void unregister_consumer(ConsumerId id);
+
   /// Books `consumer` for `slot` (moving any previous reservation) and
   /// re-targets the pending wakeup if this slot is now the earliest.
   void reserve(ConsumerId consumer, SlotIndex slot);

@@ -66,6 +66,14 @@ class PbplSystem {
   /// pool pressure (seize_segments) before a run.
   queue::BufferPool<SimTime>& pool() { return pool_; }
 
+  /// Current core of every pair (index i → core hosting consumer i).
+  const std::vector<std::size_t>& placement() const { return mapping_; }
+
+  /// Fleet migration: rebinds `pair`'s consumer onto `core`'s manager at
+  /// the current virtual time.  The pair's buffered items travel with it;
+  /// no-op when the pair already lives there.
+  void migrate_consumer(std::size_t pair, std::size_t core);
+
   /// Makes every consumer's initial reservation.  Call once, before
   /// running the simulator.
   void start();
@@ -81,6 +89,7 @@ class PbplSystem {
   std::vector<std::unique_ptr<SimCore>> cores_;
   std::vector<std::unique_ptr<CoreManager>> managers_;
   std::vector<std::unique_ptr<PbplConsumer>> consumers_;
+  std::vector<std::size_t> mapping_;
 };
 
 /// Convenience one-call experiment: replays `traces` (one per pair) for

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <mutex>
 
@@ -83,12 +84,23 @@ struct FaultConfig {
   double attach_delay_probability = 0.0;
   SimDuration attach_delay = milliseconds(10);
 
+  /// Load swing: a seeded utilization wave the fleet controller must
+  /// track.  load_scale(now) returns a multiplicative factor around 1.0
+  /// (clamped to [0, 2]) — a sinusoid by default, a square wave with
+  /// `load_swing_step` — with a seeded phase, so harnesses that scale
+  /// arrival rates by it exercise park/unpark and migration churn
+  /// reproducibly.  amplitude 0 disables.
+  double load_swing_amplitude = 0.0;
+  SimDuration load_swing_period = seconds(1);
+  bool load_swing_step = false;
+
   /// True when any fault class is active.
   bool any() const {
     return burst_probability > 0.0 || stall_probability > 0.0 ||
            slow_handler_probability > 0.0 || deadline_jitter > 0 ||
            pool_pressure > 0.0 || kill_probability > 0.0 ||
-           stop_probability > 0.0 || attach_delay_probability > 0.0;
+           stop_probability > 0.0 || attach_delay_probability > 0.0 ||
+           load_swing_amplitude > 0.0;
   }
 };
 
@@ -107,6 +119,7 @@ struct FaultStats {
   std::uint64_t attach_delays = 0;     ///< delayed shm attach attempts
   SimDuration total_stop = 0;          ///< summed suspension time
   SimDuration total_attach_delay = 0;  ///< summed attach delay
+  std::uint64_t load_swings = 0;       ///< load-swing period boundaries crossed
 };
 
 /// Seeded, thread-safe fault oracle.  Deterministic: the decision
@@ -121,7 +134,9 @@ class FaultInjector {
         jitter_rng_(mix(config.seed, 4)),
         kill_rng_(mix(config.seed, 5)),
         stop_rng_(mix(config.seed, 6)),
-        attach_rng_(mix(config.seed, 7)) {}
+        attach_rng_(mix(config.seed, 7)),
+        swing_rng_(mix(config.seed, 8)),
+        swing_phase_(swing_rng_.uniform(0.0, 1.0)) {}
 
   const FaultConfig& config() const { return config_; }
 
@@ -227,6 +242,30 @@ class FaultInjector {
     return config_.attach_delay;
   }
 
+  /// Multiplicative load factor at `now` (1.0 when the swing is off).
+  /// A pure function of (seed, now) — safe to evaluate from any thread,
+  /// at any cadence, without perturbing other fault streams.  The lock
+  /// only guards the period-crossing bookkeeping in stats.
+  double load_scale(SimTime now) {
+    if (config_.load_swing_amplitude <= 0.0 || config_.load_swing_period <= 0) {
+      return 1.0;
+    }
+    std::scoped_lock lock(mutex_);
+    const double cycles =
+        to_seconds(now) / to_seconds(config_.load_swing_period) + swing_phase_;
+    const auto crossed = static_cast<std::uint64_t>(std::max(cycles, 0.0));
+    if (crossed > stats_.load_swings) {
+      stats_.load_swings = crossed;
+      obs::note_fault(obs::FaultKind::kLoadSwing,
+                      static_cast<std::int64_t>(crossed));
+    }
+    const double frac = cycles - std::floor(cycles);
+    const double wave = config_.load_swing_step
+                            ? (frac < 0.5 ? 1.0 : -1.0)
+                            : std::sin(2.0 * 3.141592653589793 * frac);
+    return std::clamp(1.0 + config_.load_swing_amplitude * wave, 0.0, 2.0);
+  }
+
   /// Snapshot of everything injected so far.
   FaultStats stats() const {
     std::scoped_lock lock(mutex_);
@@ -248,6 +287,8 @@ class FaultInjector {
   Rng kill_rng_;
   Rng stop_rng_;
   Rng attach_rng_;
+  Rng swing_rng_;
+  double swing_phase_;
   FaultStats stats_;
 };
 

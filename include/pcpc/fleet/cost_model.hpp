@@ -1,0 +1,79 @@
+// D2.3-style placement cost model: joules/item of a candidate
+// consumer→core placement.
+//
+// The EXCESS D2.3 models price a concurrent data structure's operations
+// in energy, not just time; applied to PBPL, a *placement* has an energy
+// price built from three ingredients the library already calibrates:
+//
+//   1. the C-state ladder (pcpc::power::CStateModel): a core hosting
+//      fewer wakeups sleeps in deeper states between them, and an empty
+//      (parked) core sleeps in the deepest state indefinitely;
+//   2. the state-dependent wakeup cost ω(state): waking from a deeper
+//      state costs more (longer exit latency, colder caches), so ω is
+//      scaled by the exit latency of the state the gap actually reached —
+//      packing is only worth it when the deeper sleep pays for the
+//      costlier exits;
+//   3. the active service model (per-item / per-invocation CPU time) at
+//      the calibrated active power.
+//
+// Everything here is a pure function of the predicted per-pair rates, so
+// the controller's decisions replay deterministically on both hosts.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "pcpc/common/types.hpp"
+#include "pcpc/power/energy_ledger.hpp"
+
+namespace pcpc::fleet {
+
+/// Calibration of the placement cost model.  The workload-shape fields
+/// (slot, latency bound, buffer, service, overhead, cap) mirror
+/// PbplConfig; hosts fill them from the live config so the model prices
+/// the schedule the runtime actually executes.
+struct CostModelParams {
+  power::PowerModelParams power{};  ///< ω, active watts, C-state ladder
+  power::ServiceModel service{};    ///< per-item / per-invocation CPU time
+  SimDuration slot = milliseconds(10);         ///< slot size Δ
+  SimDuration max_latency = milliseconds(10);  ///< latency bound L
+  std::size_t buffer_items = 25;               ///< per-pair buffer B
+  SimDuration manager_overhead = microseconds(3);
+  double utilization_cap = 0.5;  ///< per-core busy-fraction feasibility cap
+};
+
+/// Predicted cost of one candidate placement.
+struct PlacementCost {
+  double watts = 0.0;            ///< fleet mean power under the model
+  double joules_per_item = 0.0;  ///< watts / Σ r̂ (0 when the fleet is idle)
+  double paid_wake_hz = 0.0;     ///< predicted paid wakeups/s, all cores
+  std::size_t active_cores = 0;  ///< cores hosting at least one pair
+  bool feasible = true;          ///< every core under the utilization cap
+};
+
+/// A pair's wakeup period under PBPL: its buffer fills in B/r̂ seconds,
+/// clamped to [Δ, L] (a reservation can be no sooner than the next slot
+/// and no later than the latency bound; a zero-rate pair polls at L).
+SimDuration pair_wake_period(double rate_hz, const CostModelParams& params);
+
+/// Expected busy fraction one pair contributes to its hosting core:
+/// r̂·per_item plus the per-invocation overhead amortized over its wakeup
+/// period.  This is the `utilization` input of core::assign_consumers.
+double pair_utilization(double rate_hz, const CostModelParams& params);
+
+/// State-dependent wakeup energy ω(state): the base ω scaled by the exit
+/// latency of the deepest C-state an idle gap of `gap` reaches, relative
+/// to the ladder's deepest state (floored so shallow wakes are never
+/// free).  Monotone non-decreasing in `gap`.
+double wakeup_cost_j(const CostModelParams& params, SimDuration gap);
+
+/// Prices a full placement: `placement[i]` is pair i's core, `rates_hz[i]`
+/// its predicted rate.  Per core, the most frequent pair sets the wakeup
+/// cadence (core-mates latch onto it per the paper's w(τ)); the rest of
+/// the cycle is one contiguous idle gap priced by the C-state ladder.
+/// Cores hosting no pair sleep in the deepest state (the parked price).
+PlacementCost evaluate_placement(std::span<const std::size_t> placement,
+                                 std::size_t cores, std::span<const double> rates_hz,
+                                 const CostModelParams& params);
+
+}  // namespace pcpc::fleet

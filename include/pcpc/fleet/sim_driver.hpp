@@ -1,0 +1,60 @@
+// Deterministic fleet controller driver for the simulation host.
+//
+// Schedules one control tick every FleetConfig::control_period on the
+// simulator's event loop: observe drained-item counters, plan, apply the
+// planned migrations via PbplSystem::migrate_consumer.  Control ticks are
+// management-plane events — they reschedule consumers but charge no busy
+// time to any SimCore (the controller is assumed to run on a host core
+// outside the modelled fleet, exactly like the per-core managers'
+// bookkeeping overhead is priced separately via manager_overhead).
+//
+// Because the simulator, the controller and the cost model are all
+// deterministic, a fig10-style sweep with the driver attached replays
+// bit-identically from its seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pcpc/core/pbpl_system.hpp"
+#include "pcpc/fleet/controller.hpp"
+#include "pcpc/sim/simulator.hpp"
+
+namespace pcpc::fleet {
+
+/// Attaches a FleetController to a simulated PBPL system.
+class SimFleetDriver {
+ public:
+  /// `system` and `controller` must outlive the driver and match in pair
+  /// and core counts.
+  SimFleetDriver(sim::Simulator& simulator, core::PbplSystem& system,
+                 FleetController& controller);
+
+  SimFleetDriver(const SimFleetDriver&) = delete;
+  SimFleetDriver& operator=(const SimFleetDriver&) = delete;
+
+  /// Schedules the first control tick one period from now.  Ticks chain
+  /// until stop() or the simulator stops dispatching.
+  void start();
+
+  /// Cancels the pending tick; call before PbplSystem::finish so the
+  /// final drain is not re-planned.
+  void stop();
+
+  std::uint64_t migrations() const { return migrations_; }
+  std::uint64_t ticks() const { return ticks_; }
+
+ private:
+  void tick(SimTime now);
+
+  sim::Simulator& simulator_;
+  core::PbplSystem& system_;
+  FleetController& controller_;
+  std::vector<std::uint64_t> drained_;
+  sim::EventId pending_ = 0;
+  bool has_pending_ = false;
+  std::uint64_t migrations_ = 0;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace pcpc::fleet

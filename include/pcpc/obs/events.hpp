@@ -25,6 +25,17 @@ enum class EventKind : std::uint8_t {
   kDrop = 6,         ///< item dropped (arg0 = DropPath)
   kQueueResize = 7,  ///< hand-off queue capacity changed (arg0 = old, arg1 = new)
   kItemStage = 8,    ///< sampled item-lifecycle stage (arg0 = item id, arg1 = ItemStage)
+  kFleet = 9,        ///< fleet action (arg0 = FleetAction, arg1 = destination core)
+};
+
+/// What the fleet controller did (EventKind::kFleet, arg0).  For
+/// kMigrate, `consumer` is the migrated pair, `core` the source core and
+/// arg1 the destination; park/unpark carry the core in both fields and
+/// kNoConsumer.
+enum class FleetAction : std::uint8_t {
+  kMigrate = 0,  ///< a pair moved between cores
+  kPark = 1,     ///< a core's manager retired (core fully idle)
+  kUnpark = 2,   ///< a parked core's manager respawned
 };
 
 /// Lifecycle stage of a sampled item (EventKind::kItemStage, arg1).
@@ -61,6 +72,7 @@ enum class FaultKind : std::uint8_t {
   kProcKill = 5,     ///< producer process SIGKILLed mid-protocol (pcpc::ipc)
   kProcStop = 6,     ///< producer process SIGSTOP/SIGCONT suspended
   kAttachDelay = 7,  ///< shm attach artificially delayed
+  kLoadSwing = 8,    ///< seeded utilization swing crossed a period boundary
 };
 
 /// Sentinel consumer id for events not tied to one consumer.
@@ -109,5 +121,6 @@ const char* event_kind_name(EventKind kind);
 const char* overflow_action_name(OverflowAction action);
 const char* drop_path_name(DropPath path);
 const char* fault_kind_name(FaultKind kind);
+const char* fleet_action_name(FleetAction action);
 
 }  // namespace pcpc::obs

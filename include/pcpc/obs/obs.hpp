@@ -93,6 +93,9 @@ struct WellKnownMetrics {
   Registry::Id queue_resizes;
   Registry::Id watchdog_escalations;
   Registry::Id faults_injected;
+  Registry::Id fleet_migrations;
+  Registry::Id fleet_parks;
+  Registry::Id fleet_unparks;
   Registry::Id sim_events;
   Registry::Id span_stages;  ///< counter: lifecycle stage events recorded
   Registry::Id batch_ns;     ///< histogram: batch drain duration
@@ -183,6 +186,8 @@ void note_fault_impl(FaultKind kind, std::int64_t magnitude);
 void note_drop_impl(std::uint32_t consumer, DropPath path, std::int64_t ts_ns);
 void note_queue_resize_impl(std::uint32_t consumer, std::size_t old_slots,
                             std::size_t new_slots);
+void note_fleet_impl(FleetAction action, std::uint32_t pair, std::uint16_t from_core,
+                     std::uint16_t to_core, std::int64_t ts_ns);
 void count_sim_events_impl(std::uint64_t n);
 void note_item_stage_impl(std::uint32_t consumer, std::uint16_t core,
                           std::uint64_t item_id, ItemStage stage, std::int64_t ts_ns);
@@ -245,6 +250,16 @@ inline void note_queue_resize(std::uint32_t consumer, std::size_t old_slots,
                               std::size_t new_slots) {
   if (!enabled()) return;
   detail::note_queue_resize_impl(consumer, old_slots, new_slots);
+}
+
+/// A fleet-controller action: a pair migrated (`pair`, from→to cores), a
+/// core parked, or a parked core came back.  Park/unpark pass the core in
+/// both core fields and kNoConsumer as the pair.  Control-plane rate —
+/// never per item — so there is no hot-path concern here.
+inline void note_fleet(FleetAction action, std::uint32_t pair, std::uint16_t from_core,
+                       std::uint16_t to_core, std::int64_t ts_ns) {
+  if (!enabled()) return;
+  detail::note_fleet_impl(action, pair, from_core, to_core, ts_ns);
 }
 
 /// `n` simulator events dispatched (a pure counter — no ring traffic).

@@ -48,6 +48,7 @@
 #include "pcpc/core/reservation.hpp"
 #include "pcpc/core/slot_track.hpp"
 #include "pcpc/fault/fault_injector.hpp"
+#include "pcpc/fleet/controller.hpp"
 #include "pcpc/queue/elastic_buffer.hpp"
 #include "pcpc/queue/handoff.hpp"
 
@@ -72,6 +73,9 @@ struct ThreadPbplStats {
   std::uint64_t missed_deadlines = 0;    ///< watchdog escalations (slot overrun > k·Δ)
   std::uint64_t latency_violations = 0;  ///< guard-observed items past the bound
   std::uint64_t pool_exhausted = 0;      ///< pool emergency over-commits
+  std::uint64_t migrations = 0;          ///< fleet consumer moves completed
+  std::uint64_t core_parks = 0;          ///< manager threads retired (core empty)
+  std::uint64_t core_unparks = 0;        ///< parked manager threads respawned
   std::int64_t manager_cpu_ns = 0;       ///< CPU time of all manager threads
   OnlineStats batch_sizes;
   LatencyRecorder latency_s;
@@ -98,6 +102,9 @@ struct ThreadPbplStats {
     missed_deadlines += other.missed_deadlines;
     latency_violations += other.latency_violations;
     pool_exhausted += other.pool_exhausted;
+    migrations += other.migrations;
+    core_parks += other.core_parks;
+    core_unparks += other.core_unparks;
     manager_cpu_ns += other.manager_cpu_ns;
     batch_sizes.merge(other.batch_sizes);
     latency_s.merge(other.latency_s);
@@ -118,8 +125,15 @@ class ThreadPbpl {
   /// `injector`, when non-null, must outlive the runtime; it injects
   /// producer stalls/bursts, slow handlers, deadline jitter and pool
   /// pressure (see pcpc/fault/fault_injector.hpp).
+  /// `fleet` (optional) arms the elastic placement controller: with
+  /// FleetMode::kElastic a dedicated fleet thread wakes every
+  /// control_period, re-prices the placement with the D2.3 cost model,
+  /// live-migrates consumers between cores and parks the manager threads
+  /// of cores left empty.  kOff and kStatic start no fleet thread (the
+  /// construction-time placement is final).
   ThreadPbpl(std::size_t consumers, const core::PbplConfig& config,
-             BatchHandler handler = {}, fault::FaultInjector* injector = nullptr);
+             BatchHandler handler = {}, fault::FaultInjector* injector = nullptr,
+             fleet::FleetConfig fleet = {});
 
   /// Stops and joins all manager threads (drains leftovers first).
   ~ThreadPbpl();
@@ -158,12 +172,40 @@ class ThreadPbpl {
   std::size_t consumer_count() const { return consumers_.size(); }
   std::size_t core_count() const { return cores_.size(); }
 
+  /// Live-migrates pair `consumer` onto core `core` (unparking it first
+  /// if needed).  The quiesce protocol drains nothing and drops nothing:
+  /// the pair's buffer travels with it, its reservation moves to the
+  /// destination slot track, and a producer blocked mid-overflow retries
+  /// on the destination — produced == items + dropped() holds exactly
+  /// across the move.  Returns false only when the runtime has stopped.
+  /// Thread-safe against producers and managers; concurrent callers of
+  /// migrate()/stop() must be externally serialized (the fleet thread is
+  /// the only internal caller).
+  bool migrate(std::size_t consumer, std::size_t core);
+
+  /// Current core index of every pair (a racy snapshot while running).
+  std::vector<std::size_t> placement() const;
+
+  /// Which cores currently have their manager thread parked.
+  std::vector<bool> parked_cores() const;
+
+  /// The fleet controller, or nullptr when mode != kElastic.  Read-only
+  /// introspection (rates, counters); the fleet thread owns mutation.
+  const fleet::FleetController* fleet_controller() const {
+    return controller_ ? &*controller_ : nullptr;
+  }
+
  private:
   struct Core;
 
   struct Consumer {
     std::size_t index = 0;
-    Core* core = nullptr;
+    /// Owning core.  Atomic because fleet migration retargets it while
+    /// producers read it lock-free: a producer entering the slow path
+    /// loads it, locks that core's mutex and re-checks it under the lock
+    /// (retrying on mismatch), so by the time any core state is touched
+    /// the pointer is stable.
+    std::atomic<Core*> core{nullptr};
     std::unique_ptr<queue::Handoff<Clock::time_point>> buffer;
     std::unique_ptr<core::RatePredictor> predictor;
     std::optional<core::LatencyGuard> guard;  // live latency feedback
@@ -178,6 +220,9 @@ class ThreadPbpl {
     /// counters the identities are pinned on never come from spans).
     std::atomic<std::uint64_t> span_produce_seq{0};
     std::uint64_t span_drain_seq = 0;
+    /// Cumulative drained items, readable without the core lock: the
+    /// fleet thread's rate measurement (written by the draining manager).
+    std::atomic<std::uint64_t> drained_items{0};
   };
 
   /// A drained batch whose handler still has to run (outside the lock).
@@ -203,6 +248,12 @@ class ThreadPbpl {
     std::vector<Consumer*> consumers;
     std::thread thread;
     bool overflow_pending = false;
+    /// Parking: `retired` (under `mutex`) tells the manager loop to exit;
+    /// `parked` (atomic) is the outside-world view, flipped only after
+    /// the thread is joined / before it is respawned.  Both are written
+    /// solely by the fleet thread (or an external migrate() caller).
+    bool retired = false;
+    std::atomic<bool> parked{false};
     /// This core's stats shard, guarded by `mutex` (written by the
     /// manager and by producers' slow paths, both of which hold it).
     ThreadPbplStats stats;
@@ -213,9 +264,21 @@ class ThreadPbpl {
   SimTime now_ns() const;
   Clock::time_point slot_deadline(core::SlotIndex slot);
   void manager_loop(Core& core);
+  void fleet_loop();
+  void fleet_tick();
+  /// Retires `core`'s manager thread if the core is completely idle (no
+  /// consumers, no reservations, no pending work).  Fleet thread only.
+  bool try_park(Core& core);
+  /// Respawns a parked core's manager thread.  Fleet thread only.
+  void unpark(Core& core);
   void push_one(Consumer& consumer);
   void push_volley(Consumer& consumer, std::size_t items);
-  void push_one_slow_locked(Consumer& consumer, Clock::time_point stamp,
+  /// Runs the overflow slow path for one item with `core`'s lock held
+  /// (`core` must be the consumer's owner, verified under the lock).
+  /// Returns true when the item is fully accounted (stored or counted as
+  /// a drop); false when a blocked wait observed the consumer migrating
+  /// away — the caller re-resolves the owner and retries on it.
+  bool push_one_slow_locked(Core& core, Consumer& consumer, Clock::time_point stamp,
                             std::unique_lock<std::mutex>& lock);
   /// Drains `consumer` (bulk pops), records stats into the core shard and
   /// makes the next reservation — all under the core lock.  The handler
@@ -236,6 +299,7 @@ class ThreadPbpl {
   const Clock::time_point epoch_;
   BatchHandler handler_;
   fault::FaultInjector* injector_ = nullptr;
+  fleet::FleetConfig fleet_config_;
 
   /// Lock-free cross-core state: liveness for the producer fast path and
   /// the offered-items counter.  Everything else is per-core.
@@ -246,6 +310,16 @@ class ThreadPbpl {
   std::size_t seized_segments_ = 0;  // held by fault-injected pool pressure
   std::vector<std::unique_ptr<Consumer>> consumers_;
   std::vector<std::unique_ptr<Core>> cores_;
+
+  /// Elastic-fleet state.  The controller is driven only by the fleet
+  /// thread; the counters are cross-thread readable.
+  std::optional<fleet::FleetController> controller_;
+  std::thread fleet_thread_;
+  std::mutex fleet_mutex_;              // guards the fleet thread's sleep
+  std::condition_variable fleet_cv_;    // stop() interrupts the sleep here
+  std::atomic<std::uint64_t> migrations_{0};
+  std::atomic<std::uint64_t> parks_{0};
+  std::atomic<std::uint64_t> unparks_{0};
 };
 
 }  // namespace pcpc::runtime

@@ -11,14 +11,14 @@ namespace pcpc::core {
 PbplConsumer::PbplConsumer(ConsumerId id, CoreManager& manager,
                            queue::BufferPool<SimTime>& pool, const PbplConfig& config)
     : id_(id),
-      manager_(manager),
+      manager_(&manager),
       pool_(pool),
       config_(config),
       buffer_(queue::make_pool_handoff<SimTime>(config.queue_backend, pool,
                                                 static_cast<std::uint32_t>(id))),
       predictor_(make_predictor(config.predictor, config.predictor_window)) {
   if (config.latency_guard) guard_.emplace(config.max_latency);
-  manager_.register_consumer(id_, this);
+  manager_->register_consumer(id_, this);
 }
 
 void PbplConsumer::start(SimTime now) {
@@ -35,9 +35,9 @@ void PbplConsumer::produce(SimTime now) {
       span_next_produce_ += every;
       const std::uint64_t item =
           (static_cast<std::uint64_t>(id_) << 32) | (seq & 0xffffffffu);
-      obs::note_item_stage(static_cast<std::uint32_t>(id_), manager_.core_id(), item,
+      obs::note_item_stage(static_cast<std::uint32_t>(id_), manager_->core_id(), item,
                            obs::ItemStage::kProduce, now);
-      obs::note_item_stage(static_cast<std::uint32_t>(id_), manager_.core_id(), item,
+      obs::note_item_stage(static_cast<std::uint32_t>(id_), manager_->core_id(), item,
                            obs::ItemStage::kEnqueue, now);
     }
   }
@@ -50,7 +50,7 @@ void PbplConsumer::produce(SimTime now) {
     buffer_->resize(buffer_->capacity() + extra);
     if (buffer_->try_push(now)) {
       ++stats_.emergency_borrows;
-      obs::note_overflow(manager_.core_id(), static_cast<std::uint32_t>(id_),
+      obs::note_overflow(manager_->core_id(), static_cast<std::uint32_t>(id_),
                          obs::OverflowAction::kEmergencyBorrow, now);
       return;
     }
@@ -60,9 +60,9 @@ void PbplConsumer::produce(SimTime now) {
   // batch is processed immediately (Section V-A calls this the case where
   // "a buffer overflow can occur at any time").
   ++stats_.overflow_wakeups;
-  obs::note_overflow(manager_.core_id(), static_cast<std::uint32_t>(id_),
+  obs::note_overflow(manager_->core_id(), static_cast<std::uint32_t>(id_),
                      obs::OverflowAction::kForcedDrain, now);
-  manager_.unscheduled_invoke(id_, now);
+  manager_->unscheduled_invoke(id_, now);
   const bool stored = buffer_->try_push(now);
   PCPC_ASSERT_MSG(stored, "buffer still full after an overflow drain");
 }
@@ -87,7 +87,7 @@ SimDuration PbplConsumer::on_invoked(SimTime now, bool scheduled) {
     }
   });
   for (const std::uint64_t item : sampled) {
-    obs::note_item_stage(static_cast<std::uint32_t>(id_), manager_.core_id(), item,
+    obs::note_item_stage(static_cast<std::uint32_t>(id_), manager_->core_id(), item,
                          obs::ItemStage::kDrainStart, now);
   }
   if (guard_) {
@@ -111,14 +111,24 @@ SimDuration PbplConsumer::on_invoked(SimTime now, bool scheduled) {
 
   SimDuration service = config_.service.batch_time(batch);
   if (injector_ != nullptr && batch > 0) service += injector_->handler_delay();
-  obs::note_slot_batch(manager_.core_id(), static_cast<std::uint32_t>(id_),
-                       manager_.track().index_of(now), batch, now, service);
+  obs::note_slot_batch(manager_->core_id(), static_cast<std::uint32_t>(id_),
+                       manager_->track().index_of(now), batch, now, service);
   // In virtual time the handler completes when the service model says so.
   for (const std::uint64_t item : sampled) {
-    obs::note_item_stage(static_cast<std::uint32_t>(id_), manager_.core_id(), item,
+    obs::note_item_stage(static_cast<std::uint32_t>(id_), manager_->core_id(), item,
                          obs::ItemStage::kHandlerDone, now + service);
   }
   return service;
+}
+
+void PbplConsumer::rebind(CoreManager& next, SimTime now) {
+  if (&next == manager_) return;
+  manager_->unregister_consumer(id_);
+  manager_ = &next;
+  manager_->register_consumer(id_, this);
+  // Re-reserve on the destination track immediately: a consumer is never
+  // without a pending slot, so the latency bound survives the move.
+  make_reservation(now);
 }
 
 void PbplConsumer::make_reservation(SimTime now) {
@@ -143,9 +153,9 @@ void PbplConsumer::make_reservation(SimTime now) {
                                  guard_->horizon_scale()));
   }
   SlotChoice choice = config_.latching
-                          ? choose_slot(manager_.track(), manager_.reservations(), query,
+                          ? choose_slot(manager_->track(), manager_->reservations(), query,
                                         config_.costs)
-                          : fill_slot(manager_.track(), query, config_.costs);
+                          : fill_slot(manager_->track(), query, config_.costs);
 
   if (config_.dynamic_resize && choice.expected_items > 0.0) {
     // Downsize to (or upsize toward) the predicted batch plus headroom:
@@ -164,16 +174,16 @@ void PbplConsumer::make_reservation(SimTime now) {
       // hold, which pulls the reservation earlier.
       query.buffer_capacity = granted;
       choice = config_.latching
-                   ? choose_slot(manager_.track(), manager_.reservations(), query,
+                   ? choose_slot(manager_->track(), manager_->reservations(), query,
                                  config_.costs)
-                   : fill_slot(manager_.track(), query, config_.costs);
+                   : fill_slot(manager_->track(), query, config_.costs);
     }
   }
 
-  manager_.reserve(id_, choice.slot);
+  manager_->reserve(id_, choice.slot);
   ++stats_.reservations;
   if (choice.latched) ++stats_.latched_reservations;
-  obs::note_reservation(manager_.core_id(), static_cast<std::uint32_t>(id_),
+  obs::note_reservation(manager_->core_id(), static_cast<std::uint32_t>(id_),
                         choice.slot, choice.latched, now);
 }
 

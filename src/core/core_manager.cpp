@@ -29,6 +29,14 @@ void CoreManager::register_consumer(ConsumerId id, Invocable* consumer) {
   PCPC_ASSERT_MSG(inserted, "consumer id registered twice");
 }
 
+void CoreManager::unregister_consumer(ConsumerId id) {
+  const auto it = consumers_.find(id);
+  PCPC_ASSERT_MSG(it != consumers_.end(), "unregistering unknown consumer");
+  reservations_.cancel(id);
+  consumers_.erase(it);
+  ensure_scheduled();
+}
+
 void CoreManager::reserve(ConsumerId consumer, SlotIndex slot) {
   PCPC_ASSERT_MSG(consumers_.contains(consumer), "reserve() from unknown consumer");
   PCPC_ASSERT_MSG(track_.start_of(slot) > simulator_.now(),

@@ -22,13 +22,21 @@ PbplSystem::PbplSystem(sim::Simulator& simulator, std::size_t consumers,
                                                       config_.manager_overhead,
                                                       static_cast<std::uint16_t>(c)));
   }
-  const std::vector<std::size_t> mapping = assign_consumers(
-      consumers, config_.cores, config_.assignment, utilization, config_.utilization_cap);
+  mapping_ = assign_consumers(consumers, config_.cores, config_.assignment, utilization,
+                              config_.utilization_cap);
   for (std::size_t i = 0; i < consumers; ++i) {
-    auto& manager = *managers_[mapping[i]];
+    auto& manager = *managers_[mapping_[i]];
     consumers_.push_back(std::make_unique<PbplConsumer>(static_cast<ConsumerId>(i),
                                                         manager, pool_, config_));
   }
+}
+
+void PbplSystem::migrate_consumer(std::size_t pair, std::size_t core) {
+  PCPC_ASSERT_MSG(pair < consumers_.size(), "migrating unknown pair");
+  PCPC_ASSERT_MSG(core < managers_.size(), "migrating to unknown core");
+  if (mapping_[pair] == core) return;
+  consumers_[pair]->rebind(*managers_[core], simulator_.now());
+  mapping_[pair] = core;
 }
 
 void PbplSystem::start() {

@@ -1,0 +1,103 @@
+#include "pcpc/fleet/cost_model.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "pcpc/common/assert.hpp"
+
+namespace pcpc::fleet {
+
+namespace {
+/// Below this rate a pair is treated as idle: it still polls at the
+/// latency bound but contributes no item work worth modelling.
+constexpr double kIdleRateHz = 1e-6;
+}  // namespace
+
+SimDuration pair_wake_period(double rate_hz, const CostModelParams& params) {
+  if (rate_hz <= kIdleRateHz) return params.max_latency;
+  const double fill_s =
+      static_cast<double>(params.buffer_items) / std::max(rate_hz, kIdleRateHz);
+  const auto fill = from_seconds(fill_s);
+  return std::clamp<SimDuration>(fill, params.slot, params.max_latency);
+}
+
+double pair_utilization(double rate_hz, const CostModelParams& params) {
+  const double per_item_s = to_seconds(params.service.per_item);
+  const double per_invocation_s = to_seconds(params.service.per_invocation);
+  const double period_s = to_seconds(pair_wake_period(rate_hz, params));
+  if (period_s <= 0.0) return 1.0;
+  return std::max(rate_hz, 0.0) * per_item_s + per_invocation_s / period_s;
+}
+
+double wakeup_cost_j(const CostModelParams& params, SimDuration gap) {
+  const auto& states = params.power.cstates.states();
+  PCPC_ASSERT_MSG(!states.empty(), "C-state ladder must not be empty");
+  const double deepest_exit = static_cast<double>(states.back().exit_latency);
+  if (deepest_exit <= 0.0) return params.power.wakeup_energy_j;
+  const auto& reached = params.power.cstates.deepest_reached(std::max<SimDuration>(gap, 0));
+  const double scale = static_cast<double>(reached.exit_latency) / deepest_exit;
+  // A wake from the shallowest state still refills the pipeline and the
+  // L1; floor the scale so packing cannot pretend shallow wakes are free.
+  return params.power.wakeup_energy_j * std::max(scale, 0.25);
+}
+
+PlacementCost evaluate_placement(std::span<const std::size_t> placement,
+                                 std::size_t cores, std::span<const double> rates_hz,
+                                 const CostModelParams& params) {
+  PCPC_ASSERT_MSG(placement.size() == rates_hz.size(),
+                  "placement and rates must be parallel");
+  PlacementCost cost;
+
+  // Per-core aggregates: total rate, busy fraction, fastest wake cadence.
+  std::vector<double> core_rate(cores, 0.0);
+  std::vector<double> core_busy(cores, 0.0);
+  std::vector<SimDuration> core_period(cores, 0);
+  std::vector<double> core_invocation_s(cores, 0.0);
+  for (std::size_t i = 0; i < placement.size(); ++i) {
+    const std::size_t c = placement[i];
+    PCPC_ASSERT_MSG(c < cores, "placement targets a core outside the fleet");
+    const double r = std::max(rates_hz[i], 0.0);
+    core_rate[c] += r;
+    core_busy[c] += pair_utilization(r, params);
+    const SimDuration period = pair_wake_period(r, params);
+    core_period[c] = core_period[c] == 0 ? period : std::min(core_period[c], period);
+    core_invocation_s[c] += to_seconds(params.service.per_invocation);
+  }
+
+  const double deep_idle_w = params.power.cstates.states().back().power_w;
+  double total_rate = 0.0;
+  for (std::size_t c = 0; c < cores; ++c) {
+    if (core_period[c] == 0) {
+      // Empty core: parked, deepest state, no timers — the whole point.
+      cost.watts += deep_idle_w;
+      continue;
+    }
+    ++cost.active_cores;
+    if (core_busy[c] > params.utilization_cap) cost.feasible = false;
+    total_rate += core_rate[c];
+
+    // One wake cycle: the most frequent pair wakes the core (paid), the
+    // core-mates latch on; everyone's batch drains in one busy window,
+    // then the core sleeps one contiguous gap until the next cycle.
+    const double period_s = to_seconds(core_period[c]);
+    const double busy_s = std::min(
+        to_seconds(params.manager_overhead) + core_invocation_s[c] +
+            core_rate[c] * period_s * to_seconds(params.service.per_item),
+        period_s);
+    const SimDuration gap = core_period[c] - from_seconds(busy_s);
+    const double cycle_j = wakeup_cost_j(params, gap) +
+                           busy_s * params.power.active_power_w +
+                           params.power.cstates.idle_energy(std::max<SimDuration>(gap, 0));
+    cost.watts += cycle_j / period_s;
+    cost.paid_wake_hz += 1.0 / period_s;
+  }
+  if (total_rate > kIdleRateHz) {
+    // The board-level transport term is placement-invariant; include it so
+    // joules/item stays comparable with the attribution reports.
+    cost.joules_per_item =
+        cost.watts / total_rate + params.power.item_transport_energy_j;
+  }
+  return cost;
+}
+
+}  // namespace pcpc::fleet

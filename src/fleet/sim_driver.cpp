@@ -1,0 +1,53 @@
+#include "pcpc/fleet/sim_driver.hpp"
+
+#include "pcpc/common/assert.hpp"
+#include "pcpc/obs/obs.hpp"
+
+namespace pcpc::fleet {
+
+SimFleetDriver::SimFleetDriver(sim::Simulator& simulator, core::PbplSystem& system,
+                               FleetController& controller)
+    : simulator_(simulator), system_(system), controller_(controller) {
+  PCPC_ASSERT_MSG(controller_.pairs() == system_.consumer_count(),
+                  "controller and system disagree on pair count");
+  PCPC_ASSERT_MSG(controller_.cores() == system_.core_count(),
+                  "controller and system disagree on core count");
+  drained_.assign(system_.consumer_count(), 0);
+}
+
+void SimFleetDriver::start() {
+  if (has_pending_) return;
+  pending_ = simulator_.at(simulator_.now() + controller_.config().control_period,
+                           [this](SimTime t) { tick(t); });
+  has_pending_ = true;
+}
+
+void SimFleetDriver::stop() {
+  if (!has_pending_) return;
+  simulator_.cancel(pending_);
+  has_pending_ = false;
+}
+
+void SimFleetDriver::tick(SimTime now) {
+  has_pending_ = false;
+  ++ticks_;
+  for (std::size_t i = 0; i < drained_.size(); ++i) {
+    drained_[i] = system_.consumer(i).stats().items;
+  }
+  controller_.observe(now, drained_);
+  const FleetPlan plan = controller_.plan(now, system_.placement());
+  for (const FleetMove& move : plan.moves) {
+    system_.migrate_consumer(move.pair, move.to);
+    ++migrations_;
+    obs::note_fleet(obs::FleetAction::kMigrate, static_cast<std::uint32_t>(move.pair),
+                    static_cast<std::uint16_t>(move.from),
+                    static_cast<std::uint16_t>(move.to), now);
+  }
+  // Chain the next tick (parking is implicit on this host: a core with no
+  // reservations schedules nothing and its timeline shows one long gap).
+  pending_ = simulator_.at(now + controller_.config().control_period,
+                           [this](SimTime t) { tick(t); });
+  has_pending_ = true;
+}
+
+}  // namespace pcpc::fleet

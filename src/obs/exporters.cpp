@@ -74,6 +74,10 @@ void write_event_args(std::ostream& out, const Event& e) {
       out << ",\"item\":" << e.arg0 << ",\"stage\":\""
           << item_stage_name(static_cast<ItemStage>(e.arg1)) << '"';
       break;
+    case EventKind::kFleet:
+      out << ",\"action\":\"" << fleet_action_name(static_cast<FleetAction>(e.arg0))
+          << "\",\"to_core\":" << e.arg1;
+      break;
   }
   out << '}';
 }
@@ -85,6 +89,9 @@ std::string event_display_name(const Event& e) {
   if (e.kind == EventKind::kWakeup) name << (e.paid() ? " paid" : " free");
   if (e.kind == EventKind::kItemStage) {
     name << ' ' << item_stage_name(static_cast<ItemStage>(e.arg1));
+  }
+  if (e.kind == EventKind::kFleet) {
+    name << ' ' << fleet_action_name(static_cast<FleetAction>(e.arg0));
   }
   if (e.consumer != kNoConsumer) name << " c" << e.consumer;
   return name.str();

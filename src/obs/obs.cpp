@@ -41,6 +41,16 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kDrop: return "drop";
     case EventKind::kQueueResize: return "queue_resize";
     case EventKind::kItemStage: return "item_stage";
+    case EventKind::kFleet: return "fleet";
+  }
+  return "?";
+}
+
+const char* fleet_action_name(FleetAction action) {
+  switch (action) {
+    case FleetAction::kMigrate: return "migrate";
+    case FleetAction::kPark: return "park";
+    case FleetAction::kUnpark: return "unpark";
   }
   return "?";
 }
@@ -82,6 +92,7 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kProcKill: return "proc_kill";
     case FaultKind::kProcStop: return "proc_stop";
     case FaultKind::kAttachDelay: return "attach_delay";
+    case FaultKind::kLoadSwing: return "load_swing";
   }
   return "?";
 }
@@ -101,6 +112,9 @@ Session::Session(SessionOptions options)
   well_.queue_resizes = registry_.counter("queue.resizes");
   well_.watchdog_escalations = registry_.counter("watchdog.escalations");
   well_.faults_injected = registry_.counter("faults.injected");
+  well_.fleet_migrations = registry_.counter("fleet.migrations");
+  well_.fleet_parks = registry_.counter("fleet.parks");
+  well_.fleet_unparks = registry_.counter("fleet.unparks");
   well_.sim_events = registry_.counter("sim.events_dispatched");
   well_.span_stages = registry_.counter("span.stages");
   well_.batch_ns = registry_.histogram("consumer.batch_ns");
@@ -272,6 +286,9 @@ struct HotPath {
   std::atomic<std::uint64_t>* queue_resizes = nullptr;
   std::atomic<std::uint64_t>* watchdog_escalations = nullptr;
   std::atomic<std::uint64_t>* faults_injected = nullptr;
+  std::atomic<std::uint64_t>* fleet_migrations = nullptr;
+  std::atomic<std::uint64_t>* fleet_parks = nullptr;
+  std::atomic<std::uint64_t>* fleet_unparks = nullptr;
   std::atomic<std::uint64_t>* sim_events = nullptr;
   std::atomic<std::uint64_t>* span_stages = nullptr;
   std::atomic<std::uint64_t>* batch_ns_bins = nullptr;
@@ -311,6 +328,9 @@ HotPath* hot_path() {
   tls.queue_resizes = r.counter_cell(w.queue_resizes);
   tls.watchdog_escalations = r.counter_cell(w.watchdog_escalations);
   tls.faults_injected = r.counter_cell(w.faults_injected);
+  tls.fleet_migrations = r.counter_cell(w.fleet_migrations);
+  tls.fleet_parks = r.counter_cell(w.fleet_parks);
+  tls.fleet_unparks = r.counter_cell(w.fleet_unparks);
   tls.sim_events = r.counter_cell(w.sim_events);
   tls.span_stages = r.counter_cell(w.span_stages);
   tls.batch_ns_bins = r.histogram_bins(w.batch_ns);
@@ -438,6 +458,25 @@ void note_queue_resize_impl(std::uint32_t consumer, std::size_t old_slots,
   e.arg1 = static_cast<std::int64_t>(new_slots);
   e.consumer = consumer;
   e.kind = EventKind::kQueueResize;
+  h->ring->push(e);
+}
+
+void note_fleet_impl(FleetAction action, std::uint32_t pair, std::uint16_t from_core,
+                     std::uint16_t to_core, std::int64_t ts_ns) {
+  HotPath* h = hot_path();
+  if (h == nullptr) return;
+  switch (action) {
+    case FleetAction::kMigrate: inc(h->fleet_migrations); break;
+    case FleetAction::kPark: inc(h->fleet_parks); break;
+    case FleetAction::kUnpark: inc(h->fleet_unparks); break;
+  }
+  Event e;
+  e.ts_ns = ts_ns;
+  e.arg0 = static_cast<std::int64_t>(action);
+  e.arg1 = static_cast<std::int64_t>(to_core);
+  e.consumer = pair;
+  e.core = from_core;
+  e.kind = EventKind::kFleet;
   h->ring->push(e);
 }
 

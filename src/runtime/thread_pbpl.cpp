@@ -24,15 +24,27 @@ std::uint64_t span_item_id(std::size_t consumer, std::uint64_t seq) {
 }  // namespace
 
 ThreadPbpl::ThreadPbpl(std::size_t consumers, const core::PbplConfig& config,
-                       BatchHandler handler, fault::FaultInjector* injector)
+                       BatchHandler handler, fault::FaultInjector* injector,
+                       fleet::FleetConfig fleet)
     : config_(config),
       track_(config.resolved_slot_size()),
       epoch_(Clock::now()),
       handler_(std::move(handler)),
       injector_(injector),
+      fleet_config_(fleet),
       pool_(std::max<std::size_t>(consumers, 1), config.base_buffer, config.pool_segment) {
   PCPC_ASSERT_MSG(consumers > 0, "need at least one consumer");
   PCPC_ASSERT_MSG(config.cores > 0, "need at least one core");
+
+  // The cost model must price the schedule this runtime actually
+  // executes, so the workload-shape fields come from the live config (the
+  // caller supplies only the controller policy and the power price book).
+  fleet_config_.cost.slot = config_.resolved_slot_size();
+  fleet_config_.cost.max_latency = config_.max_latency;
+  fleet_config_.cost.buffer_items = config_.base_buffer;
+  fleet_config_.cost.service = config_.service;
+  fleet_config_.cost.manager_overhead = config_.manager_overhead;
+  fleet_config_.cost.utilization_cap = config_.utilization_cap;
 
   // Point the telemetry clock at this run's epoch so fault events (which
   // have no clock of their own) land on the same timeline as the wakeup
@@ -51,12 +63,13 @@ ThreadPbpl::ThreadPbpl(std::size_t consumers, const core::PbplConfig& config,
   for (std::size_t i = 0; i < consumers; ++i) {
     auto consumer = std::make_unique<Consumer>();
     consumer->index = i;
-    consumer->core = cores_[i % cores_.size()].get();
+    Core* home = cores_[i % cores_.size()].get();
+    consumer->core.store(home, std::memory_order_relaxed);
     consumer->buffer = queue::make_pool_handoff<Clock::time_point>(
         config.queue_backend, pool_, static_cast<std::uint32_t>(i));
     consumer->predictor = core::make_predictor(config.predictor, config.predictor_window);
     if (config.latency_guard) consumer->guard.emplace(config.max_latency);
-    consumer->core->consumers.push_back(consumer.get());
+    home->consumers.push_back(consumer.get());
     consumers_.push_back(std::move(consumer));
   }
 
@@ -87,12 +100,25 @@ ThreadPbpl::ThreadPbpl(std::size_t consumers, const core::PbplConfig& config,
   for (auto& core : cores_) {
     core->thread = std::thread([this, core = core.get()] { manager_loop(*core); });
   }
+  if (fleet_config_.mode == fleet::FleetMode::kElastic) {
+    controller_.emplace(consumers_.size(), cores_.size(), fleet_config_);
+    fleet_thread_ = std::thread([this] { fleet_loop(); });
+  }
 }
 
 ThreadPbpl::~ThreadPbpl() { stop(); }
 
 void ThreadPbpl::stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // The fleet thread goes first: once it is joined, no migration, park or
+  // unpark can run concurrently with the manager joins below, and any
+  // manager its final tick unparked was respawned before the join
+  // returned (so the loop below sees the thread as joinable).
+  {
+    std::lock_guard<std::mutex> lock(fleet_mutex_);
+    fleet_cv_.notify_all();
+  }
+  if (fleet_thread_.joinable()) fleet_thread_.join();
   for (auto& core : cores_) {
     std::lock_guard<std::mutex> lock(core->mutex);
     core->cv.notify_all();
@@ -161,6 +187,11 @@ void ThreadPbpl::produce(std::size_t consumer_index) {
 
 void ThreadPbpl::push_one(Consumer& consumer) {
   produced_.fetch_add(1, std::memory_order_relaxed);
+  // Span labels read the owner once; a mid-push migration can at worst
+  // mislabel the recording core of a sampled span (the pinned counters
+  // never come from spans).
+  const std::uint16_t core_hint =
+      static_cast<std::uint16_t>(consumer.core.load(std::memory_order_relaxed)->index);
   // Sampled lifecycle span (1-in-N): claim this item's admission
   // position; a sampled item stamps produce before the push and enqueue
   // after it.  Unsampled items pay one relaxed load + one relaxed
@@ -174,8 +205,7 @@ void ThreadPbpl::push_one(Consumer& consumer) {
     if (seq % span_every == 0) {
       span = true;
       span_id = span_item_id(consumer.index, seq);
-      obs::note_item_stage(static_cast<std::uint32_t>(consumer.index),
-                           static_cast<std::uint16_t>(consumer.core->index), span_id,
+      obs::note_item_stage(static_cast<std::uint32_t>(consumer.index), core_hint, span_id,
                            obs::ItemStage::kProduce, now_ns());
     }
   }
@@ -185,22 +215,28 @@ void ThreadPbpl::push_one(Consumer& consumer) {
   // pluggable backends.  The running_ check narrows (but cannot close)
   // the stop() race window; items pushed after the final drain are swept
   // into dropped_on_stop by stats(), keeping the accounting identity.
+  // Migration never invalidates a fast-path push: the buffer travels with
+  // the consumer, so an item landed here is drained wherever it ends up.
   if (consumer.buffer->lock_free() && running_.load(std::memory_order_acquire) &&
       consumer.buffer->try_push(stamp)) {
     if (span) {
-      obs::note_item_stage(static_cast<std::uint32_t>(consumer.index),
-                           static_cast<std::uint16_t>(consumer.core->index), span_id,
-                           obs::ItemStage::kEnqueue, now_ns());
+      obs::note_item_stage(static_cast<std::uint32_t>(consumer.index), core_hint,
+                           span_id, obs::ItemStage::kEnqueue, now_ns());
     }
     return;
   }
-  {
-    std::unique_lock lock(consumer.core->mutex);
-    push_one_slow_locked(consumer, stamp, lock);
+  // Slow path: resolve the owning core, lock it, and re-check ownership
+  // under the lock — a concurrent migration retargets consumer.core
+  // before touching destination state, so a stale owner is detected here
+  // and the push retries on the new one.
+  for (;;) {
+    Core* core = consumer.core.load(std::memory_order_acquire);
+    std::unique_lock lock(core->mutex);
+    if (consumer.core.load(std::memory_order_relaxed) != core) continue;
+    if (push_one_slow_locked(*core, consumer, stamp, lock)) break;
   }
   if (span) {
-    obs::note_item_stage(static_cast<std::uint32_t>(consumer.index),
-                         static_cast<std::uint16_t>(consumer.core->index), span_id,
+    obs::note_item_stage(static_cast<std::uint32_t>(consumer.index), core_hint, span_id,
                          obs::ItemStage::kEnqueue, now_ns());
   }
 }
@@ -232,42 +268,46 @@ void ThreadPbpl::push_volley(Consumer& consumer, std::size_t items) {
           std::span<const Clock::time_point>(chunk, n));
     }
     if (accepted < n) {
-      std::unique_lock lock(consumer.core->mutex);
       for (std::size_t i = accepted; i < n; ++i) {
-        push_one_slow_locked(consumer, chunk[i], lock);
+        for (;;) {
+          Core* core = consumer.core.load(std::memory_order_acquire);
+          std::unique_lock lock(core->mutex);
+          if (consumer.core.load(std::memory_order_relaxed) != core) continue;
+          if (push_one_slow_locked(*core, consumer, chunk[i], lock)) break;
+        }
       }
     }
     if (span_every != 0) {
       // Volley items are admitted back-to-back; sampled ones get produce
       // and enqueue stamped together after the chunk lands.
+      const auto core_hint = static_cast<std::uint16_t>(
+          consumer.core.load(std::memory_order_relaxed)->index);
       for (std::size_t i = 0; i < n; ++i) {
         const std::uint64_t seq = seq0 + i;
         if (seq % span_every != 0) continue;
         const std::uint64_t id = span_item_id(consumer.index, seq);
         const SimTime ts = now_ns();
-        obs::note_item_stage(static_cast<std::uint32_t>(consumer.index),
-                             static_cast<std::uint16_t>(consumer.core->index), id,
+        obs::note_item_stage(static_cast<std::uint32_t>(consumer.index), core_hint, id,
                              obs::ItemStage::kProduce, ts);
-        obs::note_item_stage(static_cast<std::uint32_t>(consumer.index),
-                             static_cast<std::uint16_t>(consumer.core->index), id,
+        obs::note_item_stage(static_cast<std::uint32_t>(consumer.index), core_hint, id,
                              obs::ItemStage::kEnqueue, ts);
       }
     }
   }
 }
 
-void ThreadPbpl::push_one_slow_locked(Consumer& consumer, Clock::time_point stamp,
+bool ThreadPbpl::push_one_slow_locked(Core& core, Consumer& consumer,
+                                      Clock::time_point stamp,
                                       std::unique_lock<std::mutex>& lock) {
-  Core& core = *consumer.core;
   if (!running_.load(std::memory_order_relaxed)) {
     // The runtime already stopped: nothing will ever drain this item.
     // Count it instead of losing it silently.
     ++core.stats.dropped_on_stop;
     obs::note_drop(static_cast<std::uint32_t>(consumer.index), obs::DropPath::kOnStop,
                    now_ns());
-    return;
+    return true;
   }
-  if (consumer.buffer->try_push(stamp)) return;
+  if (consumer.buffer->try_push(stamp)) return true;
 
   // Pre-emptive borrow: EmergencyBorrow always tries the pool first, and
   // the legacy emergency_borrow flag keeps its "borrow before waking"
@@ -281,7 +321,7 @@ void ThreadPbpl::push_one_slow_locked(Consumer& consumer, Clock::time_point stam
       obs::note_overflow(static_cast<std::uint16_t>(core.index),
                          static_cast<std::uint32_t>(consumer.index),
                          obs::OverflowAction::kEmergencyBorrow, now_ns());
-      return;
+      return true;
     }
   }
 
@@ -299,18 +339,18 @@ void ThreadPbpl::push_one_slow_locked(Consumer& consumer, Clock::time_point stam
           obs::note_drop(static_cast<std::uint32_t>(consumer.index),
                          obs::DropPath::kOldest, now_ns());
         }
-        if (consumer.buffer->try_push(stamp)) return;
+        if (consumer.buffer->try_push(stamp)) return true;
       }
       ++core.stats.dropped_newest;
       obs::note_drop(static_cast<std::uint32_t>(consumer.index), obs::DropPath::kNewest,
                      now_ns());
-      return;
+      return true;
     }
     case core::OverflowPolicy::DropNewest:
       ++core.stats.dropped_newest;
       obs::note_drop(static_cast<std::uint32_t>(consumer.index), obs::DropPath::kNewest,
                      now_ns());
-      return;
+      return true;
     case core::OverflowPolicy::Block:
     case core::OverflowPolicy::EmergencyBorrow:
       // Forced drain: hand the wakeup to the owning core's manager and
@@ -329,9 +369,9 @@ void ThreadPbpl::push_one_slow_locked(Consumer& consumer, Clock::time_point stam
           ++core.stats.dropped_on_stop;
           obs::note_drop(static_cast<std::uint32_t>(consumer.index),
                          obs::DropPath::kOnStop, now_ns());
-          return;
+          return true;
         }
-        if (consumer.buffer->try_push(stamp)) return;
+        if (consumer.buffer->try_push(stamp)) return true;
         if (consumer.overflow_requests == 0) {
           ++consumer.overflow_requests;
           core.overflow_pending = true;
@@ -341,8 +381,16 @@ void ThreadPbpl::push_one_slow_locked(Consumer& consumer, Clock::time_point stam
           core.cv.notify_all();
         }
         core.producer_cv.wait(lock);
+        if (consumer.core.load(std::memory_order_relaxed) != &core) {
+          // Migrated away while we slept (migrate() wakes this cv).  The
+          // outstanding overflow request travelled with the consumer —
+          // the destination's manager will consume it — so don't re-raise
+          // here; just retry the push against the new owner.
+          return false;
+        }
       }
   }
+  return true;
 }
 
 ThreadPbplStats ThreadPbpl::stats() {
@@ -367,7 +415,147 @@ ThreadPbplStats ThreadPbpl::stats() {
   }
   out.produced = produced_.load(std::memory_order_relaxed);
   out.pool_exhausted = pool_.exhausted_grants();
+  out.migrations = migrations_.load(std::memory_order_relaxed);
+  out.core_parks = parks_.load(std::memory_order_relaxed);
+  out.core_unparks = unparks_.load(std::memory_order_relaxed);
   return out;
+}
+
+std::vector<std::size_t> ThreadPbpl::placement() const {
+  std::vector<std::size_t> out(consumers_.size());
+  for (std::size_t i = 0; i < consumers_.size(); ++i) {
+    out[i] = consumers_[i]->core.load(std::memory_order_acquire)->index;
+  }
+  return out;
+}
+
+std::vector<bool> ThreadPbpl::parked_cores() const {
+  std::vector<bool> out(cores_.size());
+  for (std::size_t c = 0; c < cores_.size(); ++c) {
+    out[c] = cores_[c]->parked.load(std::memory_order_acquire);
+  }
+  return out;
+}
+
+bool ThreadPbpl::migrate(std::size_t consumer_index, std::size_t core_index) {
+  PCPC_ASSERT(consumer_index < consumers_.size());
+  PCPC_ASSERT(core_index < cores_.size());
+  Consumer& consumer = *consumers_[consumer_index];
+  Core& dst = *cores_[core_index];
+  if (!running_.load(std::memory_order_acquire)) return false;
+  if (consumer.core.load(std::memory_order_acquire) == &dst) return true;
+  // The destination needs a live manager before any reservation lands on
+  // its track.  Unpark is ordered before the lock pair: spawning a thread
+  // under two core locks would invert the (fleet → core) lock hierarchy.
+  unpark(dst);
+  for (;;) {
+    Core* src = consumer.core.load(std::memory_order_acquire);
+    if (src == &dst) return true;
+    // Quiesce: both shards locked, in index order (the only place two
+    // core locks are ever held together, so the hierarchy is trivially
+    // acyclic).  Holding both means no manager is mid-drain on the pair
+    // and no producer is mid-slow-path on either side.
+    Core& first = src->index < dst.index ? *src : dst;
+    Core& second = src->index < dst.index ? dst : *src;
+    std::unique_lock lock_first(first.mutex);
+    std::unique_lock lock_second(second.mutex);
+    if (consumer.core.load(std::memory_order_relaxed) != src) continue;
+    if (!running_.load(std::memory_order_relaxed)) return false;
+
+    auto& members = src->consumers;
+    members.erase(std::remove(members.begin(), members.end(), &consumer), members.end());
+    src->reservations.cancel(static_cast<core::ConsumerId>(consumer.index));
+    dst.consumers.push_back(&consumer);
+    // Publish the new owner BEFORE any waiter can run: producers blocked
+    // on src's producer_cv re-check this pointer on wake and retry on
+    // dst; fast-path producers that already pushed lose nothing because
+    // the buffer travelled with the consumer.
+    consumer.core.store(&dst, std::memory_order_release);
+    if (consumer.overflow_requests > 0) {
+      // A blocked producer's forced-drain request moves with the pair.
+      dst.overflow_pending = true;
+    }
+    const SimTime now = now_ns();
+    make_reservation_locked(dst, consumer, now);
+    migrations_.fetch_add(1, std::memory_order_relaxed);
+    obs::note_fleet(obs::FleetAction::kMigrate,
+                    static_cast<std::uint32_t>(consumer.index),
+                    static_cast<std::uint16_t>(src->index),
+                    static_cast<std::uint16_t>(dst.index), now);
+    // Wake everyone whose wait predicate just changed: src's manager
+    // (its earliest reservation may be gone), src's blocked producers
+    // (must re-resolve the owner), dst's manager (new reservation —
+    // already notified by make_reservation_locked, repeated for clarity).
+    src->cv.notify_all();
+    src->producer_cv.notify_all();
+    dst.cv.notify_all();
+    return true;
+  }
+}
+
+bool ThreadPbpl::try_park(Core& core) {
+  if (core.parked.load(std::memory_order_acquire)) return false;
+  {
+    std::unique_lock lock(core.mutex);
+    if (core.retired || !core.consumers.empty() || core.overflow_pending ||
+        !core.pending.empty()) {
+      return false;
+    }
+    if (core.reservations.next_reserved(kMinSlot).has_value()) return false;
+    if (!running_.load(std::memory_order_relaxed)) return false;
+    core.retired = true;
+    core.cv.notify_all();
+  }
+  // Join outside the lock (the manager needs it to exit its loop).
+  core.thread.join();
+  core.parked.store(true, std::memory_order_release);
+  parks_.fetch_add(1, std::memory_order_relaxed);
+  obs::note_fleet(obs::FleetAction::kPark, obs::kNoConsumer,
+                  static_cast<std::uint16_t>(core.index),
+                  static_cast<std::uint16_t>(core.index), now_ns());
+  return true;
+}
+
+void ThreadPbpl::unpark(Core& core) {
+  if (!core.parked.load(std::memory_order_acquire)) return;
+  {
+    std::lock_guard<std::mutex> lock(core.mutex);
+    core.retired = false;
+  }
+  core.thread = std::thread([this, c = &core] { manager_loop(*c); });
+  core.parked.store(false, std::memory_order_release);
+  unparks_.fetch_add(1, std::memory_order_relaxed);
+  obs::note_fleet(obs::FleetAction::kUnpark, obs::kNoConsumer,
+                  static_cast<std::uint16_t>(core.index),
+                  static_cast<std::uint16_t>(core.index), now_ns());
+}
+
+void ThreadPbpl::fleet_loop() {
+  std::unique_lock lock(fleet_mutex_);
+  while (running_.load(std::memory_order_relaxed)) {
+    fleet_cv_.wait_for(lock,
+                       std::chrono::nanoseconds(fleet_config_.control_period));
+    if (!running_.load(std::memory_order_relaxed)) break;
+    lock.unlock();
+    fleet_tick();
+    lock.lock();
+  }
+}
+
+void ThreadPbpl::fleet_tick() {
+  const SimTime now = now_ns();
+  std::vector<std::uint64_t> drained(consumers_.size());
+  for (std::size_t i = 0; i < consumers_.size(); ++i) {
+    drained[i] = consumers_[i]->drained_items.load(std::memory_order_relaxed);
+  }
+  controller_->observe(now, drained);
+  const fleet::FleetPlan plan = controller_->plan(now, placement());
+  for (const fleet::FleetMove& move : plan.moves) {
+    if (!migrate(move.pair, move.to)) return;  // runtime stopping
+  }
+  // Park pass: any core the plan (or startup skew) left empty retires its
+  // manager thread until a future migration needs it back.
+  for (auto& core : cores_) try_park(*core);
 }
 
 SimTime ThreadPbpl::now_ns() const {
@@ -384,6 +572,9 @@ Clock::time_point ThreadPbpl::slot_deadline(core::SlotIndex slot) {
 void ThreadPbpl::manager_loop(Core& core) {
   std::unique_lock lock(core.mutex);
   while (running_.load(std::memory_order_relaxed)) {
+    // Parking: the fleet thread retires an empty core's manager; the
+    // thread is respawned (and this flag cleared) on unpark.
+    if (core.retired) break;
     // Forced (overflow) drains take priority over the slot schedule.
     if (core.overflow_pending) {
       core.overflow_pending = false;
@@ -508,6 +699,8 @@ void ThreadPbpl::drain_locked(Core& core, Consumer& consumer, SimTime now,
   core.stats.batch_sizes.add(static_cast<double>(batch));
   ++core.stats.invocations;
   if (batch > 0) consumer.last_batch = batch;
+  // Lock-free view for the fleet thread's rate measurement.
+  consumer.drained_items.fetch_add(batch, std::memory_order_relaxed);
 
   if (now > consumer.last_invocation) {
     consumer.predictor->observe(static_cast<double>(batch) /

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "pcpc/common/rng.hpp"
 #include "pcpc/core/config.hpp"
 #include "pcpc/fault/chaos.hpp"
 #include "pcpc/fault/fault_injector.hpp"
@@ -207,6 +208,103 @@ TEST(ChaosRuntime, BurstLatencyDegradationIsBounded) {
   if (stats.latency_s.count() > 0) {
     EXPECT_LT(stats.latency_s.max(), 5.0);  // seconds; generous CI headroom
   }
+}
+
+TEST(ChaosRuntime, MigrationStormConservesAcross100Seeds) {
+  // The fleet acceptance bar: exact conservation across every live
+  // migration, 100 seeds deep, with stop() landing mid-storm on odd
+  // seeds.  The storm itself is seeded, so a failure replays.
+  auto config = chaos_config();
+  config.overflow_policy = core::OverflowPolicy::Block;
+  config.base_buffer = 8;
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    Rng rng(seed);
+    ThreadPbpl runtime(3, config);
+    std::vector<std::thread> producers;
+    for (std::size_t c = 0; c < 3; ++c) {
+      producers.emplace_back([&, c] {
+        for (int i = 0; i < 150; ++i) {
+          runtime.produce(c);
+          if (i % 64 == 63) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      });
+    }
+    const bool stop_mid_flood = seed % 2 == 1;
+    for (int move = 0; move < 12; ++move) {
+      runtime.migrate(rng.next_below(3), rng.next_below(config.cores));
+      if (stop_mid_flood && move == 6) runtime.stop();
+    }
+    for (auto& t : producers) t.join();
+    runtime.stop();
+    const auto stats = runtime.stats();
+    EXPECT_EQ(stats.produced, stats.items + stats.dropped()) << "seed " << seed;
+    EXPECT_EQ(stats.dropped_oldest + stats.dropped_newest, 0u) << "seed " << seed;
+    if (!stop_mid_flood) {
+      EXPECT_EQ(stats.items, stats.produced) << "seed " << seed;
+    }
+  }
+}
+
+TEST(ChaosRuntime, LoadSwingsDriveParkUnparkMigrationRaces) {
+  // kLoadSwing chaos against the elastic fleet: producers modulate their
+  // offered rate by the injector's swing wave (square, 0x↔2x) while the
+  // controller migrates, parks and (on demand) unparks underneath — and
+  // stop() lands while all of that is still in flight.
+  auto config = chaos_config();
+  config.cores = 4;
+  fault::FaultConfig faults;
+  faults.seed = 5150;
+  faults.load_swing_amplitude = 1.0;
+  faults.load_swing_period = milliseconds(60);
+  faults.load_swing_step = true;
+  fault::FaultInjector injector(faults);
+
+  fleet::FleetConfig fc;
+  fc.mode = fleet::FleetMode::kElastic;
+  fc.control_period = milliseconds(10);
+  fc.cooldown = milliseconds(40);
+
+  ThreadPbpl runtime(4, config, {}, &injector, fc);
+  std::atomic<bool> done{false};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> producers;
+  for (std::size_t c = 0; c < 4; ++c) {
+    producers.emplace_back([&, c] {
+      while (!done.load(std::memory_order_relaxed)) {
+        const SimTime now =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        const double scale = injector.load_scale(now);
+        if (scale > 0.0) runtime.produce(c);
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            scale > 0.0 ? static_cast<std::int64_t>(500.0 / scale) : 500));
+      }
+    });
+  }
+
+  // Bounded wait for the consolidation to park a core, then keep the
+  // swings flipping a while longer so crossings and ticks accumulate.
+  const auto deadline = start + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    bool any = false;
+    for (const bool p : runtime.parked_cores()) any = any || p;
+    if (any) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  done.store(true, std::memory_order_relaxed);
+  runtime.stop();  // races the last produce() calls on purpose
+  for (auto& t : producers) t.join();
+
+  const auto stats = runtime.stats();
+  EXPECT_EQ(stats.produced, stats.items + stats.dropped());
+  EXPECT_GT(stats.migrations, 0u);
+  EXPECT_GT(stats.core_parks, 0u);
+  EXPECT_GE(injector.stats().load_swings, 2u);
+  std::uint64_t parked_now = 0;
+  for (const bool p : runtime.parked_cores()) parked_now += p ? 1 : 0;
+  EXPECT_EQ(stats.core_parks - stats.core_unparks, parked_now);
 }
 
 TEST(ChaosBaseline, InjectedFaultsConserveItemsToo) {
