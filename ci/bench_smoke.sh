@@ -9,7 +9,9 @@
 # metrics.json is missing/empty.  Then runs the queue_floor backend
 # throughput gate and the shard_scaling runtime gate (4 cores must drain
 # a saturated handler-bound workload at >= 1.8x the 1-core rate without
-# minting wakeups beyond the slot schedule), and the ipc_floor
+# minting wakeups beyond the slot schedule), the varlen_floor zero-copy
+# record gate (in-ring reserve/commit + in-place drain vs the
+# staging-copy path), and the ipc_floor
 # cross-process gate (forked producers over the shm channel: throughput
 # floor, futex-wake frugality, exact no-fault conservation), and the
 # fleet_parking elastic-autoscaler gate (at ~10% utilization the
@@ -96,6 +98,32 @@ fi
 "${build}/bench/shard_scaling" --items=2000 --trials=3 | tee "${out}/shard_scaling.txt"
 scaling_x="$(grep -oE 'throughput: [0-9.]+x' "${out}/shard_scaling.txt" | grep -oE '[0-9.]+')"
 record shard_scaling "\"four_core_vs_one\":${scaling_x:-null},\"gate\":1.8,\"pass\":true"
+
+echo "=== varlen_floor: zero-copy record plane gate ==="
+if [[ ! -x "${build}/bench/varlen_floor" ]]; then
+  echo "bench_smoke: ${build}/bench/varlen_floor not built" >&2
+  echo "bench_smoke: run 'cmake --build ${build} --target varlen_floor'" >&2
+  exit 2
+fi
+# In-ring reserve/commit + in-place drain vs the staging-copy path:
+# >= 1.5x at 4 KiB SPSC, >= 1.2x with 4 MPSC producers.  Bandwidth
+# ratios on one box are stable, but a noisy neighbour can stomp either
+# side of a pair; retry a stomped run before declaring a regression.
+varlen_ok=false
+for attempt in 1 2 3; do
+  if "${build}/bench/varlen_floor" --bytes=$((16 << 20)) --trials=3 \
+      --json-out="${out}/varlen_floor.json" | tee "${out}/varlen_floor.txt"; then
+    varlen_ok=true
+    break
+  fi
+  echo "bench_smoke: varlen_floor attempt ${attempt} under the floor; retrying" >&2
+done
+if ! ${varlen_ok}; then
+  echo "bench_smoke: varlen_floor failed all 3 attempts" >&2
+  exit 1
+fi
+# The bench already emits its record as JSON; fold it into the trajectory.
+record varlen_floor "$(sed 's/^{//;s/}$//' "${out}/varlen_floor.json")"
 
 echo "=== ipc_floor: cross-process host gate ==="
 if [[ ! -x "${build}/bench/ipc_floor" ]]; then

@@ -17,6 +17,13 @@
 //   --metrics-out=FILE write run metrics (.csv extension -> CSV, else JSON)
 //   --snapshot-ms=N    PowerTop-style stderr snapshot every N ms
 //   --span-every=N     sample every Nth item's lifecycle span          [0=off]
+//   --payload-bytes=N|min:max  arm the varlen payload plane: every item
+//                      carries a record of N (or seeded in [min,max])
+//                      payload bytes.  The thread host moves real bytes
+//                      through produce_record, --impl=ipc moves them
+//                      cross-process through push_record, and the fleet
+//                      run prices the same byte stream; bytes/s and
+//                      joules/MB land in --slo-report / --fleet-report
 //   --slo-report=FILE  write the wakeup→energy attribution + per-pair
 //                      Δ-budget SLO report (one JSON object)
 //   --fleet=MODE       off|static|elastic placement management          [off]
@@ -38,12 +45,15 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <optional>
+#include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "pcpc/common/rng.hpp"
@@ -53,6 +63,7 @@
 #include "pcpc/fleet/controller.hpp"
 #include "pcpc/fleet/sim_driver.hpp"
 #include "pcpc/ipc/channel.hpp"
+#include "pcpc/runtime/thread_pbpl.hpp"
 #include "pcpc/sim/replay.hpp"
 #include "pcpc/obs/attribution.hpp"
 #include "pcpc/obs/exporters.hpp"
@@ -82,7 +93,11 @@ struct CliOptions {
   std::string fleet_report;
   std::int64_t snapshot_ms = 0;
   std::uint64_t span_every = 0;
+  std::uint32_t payload_min = 0;  ///< varlen plane armed when payload_max > 0
+  std::uint32_t payload_max = 0;
   std::vector<std::string> config_options;
+
+  double mean_payload() const { return (payload_min + payload_max) / 2.0; }
 
   bool wants_telemetry() const {
     return !trace_out.empty() || !metrics_out.empty() || !slo_report.empty() ||
@@ -142,6 +157,13 @@ obs::AttributionOptions attribution_options(const exp::ExperimentSpec& spec) {
   return opt;
 }
 
+/// Seeded record size in [payload_min, payload_max].
+std::uint32_t draw_payload_size(const CliOptions& options, Rng& rng) {
+  return options.payload_min +
+         static_cast<std::uint32_t>(
+             rng.next_below(options.payload_max - options.payload_min + 1));
+}
+
 bool parse_cli(int argc, char** argv, CliOptions& options) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -167,6 +189,18 @@ bool parse_cli(int argc, char** argv, CliOptions& options) {
     else if (const auto v15 = value_of("--slo-report=")) options.slo_report = *v15;
     else if (const auto v16 = value_of("--fleet=")) options.fleet = *v16;
     else if (const auto v17 = value_of("--fleet-report=")) options.fleet_report = *v17;
+    else if (const auto v18 = value_of("--payload-bytes=")) {
+      const std::size_t colon = v18->find(':');
+      options.payload_min = static_cast<std::uint32_t>(
+          std::stoul(colon == std::string::npos ? *v18 : v18->substr(0, colon)));
+      options.payload_max = static_cast<std::uint32_t>(
+          colon == std::string::npos ? options.payload_min
+                                     : std::stoul(v18->substr(colon + 1)));
+      if (options.payload_min == 0 || options.payload_max < options.payload_min) {
+        std::fprintf(stderr, "bad --payload-bytes range '%s'\n", v18->c_str());
+        return false;
+      }
+    }
     else if (arg.find('=') != std::string::npos && arg.rfind("--", 0) != 0) {
       options.config_options.push_back(arg);
     } else {
@@ -234,7 +268,8 @@ std::vector<trace::Trace> make_workload(const CliOptions& options, SimDuration h
 /// outcome as one JSON object.
 int run_fleet(fleet::FleetMode mode, std::span<const trace::Trace> traces,
               SimDuration horizon, const exp::ExperimentSpec& spec,
-              const std::string& report_path) {
+              const CliOptions& options) {
+  const std::string& report_path = options.fleet_report;
   core::PbplConfig config = spec.setup.synchronized_pbpl();
 
   // Expected core share of each pair, from the offered trace itself —
@@ -285,6 +320,12 @@ int run_fleet(fleet::FleetMode mode, std::span<const trace::Trace> traces,
   const double paid_per_s = static_cast<double>(result.paid_wakeups) / horizon_s;
   const double uj_per_item =
       result.items > 0 ? joules / static_cast<double>(result.items) * 1e6 : 0.0;
+  // With --payload-bytes armed, the sim host prices the same byte stream
+  // the real hosts move: every item carries the configured mean payload.
+  const double payload_bytes =
+      static_cast<double>(result.items) * options.mean_payload();
+  const double joules_per_mb =
+      payload_bytes > 0 ? joules / (payload_bytes / 1e6) : 0.0;
 
   std::string placement_str;
   for (const std::size_t core : placement) {
@@ -296,6 +337,10 @@ int run_fleet(fleet::FleetMode mode, std::span<const trace::Trace> traces,
               fleet_mode_name(mode), paid_per_s, uj_per_item,
               static_cast<unsigned long long>(driver.migrations()),
               static_cast<unsigned long long>(driver.ticks()), placement_str.c_str());
+  if (options.payload_max > 0) {
+    std::printf("fleet payload: %.2f MB/s priced at %.4f J/MB\n",
+                payload_bytes / horizon_s / 1e6, joules_per_mb);
+  }
 
   if (report_path.empty()) return 0;
   FILE* out = std::fopen(report_path.c_str(), "w");
@@ -307,7 +352,7 @@ int run_fleet(fleet::FleetMode mode, std::span<const trace::Trace> traces,
                "{\"mode\":\"%s\",\"pairs\":%zu,\"cores\":%zu,"
                "\"migrations\":%llu,\"ticks\":%llu,\"items\":%llu,"
                "\"paid_wakeups\":%llu,\"paid_per_s\":%.3f,"
-               "\"joules_per_item\":%.9g,\"placement\":[",
+               "\"joules_per_item\":%.9g,",
                fleet_mode_name(mode), traces.size(),
                static_cast<std::size_t>(config.cores),
                static_cast<unsigned long long>(driver.migrations()),
@@ -315,6 +360,13 @@ int run_fleet(fleet::FleetMode mode, std::span<const trace::Trace> traces,
                static_cast<unsigned long long>(result.items),
                static_cast<unsigned long long>(result.paid_wakeups), paid_per_s,
                uj_per_item * 1e-6);
+  if (options.payload_max > 0) {
+    std::fprintf(out,
+                 "\"payload_bytes\":%.0f,\"payload_bytes_per_s\":%.3f,"
+                 "\"joules_per_mb\":%.9g,",
+                 payload_bytes, payload_bytes / horizon_s, joules_per_mb);
+  }
+  std::fprintf(out, "\"placement\":[");
   for (std::size_t i = 0; i < placement.size(); ++i) {
     std::fprintf(out, "%s%zu", i > 0 ? "," : "", placement[i]);
   }
@@ -375,10 +427,29 @@ int run_ipc(const CliOptions& options) {
         return ipc::now_ns() - epoch;
       });
     }
+    // Records need the channel's payload plane; a plain channel falls
+    // back to item pushes rather than tripping the plane assertion.
+    const bool varlen =
+        options.payload_max > 0 && producer->header().payload_ring_bytes > 0 &&
+        producer->header().payload_max_record >= options.payload_max;
+    if (options.payload_max > 0 && !varlen) {
+      std::fprintf(stderr,
+                   "[pcpc ipc] channel %s has no fitting payload plane; "
+                   "ignoring --payload-bytes\n",
+                   options.ipc_name.c_str());
+    }
     std::uint64_t acked = 0;
     std::uint64_t dropped = 0;
+    Rng rng(static_cast<std::uint64_t>(::getpid()));
+    std::vector<std::byte> staging(options.payload_max);
     for (std::uint64_t i = 0; i < per_producer; ++i) {
-      const ipc::PushResult r = producer->push(i);
+      ipc::PushResult r;
+      if (varlen) {
+        r = producer->push_record(std::span<const std::byte>(
+            staging.data(), draw_payload_size(options, rng)));
+      } else {
+        r = producer->push(i);
+      }
       if (r == ipc::PushResult::kOk) {
         ++acked;
         continue;
@@ -405,6 +476,13 @@ int run_ipc(const CliOptions& options) {
   ipc::ChannelConfig cfg;
   cfg.capacity = options.buffer;
   cfg.span_sample_every = options.span_every;
+  if (options.payload_max > 0) {
+    // Arm the varlen plane: per-producer byte rings sized for a healthy
+    // in-flight window of max-size records.
+    cfg.payload_max_record = options.payload_max;
+    cfg.payload_ring_bytes = std::max<std::size_t>(
+        64u << 10, 16 * queue::var_record_bytes(options.payload_max));
+  }
   auto consumer = ipc::Consumer::create(options.ipc_name, cfg, &error);
   if (!consumer.has_value()) {
     std::fprintf(stderr, "[pcpc ipc] channel create at %s failed: %s\n",
@@ -428,8 +506,19 @@ int run_ipc(const CliOptions& options) {
       if (pid == 0) {
         auto child = ipc::Producer::attach(consumer->shm_name());
         if (!child.has_value()) _exit(2);
-        for (std::uint64_t i = 0; i < per_producer; ++i) {
-          while (child->push(i) == ipc::PushResult::kFull) {
+        if (options.payload_max > 0) {
+          Rng rng(0xCB1ull * 1000 + p);
+          std::vector<std::byte> staging(options.payload_max);
+          for (std::uint64_t i = 0; i < per_producer; ++i) {
+            const std::uint32_t size = draw_payload_size(options, rng);
+            while (child->push_record(std::span<const std::byte>(
+                       staging.data(), size)) == ipc::PushResult::kFull) {
+            }
+          }
+        } else {
+          for (std::uint64_t i = 0; i < per_producer; ++i) {
+            while (child->push(i) == ipc::PushResult::kFull) {
+            }
           }
         }
         child->detach();
@@ -452,8 +541,16 @@ int run_ipc(const CliOptions& options) {
                   std::chrono::duration<double>(
                       options.seconds_d + (children.empty() ? 0.0 : 60.0)));
   std::uint64_t consumed_items = 0;
+  std::uint64_t consumed_bytes = 0;
   while (true) {
-    consumed_items += consumer->drain([](std::uint64_t) {});
+    if (options.payload_max > 0) {
+      consumed_items += consumer->drain_records(
+          [&consumed_bytes](std::span<const std::byte> payload) {
+            consumed_bytes += payload.size();
+          });
+    } else {
+      consumed_items += consumer->drain([](std::uint64_t) {});
+    }
     consumer->reap();
     for (auto it = children.begin(); it != children.end();) {
       int status = 0;
@@ -489,6 +586,17 @@ int run_ipc(const CliOptions& options) {
   if (rep.admitted != rep.consumed + rep.reclaimed + rep.residue) {
     std::fprintf(stderr, "[pcpc ipc] conservation identity broken\n");
     return 1;
+  }
+  if (options.payload_max > 0) {
+    std::printf("[pcpc ipc] payload: %llu records, %.2f MB at %.2f MB/s\n",
+                ull(rep.var_delivered_records),
+                static_cast<double>(consumed_bytes) / 1e6,
+                static_cast<double>(consumed_bytes) / elapsed / 1e6);
+    if (rep.var_admitted_bytes != rep.var_consumed_bytes + rep.var_reclaimed_bytes +
+                                      rep.var_padding_bytes + rep.var_residue_bytes) {
+      std::fprintf(stderr, "[pcpc ipc] varlen byte conservation broken\n");
+      return 1;
+    }
   }
   if (session.has_value()) {
     // Sweep any span events still sitting in live peers' shm rings into
@@ -530,6 +638,13 @@ int run_ipc(const CliOptions& options) {
       const exp::ExperimentSpec spec =
           exp::multi_pair_spec(options.pairs, options.buffer);
       obs::finalize_attribution(report, attribution_options(spec));
+      if (consumed_bytes > 0) {
+        report.payload_records = consumed_items;
+        report.payload_bytes = consumed_bytes;
+        report.payload_bytes_per_s = static_cast<double>(consumed_bytes) / elapsed;
+        report.joules_per_mb =
+            report.joules / (static_cast<double>(consumed_bytes) / 1e6);
+      }
       if (!export_slo_report(report, options.slo_report)) return 1;
     }
     if (!export_telemetry(*session, options.trace_out, options.metrics_out)) {
@@ -619,17 +734,88 @@ int main(int argc, char** argv) {
     std::printf("\nPBPL configuration used:\n%s", core::describe(spec.setup.synchronized_pbpl()).c_str());
   }
 
+  // --payload-bytes: move the workload's byte stream through the REAL
+  // thread host's varlen plane (produce_record → in-ring records →
+  // zero-copy handler views), as fast as the ring admits — a byte-
+  // granular throughput run alongside the simulated table above.
+  std::uint64_t payload_records = 0, payload_bytes_total = 0;
+  double payload_bytes_per_s = 0.0, payload_joules_per_mb = 0.0;
+  if (options.payload_max > 0) {
+    core::PbplConfig vcfg = spec.setup.synchronized_pbpl();
+    vcfg.payload_max_bytes = options.payload_max;
+    const std::uint64_t per_pair =
+        static_cast<std::uint64_t>(options.rate_hz * options.seconds_d);
+    std::atomic<std::uint64_t> handled_bytes{0};
+    const auto start = std::chrono::steady_clock::now();
+    double elapsed = 0.0;
+    runtime::ThreadPbplStats stats;
+    {
+      runtime::ThreadPbpl host(options.pairs, vcfg);
+      host.set_record_handler(
+          [&handled_bytes](std::size_t, std::span<const std::byte> payload) {
+            handled_bytes.fetch_add(payload.size(), std::memory_order_relaxed);
+          });
+      std::vector<std::thread> producers;
+      for (std::size_t pair = 0; pair < options.pairs; ++pair) {
+        producers.emplace_back([&host, &options, pair, per_pair] {
+          Rng rng(0xCB1ull * 7919 + pair);
+          std::vector<std::byte> staging(options.payload_max);
+          for (std::uint64_t i = 0; i < per_pair; ++i) {
+            host.produce_record(pair, std::span<const std::byte>(
+                                          staging.data(),
+                                          draw_payload_size(options, rng)));
+          }
+        });
+      }
+      for (auto& t : producers) t.join();
+      host.stop();  // drains leftovers before the managers exit
+      elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              start)
+                    .count();
+      stats = host.stats();
+    }
+    payload_records = stats.items;
+    payload_bytes_total = stats.consumed_bytes;
+    payload_bytes_per_s = static_cast<double>(payload_bytes_total) / elapsed;
+    const double joules =
+        ledger.params().wakeup_energy_j *
+            static_cast<double>(stats.scheduled_wakeups + stats.overflow_wakeups) +
+        ledger.params().item_transport_energy_j * static_cast<double>(stats.items);
+    payload_joules_per_mb =
+        payload_bytes_total > 0
+            ? joules / (static_cast<double>(payload_bytes_total) / 1e6)
+            : 0.0;
+    std::printf(
+        "\nvarlen (thread host): %llu records, %.2f MB at %.2f MB/s, "
+        "%.4f J/MB (%llu dropped)\n",
+        static_cast<unsigned long long>(payload_records),
+        static_cast<double>(payload_bytes_total) / 1e6, payload_bytes_per_s / 1e6,
+        payload_joules_per_mb, static_cast<unsigned long long>(stats.dropped()));
+    if (stats.produced_bytes != stats.consumed_bytes + stats.dropped_bytes) {
+      std::fprintf(stderr, "varlen byte conservation broken on the thread host\n");
+      return 1;
+    }
+    if (handled_bytes.load() != stats.consumed_bytes) {
+      std::fprintf(stderr, "varlen handler byte tally disagrees with the host\n");
+      return 1;
+    }
+  }
+
   fleet::FleetMode fleet_mode = fleet::FleetMode::kOff;
   fleet::parse_fleet_mode(options.fleet.c_str(), &fleet_mode);
   if (fleet_mode != fleet::FleetMode::kOff) {
-    const int rc = run_fleet(fleet_mode, traces, horizon, spec, options.fleet_report);
+    const int rc = run_fleet(fleet_mode, traces, horizon, spec, options);
     if (rc != 0) return rc;
   }
 
   if (session.has_value()) {
     if (!options.slo_report.empty()) {
-      const obs::AttributionReport report =
+      obs::AttributionReport report =
           obs::build_attribution(*session, attribution_options(spec));
+      report.payload_records = payload_records;
+      report.payload_bytes = payload_bytes_total;
+      report.payload_bytes_per_s = payload_bytes_per_s;
+      report.joules_per_mb = payload_joules_per_mb;
       if (!export_slo_report(report, options.slo_report)) return 1;
     }
     if (!export_telemetry(*session, options.trace_out, options.metrics_out)) {

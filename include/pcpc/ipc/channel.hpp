@@ -26,10 +26,12 @@
 //     pushes with PushResult::kConsumerDead after bounded retry/backoff.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "pcpc/ipc/futex.hpp"
@@ -59,6 +61,13 @@ struct ChannelConfig {
   /// the sample key, so both sides agree without tagging payloads).
   /// 0 disarms spans on this channel.
   std::uint64_t span_sample_every = 0;
+  /// Varlen payload plane: logical capacity (record footprint bytes) of
+  /// each producer's in-segment byte ring.  0 = no plane (v2-equivalent
+  /// segment; push_record/drain_records are unusable).  A channel with a
+  /// payload plane carries records exclusively: every control value is an
+  /// announcement, so plain push() must not be mixed in.
+  std::size_t payload_ring_bytes = 0;
+  std::uint32_t payload_max_record = 16u << 10;  ///< max payload bytes per record
 };
 
 /// Producer-side retry policy for a full ring / slow consumer.
@@ -85,6 +94,9 @@ enum class CrashPoint : std::uint8_t {
   kAfterClaim = 0,   ///< ticket claimed, lease not yet taken (leaves a hole)
   kMidPublish = 1,   ///< lease taken, value not yet published (leaves a lock)
   kAfterPublish = 2, ///< value published, counters not yet bumped
+  // Varlen (push_record) protocol steps, before the control push above:
+  kAfterReserve = 3, ///< record bytes claimed in the var ring (kReserved header)
+  kAfterCommit = 4,  ///< record committed, announcement not yet pushed
 };
 
 /// Everything the conservation harness asserts on, read from shm.
@@ -99,6 +111,23 @@ struct ConservationReport {
   std::uint64_t futex_wakes = 0;   ///< paid wakes (producer-side count)
   std::uint64_t doorbell = 0;
   std::uint64_t peers_reaped = 0;
+  // Varlen payload plane, byte-granular (all zero when the plane is
+  // absent).  The byte conservation identity mirrors the ticket one:
+  //   var_admitted_bytes == var_consumed_bytes + var_reclaimed_bytes
+  //                         + var_padding_bytes + var_residue_bytes
+  // where admitted = the rings' claim cursors (every byte a producer ever
+  // claimed, wrap padding included), consumed/reclaimed = released record
+  // footprints by fate, and residue = claimed-not-yet-released.  Exact at
+  // every quiescent point, SIGKILL included, because each ring's cursors
+  // and tallies are shm state swept by the reaper.
+  std::uint64_t var_admitted_bytes = 0;
+  std::uint64_t var_consumed_bytes = 0;   ///< released footprints, consumed fate
+  std::uint64_t var_reclaimed_bytes = 0;  ///< released footprints, reclaimed fate
+  std::uint64_t var_padding_bytes = 0;    ///< released wrap padding
+  std::uint64_t var_residue_bytes = 0;    ///< claimed, not yet released
+  std::uint64_t var_delivered_records = 0;  ///< records handed to drain_records
+  std::uint64_t var_delivered_bytes = 0;    ///< payload bytes handed out
+  std::uint64_t var_lost_records = 0;  ///< announcements of crash-reclaimed records
 };
 
 /// Reads the report off any mapped channel segment.
@@ -169,6 +198,54 @@ class Consumer {
     return n;
   }
 
+  /// Varlen drain: pops announcements in strict ticket order and resolves
+  /// each against its producer's byte ring.  The matching committed
+  /// record is handed to `fn(payload)` as a zero-copy in-segment span
+  /// (valid only during the call); a mismatch — the announced offset is
+  /// not the ring's oldest committed record — means the record was
+  /// reclaimed after its producer died and is counted var_lost_records
+  /// instead of delivered.  Every touched ring's claimed bytes are
+  /// released once at the end (one cursor publication per ring per
+  /// drain).  Returns records delivered (losses and reclaims excluded).
+  /// Only meaningful on a channel created with payload_ring_bytes > 0.
+  template <typename Fn>
+  std::size_t drain_records(Fn&& fn, std::size_t max_records = SIZE_MAX) {
+    std::size_t delivered = 0;
+    std::uint32_t touched = 0;
+    drain(
+        [&](std::uint64_t value) {
+          const std::size_t idx = var_announce_owner(value);
+          const std::uint64_t off = var_announce_offset(value);
+          if (idx >= kMaxProducers || var_rings_[idx] == nullptr) {
+            hdr_->var_lost_records.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+          VarIpcRing& ring = *var_rings_[idx];
+          touched |= 1u << idx;
+          auto view = ring.peek_front();
+          if (view.has_value() && (view->offset & kVarValueOffsetMask) == off) {
+            fn(std::span<const std::byte>(view->data, view->size));
+            hdr_->var_delivered_records.fetch_add(1, std::memory_order_relaxed);
+            hdr_->var_delivered_bytes.fetch_add(view->size,
+                                                std::memory_order_relaxed);
+            ring.claim_front();  // move past the delivered record
+            ++delivered;
+          } else {
+            // The announced record is gone: its producer died after the
+            // announcement and the reaper resolved the ring.  peek_front
+            // already skipped it (reclaimed) — nothing to put back.
+            hdr_->var_lost_records.fetch_add(1, std::memory_order_relaxed);
+          }
+        },
+        max_records);
+    for (std::size_t idx = 0; idx < kMaxProducers; ++idx) {
+      if ((touched & (1u << idx)) != 0) {
+        var_rings_[idx]->release_until(var_rings_[idx]->claim_offset());
+      }
+    }
+    return delivered;
+  }
+
   /// Parks on the futex doorbell for up to `timeout_ns` once the ring
   /// looks empty, attributing the wake through pcpc::obs (paid when a
   /// producer futex_wake'd us, free/scheduled on timeout).  Returns
@@ -208,6 +285,9 @@ class Consumer {
   ShmSegment segment_;
   ChannelHeader* hdr_ = nullptr;
   IpcSlot* slots_ = nullptr;
+  /// Local addresses of the per-producer payload rings (all nullptr when
+  /// the plane is absent).
+  std::array<VarIpcRing*, kMaxProducers> var_rings_{};
   std::uint64_t hole_ticket_ = UINT64_MAX;  ///< head hole being aged
   std::int64_t hole_since_ns_ = 0;
   std::int64_t last_heartbeat_ns_ = 0;
@@ -236,6 +316,16 @@ class Producer {
   /// host is DropNewest — the caller keeps the value and may re-offer).
   PushResult push(std::uint64_t value);
 
+  /// Zero-copy varlen publish: reserves `payload.size()` bytes in this
+  /// producer's in-segment byte ring, copies the payload in (the only
+  /// copy on the whole cross-process path), commits, and announces the
+  /// record to the consumer via one control push.  The full lease
+  /// protocol covers the record: a reaper that declared us dead wins the
+  /// commit CAS race (kLeaseLost), and a record whose announcement could
+  /// not be published is withdrawn so the consumer's record<->control
+  /// correspondence stays exact.  Requires payload_ring_bytes > 0.
+  PushResult push_record(std::span<const std::byte> payload);
+
   void heartbeat();
 
   /// Test-only: invoked between protocol steps (see CrashPoint).
@@ -260,6 +350,7 @@ class Producer {
   ShmSegment segment_;
   ChannelHeader* hdr_ = nullptr;
   IpcSlot* slots_ = nullptr;
+  VarIpcRing* ring_ = nullptr;  ///< this producer's payload ring (plane armed)
   std::size_t index_ = SIZE_MAX;
   ProducerConfig config_;
   std::int64_t last_heartbeat_ns_ = 0;

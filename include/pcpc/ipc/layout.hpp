@@ -56,12 +56,17 @@
 #include <cstdint>
 
 #include "pcpc/ipc/telemetry.hpp"
+#include "pcpc/queue/placement.hpp"
+#include "pcpc/queue/varlen.hpp"
 
 namespace pcpc::ipc {
 
 // v2: telemetry plane — epoch_mono_ns shared trace clock, span sampling
 // period, per-peer PeerTelemetry blocks + retired_tel fold counters.
-inline constexpr std::uint32_t kLayoutVersion = 2;
+// v3: varlen payload plane — per-producer in-segment VarSpscRing regions
+// (eager publish, OffsetSlots), record announcements carried as control
+// values, byte-granular conservation tallies.
+inline constexpr std::uint32_t kLayoutVersion = 3;
 
 /// Registry capacity; bounded so the header has a fixed size.
 inline constexpr std::size_t kMaxProducers = 16;
@@ -138,6 +143,13 @@ struct alignas(64) ChannelHeader {
   /// recorded which event.
   std::int64_t epoch_mono_ns = 0;
   std::uint64_t span_sample_every = 0;  ///< 1-in-N lifecycle sampling; 0 = off
+  /// Varlen payload plane (0 = plane absent; the segment then ends at the
+  /// slot array exactly like v2).  When nonzero, every producer registry
+  /// slot owns a VarSpscRing of this logical capacity (record footprint
+  /// bytes) placed after the slot array; records are announced to the
+  /// consumer as control values (see var_announce_value()).
+  std::uint64_t payload_ring_bytes = 0;
+  std::uint32_t payload_max_record = 0;  ///< max payload bytes per record
 
   // -- ring indices -------------------------------------------------------
   alignas(64) std::atomic<std::uint64_t> tail_ticket{0};  ///< admitted tickets
@@ -160,6 +172,12 @@ struct alignas(64) ChannelHeader {
   std::atomic<std::uint64_t> retired_pushed{0};
   std::atomic<std::uint64_t> retired_dropped{0};
   std::atomic<std::uint64_t> retired_lease_lost{0};
+  // Varlen delivery tallies (consumer-written; the byte-side counters of
+  // the conservation report live in the per-producer rings themselves,
+  // which survive producer death because they are shm state).
+  std::atomic<std::uint64_t> var_delivered_records{0};
+  std::atomic<std::uint64_t> var_delivered_bytes{0};  ///< payload bytes handed out
+  std::atomic<std::uint64_t> var_lost_records{0};  ///< announcements of reclaimed records
   /// Telemetry cells folded from retiring peers, indexed by TelCounter;
   /// same exactly-once exchange/add protocol as the three above.
   std::atomic<std::uint64_t> retired_tel[kTelCounterCount] = {};
@@ -178,8 +196,72 @@ inline constexpr std::size_t slots_offset() {
   return (sizeof(ChannelHeader) + 63) / 64 * 64;
 }
 
-inline constexpr std::size_t segment_payload_bytes(std::uint64_t n_slots) {
+// ---------------------------------------------------------------------------
+// Varlen payload plane (v3)
+// ---------------------------------------------------------------------------
+
+/// The per-producer byte ring of the payload plane: single-producer
+/// (each registry slot owns one), offset-addressed storage, constructed
+/// with eager tail publication so every claim a dead producer made is
+/// visible to the reaper.
+using VarIpcRing = queue::VarSpscRing<queue::OffsetSlots>;
+
+inline constexpr std::size_t var_align64(std::size_t n) { return (n + 63) / 64 * 64; }
+
+/// Segment bytes one producer's var region occupies: the ring object
+/// (shared cursors + counters) followed by its cell array.
+inline std::size_t var_region_stride(std::size_t ring_bytes, std::uint32_t max_record) {
+  return var_align64(sizeof(VarIpcRing)) +
+         VarIpcRing::placement_bytes(ring_bytes, max_record);
+}
+
+/// Where the var regions start: right after the control-slot array
+/// (n_slots is a multiple of 64 and sizeof(IpcSlot) == 16, so this is
+/// always cache-line aligned).
+inline constexpr std::size_t var_regions_offset(std::uint64_t n_slots) {
   return slots_offset() + static_cast<std::size_t>(n_slots) * sizeof(IpcSlot);
+}
+
+inline std::size_t segment_payload_bytes(std::uint64_t n_slots,
+                                         std::size_t payload_ring_bytes = 0,
+                                         std::uint32_t payload_max_record = 0) {
+  std::size_t bytes = var_regions_offset(n_slots);
+  if (payload_ring_bytes > 0) {
+    bytes += kMaxProducers * var_region_stride(payload_ring_bytes, payload_max_record);
+  }
+  return bytes;
+}
+
+/// Resolves registry slot `idx`'s var ring inside a mapped segment (the
+/// header sits at payload offset 0, so the ring is pure offset
+/// arithmetic from it).  nullptr when the channel has no payload plane.
+inline VarIpcRing* var_ring_at(ChannelHeader& hdr, std::size_t idx) {
+  if (hdr.payload_ring_bytes == 0) return nullptr;
+  char* base = reinterpret_cast<char*>(&hdr) + var_regions_offset(hdr.n_slots);
+  return reinterpret_cast<VarIpcRing*>(
+      base + idx * var_region_stride(static_cast<std::size_t>(hdr.payload_ring_bytes),
+                                     hdr.payload_max_record));
+}
+inline const VarIpcRing* var_ring_at(const ChannelHeader& hdr, std::size_t idx) {
+  return var_ring_at(const_cast<ChannelHeader&>(hdr), idx);
+}
+
+/// Announcement encoding: a record push publishes one control value
+/// carrying (producer registry index, record byte offset in its ring).
+/// The offset is monotonic; 56 bits last ~2 years at 1 GB/s per ring.
+inline constexpr std::uint64_t kVarValueOffsetBits = 56;
+inline constexpr std::uint64_t kVarValueOffsetMask =
+    (std::uint64_t{1} << kVarValueOffsetBits) - 1;
+
+inline constexpr std::uint64_t var_announce_value(std::size_t idx, std::uint64_t offset) {
+  return (static_cast<std::uint64_t>(idx) << kVarValueOffsetBits) |
+         (offset & kVarValueOffsetMask);
+}
+inline constexpr std::size_t var_announce_owner(std::uint64_t value) {
+  return static_cast<std::size_t>(value >> kVarValueOffsetBits);
+}
+inline constexpr std::uint64_t var_announce_offset(std::uint64_t value) {
+  return value & kVarValueOffsetMask;
 }
 
 /// Compile-time ABI fingerprint the attacher checks against the creator.
@@ -187,7 +269,8 @@ inline constexpr std::uint32_t abi_fingerprint() {
   return static_cast<std::uint32_t>(sizeof(ChannelHeader) * 1000003u +
                                     sizeof(IpcSlot) * 10007u +
                                     sizeof(PeerSlot) * 101u +
-                                    sizeof(PeerTelemetry) * 13u + kLayoutVersion);
+                                    sizeof(PeerTelemetry) * 13u +
+                                    sizeof(VarIpcRing) * 7u + kLayoutVersion);
 }
 
 }  // namespace pcpc::ipc

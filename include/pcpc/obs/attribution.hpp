@@ -91,6 +91,15 @@ struct AttributionReport {
   double joules_per_item = 0.0;
   double joules_per_paid_wake = 0.0;
   double items_per_paid_wake = 0.0;
+
+  // Varlen payload plane (filled by hosts that ran record traffic;
+  // payload_bytes == 0 leaves the section out of the report).  Energy
+  // density is the host's attributed joules over the payload megabytes
+  // actually delivered.
+  std::uint64_t payload_records = 0;
+  std::uint64_t payload_bytes = 0;
+  double payload_bytes_per_s = 0.0;
+  double joules_per_mb = 0.0;
 };
 
 /// Energy of one row under the model: paid wakeups at ω each, items at

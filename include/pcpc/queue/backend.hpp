@@ -32,6 +32,13 @@ enum class BackendKind : std::uint8_t {
 inline constexpr BackendKind kAllBackends[] = {BackendKind::Mutex, BackendKind::SpscRing,
                                                BackendKind::MpscSeg};
 
+/// Default bound on a single varlen record's payload (see varlen.hpp /
+/// VarHandoff in handoff.hpp): every backend kind also carries a
+/// byte-granular variable-size record plane — the Mutex kind drives the
+/// SPSC byte ring under the host lock, the lock-free kinds keep their
+/// native contracts at byte granularity.
+inline constexpr std::uint32_t kDefaultMaxVarRecordBytes = 16u << 10;
+
 /// Stable config/CLI name ("mutex", "spsc", "mpsc").
 inline const char* backend_name(BackendKind kind) {
   switch (kind) {

@@ -45,6 +45,7 @@
 #include "pcpc/queue/mpsc_queue.hpp"
 #include "pcpc/queue/placement.hpp"
 #include "pcpc/queue/spsc_ring.hpp"
+#include "pcpc/queue/varlen.hpp"
 
 namespace pcpc::queue {
 
@@ -420,6 +421,202 @@ std::unique_ptr<Handoff<T>> make_handoff(BackendKind kind, std::size_t capacity,
       return std::make_unique<SpscHandoff<T>>(capacity, consumer);
     case BackendKind::MpscSeg:
       return std::make_unique<MpscHandoff<T>>(capacity, consumer);
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// VarHandoff — the host-facing face of the varlen record rings.
+//
+// Same role Handoff<T> plays for fixed-size items, but the payload is a
+// byte span carved from the ring itself: producers reserve/commit (or
+// try_push_record for the one-copy convenience path), the consumer
+// claims zero-copy views and releases them once its handlers are done.
+// The two-cursor consumer contract of varlen.hpp is exposed verbatim —
+// claim_front()/drop_oldest() advance the claim cursor,
+// release_until(target) returns bytes below a previously captured
+// target, and the two may run concurrently (the thread host claims
+// under its core lock and releases after handlers, outside it).
+//
+// Locking contract mirrors Handoff: Mutex kind — the host holds its own
+// lock around every call; lock-free kinds — producer calls need no lock
+// (one producer for SpscRing, any number for MpscSeg), consumer calls
+// stay single-consumer.
+// ---------------------------------------------------------------------------
+
+class VarHandoff {
+ public:
+  virtual ~VarHandoff() = default;
+
+  virtual BackendKind kind() const = 0;
+  virtual bool lock_free() const = 0;
+
+  /// Producer side.  A failed reserve counts one overflow (and the
+  /// payload bytes it carried) like Handoff::try_push counts rejects.
+  virtual bool try_reserve(std::uint32_t payload_bytes, VarReservation& out) = 0;
+  virtual bool commit(VarReservation& r) = 0;
+  virtual bool try_push_record(std::span<const std::byte> payload) = 0;
+
+  /// Consumer side (see varlen.hpp for the two-cursor contract).
+  virtual std::optional<VarRecordView> claim_front() = 0;
+  virtual std::uint64_t claim_offset() const = 0;
+  virtual void release_until(std::uint64_t target) = 0;
+  virtual bool drop_oldest(std::uint64_t& footprint, std::uint32_t& payload) = 0;
+
+  /// Scatter-free drain: every visible record is handed to `fn` as an
+  /// in-ring span, then the run is released with one cursor publication.
+  template <typename Fn>
+  std::size_t drain_records(Fn&& fn, std::size_t max_records = SIZE_MAX) {
+    std::size_t n = 0;
+    while (n < max_records) {
+      auto view = claim_front();
+      if (!view.has_value()) break;
+      fn(std::span<const std::byte>(view->data, view->size));
+      ++n;
+    }
+    if (n > 0) release_until(claim_offset());
+    return n;
+  }
+
+  /// Elastic resize toward `target` footprint bytes, clamped by the
+  /// ring's physical bound.  Returns the capacity actually set.
+  virtual std::size_t resize_bytes(std::size_t target) = 0;
+
+  virtual std::size_t capacity_bytes() const = 0;
+  virtual std::size_t size_bytes() const = 0;
+  virtual std::uint32_t max_record_payload() const = 0;
+  virtual VarCounters counters() const = 0;
+  virtual void set_owner(std::uint16_t owner_plus1) = 0;
+
+  std::uint64_t overflows() const {
+    return overflows_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t overflow_bytes() const {
+    return overflow_bytes_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  void note_overflow(std::uint64_t payload_bytes) {
+    overflows_.fetch_add(1, std::memory_order_relaxed);
+    overflow_bytes_.fetch_add(payload_bytes, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> overflows_{0};
+  std::atomic<std::uint64_t> overflow_bytes_{0};
+};
+
+/// One adapter covers all three backends: the Mutex kind is the SPSC
+/// ring driven under the host's lock (same admission arithmetic, so the
+/// differential harness can demand bit-identical trajectories), the
+/// lock-free kinds are the rings on their native contracts.
+template <typename Ring, BackendKind kKind, bool kLockFree>
+class VarRingHandoff final : public VarHandoff {
+ public:
+  VarRingHandoff(std::size_t capacity_bytes, std::size_t max_bytes,
+                 std::uint32_t max_record_payload, Placement placement = {})
+      : ring_(capacity_bytes, max_bytes, max_record_payload, placement) {}
+
+  BackendKind kind() const override { return kKind; }
+  bool lock_free() const override { return kLockFree; }
+
+  bool try_reserve(std::uint32_t payload_bytes, VarReservation& out) override {
+    if (!ring_.try_reserve(payload_bytes, out)) {
+      note_overflow(payload_bytes);
+      return false;
+    }
+    return true;
+  }
+  bool commit(VarReservation& r) override { return ring_.commit(r); }
+  bool try_push_record(std::span<const std::byte> payload) override {
+    VarReservation r;
+    if (!try_reserve(static_cast<std::uint32_t>(payload.size()), r)) return false;
+    std::memcpy(r.data, payload.data(), payload.size());
+    return commit(r);
+  }
+
+  std::optional<VarRecordView> claim_front() override { return ring_.claim_front(); }
+  std::uint64_t claim_offset() const override { return ring_.claim_offset(); }
+  void release_until(std::uint64_t target) override { ring_.release_until(target); }
+  bool drop_oldest(std::uint64_t& footprint, std::uint32_t& payload) override {
+    return ring_.drop_oldest(footprint, payload);
+  }
+
+  std::size_t resize_bytes(std::size_t target) override {
+    return ring_.set_capacity_bytes(target);
+  }
+  std::size_t capacity_bytes() const override { return ring_.capacity_bytes(); }
+  std::size_t size_bytes() const override { return ring_.size_bytes(); }
+  std::uint32_t max_record_payload() const override {
+    return ring_.max_record_payload();
+  }
+  VarCounters counters() const override { return ring_.counters(); }
+  void set_owner(std::uint16_t owner_plus1) override { ring_.set_owner(owner_plus1); }
+
+  Ring& ring() { return ring_; }
+
+ private:
+  Ring ring_;
+};
+
+/// Varlen hand-off on heap storage.  `max_bytes` bounds the elastic
+/// footprint capacity forever; `max_record_payload` bounds a single
+/// record's payload.
+inline std::unique_ptr<VarHandoff> make_var_handoff(
+    BackendKind kind, std::size_t capacity_bytes, std::size_t max_bytes = 0,
+    std::uint32_t max_record_payload = kDefaultMaxVarRecordBytes) {
+  switch (kind) {
+    case BackendKind::Mutex:
+      return std::make_unique<
+          VarRingHandoff<VarSpscRing<HeapSlots>, BackendKind::Mutex, false>>(
+          capacity_bytes, max_bytes, max_record_payload);
+    case BackendKind::SpscRing:
+      return std::make_unique<
+          VarRingHandoff<VarSpscRing<HeapSlots>, BackendKind::SpscRing, true>>(
+          capacity_bytes, max_bytes, max_record_payload);
+    case BackendKind::MpscSeg:
+      return std::make_unique<
+          VarRingHandoff<VarMpscRing<HeapSlots>, BackendKind::MpscSeg, true>>(
+          capacity_bytes, max_bytes, max_record_payload);
+  }
+  return nullptr;
+}
+
+/// Bytes an OffsetSlots placement region must provide for
+/// make_placed_var_handoff.  Unlike the item queues, every kind has a
+/// placed variant (the Mutex kind shares the SPSC ring's storage).
+inline std::size_t placed_var_handoff_bytes(
+    BackendKind kind, std::size_t max_bytes,
+    std::uint32_t max_record_payload = kDefaultMaxVarRecordBytes) {
+  switch (kind) {
+    case BackendKind::Mutex:
+    case BackendKind::SpscRing:
+      return VarSpscRing<OffsetSlots>::placement_bytes(max_bytes, max_record_payload);
+    case BackendKind::MpscSeg:
+      return VarMpscRing<OffsetSlots>::placement_bytes(max_bytes, max_record_payload);
+  }
+  return 0;
+}
+
+/// Varlen hand-off whose ring storage lives in a caller-placed region
+/// (e.g. a shared-memory mapping).  Size the region with
+/// placed_var_handoff_bytes().
+inline std::unique_ptr<VarHandoff> make_placed_var_handoff(
+    BackendKind kind, std::size_t capacity_bytes, std::size_t max_bytes,
+    std::uint32_t max_record_payload, Placement placement) {
+  switch (kind) {
+    case BackendKind::Mutex:
+      return std::make_unique<
+          VarRingHandoff<VarSpscRing<OffsetSlots>, BackendKind::Mutex, false>>(
+          capacity_bytes, max_bytes, max_record_payload, placement);
+    case BackendKind::SpscRing:
+      return std::make_unique<
+          VarRingHandoff<VarSpscRing<OffsetSlots>, BackendKind::SpscRing, true>>(
+          capacity_bytes, max_bytes, max_record_payload, placement);
+    case BackendKind::MpscSeg:
+      return std::make_unique<
+          VarRingHandoff<VarMpscRing<OffsetSlots>, BackendKind::MpscSeg, true>>(
+          capacity_bytes, max_bytes, max_record_payload, placement);
   }
   return nullptr;
 }

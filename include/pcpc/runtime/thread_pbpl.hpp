@@ -31,11 +31,13 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -61,6 +63,14 @@ using Clock = std::chrono::steady_clock;
 struct ThreadPbplStats {
   std::uint64_t produced = 0;            ///< items offered by producers
   std::uint64_t items = 0;               ///< items drained (consumed)
+  /// Varlen payload plane (config.payload_max_bytes > 0): records count
+  /// as items in the identities above; these byte counters run alongside
+  /// them with their own identity produced_bytes == consumed_bytes +
+  /// dropped_bytes (payload bytes as offered by producers — the in-ring
+  /// stamp word is excluded).
+  std::uint64_t produced_bytes = 0;      ///< payload bytes offered
+  std::uint64_t consumed_bytes = 0;      ///< payload bytes drained to handlers
+  std::uint64_t dropped_bytes = 0;       ///< payload bytes lost to any drop path
   std::uint64_t invocations = 0;
   std::uint64_t scheduled_wakeups = 0;   ///< slot timeouts taken by managers
   std::uint64_t overflow_wakeups = 0;    ///< forced unscheduled drains
@@ -90,6 +100,9 @@ struct ThreadPbplStats {
   void merge(const ThreadPbplStats& other) {
     produced += other.produced;
     items += other.items;
+    produced_bytes += other.produced_bytes;
+    consumed_bytes += other.consumed_bytes;
+    dropped_bytes += other.dropped_bytes;
     invocations += other.invocations;
     scheduled_wakeups += other.scheduled_wakeups;
     overflow_wakeups += other.overflow_wakeups;
@@ -119,6 +132,21 @@ class ThreadPbpl {
   /// handler delays only its own core's next slot (and trips that core's
   /// watchdog), never another core or a producer's push.
   using BatchHandler = std::function<void(std::size_t consumer, std::size_t batch)>;
+
+  /// Called once per drained varlen record with a ZERO-COPY view of the
+  /// payload still inside the ring (config.payload_max_bytes > 0 arms
+  /// the plane).  Same no-lock contract as BatchHandler; the view dies
+  /// when the call returns — the bytes are released to producers right
+  /// after the batch's handlers finish, never before.
+  using RecordHandler =
+      std::function<void(std::size_t consumer, std::span<const std::byte> payload)>;
+
+  /// A producer-owned in-ring claim between reserve_record and
+  /// commit_record: write the payload ONCE into `payload`, then commit.
+  struct RecordRef {
+    std::span<std::byte> payload;
+    queue::VarReservation res;
+  };
 
   /// Starts `config.cores` manager threads hosting `consumers` pairs
   /// (round-robin).  The slot track is anchored at construction time.
@@ -155,9 +183,35 @@ class ThreadPbpl {
   /// consumer from at most one thread at a time (the ring's
   /// single-producer contract — the seed's Mutex backend has no such
   /// restriction).  Fault-injected burst volleys go through the bulk
-  /// push path: each item keeps its own timestamp, but the volley is
-  /// admitted with one shared-state update.
+  /// push path: one timestamp and one shared-state update per admitted
+  /// chunk (the volley arrives back-to-back, so the chunk stamp bounds
+  /// every member's enqueue time to within the admission itself).
   void produce(std::size_t consumer);
+
+  /// Arms the varlen record handler.  Call before the first
+  /// produce_record/commit_record (not thread-safe against them).
+  void set_record_handler(RecordHandler handler) { record_handler_ = std::move(handler); }
+
+  /// Producer side of the varlen plane (config.payload_max_bytes > 0):
+  /// deliver one variable-size payload to `consumer` with ONE copy
+  /// (caller buffer → ring); the handler reads it in place.  Same
+  /// threading/overflow contract as produce() at record granularity —
+  /// every offered record is accounted, produced == items + dropped()
+  /// and produced_bytes == consumed_bytes + dropped_bytes stay exact.
+  void produce_record(std::size_t consumer, std::span<const std::byte> payload);
+
+  /// Zero-copy producer path: claims `bytes` directly in `consumer`'s
+  /// ring.  The caller writes the payload into ref.payload and then MUST
+  /// call commit_record (the claim is not visible to the consumer until
+  /// then, and the overflow accounting assumes exactly one commit per
+  /// successful reserve).  nullopt = the record was dropped under a drop
+  /// policy (already counted).  Under Block the call blocks for space,
+  /// like produce().
+  std::optional<RecordRef> reserve_record(std::size_t consumer, std::size_t bytes);
+
+  /// Publishes a reserve_record claim (stamps the enqueue time into the
+  /// record on the way).  Same thread as the reserve.
+  void commit_record(std::size_t consumer, RecordRef& ref);
 
   /// Stops the runtime (idempotent); the destructor calls this too.
   void stop();
@@ -207,6 +261,15 @@ class ThreadPbpl {
     /// the pointer is stable.
     std::atomic<Core*> core{nullptr};
     std::unique_ptr<queue::Handoff<Clock::time_point>> buffer;
+    /// Varlen record plane (null unless config.payload_max_bytes > 0).
+    /// Travels with the consumer on migration, like `buffer`.
+    std::unique_ptr<queue::VarHandoff> var;
+    /// True while a drained batch of zero-copy views is between
+    /// drain_locked and its release in run_handlers.  Guarded by the
+    /// owning core's lock; a migrating fleet thread waits it out (the
+    /// views pin the ring's released cursor, and release must stay on
+    /// the manager that claimed them).
+    bool var_inflight = false;
     std::unique_ptr<core::RatePredictor> predictor;
     std::optional<core::LatencyGuard> guard;  // live latency feedback
     SimTime last_invocation = 0;
@@ -235,6 +298,12 @@ class ThreadPbpl {
     /// Item ids of sampled spans drained in this batch (usually empty);
     /// run_handlers stamps their handler-done stage after the handler.
     std::vector<std::uint64_t> sampled;
+    /// Varlen records claimed by this drain: zero-copy views handed to
+    /// the record handler outside the lock, then released (in one cursor
+    /// publication, up to `var_release`) once the batch's handlers are
+    /// done.  View spans still carry the leading stamp word.
+    std::vector<queue::VarRecordView> records;
+    std::uint64_t var_release = 0;
   };
 
   /// One core = one manager thread + everything it needs, behind its own
@@ -280,6 +349,14 @@ class ThreadPbpl {
   /// away — the caller re-resolves the owner and retries on it.
   bool push_one_slow_locked(Core& core, Consumer& consumer, Clock::time_point stamp,
                             std::unique_lock<std::mutex>& lock);
+  /// Varlen analogue of push_one_slow_locked: makes space per the
+  /// overflow policy at record granularity and retries the reserve.
+  /// Returns true when the record is accounted — `reserved` says whether
+  /// `out` holds a claim (true) or the record was counted as a drop
+  /// (false); returns false on the migration retry, like the item path.
+  bool reserve_slow_locked(Core& core, Consumer& consumer, std::uint32_t record_bytes,
+                           queue::VarReservation& out, bool& reserved,
+                           std::unique_lock<std::mutex>& lock);
   /// Drains `consumer` (bulk pops), records stats into the core shard and
   /// makes the next reservation — all under the core lock.  The handler
   /// call is queued on core.pending for run_handlers().
@@ -294,10 +371,21 @@ class ThreadPbpl {
   void run_handlers(Core& core, std::unique_lock<std::mutex>& lock);
   void make_reservation_locked(Core& core, Consumer& consumer, SimTime now);
 
+  /// Leading stamp word of every in-ring record: the enqueue timestamp
+  /// (steady-clock ns), written at commit, read once at drain for the
+  /// latency account.  Handlers see the payload AFTER this word.
+  static constexpr std::size_t kStampBytes = 8;
+
+  /// Per-record footprint budget used to translate the item-denominated
+  /// control plane (predictor capacity, resize targets) into ring bytes:
+  /// the worst-case footprint of one record at payload_max_bytes.
+  std::size_t record_budget_ = 0;
+
   const core::PbplConfig config_;
   const core::SlotTrack track_;
   const Clock::time_point epoch_;
   BatchHandler handler_;
+  RecordHandler record_handler_;
   fault::FaultInjector* injector_ = nullptr;
   fleet::FleetConfig fleet_config_;
 
@@ -305,6 +393,7 @@ class ThreadPbpl {
   /// the offered-items counter.  Everything else is per-core.
   std::atomic<bool> running_{true};
   std::atomic<std::uint64_t> produced_{0};
+  std::atomic<std::uint64_t> produced_bytes_{0};  ///< varlen payload bytes offered
 
   queue::BufferPool<Clock::time_point> pool_;
   std::size_t seized_segments_ = 0;  // held by fault-injected pool pressure

@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <new>
 #include <thread>
 
@@ -76,6 +77,19 @@ ConservationReport read_report(const ChannelHeader& hdr) {
     r.acked_pushes += p.pushed.load(std::memory_order_acquire);
     r.dropped += p.dropped.load(std::memory_order_acquire);
     r.lease_lost += p.lease_lost.load(std::memory_order_acquire);
+  }
+  if (hdr.payload_ring_bytes > 0) {
+    r.var_delivered_records = hdr.var_delivered_records.load(std::memory_order_acquire);
+    r.var_delivered_bytes = hdr.var_delivered_bytes.load(std::memory_order_acquire);
+    r.var_lost_records = hdr.var_lost_records.load(std::memory_order_acquire);
+    for (std::size_t idx = 0; idx < kMaxProducers; ++idx) {
+      const queue::VarCounters c = var_ring_at(hdr, idx)->counters();
+      r.var_admitted_bytes += c.tail_bytes;
+      r.var_consumed_bytes += c.consumed_footprint_bytes;
+      r.var_reclaimed_bytes += c.reclaimed_footprint_bytes;
+      r.var_padding_bytes += c.released_padding_bytes;
+      r.var_residue_bytes += c.tail_bytes - c.head_bytes;
+    }
   }
   return r;
 }
@@ -159,10 +173,12 @@ Consumer::~Consumer() {
 
 Consumer::Consumer(Consumer&& other) noexcept
     : segment_(std::move(other.segment_)), hdr_(other.hdr_), slots_(other.slots_),
-      hole_ticket_(other.hole_ticket_), hole_since_ns_(other.hole_since_ns_),
+      var_rings_(other.var_rings_), hole_ticket_(other.hole_ticket_),
+      hole_since_ns_(other.hole_since_ns_),
       last_heartbeat_ns_(other.last_heartbeat_ns_), span_every_(other.span_every_) {
   other.hdr_ = nullptr;
   other.slots_ = nullptr;
+  other.var_rings_.fill(nullptr);
 }
 
 Consumer& Consumer::operator=(Consumer&& other) noexcept {
@@ -178,7 +194,11 @@ std::optional<Consumer> Consumer::create(const std::string& shm_name,
                                          std::string* error) {
   PCPC_ASSERT_MSG(config.capacity > 0, "ipc channel capacity must be positive");
   const std::uint64_t n_slots = physical_slots(config.capacity);
-  ShmSegment seg = ShmSegment::create(shm_name, segment_payload_bytes(n_slots), error);
+  ShmSegment seg = ShmSegment::create(
+      shm_name,
+      segment_payload_bytes(n_slots, config.payload_ring_bytes,
+                            config.payload_max_record),
+      error);
   if (!seg.valid()) return std::nullopt;
 
   auto* hdr = new (seg.payload()) ChannelHeader();
@@ -200,10 +220,29 @@ std::optional<Consumer> Consumer::create(const std::string& shm_name,
     auto* slot = new (&slots[p]) IpcSlot();
     slot->seq.store(p, std::memory_order_relaxed);
   }
+
+  Consumer c;
+  if (config.payload_ring_bytes > 0) {
+    // Payload plane: one eager-publish SPSC byte ring per registry slot,
+    // constructed in place so its cursors/counters are shm state every
+    // process (and the reaper) can reach by offset.
+    hdr->payload_ring_bytes = config.payload_ring_bytes;
+    hdr->payload_max_record = config.payload_max_record;
+    for (std::size_t idx = 0; idx < kMaxProducers; ++idx) {
+      char* region = reinterpret_cast<char*>(var_ring_at(*hdr, idx));
+      const std::size_t cells = var_align64(sizeof(VarIpcRing));
+      auto* ring = new (region) VarIpcRing(
+          config.payload_ring_bytes, /*max_bytes=*/0, config.payload_max_record,
+          queue::Placement{region + cells,
+                           VarIpcRing::placement_bytes(config.payload_ring_bytes,
+                                                       config.payload_max_record)},
+          /*eager_publish=*/true);
+      c.var_rings_[idx] = ring;
+    }
+  }
   join_peer(hdr->consumer_peer, hdr->epoch_counter.load(std::memory_order_relaxed));
   seg.mark_ready();
 
-  Consumer c;
   c.segment_ = std::move(seg);
   c.hdr_ = hdr;
   c.slots_ = slots;
@@ -324,8 +363,25 @@ std::size_t Consumer::reap() {
       hdr_->reclaimed.fetch_add(1, std::memory_order_relaxed);
       ++swept;
     }
+    // Varlen plane: resolve every record the dead producer left claimed
+    // in its byte ring — committed-but-unannounced records and in-flight
+    // reservations alike become kReclaimed (the CAS means a zombie's
+    // late commit loses its lease) — then reconcile the admission
+    // counter and return the bytes, so a successor attaching to this
+    // registry slot inherits an empty, exactly-accounted ring.
+    // Announced-but-undrained records are resolved too; their dangling
+    // announcements later drain as var_lost_records (offset mismatch).
+    std::size_t var_resolved = 0;
+    if (var_rings_[idx] != nullptr) {
+      VarIpcRing& ring = *var_rings_[idx];
+      var_resolved = ring.reclaim_all();
+      ring.reconcile_admitted();
+      ring.release_until(ring.claim_offset());
+    }
     PCPC_WARN << "ipc: reaped dead producer idx=" << idx << " pid=" << pid
-              << " (swept " << swept << " lease" << (swept == 1 ? "" : "s") << ")";
+              << " (swept " << swept << " lease" << (swept == 1 ? "" : "s")
+              << ", resolved " << var_resolved << " var record"
+              << (var_resolved == 1 ? "" : "s") << ")";
     // Salvage whatever trace events the dead peer published before the
     // slot's ring inherits a new owner, then fold its metric cells into
     // the retired tallies — same no-counts-lost-to-SIGKILL rule as the
@@ -380,11 +436,12 @@ Producer::~Producer() { detach(); }
 
 Producer::Producer(Producer&& other) noexcept
     : segment_(std::move(other.segment_)), hdr_(other.hdr_), slots_(other.slots_),
-      index_(other.index_), config_(other.config_),
+      ring_(other.ring_), index_(other.index_), config_(other.config_),
       last_heartbeat_ns_(other.last_heartbeat_ns_), span_every_(other.span_every_),
       crash_hook_(std::move(other.crash_hook_)) {
   other.hdr_ = nullptr;
   other.slots_ = nullptr;
+  other.ring_ = nullptr;
   other.index_ = SIZE_MAX;
 }
 
@@ -394,6 +451,7 @@ Producer& Producer::operator=(Producer&& other) noexcept {
     segment_ = std::move(other.segment_);
     hdr_ = other.hdr_;
     slots_ = other.slots_;
+    ring_ = other.ring_;
     index_ = other.index_;
     config_ = other.config_;
     last_heartbeat_ns_ = other.last_heartbeat_ns_;
@@ -401,6 +459,7 @@ Producer& Producer::operator=(Producer&& other) noexcept {
     crash_hook_ = std::move(other.crash_hook_);
     other.hdr_ = nullptr;
     other.slots_ = nullptr;
+    other.ring_ = nullptr;
     other.index_ = SIZE_MAX;
   }
   return *this;
@@ -417,6 +476,7 @@ void Producer::detach() {
   peer.state.store(kPeerFree, std::memory_order_release);
   hdr_ = nullptr;
   slots_ = nullptr;
+  ring_ = nullptr;
   index_ = SIZE_MAX;
 }
 
@@ -464,6 +524,15 @@ std::optional<Producer> Producer::attach(const std::string& shm_name,
   p.config_ = config;
   p.last_heartbeat_ns_ = now_ns();
   p.span_every_ = hdr->span_sample_every;
+  if (hdr->payload_ring_bytes > 0) {
+    // Adopt this registry slot's byte ring: stamp our identity into
+    // future record headers and rebuild the producer-private cursors
+    // from the shared state (the predecessor may have died mid-record;
+    // the reaper resolved the ring before freeing the slot).
+    p.ring_ = var_ring_at(*hdr, index);
+    p.ring_->set_owner(static_cast<std::uint16_t>(index + 1));
+    p.ring_->producer_attach();
+  }
   return p;
 }
 
@@ -583,6 +652,57 @@ PushResult Producer::push(std::uint64_t value) {
   }
   ring_doorbell();
   return PushResult::kOk;
+}
+
+PushResult Producer::push_record(std::span<const std::byte> payload) {
+  PCPC_ASSERT_MSG(ring_ != nullptr, "push_record on a channel without a payload plane");
+  PCPC_ASSERT_MSG(payload.size() <= hdr_->payload_max_record,
+                  "record exceeds the channel's max payload");
+  PeerSlot& me = hdr_->producers[index_];
+  maybe_heartbeat();
+
+  // Byte-ring admission, with the same bounded retry/backoff + liveness
+  // loop as the control ring (the var ring only frees space when the
+  // consumer drains, so a full ring means a slow/absent consumer).
+  queue::VarReservation r;
+  std::int64_t backoff_ns = config_.initial_backoff_ns;
+  for (int attempt = 0;; ++attempt) {
+    if (consumer_dead()) {
+      me.dropped.fetch_add(1, std::memory_order_relaxed);
+      return PushResult::kConsumerDead;
+    }
+    if (ring_->try_reserve(static_cast<std::uint32_t>(payload.size()), r)) break;
+    if (attempt >= config_.full_retries) {
+      me.dropped.fetch_add(1, std::memory_order_relaxed);
+      return PushResult::kFull;
+    }
+    std::this_thread::sleep_for(std::chrono::nanoseconds(backoff_ns));
+    backoff_ns = std::min(backoff_ns * 2, config_.max_backoff_ns);
+    maybe_heartbeat();
+  }
+  if (crash_hook_) crash_hook_(CrashPoint::kAfterReserve);
+
+  std::memcpy(r.data, payload.data(), payload.size());
+  if (!ring_->commit(r)) {
+    // A reaper decided we were dead mid-record and reclaimed the
+    // reservation; the commit CAS losing is how we learn it.
+    me.lease_lost.fetch_add(1, std::memory_order_relaxed);
+    return PushResult::kLeaseLost;
+  }
+  if (crash_hook_) crash_hook_(CrashPoint::kAfterCommit);
+
+  // Announce: one control value carrying (registry index, record
+  // offset).  push() brings its own retry/backoff, liveness checks,
+  // crash hooks, span sampling, and doorbell.
+  const PushResult res = push(var_announce_value(index_, r.offset));
+  if (res != PushResult::kOk) {
+    // Committed but unannounceable (control ring full / consumer dead /
+    // control lease lost): withdraw the record so the consumer's
+    // record<->announcement correspondence stays exact.  The bytes are
+    // counted reclaimed when the window releases.
+    ring_->abandon(r);
+  }
+  return res;
 }
 
 }  // namespace pcpc::ipc

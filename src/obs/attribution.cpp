@@ -162,6 +162,13 @@ void write_slo_report(std::ostream& out, const AttributionReport& report) {
       << ",\"slo_samples\":" << report.slo_samples
       << ",\"slo_violations\":" << report.slo_violations << '}';
 
+  if (report.payload_bytes > 0) {
+    out << ",\"payload\":{\"records\":" << report.payload_records
+        << ",\"bytes\":" << report.payload_bytes
+        << ",\"bytes_per_s\":" << report.payload_bytes_per_s
+        << ",\"joules_per_mb\":" << report.joules_per_mb << '}';
+  }
+
   out << ",\"spans\":{\"stage_events\":" << report.spans.stage_events
       << ",\"sampled_items\":" << report.spans.items.size()
       << ",\"complete_items\":" << report.spans.complete_items

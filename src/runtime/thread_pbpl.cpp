@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <span>
 
@@ -20,6 +21,15 @@ constexpr core::SlotIndex kMinSlot = std::numeric_limits<core::SlotIndex>::min()
 /// buffer carries timestamps only, no per-item tags).
 std::uint64_t span_item_id(std::size_t consumer, std::uint64_t seq) {
   return (static_cast<std::uint64_t>(consumer) << 32) | (seq & 0xffffffffu);
+}
+
+/// Reads the stamp word a committed record carries in its first 8
+/// payload bytes back into a clock point (see commit_record).
+Clock::time_point record_stamp(const std::byte* data) {
+  std::int64_t ns = 0;
+  std::memcpy(&ns, data, sizeof ns);
+  return Clock::time_point(
+      std::chrono::duration_cast<Clock::duration>(std::chrono::nanoseconds(ns)));
 }
 }  // namespace
 
@@ -60,6 +70,8 @@ ThreadPbpl::ThreadPbpl(std::size_t consumers, const core::PbplConfig& config,
     cores_.push_back(std::make_unique<Core>());
     cores_.back()->index = c;
   }
+  record_budget_ = static_cast<std::size_t>(
+      queue::var_record_bytes(config.payload_max_bytes + kStampBytes));
   for (std::size_t i = 0; i < consumers; ++i) {
     auto consumer = std::make_unique<Consumer>();
     consumer->index = i;
@@ -67,6 +79,19 @@ ThreadPbpl::ThreadPbpl(std::size_t consumers, const core::PbplConfig& config,
     consumer->core.store(home, std::memory_order_relaxed);
     consumer->buffer = queue::make_pool_handoff<Clock::time_point>(
         config.queue_backend, pool_, static_cast<std::uint32_t>(i));
+    if (config.payload_max_bytes > 0) {
+      // Varlen record plane (byte-granular analogue of the item pool
+      // account): each ring starts at its base share and may grow toward
+      // the global bound — consumers × base, mirroring Bg = B0·M.  The
+      // per-record bound covers the payload plus the leading stamp word.
+      const std::size_t base = std::max(
+          config.payload_ring_bytes != 0 ? config.payload_ring_bytes
+                                         : config.base_buffer * record_budget_,
+          record_budget_);
+      consumer->var = queue::make_var_handoff(
+          config.queue_backend, base, base * consumers,
+          static_cast<std::uint32_t>(config.payload_max_bytes + kStampBytes));
+    }
     consumer->predictor = core::make_predictor(config.predictor, config.predictor_window);
     if (config.latency_guard) consumer->guard.emplace(config.max_latency);
     home->consumers.push_back(consumer.get());
@@ -138,9 +163,25 @@ void ThreadPbpl::stop() {
         core->stats.latency_s.add(
             std::chrono::duration<double>(drained_at - stamp).count());
       });
-      if (batch > 0) {
-        core->stats.items += batch;
-        core->stats.batch_sizes.add(static_cast<double>(batch));
+      // Varlen leftovers drain the same way: claim the views here, hand
+      // them to the record handler below (no lock), release after.
+      std::vector<queue::VarRecordView> records;
+      std::uint64_t var_release = 0;
+      if (consumer->var != nullptr) {
+        while (auto view = consumer->var->claim_front()) {
+          core->stats.latency_s.add(
+              std::chrono::duration<double>(drained_at - record_stamp(view->data))
+                  .count());
+          core->stats.consumed_bytes += view->size - kStampBytes;
+          records.push_back(*view);
+        }
+        var_release = consumer->var->claim_offset();
+        consumer->var_inflight = true;
+      }
+      const std::size_t total = batch + records.size();
+      if (total > 0) {
+        core->stats.items += total;
+        core->stats.batch_sizes.add(static_cast<double>(total));
         ++core->stats.invocations;
         // The ledger must see these items too (no wake is minted, so the
         // paid/free identities are untouched): without this, attribution's
@@ -148,14 +189,32 @@ void ThreadPbpl::stop() {
         // exactly the leftovers drained here.
         obs::note_slot_batch(static_cast<std::uint16_t>(core->index),
                              static_cast<std::uint32_t>(consumer->index), obs::kNoSlot,
-                             batch, now_ns(), 0);
-        core->pending.push_back({consumer, batch, obs::kNoSlot, now_ns(), drained_at, {}});
+                             total, now_ns(), 0);
+      }
+      if (total > 0 || consumer->var_inflight) {
+        core->pending.push_back({consumer, total, obs::kNoSlot, now_ns(), drained_at,
+                                 {}, std::move(records), var_release});
       }
     }
-    if (handler_ && !core->pending.empty()) {
+    if ((handler_ || record_handler_) && !core->pending.empty()) {
       lock.unlock();
-      for (const PendingBatch& p : core->pending) handler_(p.consumer->index, p.batch);
+      for (const PendingBatch& p : core->pending) {
+        if (handler_ && p.batch > 0) handler_(p.consumer->index, p.batch);
+        if (record_handler_) {
+          for (const queue::VarRecordView& v : p.records) {
+            record_handler_(p.consumer->index,
+                            std::span<const std::byte>(v.data + kStampBytes,
+                                                       v.size - kStampBytes));
+          }
+        }
+      }
       lock.lock();
+    }
+    for (const PendingBatch& p : core->pending) {
+      if (p.consumer->var != nullptr && p.consumer->var_inflight) {
+        p.consumer->var->release_until(p.var_release);
+        p.consumer->var_inflight = false;
+      }
     }
     core->pending.clear();
   }
@@ -242,12 +301,14 @@ void ThreadPbpl::push_one(Consumer& consumer) {
 }
 
 void ThreadPbpl::push_volley(Consumer& consumer, std::size_t items) {
-  // Fault-injected burst volley: every item still reads its own
-  // timestamp (identical latency accounting to `items` single pushes),
-  // but admission goes through try_push_bulk — one tail publication /
-  // admission claim per chunk instead of per item.  Whatever the bulk
-  // path rejects falls through to the per-item overflow slow path under
-  // the owning core's lock, so every overflow policy and the
+  // Fault-injected burst volley: ONE timestamp per admitted chunk, not
+  // per item — a volley arrives back-to-back, so the chunk's stamp
+  // bounds every member's true enqueue time to within the admission
+  // itself, while removing the clock read that used to dominate the
+  // burst path.  Admission goes through try_push_bulk — one tail
+  // publication / admission claim per chunk.  Whatever the bulk path
+  // rejects falls through to the per-item overflow slow path under the
+  // owning core's lock, so every overflow policy and the
   // produced == items + dropped() identity behave exactly as before.
   Clock::time_point chunk[queue::kDrainChunk];
   const std::uint64_t span_every = obs::span_sample_every();
@@ -261,7 +322,8 @@ void ThreadPbpl::push_volley(Consumer& consumer, std::size_t items) {
     if (span_every != 0) {
       seq0 = consumer.span_produce_seq.fetch_add(n, std::memory_order_relaxed);
     }
-    for (std::size_t i = 0; i < n; ++i) chunk[i] = Clock::now();
+    const auto stamp = Clock::now();
+    std::fill_n(chunk, n, stamp);
     std::size_t accepted = 0;
     if (consumer.buffer->lock_free() && running_.load(std::memory_order_acquire)) {
       accepted = consumer.buffer->try_push_bulk(
@@ -393,6 +455,188 @@ bool ThreadPbpl::push_one_slow_locked(Core& core, Consumer& consumer,
   return true;
 }
 
+void ThreadPbpl::produce_record(std::size_t consumer, std::span<const std::byte> payload) {
+  auto ref = reserve_record(consumer, payload.size());
+  if (!ref.has_value()) return;  // dropped under a drop policy (accounted)
+  std::memcpy(ref->payload.data(), payload.data(), payload.size());
+  commit_record(consumer, *ref);
+}
+
+std::optional<ThreadPbpl::RecordRef> ThreadPbpl::reserve_record(
+    std::size_t consumer_index, std::size_t bytes) {
+  PCPC_ASSERT(consumer_index < consumers_.size());
+  Consumer& consumer = *consumers_[consumer_index];
+  PCPC_ASSERT_MSG(consumer.var != nullptr, "varlen plane is off (payload_max_bytes=0)");
+  PCPC_ASSERT_MSG(bytes <= config_.payload_max_bytes, "payload above payload_max_bytes");
+  produced_.fetch_add(1, std::memory_order_relaxed);
+  produced_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  const auto record_bytes = static_cast<std::uint32_t>(bytes + kStampBytes);
+  queue::VarReservation res;
+  // Lock-free fast path, like push_one: a successful reserve on an
+  // SPSC/MPSC ring never touches any runtime lock.
+  if (consumer.var->lock_free() && running_.load(std::memory_order_acquire) &&
+      consumer.var->try_reserve(record_bytes, res)) {
+    return RecordRef{std::span<std::byte>(res.data + kStampBytes, bytes), res};
+  }
+  bool reserved = false;
+  for (;;) {
+    Core* core = consumer.core.load(std::memory_order_acquire);
+    std::unique_lock lock(core->mutex);
+    if (consumer.core.load(std::memory_order_relaxed) != core) continue;
+    if (reserve_slow_locked(*core, consumer, record_bytes, res, reserved, lock)) break;
+  }
+  if (!reserved) return std::nullopt;
+  return RecordRef{std::span<std::byte>(res.data + kStampBytes, bytes), res};
+}
+
+void ThreadPbpl::commit_record(std::size_t consumer_index, RecordRef& ref) {
+  PCPC_ASSERT(consumer_index < consumers_.size());
+  Consumer& consumer = *consumers_[consumer_index];
+  // The stamp word makes the record self-timing: the drain side reads it
+  // back for the latency account without any side channel.
+  const std::int64_t stamp_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                    Clock::now().time_since_epoch())
+                                    .count();
+  std::memcpy(ref.res.data, &stamp_ns, sizeof stamp_ns);
+  if (consumer.var->lock_free()) {
+    consumer.var->commit(ref.res);  // in-process: the lease cannot be lost
+  } else {
+    for (;;) {
+      Core* core = consumer.core.load(std::memory_order_acquire);
+      std::unique_lock lock(core->mutex);
+      if (consumer.core.load(std::memory_order_relaxed) != core) continue;
+      consumer.var->commit(ref.res);
+      break;
+    }
+  }
+  // Sampled lifecycle span: records claim their admission position at
+  // commit (dropped records never claim one, so the drain side's
+  // positional counter stays aligned), produce+enqueue stamped together.
+  const std::uint64_t span_every = obs::span_sample_every();
+  if (span_every != 0) {
+    const std::uint64_t seq =
+        consumer.span_produce_seq.fetch_add(1, std::memory_order_relaxed);
+    if (seq % span_every == 0) {
+      const auto core_hint = static_cast<std::uint16_t>(
+          consumer.core.load(std::memory_order_relaxed)->index);
+      const std::uint64_t id = span_item_id(consumer.index, seq);
+      const SimTime ts = now_ns();
+      obs::note_item_stage(static_cast<std::uint32_t>(consumer.index), core_hint, id,
+                           obs::ItemStage::kProduce, ts);
+      obs::note_item_stage(static_cast<std::uint32_t>(consumer.index), core_hint, id,
+                           obs::ItemStage::kEnqueue, ts);
+    }
+  }
+}
+
+bool ThreadPbpl::reserve_slow_locked(Core& core, Consumer& consumer,
+                                     std::uint32_t record_bytes,
+                                     queue::VarReservation& out, bool& reserved,
+                                     std::unique_lock<std::mutex>& lock) {
+  const std::uint64_t payload = record_bytes - kStampBytes;
+  reserved = false;
+  if (!running_.load(std::memory_order_relaxed)) {
+    ++core.stats.dropped_on_stop;
+    core.stats.dropped_bytes += payload;
+    obs::note_drop(static_cast<std::uint32_t>(consumer.index), obs::DropPath::kOnStop,
+                   now_ns());
+    return true;
+  }
+  if (consumer.var->try_reserve(record_bytes, out)) {
+    reserved = true;
+    return true;
+  }
+
+  // Pre-emptive borrow, at byte granularity: the varlen plane has no
+  // segment pool, so the borrow grows the ring toward its global bound.
+  if (config_.overflow_policy == core::OverflowPolicy::EmergencyBorrow ||
+      config_.emergency_borrow) {
+    const std::size_t cap = consumer.var->capacity_bytes();
+    consumer.var->resize_bytes(cap + std::max(record_budget_, cap / 4));
+    if (consumer.var->try_reserve(record_bytes, out)) {
+      ++core.stats.emergency_borrows;
+      obs::note_overflow(static_cast<std::uint16_t>(core.index),
+                         static_cast<std::uint32_t>(consumer.index),
+                         obs::OverflowAction::kEmergencyBorrow, now_ns());
+      reserved = true;
+      return true;
+    }
+  }
+
+  switch (config_.overflow_policy) {
+    case core::OverflowPolicy::DropOldest: {
+      // Evict-then-reserve at record granularity.  drop_oldest only
+      // *marks* the head record reclaimed (advancing the claim cursor);
+      // the bytes return to producers at a release — which we can do
+      // right here, under the consumer-side lock, UNLESS zero-copy views
+      // from the last drain are still out with the handlers (they pin
+      // the released cursor).  In that case eviction cannot free space
+      // in time, so reject the incoming record — every branch keeps the
+      // produced == items + dropped() identity exact.
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        std::uint64_t footprint = 0;
+        std::uint32_t dropped_payload = 0;
+        if (consumer.var->drop_oldest(footprint, dropped_payload)) {
+          ++core.stats.dropped_oldest;
+          core.stats.dropped_bytes += dropped_payload - kStampBytes;
+          obs::note_drop(static_cast<std::uint32_t>(consumer.index),
+                         obs::DropPath::kOldest, now_ns());
+        }
+        if (!consumer.var_inflight) {
+          consumer.var->release_until(consumer.var->claim_offset());
+        }
+        if (consumer.var->try_reserve(record_bytes, out)) {
+          reserved = true;
+          return true;
+        }
+        if (consumer.var_inflight) break;
+      }
+      ++core.stats.dropped_newest;
+      core.stats.dropped_bytes += payload;
+      obs::note_drop(static_cast<std::uint32_t>(consumer.index), obs::DropPath::kNewest,
+                     now_ns());
+      return true;
+    }
+    case core::OverflowPolicy::DropNewest:
+      ++core.stats.dropped_newest;
+      core.stats.dropped_bytes += payload;
+      obs::note_drop(static_cast<std::uint32_t>(consumer.index), obs::DropPath::kNewest,
+                     now_ns());
+      return true;
+    case core::OverflowPolicy::Block:
+    case core::OverflowPolicy::EmergencyBorrow:
+      // Forced drain + wait, exactly like the item path.  Space frees
+      // only once run_handlers releases the drained views, which is
+      // where the wake comes from.
+      for (;;) {
+        if (!running_.load(std::memory_order_relaxed)) {
+          ++core.stats.dropped_on_stop;
+          core.stats.dropped_bytes += payload;
+          obs::note_drop(static_cast<std::uint32_t>(consumer.index),
+                         obs::DropPath::kOnStop, now_ns());
+          return true;
+        }
+        if (consumer.var->try_reserve(record_bytes, out)) {
+          reserved = true;
+          return true;
+        }
+        if (consumer.overflow_requests == 0) {
+          ++consumer.overflow_requests;
+          core.overflow_pending = true;
+          obs::note_overflow(static_cast<std::uint16_t>(core.index),
+                             static_cast<std::uint32_t>(consumer.index),
+                             obs::OverflowAction::kForcedDrain, now_ns());
+          core.cv.notify_all();
+        }
+        core.producer_cv.wait(lock);
+        if (consumer.core.load(std::memory_order_relaxed) != &core) {
+          return false;  // migrated away; retry on the new owner
+        }
+      }
+  }
+  return true;
+}
+
 ThreadPbplStats ThreadPbpl::stats() {
   ThreadPbplStats out;
   const bool stopped = !running_.load(std::memory_order_acquire);
@@ -409,11 +653,21 @@ ThreadPbplStats ThreadPbpl::stats() {
                          obs::DropPath::kOnStop, now_ns());
         });
         core->stats.dropped_on_stop += swept;
+        if (consumer->var != nullptr) {
+          const std::size_t var_swept =
+              consumer->var->drain_records([&](std::span<const std::byte> payload) {
+                core->stats.dropped_bytes += payload.size() - kStampBytes;
+                obs::note_drop(static_cast<std::uint32_t>(consumer->index),
+                               obs::DropPath::kOnStop, now_ns());
+              });
+          core->stats.dropped_on_stop += var_swept;
+        }
       }
     }
     out.merge(core->stats);
   }
   out.produced = produced_.load(std::memory_order_relaxed);
+  out.produced_bytes = produced_bytes_.load(std::memory_order_relaxed);
   out.pool_exhausted = pool_.exhausted_grants();
   out.migrations = migrations_.load(std::memory_order_relaxed);
   out.core_parks = parks_.load(std::memory_order_relaxed);
@@ -461,6 +715,16 @@ bool ThreadPbpl::migrate(std::size_t consumer_index, std::size_t core_index) {
     std::unique_lock lock_second(second.mutex);
     if (consumer.core.load(std::memory_order_relaxed) != src) continue;
     if (!running_.load(std::memory_order_relaxed)) return false;
+    if (consumer.var != nullptr && consumer.var_inflight) {
+      // Zero-copy views from this pair's last drain are still out with
+      // src's handlers; the release must stay on the manager that
+      // claimed them (run_handlers clears the flag under src's lock).
+      // Handler runs are short: back off and retry.
+      lock_second.unlock();
+      lock_first.unlock();
+      std::this_thread::yield();
+      continue;
+    }
 
     auto& members = src->consumers;
     members.erase(std::remove(members.begin(), members.end(), &consumer), members.end());
@@ -686,6 +950,35 @@ void ThreadPbpl::drain_locked(Core& core, Consumer& consumer, SimTime now,
       }
     }
   });
+  // Varlen plane: claim every committed record as a zero-copy view (the
+  // scatter-free drain).  Claiming under the lock is cheap — no bytes
+  // move; the handler reads the views outside the lock in run_handlers,
+  // and only then is the byte range released back to producers.
+  std::vector<queue::VarRecordView> records;
+  std::uint64_t var_release = 0;
+  std::uint64_t record_payload = 0;
+  if (consumer.var != nullptr) {
+    while (auto view = consumer.var->claim_front()) {
+      PCPC_ASSERT_MSG(view->size >= kStampBytes, "runtime record below stamp size");
+      const auto latency = drained_at - record_stamp(view->data);
+      core.stats.latency_s.add(std::chrono::duration<double>(latency).count());
+      if (consumer.guard) {
+        consumer.guard->observe(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(latency).count());
+      }
+      if (span_every != 0) {
+        const std::uint64_t seq = consumer.span_drain_seq++;
+        if (seq % span_every == 0) {
+          sampled.push_back(span_item_id(consumer.index, seq));
+        }
+      }
+      record_payload += view->size - kStampBytes;
+      records.push_back(*view);
+    }
+    var_release = consumer.var->claim_offset();
+    consumer.var_inflight = true;
+  }
+  const std::size_t total = batch + records.size();
   for (const std::uint64_t id : sampled) {
     obs::note_item_stage(static_cast<std::uint32_t>(consumer.index),
                          static_cast<std::uint16_t>(core.index), id,
@@ -695,21 +988,23 @@ void ThreadPbpl::drain_locked(Core& core, Consumer& consumer, SimTime now,
     consumer.guard->end_batch();
     core.stats.latency_violations += consumer.guard->violations() - violations_before;
   }
-  core.stats.items += batch;
-  core.stats.batch_sizes.add(static_cast<double>(batch));
+  core.stats.items += total;
+  core.stats.consumed_bytes += record_payload;
+  core.stats.batch_sizes.add(static_cast<double>(total));
   ++core.stats.invocations;
-  if (batch > 0) consumer.last_batch = batch;
+  if (total > 0) consumer.last_batch = total;
   // Lock-free view for the fleet thread's rate measurement.
-  consumer.drained_items.fetch_add(batch, std::memory_order_relaxed);
+  consumer.drained_items.fetch_add(total, std::memory_order_relaxed);
 
   if (now > consumer.last_invocation) {
-    consumer.predictor->observe(static_cast<double>(batch) /
+    consumer.predictor->observe(static_cast<double>(total) /
                                 to_seconds(now - consumer.last_invocation));
     consumer.last_invocation = now;
   }
 
   make_reservation_locked(core, consumer, now);
-  core.pending.push_back({&consumer, batch, slot, now, drained_at, std::move(sampled)});
+  core.pending.push_back({&consumer, total, slot, now, drained_at, std::move(sampled),
+                          std::move(records), var_release});
 }
 
 void ThreadPbpl::run_handlers(Core& core, std::unique_lock<std::mutex>& lock) {
@@ -720,6 +1015,13 @@ void ThreadPbpl::run_handlers(Core& core, std::unique_lock<std::mutex>& lock) {
   lock.unlock();
   for (const PendingBatch& p : core.pending) {
     if (handler_) handler_(p.consumer->index, p.batch);
+    if (record_handler_) {
+      for (const queue::VarRecordView& v : p.records) {
+        record_handler_(p.consumer->index,
+                        std::span<const std::byte>(v.data + kStampBytes,
+                                                   v.size - kStampBytes));
+      }
+    }
     if (injector_ != nullptr && p.batch > 0) {
       // Slow-consumer fault: the handler runs long on the manager thread
       // — stalling this core's schedule (and tripping its watchdog), but
@@ -743,13 +1045,35 @@ void ThreadPbpl::run_handlers(Core& core, std::unique_lock<std::mutex>& lock) {
     }
   }
   lock.lock();
+  // The handlers are done with their zero-copy views: release each
+  // drained byte range in one cursor publication and wake producers
+  // blocked on varlen space (for the item plane the manager already
+  // notified right after the drain — item space frees at pop, varlen
+  // space only here).
+  bool released = false;
+  for (const PendingBatch& p : core.pending) {
+    if (p.consumer->var != nullptr && p.consumer->var_inflight) {
+      p.consumer->var->release_until(p.var_release);
+      p.consumer->var_inflight = false;
+      released = true;
+    }
+  }
+  if (released) core.producer_cv.notify_all();
   core.pending.clear();
 }
 
 void ThreadPbpl::make_reservation_locked(Core& core, Consumer& consumer, SimTime now) {
   const double rate = consumer.predictor->predict();
-  std::size_t capacity = consumer.buffer->capacity();
-  if (config_.dynamic_resize) capacity += pool_.free_slots();
+  // With the varlen plane armed, records ARE the items the control
+  // plane schedules around: translate the ring's byte capacity into
+  // worst-case records (the budget covers payload_max plus the stamp).
+  std::size_t capacity;
+  if (consumer.var != nullptr) {
+    capacity = consumer.var->capacity_bytes() / record_budget_;
+  } else {
+    capacity = consumer.buffer->capacity();
+    if (config_.dynamic_resize) capacity += pool_.free_slots();
+  }
   capacity = std::max<std::size_t>(capacity, 1);
 
   core::SlotQuery query{now, rate, capacity, config_.max_latency,
@@ -771,8 +1095,11 @@ void ThreadPbpl::make_reservation_locked(Core& core, Consumer& consumer, SimTime
   if (config_.dynamic_resize && choice.expected_items > 0.0) {
     const auto target = static_cast<std::size_t>(
         std::ceil(choice.expected_items * config_.resize_headroom));
+    const std::size_t want = std::max<std::size_t>(target, consumer.last_batch);
     const std::size_t granted =
-        consumer.buffer->resize(std::max<std::size_t>(target, consumer.last_batch));
+        consumer.var != nullptr
+            ? consumer.var->resize_bytes(want * record_budget_) / record_budget_
+            : consumer.buffer->resize(want);
     if (static_cast<double>(granted) < choice.expected_items) {
       query.buffer_capacity = granted;
       choice = config_.latching

@@ -30,6 +30,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -427,6 +428,327 @@ TEST(IpcCrash, RegistrySlotReusableAfterReap) {
   EXPECT_EQ(got, 7u);
   rep = consumer->report();
   EXPECT_EQ(rep.admitted, rep.consumed + rep.reclaimed);
+}
+
+// ---------------------------------------------------------------------------
+// Varlen payload plane under kill chaos
+// ---------------------------------------------------------------------------
+
+ChannelConfig varlen_chaos_config() {
+  ChannelConfig cfg = chaos_config();
+  cfg.payload_ring_bytes = 64u << 10;
+  cfg.payload_max_record = 4096;
+  return cfg;
+}
+
+/// Deterministic record body for (producer, seq): the tag in the first
+/// 8 bytes, then a keyed byte pattern — so the consumer can verify
+/// no-tear per record without any side channel.
+std::uint32_t varlen_size_of(std::uint64_t child_idx, std::uint64_t seq) {
+  return 8 + static_cast<std::uint32_t>((seq * 2654435761ull + child_idx * 97) % 2040);
+}
+
+void fill_varlen_payload(std::vector<std::byte>& buf, std::uint64_t child_idx,
+                         std::uint64_t seq) {
+  const std::uint32_t size = varlen_size_of(child_idx, seq);
+  const std::uint64_t key = tag_item(child_idx, seq);
+  buf.resize(size);
+  std::memcpy(buf.data(), &key, sizeof(key));
+  for (std::uint32_t i = 8; i < size; ++i) {
+    buf[i] = static_cast<std::byte>((key * 131 + i) & 0xff);
+  }
+}
+
+[[noreturn]] void varlen_producer_child(const std::string& name, std::uint64_t child_idx,
+                                        std::uint64_t seed, std::uint64_t n_items) {
+  fault::FaultConfig fault_cfg;
+  fault_cfg.seed = seed * 7001 + child_idx;
+  fault_cfg.kill_probability = 0.002;
+  fault::FaultInjector injector(fault_cfg);
+
+  auto producer = Producer::attach(name, child_producer_config());
+  if (!producer.has_value()) _exit(2);
+  std::vector<std::byte> buf;
+  for (std::uint64_t seq = 0; seq < n_items; ++seq) {
+    const int crash_point = injector.process_crash_point();
+    if (crash_point >= 0) {
+      // The injector draws over the three control-path points; fold the
+      // two varlen-only points (kAfterReserve=3, kAfterCommit=4) in so
+      // deaths land on every step of the record protocol too.
+      producer->set_crash_hook([crash_point](CrashPoint point) {
+        const int p = static_cast<int>(point);
+        if (p == crash_point || p == crash_point + 3) ::kill(::getpid(), SIGKILL);
+      });
+    } else {
+      producer->set_crash_hook(nullptr);
+    }
+    fill_varlen_payload(buf, child_idx, seq);
+    producer->push_record(std::span<const std::byte>(buf.data(), buf.size()));
+  }
+  producer->detach();
+  _exit(0);
+}
+
+struct VarlenChaosOutcome {
+  std::size_t killed = 0;
+  std::size_t clean = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t tears = 0;
+  ConservationReport report;
+};
+
+void run_varlen_chaos_schedule(std::uint64_t seed, VarlenChaosOutcome* outcome) {
+  constexpr std::size_t kProducers = 3;
+  constexpr std::uint64_t kItems = 400;
+  const std::string name = unique_name("varchaos");
+
+  auto consumer = Consumer::create(name, varlen_chaos_config());
+  ASSERT_TRUE(consumer.has_value());
+
+  std::vector<pid_t> children;
+  for (std::size_t i = 0; i < kProducers; ++i) {
+    const pid_t pid = ::fork();
+    if (pid == 0) varlen_producer_child(name, i, seed, kItems);
+    ASSERT_GT(pid, 0) << "fork failed";
+    children.push_back(pid);
+  }
+
+  std::vector<std::uint64_t> next_seq(kProducers, 0);
+  std::size_t order_violations = 0;
+  auto on_record = [&](std::span<const std::byte> payload) {
+    ++outcome->delivered;
+    if (payload.size() < 8) {
+      ++outcome->tears;
+      return;
+    }
+    std::uint64_t key = 0;
+    std::memcpy(&key, payload.data(), sizeof(key));
+    const std::uint64_t idx = key >> 32;
+    const std::uint64_t seq = key & 0xffffffffULL;
+    if (idx >= kProducers || payload.size() != varlen_size_of(idx, seq)) {
+      ++outcome->tears;
+      return;
+    }
+    for (std::size_t i = 8; i < payload.size(); ++i) {
+      if (payload[i] != static_cast<std::byte>((key * 131 + i) & 0xff)) {
+        ++outcome->tears;
+        return;
+      }
+    }
+    if (seq < next_seq[idx]) {
+      ++order_violations;
+    } else {
+      next_seq[idx] = seq + 1;  // gaps allowed (drops/losses); regressions not
+    }
+  };
+
+  std::size_t live = children.size();
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (true) {
+    consumer->drain_records(on_record);
+    consumer->reap();
+    for (pid_t& pid : children) {
+      if (pid == 0) continue;
+      int status = 0;
+      if (::waitpid(pid, &status, WNOHANG) == pid) {
+        if (WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL) ++outcome->killed;
+        if (WIFEXITED(status)) {
+          EXPECT_EQ(WEXITSTATUS(status), 0) << "producer child failed to attach";
+          ++outcome->clean;
+        }
+        pid = 0;
+        --live;
+      }
+    }
+    if (live == 0) {
+      consumer->drain_records(on_record);
+      consumer->reap();
+      const ConservationReport rep = consumer->report();
+      if (rep.residue == 0 && rep.var_residue_bytes == 0) break;
+    }
+    consumer->wait(/*timeout_ns=*/500'000);
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "consumer wedged: residue=" << consumer->report().residue
+        << " var_residue_bytes=" << consumer->report().var_residue_bytes
+        << " after all producers exited (seed " << seed << ")";
+  }
+
+  outcome->report = consumer->report();
+  const ConservationReport& rep = outcome->report;
+  EXPECT_EQ(order_violations, 0u) << "seed " << seed;
+  EXPECT_EQ(outcome->tears, 0u) << "seed " << seed;
+
+  // Ticket conservation still exact on the control plane.
+  EXPECT_EQ(rep.admitted, rep.consumed + rep.reclaimed) << "seed " << seed;
+  // Byte conservation, exact: every byte any producer ever claimed in a
+  // payload ring resolved to consumed, reclaimed, or wrap padding.
+  EXPECT_EQ(rep.var_admitted_bytes, rep.var_consumed_bytes + rep.var_reclaimed_bytes +
+                                        rep.var_padding_bytes)
+      << "seed " << seed;
+  EXPECT_EQ(rep.var_residue_bytes, 0u) << "seed " << seed;
+  // Every drained control item was an announcement: it either delivered
+  // its record or counted a loss (record died with its producer).
+  EXPECT_EQ(rep.var_delivered_records + rep.var_lost_records, rep.consumed)
+      << "seed " << seed;
+  EXPECT_EQ(outcome->delivered, rep.var_delivered_records) << "seed " << seed;
+  if (outcome->killed == 0) {
+    EXPECT_EQ(rep.var_lost_records, 0u) << "seed " << seed;
+  }
+}
+
+TEST(IpcCrash, VarlenKillChaosByteConservationAcrossSeededSchedules) {
+  PCPC_SKIP_UNDER_TSAN();
+  constexpr std::uint64_t kSchedules = 60;
+  std::size_t total_killed = 0;
+  std::size_t total_clean = 0;
+  std::uint64_t total_delivered = 0;
+  std::uint64_t total_reclaimed_bytes = 0;
+  for (std::uint64_t seed = 1; seed <= kSchedules; ++seed) {
+    if (testing::Test::HasFatalFailure()) break;
+    VarlenChaosOutcome outcome;
+    run_varlen_chaos_schedule(seed, &outcome);
+    total_killed += outcome.killed;
+    total_clean += outcome.clean;
+    total_delivered += outcome.delivered;
+    total_reclaimed_bytes += outcome.report.var_reclaimed_bytes;
+  }
+  // The mix must exercise both fates and actually reclaim record bytes,
+  // or the byte-granular recovery path went untested.
+  EXPECT_GE(total_killed, kSchedules / 3);
+  EXPECT_GE(total_clean, kSchedules / 3);
+  EXPECT_GT(total_delivered, 0u);
+  EXPECT_GT(total_reclaimed_bytes, 0u);
+}
+
+TEST(IpcCrash, VarlenSlotReuseAfterCommitCrashKeepsCorrespondence) {
+  PCPC_SKIP_UNDER_TSAN();
+  const std::string name = unique_name("varreuse");
+  auto consumer = Consumer::create(name, varlen_chaos_config());
+  ASSERT_TRUE(consumer.has_value());
+
+  // Child A: 3 announced records, then dies with a 4th committed but
+  // never announced (the worst case for record<->announcement skew).
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    auto producer = Producer::attach(name, child_producer_config());
+    if (!producer.has_value()) _exit(2);
+    std::vector<std::byte> buf;
+    for (std::uint64_t seq = 0; seq < 3; ++seq) {
+      fill_varlen_payload(buf, 0, seq);
+      producer->push_record(std::span<const std::byte>(buf.data(), buf.size()));
+    }
+    producer->set_crash_hook([](CrashPoint point) {
+      if (point == CrashPoint::kAfterCommit) ::kill(::getpid(), SIGKILL);
+    });
+    fill_varlen_payload(buf, 0, 3);
+    producer->push_record(std::span<const std::byte>(buf.data(), buf.size()));
+    _exit(3);  // unreachable
+  }
+  ASSERT_GT(pid, 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL);
+
+  // Recover: the 3 announced records must deliver intact, the orphan must
+  // be reclaimed (bytes, not a loss — it was never announced), and the
+  // registry slot must free.
+  std::uint64_t delivered = 0;
+  std::uint64_t bad = 0;
+  auto on_record = [&](std::span<const std::byte> payload) {
+    std::uint64_t key = 0;
+    if (payload.size() >= 8) std::memcpy(&key, payload.data(), sizeof(key));
+    if (payload.size() != varlen_size_of(key >> 32, key & 0xffffffffULL)) ++bad;
+    ++delivered;
+  };
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (consumer->report().var_residue_bytes != 0 ||
+         consumer->report().peers_reaped == 0) {
+    consumer->drain_records(on_record);
+    consumer->reap();
+    consumer->wait(500'000);
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "orphan never resolved";
+  }
+  EXPECT_EQ(delivered, 3u);
+  EXPECT_EQ(bad, 0u);
+  ConservationReport rep = consumer->report();
+  EXPECT_EQ(rep.var_lost_records, 0u);
+  EXPECT_GT(rep.var_reclaimed_bytes, 0u);
+
+  // Slot reuse: a successor on the same registry index must interleave
+  // cleanly with the predecessor's resolved ring.
+  auto producer = Producer::attach(name, child_producer_config());
+  ASSERT_TRUE(producer.has_value());
+  std::vector<std::byte> buf;
+  for (std::uint64_t seq = 10; seq < 12; ++seq) {
+    fill_varlen_payload(buf, 0, seq);
+    ASSERT_EQ(producer->push_record(std::span<const std::byte>(buf.data(), buf.size())),
+              PushResult::kOk);
+  }
+  const auto drain_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (delivered < 5) {
+    consumer->drain_records(on_record);
+    ASSERT_LT(std::chrono::steady_clock::now(), drain_deadline);
+  }
+  EXPECT_EQ(delivered, 5u);
+  EXPECT_EQ(bad, 0u);
+  rep = consumer->report();
+  EXPECT_EQ(rep.var_admitted_bytes - rep.var_residue_bytes,
+            rep.var_consumed_bytes + rep.var_reclaimed_bytes + rep.var_padding_bytes);
+}
+
+TEST(IpcCrash, VarlenAnnouncedUndrainedRecordCountsAsLoss) {
+  PCPC_SKIP_UNDER_TSAN();
+  const std::string name = unique_name("varloss");
+  auto consumer = Consumer::create(name, varlen_chaos_config());
+  ASSERT_TRUE(consumer.has_value());
+
+  // Child publishes record 0 fully, then dies right after record 1's
+  // announcement (control publish done, producer counters not bumped).
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    auto producer = Producer::attach(name, child_producer_config());
+    if (!producer.has_value()) _exit(2);
+    std::vector<std::byte> buf;
+    fill_varlen_payload(buf, 0, 0);
+    producer->push_record(std::span<const std::byte>(buf.data(), buf.size()));
+    producer->set_crash_hook([](CrashPoint point) {
+      if (point == CrashPoint::kAfterPublish) ::kill(::getpid(), SIGKILL);
+    });
+    fill_varlen_payload(buf, 0, 1);
+    producer->push_record(std::span<const std::byte>(buf.data(), buf.size()));
+    _exit(3);  // unreachable
+  }
+  ASSERT_GT(pid, 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL);
+
+  // Reap BEFORE draining: the dead producer's ring is resolved first, so
+  // record 1's dangling announcement must resolve as a counted loss, and
+  // record 0 (announced earlier, also resolved by the reaper) too —
+  // announced-but-undrained records do not survive their producer.
+  const auto reap_deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (consumer->report().peers_reaped == 0) {
+    consumer->reap();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_LT(std::chrono::steady_clock::now(), reap_deadline) << "never reaped";
+  }
+  std::uint64_t delivered = 0;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (consumer->report().residue != 0 ||
+         consumer->report().var_residue_bytes != 0) {
+    consumer->drain_records([&](std::span<const std::byte>) { ++delivered; });
+    consumer->reap();
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+  }
+  const ConservationReport rep = consumer->report();
+  EXPECT_EQ(delivered, 0u);
+  EXPECT_EQ(rep.var_delivered_records, 0u);
+  EXPECT_EQ(rep.var_lost_records, rep.consumed);
+  EXPECT_GE(rep.var_lost_records, 1u);
+  EXPECT_EQ(rep.var_admitted_bytes,
+            rep.var_consumed_bytes + rep.var_reclaimed_bytes + rep.var_padding_bytes);
 }
 
 TEST(IpcCrash, AttachBacksOffUntilCreationAndGivesUpCleanly) {

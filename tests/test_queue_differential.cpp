@@ -260,6 +260,263 @@ TEST(QueueDifferential, DroppingPoliciesKeepFifoOfSurvivors) {
   }
 }
 
+// --- Varlen tier: the record rings promise the same cross-backend
+// determinism at byte granularity.  One seeded op stream (records of
+// seeded sizes via reserve/commit or try_push_record, partial claim/
+// release drains, elastic byte resizes, policy-driven evictions) runs
+// against every VarHandoff kind; the byte trajectories — the (size,
+// checksum) sequence of every record consumed, dropped and left as
+// residue, plus the capacity walk — must be bit-identical across
+// backends × overflow policies and across heap vs shm placement. ------
+
+/// One record's observable identity: payload size and a fold of every
+/// payload byte.  Two runs agree iff the full sequences match.
+using VarRecordId = std::pair<std::uint32_t, std::uint64_t>;
+
+struct VarOutcome {
+  std::vector<VarRecordId> consumed;   ///< records drained, in order
+  std::vector<std::uint32_t> dropped;  ///< payload sizes evicted, in order
+  std::vector<VarRecordId> residue;    ///< records still ringed at the end
+  std::vector<std::size_t> capacities; ///< capacity_bytes after each resize
+  std::uint64_t produced_records = 0;
+  std::uint64_t produced_bytes = 0;
+  std::uint64_t rejected_reserves = 0;
+  std::uint64_t forced_drains = 0;
+  std::uint64_t borrows = 0;
+};
+
+std::uint64_t var_payload_checksum(std::span<const std::byte> payload) {
+  std::uint64_t sum = 0x9e3779b97f4a7c15ull + payload.size();
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    sum = sum * 131 + static_cast<std::uint8_t>(payload[i]);
+  }
+  return sum;
+}
+
+void drive_var_handoff(VarHandoff& handoff, OverflowPolicy policy,
+                       std::uint64_t seed, VarOutcome& out) {
+  Rng rng(seed);
+  std::uint64_t next_seq = 1;
+
+  auto consume_claimed = [&](std::size_t max_records) {
+    std::size_t n = 0;
+    while (n < max_records) {
+      auto view = handoff.claim_front();
+      if (!view.has_value()) break;
+      out.consumed.emplace_back(
+          view->size,
+          var_payload_checksum(std::span<const std::byte>(view->data, view->size)));
+      ++n;
+    }
+    if (n > 0) handoff.release_until(handoff.claim_offset());
+    return n;
+  };
+
+  auto fill = [&](std::byte* dst, std::uint32_t size, std::uint64_t seq) {
+    for (std::uint32_t i = 0; i < size; ++i) {
+      dst[i] = static_cast<std::byte>(seq * 131 + i);
+    }
+  };
+
+  auto push_with_policy = [&](std::uint32_t size) {
+    const std::uint64_t seq = next_seq++;
+    ++out.produced_records;
+    out.produced_bytes += size;
+    std::vector<std::byte> staging(size);
+    const bool zero_copy = rng.next_below(2) == 0;
+    auto offer = [&]() -> bool {
+      if (zero_copy) {
+        VarReservation r;
+        if (!handoff.try_reserve(size, r)) return false;
+        fill(r.data, size, seq);
+        return handoff.commit(r);
+      }
+      fill(staging.data(), size, seq);
+      return handoff.try_push_record(std::span<const std::byte>(staging));
+    };
+    if (offer()) return;
+    ++out.rejected_reserves;
+    switch (policy) {
+      case OverflowPolicy::DropNewest:
+        out.dropped.push_back(size);
+        return;
+      case OverflowPolicy::DropOldest: {
+        // Evict at record granularity until the newcomer fits; when the
+        // ring runs out of victims first (a record bigger than all queued
+        // bytes), the newcomer itself is the drop (the thread host's
+        // rule).
+        std::uint64_t footprint = 0;
+        std::uint32_t victim = 0;
+        for (;;) {
+          if (!handoff.drop_oldest(footprint, victim)) {
+            out.dropped.push_back(size);
+            return;
+          }
+          out.dropped.push_back(victim);
+          if (offer()) return;
+          ++out.rejected_reserves;
+        }
+      }
+      case OverflowPolicy::EmergencyBorrow: {
+        const std::size_t cap = handoff.capacity_bytes();
+        handoff.resize_bytes(cap + std::max<std::size_t>(64, cap / 4));
+        out.capacities.push_back(handoff.capacity_bytes());
+        if (offer()) {
+          ++out.borrows;
+          return;
+        }
+        ++out.rejected_reserves;
+        [[fallthrough]];
+      }
+      case OverflowPolicy::Block: {
+        // Single-threaded stand-in for the blocked producer's forced
+        // drain: consume everything, then the record must fit.
+        ++out.forced_drains;
+        consume_claimed(SIZE_MAX);
+        const bool stored = offer();
+        ASSERT_TRUE(stored) << "push after a full drain must succeed";
+        return;
+      }
+    }
+  };
+
+  for (int step = 0; step < 3000; ++step) {
+    const std::uint64_t op = rng.next_below(100);
+    if (op < 65) {
+      // Sizes sweep 1..max_record_payload with a bias toward small
+      // records so several live in the ring at once.
+      const std::uint32_t max_payload = handoff.max_record_payload();
+      const std::uint32_t size = 1 + static_cast<std::uint32_t>(rng.next_below(
+          rng.next_below(4) == 0 ? max_payload : 47));
+      push_with_policy(size);
+    } else if (op < 85) {
+      consume_claimed(1 + rng.next_below(4));
+    } else {
+      // Elastic resize toward a random byte target, never below one
+      // max-size record's footprint — the Block policy's "full drain
+      // then the record must fit" invariant needs that floor, exactly
+      // like the item pools never shrink below one slot.
+      const std::size_t floor_bytes = static_cast<std::size_t>(
+          var_record_bytes(handoff.max_record_payload()));
+      handoff.resize_bytes(floor_bytes + 64 * rng.next_below(24));
+      out.capacities.push_back(handoff.capacity_bytes());
+    }
+  }
+
+  // Whatever is still ringed at the end is the residue trajectory.
+  for (;;) {
+    auto view = handoff.claim_front();
+    if (!view.has_value()) break;
+    out.residue.emplace_back(
+        view->size,
+        var_payload_checksum(std::span<const std::byte>(view->data, view->size)));
+  }
+  handoff.release_until(handoff.claim_offset());
+}
+
+/// Heap-placed varlen run.
+VarOutcome var_drive(BackendKind kind, OverflowPolicy policy, std::uint64_t seed) {
+  auto handoff = make_var_handoff(kind, /*capacity_bytes=*/1 << 10,
+                                  /*max_bytes=*/4 << 10, /*max_record_payload=*/256);
+  VarOutcome out;
+  drive_var_handoff(*handoff, policy, seed, out);
+  EXPECT_EQ(handoff->overflows(), out.rejected_reserves);
+  return out;
+}
+
+/// Same workload with the ring storage in a real MAP_SHARED mapping.
+VarOutcome var_drive_in_shm(BackendKind kind, OverflowPolicy policy,
+                            std::uint64_t seed) {
+  const std::size_t bytes =
+      placed_var_handoff_bytes(kind, /*max_bytes=*/4 << 10, /*max_record_payload=*/256);
+  const std::string name =
+      "/pcpc_vdiff_" + std::to_string(::getpid()) + "_" + std::to_string(seed);
+  std::string error;
+  ipc::ShmSegment segment = ipc::ShmSegment::create(name, bytes, &error);
+  VarOutcome out;
+  EXPECT_TRUE(segment.valid()) << error;
+  if (!segment.valid()) return out;
+  auto handoff = make_placed_var_handoff(kind, /*capacity_bytes=*/1 << 10,
+                                         /*max_bytes=*/4 << 10,
+                                         /*max_record_payload=*/256,
+                                         Placement{segment.payload(), bytes});
+  EXPECT_NE(handoff, nullptr);
+  if (handoff != nullptr) {
+    drive_var_handoff(*handoff, policy, seed, out);
+    EXPECT_EQ(handoff->overflows(), out.rejected_reserves);
+  }
+  handoff.reset();  // destroy the ring before the mapping goes away
+  segment.unlink();
+  return out;
+}
+
+void expect_same_var(const VarOutcome& a, const VarOutcome& b,
+                     const std::string& label) {
+  EXPECT_EQ(a.consumed, b.consumed) << label;
+  EXPECT_EQ(a.dropped, b.dropped) << label;
+  EXPECT_EQ(a.residue, b.residue) << label;
+  EXPECT_EQ(a.capacities, b.capacities) << label;
+  EXPECT_EQ(a.produced_records, b.produced_records) << label;
+  EXPECT_EQ(a.produced_bytes, b.produced_bytes) << label;
+  EXPECT_EQ(a.rejected_reserves, b.rejected_reserves) << label;
+  EXPECT_EQ(a.forced_drains, b.forced_drains) << label;
+  EXPECT_EQ(a.borrows, b.borrows) << label;
+}
+
+TEST(QueueDifferential, VarlenBackendsAgreeUnderEveryPolicy) {
+  const std::uint64_t kSeeds[] = {1, 42, 0xdecafbadULL, 987654321};
+  for (const auto policy : kPolicies) {
+    for (const std::uint64_t seed : kSeeds) {
+      const VarOutcome reference = var_drive(BackendKind::Mutex, policy, seed);
+      // Byte conservation holds on the reference run itself.
+      std::uint64_t consumed_bytes = 0;
+      for (const auto& [size, sum] : reference.consumed) consumed_bytes += size;
+      std::uint64_t dropped_bytes = 0;
+      for (const auto size : reference.dropped) dropped_bytes += size;
+      std::uint64_t residue_bytes = 0;
+      for (const auto& [size, sum] : reference.residue) residue_bytes += size;
+      EXPECT_EQ(reference.produced_bytes,
+                consumed_bytes + dropped_bytes + residue_bytes)
+          << policy_name(policy) << ", seed " << seed;
+      for (const auto kind : kBackends) {
+        if (kind == BackendKind::Mutex) continue;
+        std::ostringstream label;
+        label << "varlen " << backend_name(kind) << " vs mutex, "
+              << policy_name(policy) << ", seed " << seed;
+        expect_same_var(reference, var_drive(kind, policy, seed), label.str());
+      }
+    }
+  }
+}
+
+TEST(QueueDifferential, VarlenHeapAndShmPlacementsAgreeBitForBit) {
+  const std::uint64_t kSeeds[] = {3, 0xfeedULL, 271828};
+  for (const auto kind : kBackends) {
+    for (const auto policy : kPolicies) {
+      for (const std::uint64_t seed : kSeeds) {
+        std::ostringstream label;
+        label << "varlen " << backend_name(kind) << " heap vs shm, "
+              << policy_name(policy) << ", seed " << seed;
+        expect_same_var(var_drive(kind, policy, seed),
+                        var_drive_in_shm(kind, policy, seed), label.str());
+      }
+    }
+  }
+}
+
+TEST(QueueDifferential, VarlenLosslessPoliciesDropNothing) {
+  for (const auto kind : kBackends) {
+    for (const auto policy :
+         {OverflowPolicy::Block, OverflowPolicy::EmergencyBorrow}) {
+      const VarOutcome out = var_drive(kind, policy, /*seed=*/7);
+      EXPECT_TRUE(out.dropped.empty())
+          << backend_name(kind) << "/" << policy_name(policy);
+      EXPECT_EQ(out.consumed.size() + out.residue.size(), out.produced_records)
+          << backend_name(kind) << "/" << policy_name(policy);
+    }
+  }
+}
+
 // --- Tier 2: the real thread host keeps produced == items + dropped()
 // exactly, per backend × policy, with concurrent producers. -------------
 

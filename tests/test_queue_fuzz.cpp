@@ -238,6 +238,284 @@ TEST(QueueFuzz, HandoffDropAccountingIsExactUnderGiveUpProducers) {
   }
 }
 
+// --- Varlen record-ring fuzz: the same contracts at byte granularity.
+//
+// Real threads drive the varlen rings with seeded size schedules from
+// 1 B to the 16 KiB record cap, biased toward the wrap-boundary sizes
+// (1, 7, 8, 9, 4095, 4096, 4097, …) that stress the padding rule, while
+// the consumer flaps the logical byte capacity underneath.  Every
+// record carries a pattern keyed by its identity, so the consumer
+// proves no-loss, no-dup, per-producer FIFO *and* no-tear (every byte
+// of every delivered span matches the key's pattern — a record torn by
+// a concurrent overwrite or a stale wrap cannot). ----------------------
+
+constexpr std::uint32_t kVarMaxPayload = 16u << 10;
+
+/// Seeded payload size: mostly small records (so many live in the ring),
+/// a band of mediums, a tail of maximum-size records, and a fixed share
+/// of exact wrap-boundary sizes.
+std::uint32_t var_fuzz_size(Rng& rng, bool allow_tiny) {
+  const std::uint32_t floor = allow_tiny ? 1 : 8;
+  const std::uint64_t pick = rng.next_below(100);
+  if (pick < 10) {
+    static constexpr std::uint32_t kEdges[] = {
+        1, 7, 8, 9, 63, 4095, 4096, 4097, 8191, kVarMaxPayload - 1, kVarMaxPayload};
+    const std::uint32_t s = kEdges[rng.next_below(std::size(kEdges))];
+    return s < floor ? floor : s;
+  }
+  if (pick < 75) return floor + static_cast<std::uint32_t>(rng.next_below(56));
+  if (pick < 95) return 64 + static_cast<std::uint32_t>(rng.next_below(2048));
+  return 2048 +
+         static_cast<std::uint32_t>(rng.next_below(kVarMaxPayload - 2048 + 1));
+}
+
+/// Fills payload bytes [from, size) with the key's pattern.
+void var_fill(std::byte* dst, std::uint32_t size, std::uint64_t key,
+              std::uint32_t from = 0) {
+  for (std::uint32_t i = from; i < size; ++i) {
+    dst[i] = static_cast<std::byte>(key * 131 + i * 7);
+  }
+}
+
+/// True iff payload bytes [from, size) carry exactly the key's pattern.
+bool var_matches(const std::byte* src, std::uint32_t size, std::uint64_t key,
+                 std::uint32_t from = 0) {
+  for (std::uint32_t i = from; i < size; ++i) {
+    if (src[i] != static_cast<std::byte>(key * 131 + i * 7)) return false;
+  }
+  return true;
+}
+
+TEST(QueueFuzz, VarlenMpscSpinningProducersLoseNothingUntorn) {
+  // Capacity never flaps below one max-size record's footprint, so a
+  // spinning producer always eventually fits (same floor the hosts keep).
+  const std::size_t floor_bytes = var_record_bytes(kVarMaxPayload);
+  for (std::uint64_t trial = 0; trial < 6; ++trial) {
+    Rng rng(0x7a71e9ULL * 1000 + trial);
+    const std::uint64_t producers = 1 + rng.next_below(4);
+    const std::uint64_t items = 300 + rng.next_below(300);
+    const std::size_t max_bytes =
+        floor_bytes + (32u << 10) + static_cast<std::size_t>(rng.next_below(32u << 10));
+    SCOPED_TRACE("trial " + std::to_string(trial) + ": producers=" +
+                 std::to_string(producers) + " items=" + std::to_string(items));
+
+    // Per-producer size schedules drawn up front: threads must not share
+    // the Rng, and the consumer replays the same schedule to know every
+    // record's exact expected size.
+    std::vector<std::vector<std::uint32_t>> sizes(producers);
+    for (std::uint64_t p = 0; p < producers; ++p) {
+      for (std::uint64_t i = 0; i < items; ++i) {
+        sizes[p].push_back(var_fuzz_size(rng, /*allow_tiny=*/false));
+      }
+    }
+
+    VarMpscRing<> ring(floor_bytes + (16u << 10), max_bytes, kVarMaxPayload);
+    std::vector<std::thread> threads;
+    for (std::uint64_t p = 0; p < producers; ++p) {
+      threads.emplace_back([&ring, &sizes, p, items] {
+        for (std::uint64_t i = 0; i < items; ++i) {
+          const std::uint32_t size = sizes[p][i];
+          VarReservation r;
+          while (!ring.try_reserve(size, r)) std::this_thread::yield();
+          // First 8 bytes carry the identity; the rest its pattern.
+          const std::uint64_t id = tag(p, i);
+          std::memcpy(r.data, &id, sizeof(id));
+          var_fill(r.data, size, id, /*from=*/8);
+          const bool committed = ring.commit(r);
+          PCPC_ASSERT_MSG(committed, "no reaper in-process: commit must win");
+        }
+      });
+    }
+
+    std::map<std::uint64_t, std::uint64_t> next_seq;
+    std::uint64_t consumed = 0;
+    Rng consumer_rng(trial);
+    while (consumed < producers * items) {
+      const std::size_t n = ring.drain(
+          [&](std::span<const std::byte> payload) {
+            ASSERT_GE(payload.size(), 8u);
+            std::uint64_t id = 0;
+            std::memcpy(&id, payload.data(), sizeof(id));
+            check_tagged(next_seq, id, /*strict=*/true);
+            const std::uint64_t p = id >> 32;
+            const std::uint64_t seq = id & 0xffffffffULL;
+            ASSERT_EQ(payload.size(), sizes[p][seq]) << "record size corrupted";
+            ASSERT_TRUE(var_matches(payload.data(),
+                                    static_cast<std::uint32_t>(payload.size()), id,
+                                    /*from=*/8))
+                << "torn record from producer " << p << " seq " << seq;
+          },
+          /*max_records=*/1 + consumer_rng.next_below(8));
+      if (n == 0) {
+        std::this_thread::yield();
+      } else {
+        consumed += n;
+        if (consumed % 97 < n) {
+          ring.set_capacity_bytes(
+              floor_bytes + static_cast<std::size_t>(
+                                consumer_rng.next_below(max_bytes - floor_bytes)));
+        }
+      }
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(ring.size_bytes(), 0u);
+  }
+}
+
+TEST(QueueFuzz, VarlenSpscByteExactFifoUnderCapacityFlapping) {
+  const std::size_t floor_bytes = var_record_bytes(kVarMaxPayload);
+  for (std::uint64_t trial = 0; trial < 6; ++trial) {
+    Rng rng(0x5b5cULL * 1000 + trial);
+    const std::uint64_t items = 800 + rng.next_below(800);
+    const std::size_t max_bytes =
+        floor_bytes + (16u << 10) + static_cast<std::size_t>(rng.next_below(32u << 10));
+    SCOPED_TRACE("trial " + std::to_string(trial) + ": items=" +
+                 std::to_string(items));
+
+    // Single producer: the whole schedule is the identity, so records as
+    // small as ONE byte are fully checkable — the consumer knows record
+    // j's exact size and pattern without any embedded tag.
+    std::vector<std::uint32_t> sizes;
+    for (std::uint64_t i = 0; i < items; ++i) {
+      sizes.push_back(var_fuzz_size(rng, /*allow_tiny=*/true));
+    }
+
+    VarSpscRing<> ring(floor_bytes + (8u << 10), max_bytes, kVarMaxPayload);
+    std::thread producer([&ring, &sizes, items] {
+      for (std::uint64_t i = 0; i < items; ++i) {
+        VarReservation r;
+        while (!ring.try_reserve(sizes[i], r)) std::this_thread::yield();
+        var_fill(r.data, sizes[i], /*key=*/i);
+        const bool committed = ring.commit(r);
+        PCPC_ASSERT_MSG(committed, "no reaper in-process: commit must win");
+      }
+    });
+
+    std::uint64_t seq = 0;
+    Rng consumer_rng(trial);
+    while (seq < items) {
+      const std::size_t n = ring.drain(
+          [&](std::span<const std::byte> payload) {
+            ASSERT_EQ(payload.size(), sizes[seq]) << "FIFO or size broken at " << seq;
+            ASSERT_TRUE(var_matches(payload.data(),
+                                    static_cast<std::uint32_t>(payload.size()), seq))
+                << "torn record " << seq;
+            ++seq;
+          },
+          /*max_records=*/1 + consumer_rng.next_below(8));
+      if (n == 0) {
+        std::this_thread::yield();
+      } else if (seq % 61 < n) {
+        ring.set_capacity_bytes(
+            floor_bytes + static_cast<std::size_t>(
+                              consumer_rng.next_below(max_bytes - floor_bytes)));
+      }
+    }
+    producer.join();
+    EXPECT_EQ(ring.size_bytes(), 0u);
+  }
+}
+
+TEST(QueueFuzz, VarlenDropAccountingIsExactUnderGiveUpProducers) {
+  for (const auto kind : {BackendKind::Mutex, BackendKind::MpscSeg}) {
+    for (std::uint64_t trial = 0; trial < 4; ++trial) {
+      Rng rng(0xbead5ULL * 100 + trial);
+      const std::uint64_t producers = 2 + rng.next_below(3);
+      const std::uint64_t items = 600 + rng.next_below(600);
+      SCOPED_TRACE(std::string(backend_name(kind)) + " trial " +
+                   std::to_string(trial));
+
+      // A tight ring so the wall is hit constantly.
+      auto queue = make_var_handoff(kind, /*capacity_bytes=*/2u << 10,
+                                    /*max_bytes=*/4u << 10,
+                                    /*max_record_payload=*/512);
+      std::mutex host_lock;
+      const bool locked = !queue->lock_free();
+      std::atomic<std::uint64_t> rejected{0};
+      std::atomic<std::uint64_t> rejected_bytes{0};
+      std::atomic<std::uint64_t> produced_bytes{0};
+      std::atomic<bool> done{false};
+
+      std::vector<std::vector<std::uint32_t>> sizes(producers);
+      for (std::uint64_t p = 0; p < producers; ++p) {
+        for (std::uint64_t i = 0; i < items; ++i) {
+          sizes[p].push_back(
+              1 + static_cast<std::uint32_t>(rng.next_below(512)));
+        }
+      }
+
+      std::vector<std::thread> threads;
+      for (std::uint64_t p = 0; p < producers; ++p) {
+        threads.emplace_back([&, p] {
+          std::uint64_t my_rejects = 0, my_reject_bytes = 0, my_bytes = 0;
+          std::vector<std::byte> staging(512);
+          for (std::uint64_t i = 0; i < items; ++i) {
+            const std::uint32_t size = sizes[p][i];
+            var_fill(staging.data(), size, tag(p, i));
+            my_bytes += size;
+            bool stored;
+            if (locked) {
+              std::lock_guard<std::mutex> guard(host_lock);
+              stored = queue->try_push_record(
+                  std::span<const std::byte>(staging.data(), size));
+            } else {
+              stored = queue->try_push_record(
+                  std::span<const std::byte>(staging.data(), size));
+            }
+            if (!stored) {  // give up: the record is dropped
+              ++my_rejects;
+              my_reject_bytes += size;
+            }
+          }
+          rejected.fetch_add(my_rejects);
+          rejected_bytes.fetch_add(my_reject_bytes);
+          produced_bytes.fetch_add(my_bytes);
+        });
+      }
+
+      std::uint64_t consumed = 0, consumed_bytes = 0;
+      std::thread consumer([&] {
+        auto count = [&](std::span<const std::byte> payload) {
+          ++consumed;
+          consumed_bytes += payload.size();
+        };
+        for (;;) {
+          std::size_t n;
+          if (locked) {
+            std::lock_guard<std::mutex> guard(host_lock);
+            n = queue->drain_records(count, /*max_records=*/64);
+          } else {
+            n = queue->drain_records(count, /*max_records=*/64);
+          }
+          if (n > 0) continue;
+          if (done.load()) {
+            if (locked) {
+              std::lock_guard<std::mutex> guard(host_lock);
+              if (queue->size_bytes() == 0) return;
+            } else if (queue->size_bytes() == 0) {
+              return;
+            }
+          } else {
+            std::this_thread::yield();
+          }
+        }
+      });
+      for (auto& t : threads) t.join();
+      done.store(true);
+      consumer.join();
+
+      // Byte conservation, exactly: every offered record either reached
+      // the consumer whole or was rejected at the wall, and the hand-off
+      // counted each rejection with its bytes.
+      EXPECT_EQ(consumed + rejected.load(), producers * items);
+      EXPECT_EQ(consumed_bytes + rejected_bytes.load(), produced_bytes.load());
+      EXPECT_EQ(queue->overflows(), rejected.load());
+      EXPECT_EQ(queue->overflow_bytes(), rejected_bytes.load());
+      EXPECT_GT(rejected.load(), 0u) << "workload too tame to hit the wall";
+    }
+  }
+}
+
 TEST(QueueFuzz, SpscThroughputNotWorseThanMutexSingleProducer) {
   if (PCPC_SANITIZED) {
     GTEST_SKIP() << "timing property skipped under sanitizers";
